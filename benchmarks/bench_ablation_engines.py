@@ -1,0 +1,33 @@
+"""Ablation: the truncated all-pairs-shortest-path engines (Algorithms 2 and 3).
+
+The paper motivates the pointer-based L-pruned Floyd–Warshall (Algorithm 3)
+as an improvement over the scan-based L-pruned variant (Algorithm 2); this
+bench times both faithful implementations plus the BFS and NumPy engines the
+experiments actually use, on the same graph, verifying they agree.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_sample
+from repro.graph.distance import available_engines, bounded_distance_matrix
+
+SAMPLE_SIZE = 80
+LENGTH = 2
+
+
+@pytest.fixture(scope="module")
+def ablation_graph():
+    return load_sample("google", SAMPLE_SIZE, seed=0)
+
+
+@pytest.fixture(scope="module")
+def reference_matrix(ablation_graph):
+    return bounded_distance_matrix(ablation_graph, LENGTH, engine="floyd-warshall")
+
+
+@pytest.mark.parametrize("engine", sorted(available_engines()))
+def bench_distance_engine(benchmark, ablation_graph, reference_matrix, engine):
+    benchmark.group = f"bounded APSP, |V|={SAMPLE_SIZE}, L={LENGTH}"
+    result = benchmark(bounded_distance_matrix, ablation_graph, LENGTH, engine=engine)
+    assert np.array_equal(result, reference_matrix)

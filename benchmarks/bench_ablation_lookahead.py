@@ -1,0 +1,43 @@
+"""Ablation: cost and benefit of the look-ahead parameter.
+
+Look-ahead widens the greedy search space; the paper reports that it lets
+Removal/Insertion find solutions (or better solutions) at the price of a
+significantly higher runtime, while Removal's runtime is affected only
+mildly.  This bench quantifies both effects on one workload.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.core import EdgeRemovalAnonymizer, EdgeRemovalInsertionAnonymizer
+from repro.datasets import load_sample
+
+DATASET = "wikipedia"
+SAMPLE_SIZE = 40
+THETA = 0.5
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return load_sample(DATASET, SAMPLE_SIZE, seed=0)
+
+
+@pytest.mark.parametrize("lookahead", [1, 2])
+def bench_lookahead_removal(benchmark, workload, lookahead):
+    benchmark.group = f"Edge Removal, {DATASET} |V|={SAMPLE_SIZE}, theta={THETA}"
+    anonymizer = EdgeRemovalAnonymizer(length_threshold=1, theta=THETA, seed=0,
+                                       lookahead=lookahead)
+    result = run_once(benchmark, anonymizer.anonymize, workload)
+    print(f"\n  removal la={lookahead}: {result.summary()}")
+    assert result.success
+
+
+@pytest.mark.parametrize("lookahead", [1, 2])
+def bench_lookahead_removal_insertion(benchmark, workload, lookahead):
+    benchmark.group = f"Edge Removal/Insertion, {DATASET} |V|={SAMPLE_SIZE}, theta={THETA}"
+    anonymizer = EdgeRemovalInsertionAnonymizer(length_threshold=1, theta=THETA, seed=0,
+                                                lookahead=lookahead,
+                                                insertion_candidate_cap=100)
+    result = run_once(benchmark, anonymizer.anonymize, workload)
+    print(f"\n  removal/insertion la={lookahead}: {result.summary()}")
+    assert 0.0 <= result.final_opacity <= 1.0

@@ -1,0 +1,43 @@
+"""Figure 6(a-d): distortion vs θ at L = 1, our heuristics vs Zhang & Zhang.
+
+The paper plots the edit-distance ratio against the confidence threshold θ
+for the Google, Wikipedia, Enron, and Berkeley-Stanford samples.  The shapes
+to reproduce: distortion grows as θ tightens, the Removal heuristic needs at
+most the distortion of GADED-Max, and GADES stalls (near-zero distortion
+because it cannot reach the threshold at all).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series, run_once
+from repro.experiments import figure6_series
+
+#: Scaled-down experiment parameters (paper: 100-500 node samples, θ 0.9→0.3).
+SAMPLE_SIZE = 50
+THETAS = (0.8, 0.6, 0.5)
+
+
+@pytest.mark.parametrize("dataset", ["google", "wikipedia", "enron", "berkeley-stanford"])
+def bench_fig6_l1(benchmark, runner, dataset):
+    series = run_once(benchmark, figure6_series, dataset, length_threshold=1,
+                      sample_size=SAMPLE_SIZE, thetas=THETAS, lookaheads=(1, 2),
+                      insertion_cap=100, seed=0, runner=runner)
+    print_series(f"Figure 6 (L=1) — {dataset}", series, y_label="distortion")
+
+    rem = dict(series["rem la=1"])
+    rem_ins = dict(series["rem-ins la=1"])
+    gaded_max = dict(series["gaded-max"])
+    gades = dict(series["gades"])
+    for theta in THETAS:
+        # Distortion is a valid ratio and Rem never exceeds GADED-Max (paper's
+        # headline comparison).
+        assert 0.0 <= rem[theta] <= 1.0
+        assert rem[theta] <= gaded_max[theta] + 1e-9
+        # Rem preserves more edges than Rem-Ins removes+inserts, so its edit
+        # distance is never larger on these workloads.
+        assert rem[theta] <= rem_ins[theta] + 1e-9
+    # Distortion is non-decreasing as θ tightens.
+    assert rem[THETAS[-1]] >= rem[THETAS[0]] - 1e-9
+    # GADES cannot do better than the removal-based methods; typically it
+    # stalls with little or no change.
+    assert min(gades.values()) >= 0.0

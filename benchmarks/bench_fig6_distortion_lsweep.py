@@ -1,0 +1,42 @@
+"""Figure 6(g, h): distortion vs θ while varying L from 1 to 4 (la = 1).
+
+Expected shape: larger L requires more modification for the same θ (more
+pairs fall within the sensitive distance), and the effect is milder on the
+sparser network (Epinions sample) than on Gnutella, as the paper notes.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_series, run_once
+from repro.experiments import figure6_lsweep_series
+
+CASES = {
+    # The Epinions sample is very sparse, so modification is only needed at
+    # tight thresholds; Gnutella already violates looser ones.
+    "epinions": dict(sample_size=100, thetas=(0.15, 0.1)),
+    "gnutella": dict(sample_size=60, thetas=(0.3, 0.2)),
+}
+LENGTHS = (1, 2, 3)
+
+
+@pytest.mark.parametrize("dataset", sorted(CASES))
+def bench_fig6_lsweep(benchmark, runner, dataset):
+    parameters = CASES[dataset]
+    series = run_once(benchmark, figure6_lsweep_series, dataset, lengths=LENGTHS,
+                      sample_size=parameters["sample_size"],
+                      thetas=parameters["thetas"], insertion_cap=100, seed=0,
+                      runner=runner)
+    print_series(f"Figure 6 (L sweep) — {dataset}", series, y_label="distortion")
+
+    tightest = parameters["thetas"][-1]
+    removal_by_length = {length: dict(series[f"rem L={length}"])[tightest]
+                         for length in LENGTHS}
+    # A longer sensitive path length can only add privacy constraints, so the
+    # required distortion at the tightest θ is non-decreasing in L.
+    assert removal_by_length[1] <= removal_by_length[2] + 1e-9
+    assert removal_by_length[2] <= removal_by_length[3] + 1e-9
+    for length in LENGTHS:
+        rem = dict(series[f"rem L={length}"])
+        rem_ins = dict(series[f"rem-ins L={length}"])
+        for theta in parameters["thetas"]:
+            assert rem[theta] <= rem_ins[theta] + 1e-9

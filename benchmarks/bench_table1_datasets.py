@@ -1,0 +1,14 @@
+"""Table 1: description of the original datasets (nodes, links, domains)."""
+
+from benchmarks.conftest import run_once
+from repro.experiments import format_table, table1_rows
+
+
+def bench_table1(benchmark):
+    rows = run_once(benchmark, table1_rows)
+    print("\n== Table 1: original datasets ==")
+    print(format_table(rows))
+    assert len(rows) == 7
+    assert {row["dataset"] for row in rows} == {
+        "google", "berkeley-stanford", "epinions", "enron",
+        "gnutella", "acm", "wikipedia"}

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Simulating the adversary: does anonymization actually stop the attack?
+
+The paper's Section 3 describes the attack L-opacity defends against: the
+adversary knows how many acquaintances two individuals have, locates the
+candidate vertices with those degrees in the published graph, and measures
+the fraction of candidate pairs connected by a path of length at most L —
+that fraction is their confidence that the two individuals are closely
+linked (Figure 2).
+
+This example mounts that attack on a Gnutella sample twice — against the
+naively de-identified graph and against its 2-opaque form — and shows the
+confidence dropping below the chosen threshold for every degree pair.
+
+Run with::
+
+    python examples/adversary_attack.py [sample_size]
+"""
+
+import sys
+
+from repro import (
+    DegreeAdversary,
+    DegreePairTyping,
+    EdgeRemovalAnonymizer,
+    load_sample,
+)
+
+LENGTH_THRESHOLD = 2
+THETA = 0.3
+
+
+def show_attack(title: str, adversary: DegreeAdversary) -> None:
+    print(f"\n{title}")
+    print("  most confident 'within 2 hops' inferences by degree pair:")
+    for inference in adversary.most_confident_inferences(LENGTH_THRESHOLD, top=5):
+        degrees = "unknown"
+        if inference.target_candidates and inference.subject_candidates:
+            degrees = (f"{len(inference.target_candidates)} vs "
+                       f"{len(inference.subject_candidates)} candidates")
+        print(f"    confidence {inference.confidence:6.1%}  "
+              f"({inference.linked_pairs}/{inference.total_pairs} linked pairs, {degrees})")
+
+
+def main() -> None:
+    sample_size = int(sys.argv[1]) if len(sys.argv) > 1 else 80
+    graph = load_sample("gnutella", sample_size, seed=3)
+    typing = DegreePairTyping(graph)
+    print(f"Gnutella sample: {graph.num_vertices} hosts, {graph.num_edges} connections")
+
+    # Attack the naive publication (identities removed, structure untouched).
+    show_attack("Attack on the naive publication:", DegreeAdversary(graph))
+
+    # Anonymize to 2-opacity with confidence threshold 30% and attack again.
+    result = EdgeRemovalAnonymizer(
+        length_threshold=LENGTH_THRESHOLD, theta=THETA, seed=0).anonymize(graph)
+    print(f"\nAnonymized with Edge Removal: {result.summary()}")
+
+    protected = DegreeAdversary(result.anonymized_graph, original_typing=typing)
+    show_attack(f"Attack on the {LENGTH_THRESHOLD}-opaque publication "
+                f"(theta = {THETA:.0%}):", protected)
+
+    worst = protected.most_confident_inferences(LENGTH_THRESHOLD, top=1)
+    if worst:
+        bound = worst[0].confidence
+        print(f"\nWorst-case adversary confidence after anonymization: {bound:.1%} "
+              f"(guaranteed <= {THETA:.0%})")
+
+
+if __name__ == "__main__":
+    main()

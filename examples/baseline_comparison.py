@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Head-to-head comparison with the Zhang & Zhang heuristics (Figure 6 style).
+
+Runs the paper's Edge Removal and Edge Removal/Insertion heuristics next to
+GADED-Rand, GADED-Max, and GADES on the same sampled graph for a sweep of
+confidence thresholds, printing a table of distortion, degree-distribution
+EMD, clustering change, and runtime — the quantities plotted in Figures 6-9.
+
+Run with::
+
+    python examples/baseline_comparison.py [dataset] [sample_size]
+"""
+
+import sys
+
+from repro.experiments import ExperimentConfig, ExperimentRunner, format_table
+
+THETAS = (0.8, 0.6, 0.5)
+ALGORITHMS = ("rem", "rem-ins", "gaded-rand", "gaded-max", "gades")
+
+
+def main() -> None:
+    dataset = sys.argv[1] if len(sys.argv) > 1 else "google"
+    sample_size = int(sys.argv[2]) if len(sys.argv) > 2 else 50
+
+    runner = ExperimentRunner()
+    rows = []
+    for algorithm in ALGORITHMS:
+        for theta in THETAS:
+            config = ExperimentConfig(
+                dataset=dataset, sample_size=sample_size, algorithm=algorithm,
+                theta=theta, length_threshold=1, lookahead=1, seed=0,
+                insertion_candidate_cap=100)
+            record = runner.run(config)
+            rows.append(record.as_dict())
+
+    graph = runner.graph_for(ExperimentConfig(
+        dataset=dataset, sample_size=sample_size, algorithm="rem", theta=0.5))
+    print(f"Dataset: {dataset} sample, {graph.num_vertices} nodes, {graph.num_edges} edges")
+    print(f"Comparison at L = 1 (the only setting the baselines support):\n")
+    print(format_table(rows, columns=[
+        "algorithm", "theta", "success", "opacity", "distortion",
+        "degree_emd", "mean_cc_diff", "runtime_s"]))
+
+    print("\nReading guide (paper Section 6.3-6.6):")
+    print(" * 'rem' should need the least distortion; GADES usually cannot reach")
+    print("   the threshold at all (success=False with little or no change).")
+    print(" * 'rem-ins' trades extra edits for a better-preserved degree")
+    print("   distribution (lower degree_emd at loose thresholds).")
+    print(" * GADED-Max is the strongest baseline but is slower than 'rem'.")
+
+
+if __name__ == "__main__":
+    main()

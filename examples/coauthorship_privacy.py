@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Concealing close co-authorship links before releasing a collaboration graph.
+
+The paper's DBLP example: a path of length 2 between two authors (one shared
+co-author) is far more revealing than a path of length 5.  This example
+loads the ACM Digital Library co-authorship proxy, requires that no
+degree-pair type discloses a <=2-hop connection with more than 30%
+confidence, and compares the two heuristics of the paper on the same input.
+The anonymized graph is written as an edge list next to this script.
+
+Run with::
+
+    python examples/coauthorship_privacy.py [sample_size]
+"""
+
+import sys
+from pathlib import Path
+
+from repro import (
+    DegreePairTyping,
+    EdgeRemovalAnonymizer,
+    EdgeRemovalInsertionAnonymizer,
+    OpacityComputer,
+    load_sample,
+    utility_report,
+    write_edge_list,
+)
+
+LENGTH_THRESHOLD = 2
+THETA = 0.3
+
+
+def describe(name, graph, result):
+    report = utility_report(result.original_graph, result.anonymized_graph)
+    status = "ok" if result.success else "best effort"
+    print(f"  {name:<22} [{status}]  distortion={report.distortion:6.1%}  "
+          f"degree EMD={report.degree_emd:.4f}  |dCC|={report.mean_clustering_difference:.4f}  "
+          f"steps={result.num_steps}  runtime={result.runtime_seconds:.2f}s")
+    return report
+
+
+def main() -> None:
+    sample_size = int(sys.argv[1]) if len(sys.argv) > 1 else 100
+    graph = load_sample("acm", sample_size, seed=11)
+    typing = DegreePairTyping(graph)
+    computer = OpacityComputer(typing, LENGTH_THRESHOLD)
+
+    before = computer.evaluate(graph)
+    print(f"ACM co-authorship sample: {graph.num_vertices} authors, "
+          f"{graph.num_edges} co-authorships")
+    print(f"Before anonymization: max {LENGTH_THRESHOLD}-opacity = {before.max_opacity:.2f}, "
+          f"target <= {THETA:.0%}\n")
+
+    print("Comparing the paper's two heuristics on the same input:")
+    removal = EdgeRemovalAnonymizer(
+        length_threshold=LENGTH_THRESHOLD, theta=THETA, seed=0).anonymize(graph)
+    describe("Edge Removal", graph, removal)
+
+    removal_insertion = EdgeRemovalInsertionAnonymizer(
+        length_threshold=LENGTH_THRESHOLD, theta=THETA, seed=0,
+        insertion_candidate_cap=200).anonymize(graph)
+    describe("Edge Removal/Insertion", graph, removal_insertion)
+
+    # Keep the variant that reached the target with the smallest distortion;
+    # fall back to pure removal if only it succeeded (the common case the
+    # paper reports for hard-to-attain thresholds).
+    candidates = [result for result in (removal, removal_insertion) if result.success]
+    chosen = min(candidates or [removal], key=lambda result: result.distortion)
+    output = Path(__file__).with_name("acm_anonymized.edges")
+    write_edge_list(chosen.anonymized_graph, output,
+                    header=f"ACM sample, L={LENGTH_THRESHOLD}, theta={THETA}")
+    print(f"\nWrote the published graph to {output}")
+
+    after = computer.evaluate(chosen.anonymized_graph)
+    print(f"Published graph: max {LENGTH_THRESHOLD}-opacity = {after.max_opacity:.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Publishing a social-network sample without exposing close connections.
+
+Scenario from the paper's introduction: a social network wants to publish a
+de-identified friendship graph, but an adversary who knows how many friends
+Albert and Bruce each have must not be able to conclude, with confidence
+above 50%, that the two are direct friends (single-edge linkage, L = 1).
+
+The workload is a sample of the Enron e-mail network (or its calibrated
+synthetic proxy when the SNAP file is absent).  The Edge Removal/Insertion
+heuristic (Algorithm 5) is used because it preserves the edge count and
+therefore the degree distribution of the published graph.  Single-edge
+linkage (L = 1) is the setting where Rem-Ins shines; for dense graphs and
+larger L the paper recommends falling back to pure Removal (see
+``coauthorship_privacy.py`` for that trade-off).
+
+Run with::
+
+    python examples/social_network_anonymization.py [sample_size]
+"""
+
+import sys
+
+from repro import (
+    DegreePairTyping,
+    EdgeRemovalInsertionAnonymizer,
+    OpacityComputer,
+    load_sample,
+    utility_report,
+)
+
+LENGTH_THRESHOLD = 1
+THETA = 0.5
+
+
+def main() -> None:
+    sample_size = int(sys.argv[1]) if len(sys.argv) > 1 else 50
+    graph = load_sample("enron", sample_size, seed=7)
+    typing = DegreePairTyping(graph)
+    computer = OpacityComputer(typing, LENGTH_THRESHOLD)
+
+    before = computer.evaluate(graph)
+    print(f"Loaded Enron sample: {graph.num_vertices} people, {graph.num_edges} e-mail links")
+    print(f"Before publication: max {LENGTH_THRESHOLD}-opacity = {before.max_opacity:.2f}")
+    print("Most exposed degree pairs:")
+    for entry in sorted(before.per_type.values(), key=lambda e: -e.opacity)[:5]:
+        print(f"  degrees {entry.type_key}: confidence {entry.opacity:.0%} "
+              f"({entry.within_threshold}/{entry.total_pairs} pairs within "
+              f"{LENGTH_THRESHOLD} hops)")
+
+    anonymizer = EdgeRemovalInsertionAnonymizer(
+        length_threshold=LENGTH_THRESHOLD, theta=THETA, seed=0,
+        insertion_candidate_cap=200)
+    result = anonymizer.anonymize(graph)
+
+    print(f"\nAnonymization ({'succeeded' if result.success else 'best effort'}): "
+          f"{result.num_steps} steps, "
+          f"{len(result.removed_edges)} removals, {len(result.inserted_edges)} insertions")
+    print(f"Published graph keeps {result.anonymized_graph.num_edges} edges "
+          f"(original: {graph.num_edges})")
+
+    after = computer.evaluate(result.anonymized_graph)
+    print(f"After publication: max {LENGTH_THRESHOLD}-opacity = {after.max_opacity:.2f} "
+          f"(target <= {THETA:.0%})")
+
+    report = utility_report(result.original_graph, result.anonymized_graph)
+    print("\nHow much did the published graph change?")
+    print(f"  edit-distance distortion : {report.distortion:.1%}")
+    print(f"  degree-distribution EMD  : {report.degree_emd:.4f}")
+    print(f"  geodesic-distribution EMD: {report.geodesic_emd:.4f}")
+    print(f"  mean |delta clustering|  : {report.mean_clustering_difference:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""repro — a full reproduction of "L-opacity: Linkage-Aware Graph Anonymization"
+(Nobari, Karras, Pang, Bressan — EDBT 2014).
+
+Quickstart
+----------
+>>> from repro import EdgeRemovalAnonymizer, erdos_renyi_graph
+>>> graph = erdos_renyi_graph(40, 0.15, seed=1)
+>>> result = EdgeRemovalAnonymizer(length_threshold=2, theta=0.5, seed=0).anonymize(graph)
+>>> result.final_opacity <= 0.5
+True
+
+The public API re-exported here covers the privacy model
+(:class:`OpacityComputer`, :class:`DegreePairTyping`), the two heuristics of
+the paper (:class:`EdgeRemovalAnonymizer`, :class:`EdgeRemovalInsertionAnonymizer`),
+the Zhang & Zhang baselines, the utility metrics, the datasets, and the graph
+substrate.  See DESIGN.md for the subsystem map and EXPERIMENTS.md for the
+reproduced tables and figures.
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    ConfigurationError,
+    DatasetError,
+    GraphError,
+    InfeasibleError,
+    InvalidEdgeError,
+    ReproError,
+)
+from repro.graph import (
+    Graph,
+    TriangularMatrix,
+    available_engines,
+    barabasi_albert_graph,
+    bounded_distance_matrix,
+    erdos_renyi_graph,
+    graph_properties,
+    powerlaw_cluster_graph,
+    read_edge_list,
+    watts_strogatz_graph,
+    write_edge_list,
+)
+from repro.core import (
+    AnonymizationResult,
+    AnonymizerConfig,
+    DegreeAdversary,
+    DegreePairTyping,
+    EdgeRemovalAnonymizer,
+    EdgeRemovalInsertionAnonymizer,
+    ExplicitPairTyping,
+    OpacityComputer,
+    OpacityResult,
+)
+from repro.core.opacity import max_lo
+from repro.baselines import (
+    GadedMaxAnonymizer,
+    GadedRandAnonymizer,
+    GadesAnonymizer,
+    link_disclosure_summary,
+)
+from repro.metrics import (
+    UtilityReport,
+    edit_distance_ratio,
+    emd_between_histograms,
+    mean_clustering_difference,
+    utility_report,
+)
+from repro.datasets import load_dataset, load_sample, dataset_names
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "GraphError",
+    "InvalidEdgeError",
+    "ConfigurationError",
+    "InfeasibleError",
+    "DatasetError",
+    "Graph",
+    "TriangularMatrix",
+    "available_engines",
+    "bounded_distance_matrix",
+    "erdos_renyi_graph",
+    "barabasi_albert_graph",
+    "watts_strogatz_graph",
+    "powerlaw_cluster_graph",
+    "graph_properties",
+    "read_edge_list",
+    "write_edge_list",
+    "DegreeAdversary",
+    "DegreePairTyping",
+    "ExplicitPairTyping",
+    "OpacityComputer",
+    "OpacityResult",
+    "max_lo",
+    "AnonymizerConfig",
+    "AnonymizationResult",
+    "EdgeRemovalAnonymizer",
+    "EdgeRemovalInsertionAnonymizer",
+    "GadedRandAnonymizer",
+    "GadedMaxAnonymizer",
+    "GadesAnonymizer",
+    "link_disclosure_summary",
+    "UtilityReport",
+    "utility_report",
+    "edit_distance_ratio",
+    "emd_between_histograms",
+    "mean_clustering_difference",
+    "load_dataset",
+    "load_sample",
+    "dataset_names",
+]

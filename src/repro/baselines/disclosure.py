@@ -1,0 +1,61 @@
+"""Single-edge link disclosure, the privacy measure of Zhang & Zhang.
+
+For an adversary who knows original node degrees, the disclosure of a degree
+pair ``(d1, d2)`` is the probability that a uniformly chosen pair of
+vertices with those degrees is directly connected — exactly the L-opacity of
+the degree-pair type with L = 1.  The GADED/GADES heuristics monitor the
+maximum disclosure over degree pairs and the total (summed) disclosure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.core.opacity import OpacityComputer, OpacityResult
+from repro.core.pair_types import DegreePairTyping, PairTyping
+from repro.graph.distance import DistanceEngine
+from repro.graph.graph import Graph
+
+
+@dataclass(frozen=True)
+class DisclosureSummary:
+    """Maximum and total link disclosure over all degree-pair types."""
+
+    maximum: float
+    total: float
+    per_type: Mapping[Tuple[int, int], float]
+
+    def exceeds(self, theta: float) -> bool:
+        """Whether the maximum disclosure exceeds the confidence threshold."""
+        return self.maximum > theta
+
+
+def _evaluate(graph: Graph, typing: Optional[PairTyping],
+              engine: DistanceEngine) -> OpacityResult:
+    if typing is None:
+        typing = DegreePairTyping(graph)
+    computer = OpacityComputer(typing, length_threshold=1, engine=engine)
+    return computer.evaluate(graph)
+
+
+def link_disclosure_summary(graph: Graph, typing: Optional[PairTyping] = None,
+                            engine: DistanceEngine = "numpy") -> DisclosureSummary:
+    """Compute maximum, total, and per-type single-edge disclosure."""
+    result = _evaluate(graph, typing, engine)
+    per_type: Dict[Tuple[int, int], float] = {
+        key: entry.opacity for key, entry in result.per_type.items()}
+    total = float(sum(per_type.values()))
+    return DisclosureSummary(maximum=result.max_opacity, total=total, per_type=per_type)
+
+
+def max_link_disclosure(graph: Graph, typing: Optional[PairTyping] = None,
+                        engine: DistanceEngine = "numpy") -> float:
+    """Maximum single-edge disclosure over degree pairs."""
+    return link_disclosure_summary(graph, typing, engine).maximum
+
+
+def total_link_disclosure(graph: Graph, typing: Optional[PairTyping] = None,
+                          engine: DistanceEngine = "numpy") -> float:
+    """Sum of single-edge disclosures over degree pairs."""
+    return link_disclosure_summary(graph, typing, engine).total

@@ -1,0 +1,150 @@
+"""GADED-Rand and GADED-Max (Zhang & Zhang).
+
+Both heuristics operate by edge deletion until the maximum single-edge
+disclosure drops to the requested confidence threshold:
+
+* **GADED-Rand** removes, at every step, a uniformly random edge among the
+  edges that currently *participate in disclosure* (their degree-pair type
+  exceeds the threshold).
+* **GADED-Max** removes, at every step, the edge whose removal maximally
+  reduces the maximum link disclosure, breaking ties by the minimum increase
+  of the total link disclosure.
+
+Both are the L = 1 counterparts of the paper's Edge Removal heuristic, used
+in Figures 6-9 for comparison.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import List, Optional, Tuple
+
+from repro.core.anonymizer import (
+    AnonymizationResult,
+    AnonymizationStep,
+    AnonymizerConfig,
+)
+from repro.core.opacity import OpacityComputer
+from repro.core.pair_types import DegreePairTyping, PairTyping
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.graph.graph import Edge, Graph
+
+
+class _GadedBase:
+    """Shared driver for the two GADED variants (single-edge disclosure, L = 1)."""
+
+    def __init__(self, theta: float = 0.5, seed: Optional[int] = None,
+                 max_steps: Optional[int] = None, engine: str = "numpy",
+                 strict: bool = False) -> None:
+        if not 0.0 <= theta <= 1.0:
+            raise ConfigurationError(f"theta must be in [0, 1], got {theta}")
+        self._theta = theta
+        self._seed = seed
+        self._max_steps = max_steps
+        self._engine = engine
+        self._strict = strict
+
+    @property
+    def theta(self) -> float:
+        """The confidence threshold."""
+        return self._theta
+
+    def anonymize(self, graph: Graph, typing: Optional[PairTyping] = None) -> AnonymizationResult:
+        """Run the heuristic and return the anonymization result."""
+        if typing is None:
+            typing = DegreePairTyping(graph)
+        computer = OpacityComputer(typing, length_threshold=1, engine=self._engine)
+        working = graph.copy()
+        rng = random.Random(self._seed)
+        config = AnonymizerConfig(length_threshold=1, theta=self._theta, seed=self._seed,
+                                  engine=self._engine, strict=self._strict)
+        result = AnonymizationResult(
+            original_graph=graph.copy(),
+            anonymized_graph=working,
+            config=config,
+        )
+        started = time.perf_counter()
+        current = computer.evaluate(working)
+        result.evaluations += 1
+        step_index = 0
+        while current.max_opacity > self._theta and working.num_edges > 0:
+            if self._max_steps is not None and step_index >= self._max_steps:
+                break
+            edge = self._choose_edge(working, computer, current, rng, result)
+            if edge is None:
+                break
+            working.remove_edge(*edge)
+            result.removed_edges.add(edge)
+            current = computer.evaluate(working)
+            result.evaluations += 1
+            result.steps.append(AnonymizationStep(
+                index=step_index, operation="remove", edges=(edge,),
+                max_opacity_after=current.max_opacity))
+            step_index += 1
+        result.final_opacity = current.max_opacity
+        result.success = current.max_opacity <= self._theta
+        result.runtime_seconds = time.perf_counter() - started
+        if not result.success and self._strict:
+            raise InfeasibleError(
+                f"GADED could not reach theta={self._theta} "
+                f"(final disclosure {result.final_opacity:.3f})")
+        return result
+
+    def _disclosing_edges(self, working: Graph, computer: OpacityComputer,
+                          current) -> List[Edge]:
+        """Edges whose degree-pair type currently exceeds the threshold."""
+        typing = computer.typing
+        exceeding = {key for key, entry in current.per_type.items()
+                     if entry.opacity > self._theta}
+        return [edge for edge in working.edges()
+                if typing.type_of(*edge) in exceeding]
+
+    def _choose_edge(self, working: Graph, computer: OpacityComputer, current,
+                     rng: random.Random, result: AnonymizationResult) -> Optional[Edge]:
+        raise NotImplementedError
+
+
+class GadedRandAnonymizer(_GadedBase):
+    """GADED-Rand: remove a random edge participating in disclosure."""
+
+    def _choose_edge(self, working: Graph, computer: OpacityComputer, current,
+                     rng: random.Random, result: AnonymizationResult) -> Optional[Edge]:
+        candidates = self._disclosing_edges(working, computer, current)
+        if not candidates:
+            return None
+        return candidates[rng.randrange(len(candidates))]
+
+
+class GadedMaxAnonymizer(_GadedBase):
+    """GADED-Max: remove the edge with the greatest reduction of the maximum
+    disclosure, tie-broken by the smallest increase of the total disclosure."""
+
+    def _choose_edge(self, working: Graph, computer: OpacityComputer, current,
+                     rng: random.Random, result: AnonymizationResult) -> Optional[Edge]:
+        candidates = self._disclosing_edges(working, computer, current)
+        if not candidates:
+            candidates = list(working.edges())
+        if not candidates:
+            return None
+        best_edge: Optional[Edge] = None
+        best_key: Optional[Tuple[float, float]] = None
+        tie_count = 0
+        for edge in candidates:
+            working.remove_edge(*edge)
+            try:
+                outcome = computer.evaluate(working)
+            finally:
+                working.add_edge(*edge)
+            result.evaluations += 1
+            total = float(sum(entry.opacity for entry in outcome.per_type.values()))
+            key = (outcome.max_opacity, total)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_edge = edge
+                tie_count = 1
+            elif key == best_key:
+                tie_count += 1
+                if rng.random() < 1.0 / tie_count:
+                    best_edge = edge
+        return best_edge

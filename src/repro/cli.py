@@ -1,0 +1,192 @@
+"""Command-line interface for the L-opacity reproduction.
+
+Subcommands
+-----------
+* ``anonymize`` — anonymize an edge-list file (or a built-in dataset sample)
+  with one of the heuristics and write the result.
+* ``opacity`` — report the L-opacity of a graph for a given L.
+* ``tables`` — print the reproduction of Tables 1-3.
+* ``figure`` — compute one figure's series and print it.
+
+Examples
+--------
+::
+
+    repro-lopacity opacity --dataset gnutella --size 100 --length 2
+    repro-lopacity anonymize --dataset google --size 60 --algorithm rem \
+        --theta 0.5 --length 1 --output anonymized.edges
+    repro-lopacity tables
+    repro-lopacity figure --name fig6 --dataset google --size 50
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import DegreePairTyping, OpacityComputer
+from repro.datasets import dataset_names, load_sample
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentRunner,
+    figure6_series,
+    figure7_series,
+    figure8_series,
+    figure10_series,
+    format_series,
+    format_table,
+    render_series_chart,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+)
+from repro.experiments.runner import make_algorithm
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.metrics import utility_report
+
+
+def _load_graph(args: argparse.Namespace):
+    if args.input:
+        graph, _labels = read_edge_list(args.input)
+        return graph
+    return load_sample(args.dataset, args.size, seed=args.seed)
+
+
+def _cmd_opacity(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    computer = OpacityComputer(DegreePairTyping(graph), args.length)
+    result = computer.evaluate(graph)
+    print(f"vertices={graph.num_vertices} edges={graph.num_edges}")
+    print(f"L={args.length} max L-opacity={result.max_opacity:.4f} "
+          f"types at max={result.types_at_max}")
+    worst = sorted(result.per_type.values(), key=lambda entry: -entry.opacity)[:10]
+    for entry in worst:
+        print(f"  type {entry.type_key}: {entry.within_threshold}/{entry.total_pairs} "
+              f"= {entry.opacity:.3f}")
+    return 0
+
+
+def _cmd_anonymize(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    config = ExperimentConfig(
+        dataset=args.dataset, sample_size=args.size, algorithm=args.algorithm,
+        theta=args.theta, length_threshold=args.length, lookahead=args.lookahead,
+        seed=args.seed, insertion_candidate_cap=args.insertion_cap)
+    algorithm = make_algorithm(config)
+    result = algorithm.anonymize(graph)
+    report = utility_report(result.original_graph, result.anonymized_graph)
+    print(result.summary())
+    print(f"degree EMD={report.degree_emd:.4f} geodesic EMD={report.geodesic_emd:.4f} "
+          f"mean |dCC|={report.mean_clustering_difference:.4f}")
+    if args.output:
+        write_edge_list(result.anonymized_graph, args.output,
+                        header=f"L-opaque graph (L={args.length}, theta={args.theta})")
+        print(f"wrote {args.output}")
+    return 0 if result.success else 1
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    print("Table 1 — original datasets")
+    print(format_table(table1_rows()))
+    print("\nTable 2 — original dataset properties (published)")
+    print(format_table(table2_rows()))
+    print("\nTable 3 — sampled graph properties (published vs measured proxies)")
+    print(format_table(table3_rows(sample_sizes=args.sizes, seed=args.seed,
+                                   measure=not args.no_measure)))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    runner = ExperimentRunner()
+    thetas = tuple(args.thetas) if args.thetas else (0.9, 0.8, 0.7, 0.6, 0.5)
+
+    def emit(series, x_label, y_label, title):
+        if args.chart:
+            print(render_series_chart(series, x_label=x_label, y_label=y_label,
+                                      title=title))
+        else:
+            print(format_series(series, x_label=x_label, y_label=y_label))
+
+    if args.name == "fig6":
+        series = figure6_series(args.dataset, length_threshold=args.length,
+                                sample_size=args.size, thetas=thetas, runner=runner)
+        emit(series, "theta", "distortion", f"Figure 6 — {args.dataset}, L={args.length}")
+    elif args.name == "fig7":
+        both = figure7_series(args.dataset, sample_size=args.size, thetas=thetas,
+                              runner=runner)
+        for metric, series in both.items():
+            print(f"== {metric} ==")
+            emit(series, "theta", metric, f"Figure 7 — {args.dataset}")
+    elif args.name == "fig8":
+        series = figure8_series(args.dataset, length_threshold=args.length,
+                                sample_size=args.size, thetas=thetas, runner=runner)
+        emit(series, "theta", "mean_cc_diff", f"Figure 8 — {args.dataset}, L={args.length}")
+    elif args.name == "fig10":
+        series = figure10_series(args.dataset, theta=args.theta, runner=runner)
+        emit(series, "size", "runtime_s", f"Figure 10 — {args.dataset}")
+    else:
+        print(f"unknown figure {args.name!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lopacity",
+        description="L-opacity: linkage-aware graph anonymization (EDBT 2014 reproduction)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_graph_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--input", help="edge-list file to load (overrides --dataset)")
+        sub.add_argument("--dataset", default="gnutella", choices=dataset_names())
+        sub.add_argument("--size", type=int, default=100, help="sample size (nodes)")
+        sub.add_argument("--seed", type=int, default=0)
+
+    opacity = subparsers.add_parser("opacity", help="report L-opacity of a graph")
+    add_graph_arguments(opacity)
+    opacity.add_argument("--length", "-L", type=int, default=1)
+    opacity.set_defaults(func=_cmd_opacity)
+
+    anonymize = subparsers.add_parser("anonymize", help="run an anonymization heuristic")
+    add_graph_arguments(anonymize)
+    anonymize.add_argument("--algorithm", default="rem",
+                           choices=("rem", "rem-ins", "gaded-rand", "gaded-max", "gades"))
+    anonymize.add_argument("--theta", type=float, default=0.5)
+    anonymize.add_argument("--length", "-L", type=int, default=1)
+    anonymize.add_argument("--lookahead", type=int, default=1)
+    anonymize.add_argument("--insertion-cap", type=int, default=None)
+    anonymize.add_argument("--output", help="write the anonymized edge list here")
+    anonymize.set_defaults(func=_cmd_anonymize)
+
+    tables = subparsers.add_parser("tables", help="print Tables 1-3")
+    tables.add_argument("--sizes", type=int, nargs="*", default=[100])
+    tables.add_argument("--seed", type=int, default=42)
+    tables.add_argument("--no-measure", action="store_true",
+                        help="print only the published values")
+    tables.set_defaults(func=_cmd_tables)
+
+    figure = subparsers.add_parser("figure", help="compute one figure's series")
+    figure.add_argument("--name", required=True, choices=("fig6", "fig7", "fig8", "fig10"))
+    figure.add_argument("--dataset", default="google", choices=dataset_names())
+    figure.add_argument("--size", type=int, default=50)
+    figure.add_argument("--length", "-L", type=int, default=1)
+    figure.add_argument("--theta", type=float, default=0.5)
+    figure.add_argument("--thetas", type=float, nargs="*")
+    figure.add_argument("--chart", action="store_true",
+                        help="render an ASCII chart instead of the numeric series")
+    figure.set_defaults(func=_cmd_figure)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,285 @@
+"""Shared machinery for the two L-opacification heuristics.
+
+Both Algorithm 4 (Edge Removal) and Algorithm 5 (Edge Removal/Insertion)
+follow the same skeleton: repeatedly evaluate candidate edge modifications,
+pick the one that minimizes the resulting maximum opacity with the paper's
+tie-breaking rule, apply it, and stop once the graph satisfies the requested
+threshold.  This module holds the configuration record, the result/step
+records, the tie-breaking logic, and the abstract driver.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.core.opacity import OpacityComputer, OpacityResult
+from repro.core.pair_types import DegreePairTyping, PairTyping
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.graph.distance import DistanceEngine
+from repro.graph.graph import Edge, Graph
+from repro.metrics.distortion import edit_distance_ratio
+
+
+@dataclass(frozen=True)
+class AnonymizerConfig:
+    """Parameters shared by the L-opacification heuristics.
+
+    Attributes
+    ----------
+    length_threshold:
+        The L parameter: path lengths up to L are considered sensitive.
+    theta:
+        Confidence threshold θ; the algorithms stop once
+        ``max_T LO(T) <= theta``.
+    lookahead:
+        The ``la`` parameter: maximum number of edges considered jointly in
+        one greedy step (Section 5).
+    engine:
+        Distance engine used for opacity evaluation.
+    seed:
+        Seed for the uniform tie-breaking of Algorithm 4 (lines 14-18).
+    max_steps:
+        Optional hard cap on greedy steps (safety valve for experiments).
+    prune_candidates:
+        If ``True`` (default), the removal scan is restricted to edges that
+        lie on a path of length ≤ L between a pair of a type currently at
+        the maximum opacity — removals outside that set cannot reduce the
+        maximum, so the greedy choice is preserved (see DESIGN.md §5.3).
+    max_combinations:
+        Cap on the number of edge combinations evaluated per look-ahead
+        level; beyond the cap a uniform random subset is evaluated.
+    insertion_candidate_cap:
+        Optional cap on the number of absent edges scanned per insertion
+        step of Algorithm 5 (``None`` scans all, as in the paper).
+    strict:
+        If ``True``, raise :class:`InfeasibleError` when the threshold cannot
+        be met; otherwise return a best-effort result with ``success=False``.
+    """
+
+    length_threshold: int = 1
+    theta: float = 0.5
+    lookahead: int = 1
+    engine: DistanceEngine = "numpy"
+    seed: Optional[int] = None
+    max_steps: Optional[int] = None
+    prune_candidates: bool = True
+    max_combinations: int = 100_000
+    insertion_candidate_cap: Optional[int] = None
+    strict: bool = False
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` for invalid parameter values."""
+        if self.length_threshold < 1:
+            raise ConfigurationError(
+                f"length_threshold must be >= 1, got {self.length_threshold}")
+        if not 0.0 <= self.theta <= 1.0:
+            raise ConfigurationError(f"theta must be in [0, 1], got {self.theta}")
+        if self.lookahead < 1:
+            raise ConfigurationError(f"lookahead must be >= 1, got {self.lookahead}")
+        if self.max_steps is not None and self.max_steps < 1:
+            raise ConfigurationError(f"max_steps must be >= 1, got {self.max_steps}")
+        if self.max_combinations < 1:
+            raise ConfigurationError("max_combinations must be >= 1")
+        if self.insertion_candidate_cap is not None and self.insertion_candidate_cap < 1:
+            raise ConfigurationError("insertion_candidate_cap must be >= 1")
+
+
+@dataclass(frozen=True)
+class AnonymizationStep:
+    """One applied greedy step."""
+
+    index: int
+    operation: str  # "remove" or "insert"
+    edges: Tuple[Edge, ...]
+    max_opacity_after: float
+
+
+@dataclass
+class AnonymizationResult:
+    """Outcome of one anonymization run."""
+
+    original_graph: Graph
+    anonymized_graph: Graph
+    config: AnonymizerConfig
+    steps: List[AnonymizationStep] = field(default_factory=list)
+    removed_edges: Set[Edge] = field(default_factory=set)
+    inserted_edges: Set[Edge] = field(default_factory=set)
+    final_opacity: float = 0.0
+    success: bool = False
+    runtime_seconds: float = 0.0
+    evaluations: int = 0
+
+    @property
+    def distortion(self) -> float:
+        """Edit-distance ratio D(E, Ê) of Equation 1."""
+        return edit_distance_ratio(self.original_graph, self.anonymized_graph)
+
+    @property
+    def num_steps(self) -> int:
+        """Number of greedy steps applied."""
+        return len(self.steps)
+
+    def summary(self) -> str:
+        """One-line human-readable summary of the run."""
+        status = "ok" if self.success else "best-effort"
+        return (f"L={self.config.length_threshold} theta={self.config.theta:.2f} "
+                f"la={self.config.lookahead} [{status}] "
+                f"opacity={self.final_opacity:.3f} distortion={self.distortion:.3f} "
+                f"steps={self.num_steps} removed={len(self.removed_edges)} "
+                f"inserted={len(self.inserted_edges)} "
+                f"time={self.runtime_seconds:.2f}s")
+
+
+@dataclass
+class CandidateOutcome:
+    """Evaluation of one candidate edge combination."""
+
+    edges: Tuple[Edge, ...]
+    fraction: Fraction
+    types_at_max: int
+
+    @property
+    def opacity(self) -> float:
+        """Maximum opacity after applying this candidate."""
+        return float(self.fraction)
+
+
+class TieBreaker:
+    """The selection rule of Algorithm 4, lines 8-18.
+
+    Candidates are preferred by (1) lowest resulting maximum opacity, then
+    (2) fewest types attaining that maximum (``N``), then (3) uniformly at
+    random among remaining ties, implemented with the same incremental
+    reservoir counter as the pseudo-code.
+    """
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self.best: Optional[CandidateOutcome] = None
+        self._tie_count = 0
+
+    def offer(self, candidate: CandidateOutcome) -> None:
+        """Consider one candidate outcome."""
+        if self.best is None or candidate.fraction < self.best.fraction:
+            self.best = candidate
+            self._tie_count = 1
+            return
+        if candidate.fraction == self.best.fraction:
+            if candidate.types_at_max < self.best.types_at_max:
+                self.best = candidate
+                self._tie_count = 1
+            elif candidate.types_at_max == self.best.types_at_max:
+                self._tie_count += 1
+                if self._rng.random() < 1.0 / self._tie_count:
+                    self.best = candidate
+
+
+class BaseAnonymizer(ABC):
+    """Greedy L-opacification driver shared by Algorithms 4 and 5."""
+
+    def __init__(self, config: Optional[AnonymizerConfig] = None, **overrides) -> None:
+        if config is None:
+            config = AnonymizerConfig(**overrides)
+        elif overrides:
+            raise ConfigurationError("pass either a config object or keyword overrides, not both")
+        config.validate()
+        self._config = config
+
+    @property
+    def config(self) -> AnonymizerConfig:
+        """The configuration of this anonymizer."""
+        return self._config
+
+    # ------------------------------------------------------------------
+    # template method
+    # ------------------------------------------------------------------
+    def anonymize(self, graph: Graph, typing: Optional[PairTyping] = None) -> AnonymizationResult:
+        """Run the heuristic on ``graph`` and return the anonymization result.
+
+        ``typing`` defaults to the degree-pair typing frozen from ``graph``,
+        matching the paper's adversary model.
+        """
+        config = self._config
+        if typing is None:
+            typing = DegreePairTyping(graph)
+        computer = OpacityComputer(typing, config.length_threshold, engine=config.engine)
+        working = graph.copy()
+        rng = random.Random(config.seed)
+        result = AnonymizationResult(
+            original_graph=graph.copy(),
+            anonymized_graph=working,
+            config=config,
+        )
+        started = time.perf_counter()
+        current = computer.evaluate(working)
+        result.evaluations += 1
+        step_index = 0
+        while current.max_opacity > config.theta:
+            if config.max_steps is not None and step_index >= config.max_steps:
+                break
+            step = self._perform_step(working, computer, current, rng, result)
+            if step is None:
+                break
+            current = computer.evaluate(working)
+            result.evaluations += 1
+            result.steps.append(AnonymizationStep(
+                index=step_index,
+                operation=step[0],
+                edges=step[1],
+                max_opacity_after=current.max_opacity,
+            ))
+            step_index += 1
+        result.final_opacity = current.max_opacity
+        result.success = current.max_opacity <= config.theta
+        result.runtime_seconds = time.perf_counter() - started
+        if not result.success and config.strict:
+            raise InfeasibleError(
+                f"could not reach theta={config.theta} "
+                f"(final opacity {result.final_opacity:.3f})")
+        return result
+
+    @abstractmethod
+    def _perform_step(self, working: Graph, computer: OpacityComputer,
+                      current: OpacityResult, rng: random.Random,
+                      result: AnonymizationResult) -> Optional[Tuple[str, Tuple[Edge, ...]]]:
+        """Apply one greedy step in place.
+
+        Returns the ``(operation, edges)`` applied, or ``None`` when no
+        further step is possible (the driver then stops).
+        """
+
+    # ------------------------------------------------------------------
+    # helpers shared by subclasses
+    # ------------------------------------------------------------------
+    def _evaluate_removal(self, working: Graph, computer: OpacityComputer,
+                          edges: Sequence[Edge], result: AnonymizationResult) -> CandidateOutcome:
+        """Opacity after tentatively removing ``edges`` (the graph is restored)."""
+        for u, v in edges:
+            working.remove_edge(u, v)
+        try:
+            outcome = computer.evaluate(working)
+        finally:
+            for u, v in edges:
+                working.add_edge(u, v)
+        result.evaluations += 1
+        return CandidateOutcome(edges=tuple(edges), fraction=outcome.max_fraction,
+                                types_at_max=outcome.types_at_max)
+
+    def _evaluate_insertion(self, working: Graph, computer: OpacityComputer,
+                            edges: Sequence[Edge], result: AnonymizationResult) -> CandidateOutcome:
+        """Opacity after tentatively inserting ``edges`` (the graph is restored)."""
+        for u, v in edges:
+            working.add_edge(u, v)
+        try:
+            outcome = computer.evaluate(working)
+        finally:
+            for u, v in edges:
+                working.remove_edge(u, v)
+        result.evaluations += 1
+        return CandidateOutcome(edges=tuple(edges), fraction=outcome.max_fraction,
+                                types_at_max=outcome.types_at_max)

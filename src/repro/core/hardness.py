@@ -1,0 +1,210 @@
+"""Theorem 1: the 3-SAT → L-opacification reduction.
+
+The paper proves NP-hardness of L-opacification by mapping a 3-SAT instance
+to a graph plus a collection of vertex-pair types such that the instance is
+satisfiable if and only if the graph can be made L-opaque (every type's
+opacity strictly below 1) with exactly N edge removals, N being the number
+of Boolean variables.  This module builds that gadget graph, converts truth
+assignments to edge-removal sets and back, and provides small-instance
+brute-force oracles so the equivalence can be verified in tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.opacity import OpacityComputer
+from repro.core.pair_types import ExplicitPairTyping
+from repro.errors import ConfigurationError
+from repro.graph.graph import Edge, Graph, normalize_edge
+
+#: A literal is (variable_index, negated?).
+Literal = Tuple[int, bool]
+#: A clause is a tuple of exactly three literals.
+Clause = Tuple[Literal, Literal, Literal]
+
+
+@dataclass(frozen=True)
+class SatInstance:
+    """A 3-SAT instance over variables ``0 .. num_variables - 1``."""
+
+    num_variables: int
+    clauses: Tuple[Clause, ...]
+
+    def __post_init__(self) -> None:
+        for clause in self.clauses:
+            if len(clause) != 3:
+                raise ConfigurationError(f"every clause must have 3 literals, got {clause}")
+            for variable, _negated in clause:
+                if not 0 <= variable < self.num_variables:
+                    raise ConfigurationError(
+                        f"literal references variable {variable} outside "
+                        f"[0, {self.num_variables})")
+
+    def evaluate(self, assignment: Sequence[bool]) -> bool:
+        """Whether ``assignment`` (indexed by variable) satisfies every clause."""
+        if len(assignment) != self.num_variables:
+            raise ConfigurationError("assignment length must equal num_variables")
+        for clause in self.clauses:
+            if not any(assignment[var] != negated for var, negated in clause):
+                return False
+        return True
+
+
+def random_sat_instance(num_variables: int, num_clauses: int,
+                        seed: Optional[int] = None) -> SatInstance:
+    """Generate a random 3-SAT instance (distinct variables within each clause)."""
+    if num_variables < 3:
+        raise ConfigurationError("need at least 3 variables for 3-literal clauses")
+    rng = random.Random(seed)
+    clauses: List[Clause] = []
+    for _ in range(num_clauses):
+        variables = rng.sample(range(num_variables), 3)
+        clause = tuple((var, rng.random() < 0.5) for var in variables)
+        clauses.append(clause)  # type: ignore[arg-type]
+    return SatInstance(num_variables=num_variables, clauses=tuple(clauses))
+
+
+def brute_force_satisfiable(instance: SatInstance) -> Optional[Tuple[bool, ...]]:
+    """Return a satisfying assignment, or ``None`` if the instance is unsatisfiable."""
+    for assignment in product((False, True), repeat=instance.num_variables):
+        if instance.evaluate(assignment):
+            return assignment
+    return None
+
+
+@dataclass
+class LOpacificationInstance:
+    """The gadget graph and typing produced by the Theorem 1 reduction."""
+
+    instance: SatInstance
+    graph: Graph
+    typing: ExplicitPairTyping
+    length_threshold: int
+    removal_budget: int
+    #: variable index -> (positive-literal edge, negative-literal edge)
+    variable_edges: Dict[int, Tuple[Edge, Edge]] = field(default_factory=dict)
+    #: clause index -> list of (A_k, B_k) vertex pairs, one per literal occurrence
+    clause_pairs: Dict[int, List[Tuple[int, int]]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # assignment <-> removal translation
+    # ------------------------------------------------------------------
+    def removals_for_assignment(self, assignment: Sequence[bool]) -> Set[Edge]:
+        """Edges to remove to encode ``assignment`` (true -> remove positive edge)."""
+        if len(assignment) != self.instance.num_variables:
+            raise ConfigurationError("assignment length must equal num_variables")
+        removals: Set[Edge] = set()
+        for variable, value in enumerate(assignment):
+            positive_edge, negative_edge = self.variable_edges[variable]
+            removals.add(positive_edge if value else negative_edge)
+        return removals
+
+    def assignment_from_removals(self, removed: Set[Edge]) -> Optional[Tuple[bool, ...]]:
+        """Recover a truth assignment from a removal set, if it encodes one.
+
+        Returns ``None`` when the removal set does not remove exactly one of
+        the two edges of some variable gadget.
+        """
+        assignment: List[bool] = []
+        canonical = {normalize_edge(u, v) for u, v in removed}
+        for variable in range(self.instance.num_variables):
+            positive_edge, negative_edge = self.variable_edges[variable]
+            removed_positive = positive_edge in canonical
+            removed_negative = negative_edge in canonical
+            if removed_positive == removed_negative:
+                return None
+            assignment.append(removed_positive)
+        return tuple(assignment)
+
+    # ------------------------------------------------------------------
+    # decision procedure
+    # ------------------------------------------------------------------
+    def is_opacified(self, graph: Graph) -> bool:
+        """Whether every type's opacity is strictly below 1 (Definition 3 with θ=1)."""
+        computer = OpacityComputer(self.typing, self.length_threshold)
+        result = computer.evaluate(graph)
+        return result.max_opacity < 1.0
+
+    def apply_removals(self, removals: Set[Edge]) -> Graph:
+        """Return a copy of the gadget graph with ``removals`` deleted."""
+        modified = self.graph.copy()
+        for u, v in removals:
+            modified.remove_edge_if_present(u, v)
+        return modified
+
+    def solvable_with_budget(self) -> Optional[Set[Edge]]:
+        """Brute-force search for a feasible removal set of exactly N variable edges.
+
+        Only removal sets that pick one edge per variable gadget need to be
+        considered (the proof of Theorem 1 shows any solution has that form),
+        so the search space is 2^N — adequate for the small instances used
+        in tests.
+        """
+        for assignment in product((False, True), repeat=self.instance.num_variables):
+            removals = self.removals_for_assignment(assignment)
+            if self.is_opacified(self.apply_removals(removals)):
+                return removals
+        return None
+
+
+def build_lopacification_instance(instance: SatInstance) -> LOpacificationInstance:
+    """Construct the Theorem 1 gadget for a 3-SAT instance.
+
+    For every variable ``v`` two disjoint edges are created — the positive
+    edge ``(v_i, v_j)`` and the negative edge ``(v'_i, v'_j)`` — and the two
+    endpoint pairs form the type ``("var", v)``.  For every occurrence of a
+    literal of ``v`` in clause ``C_k``, two fresh vertices ``A_k`` and
+    ``B_k`` are appended (one-hop neighbors of the corresponding edge's
+    endpoints), and the pair ``(A_k, B_k)`` joins the type ``("clause", k)``;
+    its only ≤3-hop connection runs across the literal's edge.
+    """
+    vertex_count = 0
+
+    def new_vertex() -> int:
+        nonlocal vertex_count
+        vertex_count += 1
+        return vertex_count - 1
+
+    edges: List[Edge] = []
+    pair_types: Dict[Tuple[int, int], object] = {}
+    variable_edges: Dict[int, Tuple[Edge, Edge]] = {}
+    clause_pairs: Dict[int, List[Tuple[int, int]]] = {}
+    endpoint_lookup: Dict[Tuple[int, bool], Edge] = {}
+
+    for variable in range(instance.num_variables):
+        positive = (new_vertex(), new_vertex())
+        negative = (new_vertex(), new_vertex())
+        edges.append(positive)
+        edges.append(negative)
+        variable_edges[variable] = (normalize_edge(*positive), normalize_edge(*negative))
+        endpoint_lookup[(variable, False)] = positive
+        endpoint_lookup[(variable, True)] = negative
+        pair_types[normalize_edge(*positive)] = ("var", variable)
+        pair_types[normalize_edge(*negative)] = ("var", variable)
+
+    for clause_index, clause in enumerate(instance.clauses):
+        clause_pairs[clause_index] = []
+        for variable, negated in clause:
+            vi, vj = endpoint_lookup[(variable, negated)]
+            a_vertex = new_vertex()
+            b_vertex = new_vertex()
+            edges.append((a_vertex, vi))
+            edges.append((b_vertex, vj))
+            pair_types[normalize_edge(a_vertex, b_vertex)] = ("clause", clause_index)
+            clause_pairs[clause_index].append((a_vertex, b_vertex))
+
+    graph = Graph(vertex_count, edges=edges)
+    typing = ExplicitPairTyping(pair_types)
+    return LOpacificationInstance(
+        instance=instance,
+        graph=graph,
+        typing=typing,
+        length_threshold=3,
+        removal_budget=instance.num_variables,
+        variable_edges=variable_edges,
+        clause_pairs=clause_pairs,
+    )

@@ -1,0 +1,76 @@
+"""The look-ahead combination search used by both heuristics (Section 5).
+
+The default greedy step considers single-edge moves.  With look-ahead
+``la > 1``, whenever no single move strictly improves the current maximum
+opacity the search widens to combinations of two edges, then three, up to
+``la`` edges, evaluating each combination on the fly (the paper's recursive
+combination generator).  If no combination improves at any size, the best
+single-size candidate found is returned so the greedy loop still progresses.
+"""
+
+from __future__ import annotations
+
+import random
+from fractions import Fraction
+from itertools import combinations
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.anonymizer import CandidateOutcome, TieBreaker
+from repro.graph.graph import Edge
+
+EvaluateCombo = Callable[[Sequence[Edge]], CandidateOutcome]
+
+
+def _combinations_capped(candidates: Sequence[Edge], size: int, cap: int,
+                         rng: random.Random) -> Iterable[Tuple[Edge, ...]]:
+    """All combinations of ``size`` edges, or a uniform sample of ``cap`` of them.
+
+    The exact number of combinations can explode for large candidate sets and
+    look-ahead levels; beyond ``cap`` a random subset keeps the step tractable
+    (documented deviation, see DESIGN.md §5).
+    """
+    total = 1
+    pool = len(candidates)
+    for offset in range(size):
+        total = total * (pool - offset) // (offset + 1)
+        if total > cap:
+            break
+    if total <= cap:
+        return combinations(candidates, size)
+    sampled: List[Tuple[Edge, ...]] = []
+    seen = set()
+    while len(sampled) < cap:
+        combo = tuple(sorted(rng.sample(list(candidates), size)))
+        if combo not in seen:
+            seen.add(combo)
+            sampled.append(combo)
+    return sampled
+
+
+def search_best_combination(candidates: Sequence[Edge],
+                            evaluate: EvaluateCombo,
+                            current_fraction: Fraction,
+                            lookahead: int,
+                            rng: random.Random,
+                            max_combinations: int) -> Optional[CandidateOutcome]:
+    """Find the best edge combination of size 1..lookahead.
+
+    Sizes are explored in increasing order; as soon as a size yields a
+    candidate that strictly lowers the current maximum opacity, the best
+    candidate of that size is returned (ties broken per Algorithm 4).  If no
+    size improves, the best candidate observed overall is returned; ``None``
+    is returned only when there are no candidates at all.
+    """
+    if not candidates:
+        return None
+    overall = TieBreaker(rng)
+    for size in range(1, min(lookahead, len(candidates)) + 1):
+        level = TieBreaker(rng)
+        for combo in _combinations_capped(candidates, size, max_combinations, rng):
+            outcome = evaluate(combo)
+            level.offer(outcome)
+            overall.offer(outcome)
+        best_at_level = level.best
+        if best_at_level is not None and best_at_level.fraction < current_fraction:
+            return best_at_level
+    return overall.best

@@ -1,0 +1,217 @@
+"""L-opacity computation (Definition 2, Definition 3, Algorithm 1).
+
+Given a graph, a vertex-pair typing, and a path-length threshold L, the
+opacity of a type ``T`` is the fraction of pairs in ``T`` whose geodesic
+distance is at most L; the opacity of the graph is the maximum over types.
+:class:`OpacityComputer` reproduces the paper's ``maxLO`` (Algorithm 1) and
+also records ``N(p)``, the number of types attaining a given opacity value,
+which Algorithms 4 and 5 use for tie-breaking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.pair_types import DegreePairTyping, ExplicitPairTyping, PairTyping, TypeKey
+from repro.errors import ConfigurationError
+from repro.graph.distance import DistanceEngine, bounded_distance_matrix
+from repro.graph.graph import Graph
+from repro.graph.matrices import UNREACHABLE
+
+
+@dataclass(frozen=True)
+class TypeOpacity:
+    """Opacity of a single vertex-pair type."""
+
+    type_key: TypeKey
+    within_threshold: int
+    total_pairs: int
+
+    @property
+    def opacity(self) -> float:
+        """``LO_G(T)`` — fraction of pairs with distance at most L."""
+        if self.total_pairs == 0:
+            return 0.0
+        return self.within_threshold / self.total_pairs
+
+    @property
+    def fraction(self) -> Fraction:
+        """Exact opacity as a fraction, for robust comparisons."""
+        if self.total_pairs == 0:
+            return Fraction(0)
+        return Fraction(self.within_threshold, self.total_pairs)
+
+
+@dataclass(frozen=True)
+class OpacityResult:
+    """Result of one opacity evaluation (Algorithm 1 output plus bookkeeping)."""
+
+    max_opacity: float
+    max_fraction: Fraction
+    types_at_max: int
+    per_type: Mapping[TypeKey, TypeOpacity]
+
+    def is_opaque(self, theta: float, strict: bool = False) -> bool:
+        """Whether the graph satisfies L-opacity for the confidence threshold θ.
+
+        The paper's Definition 3 uses a strict inequality while Algorithms 4
+        and 5 terminate when ``LO(G) <= θ``; the default here follows the
+        algorithms (non-strict), and ``strict=True`` gives Definition 3.
+        """
+        if strict:
+            return self.max_opacity < theta
+        return self.max_opacity <= theta
+
+    def opacity_of(self, type_key: TypeKey) -> float:
+        """Opacity of one type (0.0 for unknown/empty types)."""
+        entry = self.per_type.get(type_key)
+        return entry.opacity if entry is not None else 0.0
+
+    def violating_types(self, theta: float) -> Tuple[TypeKey, ...]:
+        """Types whose opacity currently exceeds θ."""
+        return tuple(key for key, entry in self.per_type.items() if entry.opacity > theta)
+
+
+class OpacityComputer:
+    """Computes L-opacity values for a fixed typing and threshold L.
+
+    Parameters
+    ----------
+    typing:
+        The vertex-pair typing (frozen from the original graph).
+    length_threshold:
+        The L parameter — the path length considered a privacy threat.
+    engine:
+        Which distance engine to use (see
+        :func:`repro.graph.distance.available_engines`).
+    """
+
+    def __init__(self, typing: PairTyping, length_threshold: int,
+                 engine: DistanceEngine = "numpy") -> None:
+        if length_threshold < 1:
+            raise ConfigurationError(f"length_threshold must be >= 1, got {length_threshold}")
+        self._typing = typing
+        self._length = int(length_threshold)
+        self._engine = engine
+
+    @property
+    def typing(self) -> PairTyping:
+        """The typing this computer evaluates against."""
+        return self._typing
+
+    @property
+    def length_threshold(self) -> int:
+        """The L parameter."""
+        return self._length
+
+    @property
+    def engine(self) -> DistanceEngine:
+        """The configured distance engine."""
+        return self._engine
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def distances(self, graph: Graph) -> np.ndarray:
+        """Return the L-bounded distance matrix of ``graph``."""
+        return bounded_distance_matrix(graph, self._length, engine=self._engine)
+
+    def evaluate(self, graph: Graph, distances: Optional[np.ndarray] = None) -> OpacityResult:
+        """Compute the full opacity result for ``graph`` (Algorithm 1).
+
+        ``distances`` may be supplied by the caller to reuse an existing
+        L-bounded distance matrix.
+        """
+        if distances is None:
+            distances = self.distances(graph)
+        if isinstance(self._typing, DegreePairTyping):
+            counts = self._degree_pair_counts(distances)
+        else:
+            counts = self._generic_counts(distances)
+        return self._build_result(counts)
+
+    def max_opacity(self, graph: Graph, distances: Optional[np.ndarray] = None) -> float:
+        """Return ``maxLO`` — the maximum opacity over all types."""
+        return self.evaluate(graph, distances=distances).max_opacity
+
+    # ------------------------------------------------------------------
+    # counting strategies
+    # ------------------------------------------------------------------
+    def _degree_pair_counts(self, distances: np.ndarray) -> Dict[TypeKey, int]:
+        typing = self._typing
+        assert isinstance(typing, DegreePairTyping)
+        degrees = typing.degrees
+        n = distances.shape[0]
+        if n < 2:
+            return {}
+        rows, cols = np.triu_indices(n, k=1)
+        within = distances[rows, cols] <= self._length
+        if not within.any():
+            return {}
+        rows = rows[within]
+        cols = cols[within]
+        low = np.minimum(degrees[rows], degrees[cols])
+        high = np.maximum(degrees[rows], degrees[cols])
+        # Encode (low, high) as a single integer key for bincount.
+        span = int(degrees.max()) + 1 if degrees.size else 1
+        encoded = low * span + high
+        counted = np.bincount(encoded)
+        nonzero = np.nonzero(counted)[0]
+        return {(int(code // span), int(code % span)): int(counted[code]) for code in nonzero}
+
+    def _generic_counts(self, distances: np.ndarray) -> Dict[TypeKey, int]:
+        typing = self._typing
+        counts: Dict[TypeKey, int] = {}
+        if isinstance(typing, ExplicitPairTyping):
+            for (u, v) in typing.all_pairs():
+                distance = int(distances[u, v])
+                if distance != UNREACHABLE and distance <= self._length:
+                    key = typing.type_of(u, v)
+                    counts[key] = counts.get(key, 0) + 1
+            return counts
+        # Fallback for arbitrary typings: scan every pair.
+        n = distances.shape[0]
+        for u in range(n):
+            for v in range(u + 1, n):
+                distance = int(distances[u, v])
+                if distance == UNREACHABLE or distance > self._length:
+                    continue
+                key = typing.type_of(u, v)
+                if key is not None:
+                    counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # result assembly
+    # ------------------------------------------------------------------
+    def _build_result(self, counts: Dict[TypeKey, int]) -> OpacityResult:
+        per_type: Dict[TypeKey, TypeOpacity] = {}
+        max_fraction = Fraction(0)
+        for type_key in self._typing.types():
+            total = self._typing.pair_count(type_key)
+            if total == 0:
+                continue
+            within = counts.get(type_key, 0)
+            entry = TypeOpacity(type_key=type_key, within_threshold=within, total_pairs=total)
+            per_type[type_key] = entry
+            if entry.fraction > max_fraction:
+                max_fraction = entry.fraction
+        types_at_max = sum(1 for entry in per_type.values() if entry.fraction == max_fraction)
+        if not per_type:
+            types_at_max = 0
+        return OpacityResult(
+            max_opacity=float(max_fraction),
+            max_fraction=max_fraction,
+            types_at_max=types_at_max,
+            per_type=per_type,
+        )
+
+
+def max_lo(graph: Graph, typing: PairTyping, length_threshold: int,
+           engine: DistanceEngine = "numpy") -> float:
+    """Convenience wrapper for Algorithm 1: return ``max_T LO_G(T)``."""
+    return OpacityComputer(typing, length_threshold, engine=engine).max_opacity(graph)

@@ -1,0 +1,148 @@
+"""Vertex-pair typings (Definition 1 of the paper).
+
+A *typing* assigns every unordered vertex pair to at most one type of
+interest.  The paper's concrete instantiation is the degree-pair typing: a
+pair ``(v, w)`` belongs to the type ``{deg(v), deg(w)}`` where degrees are
+taken in the *original* graph.  The model is deliberately agnostic, so this
+module also offers an explicit typing keyed by enumerated pairs — used by
+the NP-hardness reduction and available for custom privacy policies.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import Counter
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.graph import Graph, normalize_edge
+
+#: A type identifier; for degree typing this is the ordered degree pair (g, h).
+TypeKey = Hashable
+
+
+class PairTyping(ABC):
+    """Assignment of vertex pairs to types of interest.
+
+    The typing is frozen when constructed: the anonymization algorithms keep
+    using the original degrees/types even while they modify the graph, which
+    matches the paper's publication model (Section 4).
+    """
+
+    @abstractmethod
+    def type_of(self, u: int, v: int) -> Optional[TypeKey]:
+        """Return the type of pair ``{u, v}`` or ``None`` if it has no type."""
+
+    @abstractmethod
+    def types(self) -> Iterable[TypeKey]:
+        """Iterate over every type with at least one member pair."""
+
+    @abstractmethod
+    def pair_count(self, type_key: TypeKey) -> int:
+        """Total number of vertex pairs belonging to ``type_key``.
+
+        This is the denominator ``|T|`` of Definition 2 and includes pairs of
+        mutually unreachable vertices.
+        """
+
+    def num_types(self) -> int:
+        """Number of distinct non-empty types."""
+        return sum(1 for _ in self.types())
+
+
+class DegreePairTyping(PairTyping):
+    """Degree-pair typing frozen from the original graph.
+
+    Every unordered pair ``(v, w)`` belongs to type ``(g, h)`` where
+    ``g = min(deg(v), deg(w))`` and ``h = max(deg(v), deg(w))``, degrees
+    taken in the graph supplied at construction time.
+
+    The typing also exposes vectorized helpers (degree array, per-type pair
+    totals, dense type indexing) used by the fast opacity computation.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self._degrees = graph.degree_array()
+        self._num_vertices = graph.num_vertices
+        degree_counts = Counter(int(d) for d in self._degrees)
+        self._vertices_per_degree: Dict[int, int] = dict(degree_counts)
+        self._totals: Dict[Tuple[int, int], int] = {}
+        distinct = sorted(degree_counts)
+        for i, g in enumerate(distinct):
+            for h in distinct[i:]:
+                if g == h:
+                    count = degree_counts[g] * (degree_counts[g] - 1) // 2
+                else:
+                    count = degree_counts[g] * degree_counts[h]
+                if count > 0:
+                    self._totals[(g, h)] = count
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Original degree of every vertex (frozen at construction)."""
+        return self._degrees
+
+    def vertices_with_degree(self, degree: int) -> int:
+        """Number of vertices with the given original degree (``NV(d)``)."""
+        return self._vertices_per_degree.get(degree, 0)
+
+    def type_of(self, u: int, v: int) -> Optional[TypeKey]:
+        if u == v:
+            return None
+        du = int(self._degrees[u])
+        dv = int(self._degrees[v])
+        return (du, dv) if du <= dv else (dv, du)
+
+    def types(self) -> Iterable[TypeKey]:
+        return iter(self._totals)
+
+    def pair_count(self, type_key: TypeKey) -> int:
+        return self._totals.get(type_key, 0)
+
+    def totals(self) -> Mapping[Tuple[int, int], int]:
+        """Mapping from degree pair (g, h) to the total number of pairs |T|."""
+        return dict(self._totals)
+
+
+class ExplicitPairTyping(PairTyping):
+    """Typing given by an explicit enumeration of pairs of interest.
+
+    Parameters
+    ----------
+    pair_types:
+        Mapping from unordered vertex pairs (any orientation) to a type key.
+        Pairs not listed belong to no type, exactly as Definition 1 allows.
+    """
+
+    def __init__(self, pair_types: Mapping[Tuple[int, int], TypeKey]) -> None:
+        self._pairs: Dict[Tuple[int, int], TypeKey] = {}
+        for (u, v), type_key in pair_types.items():
+            canonical = normalize_edge(u, v)
+            if canonical in self._pairs and self._pairs[canonical] != type_key:
+                raise ConfigurationError(
+                    f"pair {canonical} assigned to two types: "
+                    f"{self._pairs[canonical]!r} and {type_key!r}")
+            self._pairs[canonical] = type_key
+        counts: Counter = Counter(self._pairs.values())
+        self._totals: Dict[TypeKey, int] = dict(counts)
+
+    def type_of(self, u: int, v: int) -> Optional[TypeKey]:
+        if u == v:
+            return None
+        return self._pairs.get(normalize_edge(u, v))
+
+    def types(self) -> Iterable[TypeKey]:
+        return iter(self._totals)
+
+    def pair_count(self, type_key: TypeKey) -> int:
+        return self._totals.get(type_key, 0)
+
+    def pairs_of_type(self, type_key: TypeKey) -> List[Tuple[int, int]]:
+        """Return the pairs belonging to ``type_key`` (canonical orientation)."""
+        return [pair for pair, key in self._pairs.items() if key == type_key]
+
+    def all_pairs(self) -> List[Tuple[int, int]]:
+        """Return every typed pair."""
+        return list(self._pairs)

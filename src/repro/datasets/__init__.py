@@ -1,0 +1,31 @@
+"""Datasets used in the paper's evaluation, with offline synthetic stand-ins.
+
+The paper samples six SNAP graphs (web-Google, web-BerkStan, soc-Epinions,
+email-Enron, p2p-Gnutella, wiki-Vote) plus an ACM Digital Library crawl.
+Those files are not redistributable with this repository, so
+:mod:`repro.datasets.loaders` loads a real edge list when one is present
+under ``data/`` and otherwise synthesizes a calibrated proxy whose sampled
+graphs match the density and clustering regime reported in Table 3.
+"""
+
+from repro.datasets.registry import (
+    DATASETS,
+    DatasetSpec,
+    SampleSpec,
+    dataset_names,
+    get_dataset,
+)
+from repro.datasets.synthetic import synthesize_dataset, synthesize_sample
+from repro.datasets.loaders import load_sample, load_dataset
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "SampleSpec",
+    "dataset_names",
+    "get_dataset",
+    "synthesize_dataset",
+    "synthesize_sample",
+    "load_sample",
+    "load_dataset",
+]

@@ -1,0 +1,115 @@
+"""Dataset descriptors: the published statistics of Tables 1, 2 and 3.
+
+Each :class:`DatasetSpec` records what the paper reports for the original
+graph (Table 1 and 2) plus the properties of the random samples the
+experiments actually run on (Table 3).  The synthetic proxy generators are
+calibrated against the *sample* statistics, because those are the graphs the
+algorithms see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.errors import DatasetError
+
+
+@dataclass(frozen=True)
+class SampleSpec:
+    """Properties of one sampled graph, as reported in Table 3."""
+
+    nodes: int
+    links: int
+    diameter: int
+    average_degree: float
+    degree_stddev: float
+    clustering: float
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One of the paper's seven datasets (Tables 1 and 2) and its samples."""
+
+    name: str
+    nodes: int
+    links: int
+    node_kind: str
+    link_kind: str
+    diameter: int
+    average_degree: float
+    degree_stddev: float
+    clustering: float
+    snap_filename: Optional[str] = None
+    samples: Mapping[int, SampleSpec] = field(default_factory=dict)
+
+    def sample_spec(self, size: int) -> Optional[SampleSpec]:
+        """The Table 3 row for a sample of ``size`` nodes, if the paper reports one."""
+        return self.samples.get(size)
+
+
+def _spec(name: str, nodes: int, links: int, node_kind: str, link_kind: str,
+          diameter: int, avg_deg: float, stdd: float, acc: float,
+          snap_filename: Optional[str],
+          samples: Dict[int, Tuple[int, int, float, float, float]]) -> DatasetSpec:
+    sample_specs = {
+        size: SampleSpec(nodes=size, links=links_, diameter=diameter_,
+                         average_degree=avg_, degree_stddev=std_, clustering=acc_)
+        for size, (links_, diameter_, avg_, std_, acc_) in samples.items()
+    }
+    return DatasetSpec(name=name, nodes=nodes, links=links, node_kind=node_kind,
+                       link_kind=link_kind, diameter=diameter, average_degree=avg_deg,
+                       degree_stddev=stdd, clustering=acc, snap_filename=snap_filename,
+                       samples=sample_specs)
+
+
+#: The seven datasets of Table 1/2, with the sampled-graph rows of Table 3.
+DATASETS: Dict[str, DatasetSpec] = {
+    "google": _spec(
+        "google", 875_713, 5_105_039, "Web pages", "Hyperlinks",
+        22, 11.6, 16.4, 0.6047, "web-Google.txt",
+        {100: (746, 7, 14.92, 11.13, 0.76),
+         500: (3_104, 15, 12.42, 10.54, 0.70),
+         1000: (6_445, 25, 12.89, 12.62, 0.70)}),
+    "berkeley-stanford": _spec(
+        "berkeley-stanford", 685_230, 7_600_595, "Web pages", "Hyperlinks",
+        669, 22.1, 10.99, 0.6149, "web-BerkStan.txt",
+        {500: (4_454, 6, 17.82, 21.50, 0.62)}),
+    "epinions": _spec(
+        "epinions", 132_000, 841_372, "Users", "Trust statements",
+        9, 12.7, 32.68, 0.1062, "soc-Epinions1.txt",
+        {100: (65, 4, 1.3, 0.72, 0.04)}),
+    "enron": _spec(
+        "enron", 36_692, 367_662, "Email addresses", "Transferred emails",
+        12, 20.0, 18.58, 0.4970, "email-Enron.txt",
+        {100: (346, 4, 6.92, 9.28, 0.31),
+         500: (5_686, 4, 22.74, 25.81, 0.37)}),
+    "gnutella": _spec(
+        "gnutella", 10_876, 39_994, "Hosts", "Connections",
+        9, 7.4, 3.01, 0.0080, "p2p-Gnutella04.txt",
+        {100: (116, 6, 2.32, 3.00, 0.05),
+         500: (721, 8, 2.88, 3.19, 0.09),
+         1000: (1_852, 8, 3.71, 3.51, 0.02)}),
+    "acm": _spec(
+        "acm", 10_000, 19_894, "Authors", "Co-authorships",
+        400, 3.97, 6.23, 0.5279, None,
+        {}),
+    "wikipedia": _spec(
+        "wikipedia", 7_115, 103_689, "Users and candidates", "Votes",
+        7, 29.1, 60.39, 0.2089, "wiki-Vote.txt",
+        {100: (919, 3, 18.38, 15.19, 0.54),
+         500: (7_244, 4, 28.98, 33.02, 0.39)}),
+}
+
+
+def dataset_names() -> Tuple[str, ...]:
+    """Names of all registered datasets."""
+    return tuple(DATASETS)
+
+
+def get_dataset(name: str) -> DatasetSpec:
+    """Look up a dataset by (case-insensitive) name."""
+    key = name.strip().lower()
+    if key not in DATASETS:
+        raise DatasetError(f"unknown dataset {name!r}; known: {', '.join(DATASETS)}")
+    return DATASETS[key]

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the L-opacity reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers can
+catch one base class when they want to distinguish library failures from
+programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """Raised for invalid graph operations (bad vertices, duplicate edges...)."""
+
+
+class InvalidEdgeError(GraphError):
+    """Raised when an edge references unknown vertices or is a self-loop."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when algorithm or experiment parameters are invalid."""
+
+
+class InfeasibleError(ReproError):
+    """Raised when an anonymization target cannot be met.
+
+    For example, the Edge Removal heuristic ran out of edges without
+    reaching the requested opacity threshold, and the caller asked for
+    strict behaviour instead of a best-effort result.
+    """
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset cannot be located, parsed, or synthesized."""

@@ -1,0 +1,84 @@
+"""Plain-text charts for the figure series.
+
+The library has no plotting dependency, so the experiment harness renders
+its "figures" as fixed-width ASCII charts: one scatter/line panel per
+series map, with the same x axis (θ, or graph size) and y axis (distortion,
+EMD, runtime, ...) the paper plots.  This is intentionally simple — enough
+to eyeball the shapes reproduced in EXPERIMENTS.md directly in a terminal
+or a CI log.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Sequence, Tuple
+
+Series = Sequence[Tuple[float, float]]
+SeriesMap = Mapping[str, Series]
+
+#: Markers assigned to series in order (re-used cyclically beyond ten series).
+_MARKERS = "ox*+#@%&^~"
+
+
+def _format_number(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    return f"{value:.3g}"
+
+
+def render_series_chart(series: SeriesMap, width: int = 60, height: int = 15,
+                        x_label: str = "theta", y_label: str = "value",
+                        title: str = "") -> str:
+    """Render a label -> [(x, y)] mapping as an ASCII chart.
+
+    Points from different series share one panel and are distinguished by
+    marker characters listed in the legend.  Returns the chart as a string
+    (no trailing newline).
+    """
+    points = [(x, y) for values in series.values() for x, y in values]
+    if not points:
+        return "(no data)"
+    xs = [x for x, _y in points]
+    ys = [y for _x, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    if x_high == x_low:
+        x_high = x_low + 1.0
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, marker: str) -> None:
+        column = round((x - x_low) / (x_high - x_low) * (width - 1))
+        row = round((y - y_low) / (y_high - y_low) * (height - 1))
+        grid[height - 1 - row][column] = marker
+
+    legend: List[str] = []
+    for index, (label, values) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        legend.append(f"  {marker} {label}")
+        for x, y in values:
+            place(x, y, marker)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = _format_number(y_high)
+    bottom_label = _format_number(y_low)
+    gutter = max(len(top_label), len(bottom_label), len(y_label)) + 1
+    lines.append(f"{y_label.rjust(gutter)}")
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(gutter)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix}|{''.join(row)}")
+    lines.append(" " * gutter + "+" + "-" * width)
+    x_axis = (f"{_format_number(x_low)}"
+              f"{x_label.center(width - len(_format_number(x_low)) - len(_format_number(x_high)))}"
+              f"{_format_number(x_high)}")
+    lines.append(" " * (gutter + 1) + x_axis)
+    lines.extend(legend)
+    return "\n".join(lines)

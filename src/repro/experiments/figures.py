@@ -1,0 +1,273 @@
+"""Series builders for every figure of the paper's evaluation (Figures 6-12).
+
+Each function returns plain Python data (label -> list of (x, y) points) so
+the benchmark harness and the examples can print the same series the paper
+plots.  Default parameters are scaled to laptop-size inputs; the paper's own
+settings (sample sizes up to 1000 nodes, θ down to 0) can be requested
+explicitly when more time is available.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentRunner, RunRecord
+
+Series = List[Tuple[float, float]]
+SeriesMap = Dict[str, Series]
+
+#: θ grid used by default (the paper sweeps 100% down to 0% in steps of 10).
+DEFAULT_THETAS: Tuple[float, ...] = (0.9, 0.8, 0.7, 0.6, 0.5)
+
+#: Default algorithms compared in the L = 1 figures.
+L1_ALGORITHMS: Tuple[str, ...] = ("rem", "rem-ins", "gaded-rand", "gaded-max", "gades")
+
+
+def _run_theta_sweep(runner: ExperimentRunner, dataset: str, sample_size: int,
+                     algorithm: str, length_threshold: int, lookahead: int,
+                     thetas: Sequence[float], seed: int,
+                     insertion_cap: Optional[int],
+                     max_steps: Optional[int]) -> List[RunRecord]:
+    records = []
+    for theta in thetas:
+        config = ExperimentConfig(
+            dataset=dataset, sample_size=sample_size, algorithm=algorithm,
+            theta=theta, length_threshold=length_threshold, lookahead=lookahead,
+            seed=seed, insertion_candidate_cap=insertion_cap, max_steps=max_steps)
+        records.append(runner.run(config))
+    return records
+
+
+def _series(records: Iterable[RunRecord], value: str) -> Series:
+    return [(record.config.theta, getattr(record, value)) for record in records]
+
+
+# ----------------------------------------------------------------------
+# Figure 6: distortion vs θ
+# ----------------------------------------------------------------------
+def figure6_series(dataset: str, length_threshold: int = 1, sample_size: int = 60,
+                   thetas: Sequence[float] = DEFAULT_THETAS,
+                   lookaheads: Sequence[int] = (1, 2),
+                   include_baselines: Optional[bool] = None, seed: int = 0,
+                   insertion_cap: Optional[int] = 150,
+                   max_steps: Optional[int] = None,
+                   runner: Optional[ExperimentRunner] = None) -> SeriesMap:
+    """Distortion as a function of θ (Figures 6a-6f).
+
+    Baselines are included only for L = 1, mirroring the paper (they cannot
+    handle multi-edge linkage).
+    """
+    runner = runner or ExperimentRunner()
+    if include_baselines is None:
+        include_baselines = length_threshold == 1
+    series: SeriesMap = {}
+    for lookahead in lookaheads:
+        for algorithm in ("rem", "rem-ins"):
+            records = _run_theta_sweep(runner, dataset, sample_size, algorithm,
+                                       length_threshold, lookahead, thetas, seed,
+                                       insertion_cap, max_steps)
+            series[f"{algorithm} la={lookahead}"] = _series(records, "distortion")
+    if include_baselines:
+        for algorithm in ("gaded-rand", "gaded-max", "gades"):
+            records = _run_theta_sweep(runner, dataset, sample_size, algorithm,
+                                       1, 1, thetas, seed, insertion_cap, max_steps)
+            series[algorithm] = _series(records, "distortion")
+    return series
+
+
+def figure6_lsweep_series(dataset: str, lengths: Sequence[int] = (1, 2, 3, 4),
+                          sample_size: int = 60,
+                          thetas: Sequence[float] = DEFAULT_THETAS, seed: int = 0,
+                          insertion_cap: Optional[int] = 150,
+                          max_steps: Optional[int] = None,
+                          runner: Optional[ExperimentRunner] = None) -> SeriesMap:
+    """Distortion vs θ while varying L at fixed look-ahead 1 (Figures 6g, 6h)."""
+    runner = runner or ExperimentRunner()
+    series: SeriesMap = {}
+    for length in lengths:
+        for algorithm in ("rem", "rem-ins"):
+            records = _run_theta_sweep(runner, dataset, sample_size, algorithm,
+                                       length, 1, thetas, seed, insertion_cap, max_steps)
+            series[f"{algorithm} L={length}"] = _series(records, "distortion")
+    return series
+
+
+# ----------------------------------------------------------------------
+# Figure 7: EMD of degree / geodesic distributions vs θ
+# ----------------------------------------------------------------------
+def figure7_series(dataset: str = "enron", sample_size: int = 60,
+                   thetas: Sequence[float] = DEFAULT_THETAS,
+                   lookaheads: Sequence[int] = (1, 2), seed: int = 0,
+                   insertion_cap: Optional[int] = 150,
+                   max_steps: Optional[int] = None,
+                   include_baselines: bool = True,
+                   runner: Optional[ExperimentRunner] = None) -> Dict[str, SeriesMap]:
+    """EMD of the degree (7a) and geodesic (7b) distributions vs θ, L = 1."""
+    runner = runner or ExperimentRunner()
+    degree: SeriesMap = {}
+    geodesic: SeriesMap = {}
+    algorithms: List[Tuple[str, int]] = [
+        (algorithm, lookahead) for lookahead in lookaheads
+        for algorithm in ("rem", "rem-ins")]
+    if include_baselines:
+        algorithms += [(name, 1) for name in ("gaded-rand", "gaded-max", "gades")]
+    for algorithm, lookahead in algorithms:
+        records = _run_theta_sweep(runner, dataset, sample_size, algorithm,
+                                   1, lookahead, thetas, seed, insertion_cap, max_steps)
+        label = (f"{algorithm} la={lookahead}"
+                 if algorithm in ("rem", "rem-ins") else algorithm)
+        degree[label] = _series(records, "degree_emd")
+        geodesic[label] = _series(records, "geodesic_emd")
+    return {"degree_emd": degree, "geodesic_emd": geodesic}
+
+
+# ----------------------------------------------------------------------
+# Figure 8: mean clustering-coefficient difference vs θ
+# ----------------------------------------------------------------------
+def figure8_series(dataset: str = "wikipedia", length_threshold: int = 1,
+                   sample_size: int = 60, thetas: Sequence[float] = DEFAULT_THETAS,
+                   lookaheads: Sequence[int] = (1, 2), seed: int = 0,
+                   insertion_cap: Optional[int] = 150,
+                   max_steps: Optional[int] = None,
+                   include_baselines: Optional[bool] = None,
+                   runner: Optional[ExperimentRunner] = None) -> SeriesMap:
+    """Mean of per-vertex |ΔCC| vs θ (Figures 8a-8b)."""
+    runner = runner or ExperimentRunner()
+    if include_baselines is None:
+        include_baselines = length_threshold == 1
+    series: SeriesMap = {}
+    for lookahead in lookaheads:
+        for algorithm in ("rem", "rem-ins"):
+            records = _run_theta_sweep(runner, dataset, sample_size, algorithm,
+                                       length_threshold, lookahead, thetas, seed,
+                                       insertion_cap, max_steps)
+            series[f"{algorithm} la={lookahead}"] = _series(records, "mean_cc_difference")
+    if include_baselines:
+        for algorithm in ("gaded-rand", "gaded-max", "gades"):
+            records = _run_theta_sweep(runner, dataset, sample_size, algorithm,
+                                       1, 1, thetas, seed, insertion_cap, max_steps)
+            series[algorithm] = _series(records, "mean_cc_difference")
+    return series
+
+
+def figure8_lsweep_series(dataset: str = "epinions", lengths: Sequence[int] = (1, 2, 3, 4),
+                          sample_size: int = 60,
+                          thetas: Sequence[float] = DEFAULT_THETAS, seed: int = 0,
+                          insertion_cap: Optional[int] = 150,
+                          max_steps: Optional[int] = None,
+                          runner: Optional[ExperimentRunner] = None) -> SeriesMap:
+    """Mean |ΔCC| vs θ while varying L at look-ahead 1 (Figure 8c)."""
+    runner = runner or ExperimentRunner()
+    series: SeriesMap = {}
+    for length in lengths:
+        for algorithm in ("rem", "rem-ins"):
+            records = _run_theta_sweep(runner, dataset, sample_size, algorithm,
+                                       length, 1, thetas, seed, insertion_cap, max_steps)
+            series[f"{algorithm} L={length}"] = _series(records, "mean_cc_difference")
+    return series
+
+
+# ----------------------------------------------------------------------
+# Figure 9: runtime vs θ for growing sample sizes
+# ----------------------------------------------------------------------
+def figure9_series(dataset: str = "google", sample_sizes: Sequence[int] = (40, 60, 80),
+                   thetas: Sequence[float] = DEFAULT_THETAS,
+                   lookaheads: Sequence[int] = (1, 2), seed: int = 0,
+                   insertion_cap: Optional[int] = 100,
+                   max_steps: Optional[int] = None,
+                   include_baselines: bool = True,
+                   runner: Optional[ExperimentRunner] = None) -> Dict[int, SeriesMap]:
+    """Runtime vs θ for each sample size (Figures 9a-9c).
+
+    The paper uses 100/500/1000-node Google samples; the default sizes here
+    are scaled down so the full sweep stays laptop-friendly, preserving the
+    growth *shape* across sizes.
+    """
+    runner = runner or ExperimentRunner()
+    results: Dict[int, SeriesMap] = {}
+    for size in sample_sizes:
+        series: SeriesMap = {}
+        for lookahead in lookaheads:
+            for algorithm in ("rem", "rem-ins"):
+                records = _run_theta_sweep(runner, dataset, size, algorithm, 1,
+                                           lookahead, thetas, seed, insertion_cap,
+                                           max_steps)
+                series[f"{algorithm} la={lookahead}"] = _series(records, "runtime_seconds")
+        if include_baselines:
+            for algorithm in ("gaded-rand", "gaded-max", "gades"):
+                records = _run_theta_sweep(runner, dataset, size, algorithm, 1, 1,
+                                           thetas, seed, insertion_cap, max_steps)
+                series[algorithm] = _series(records, "runtime_seconds")
+        results[size] = series
+    return results
+
+
+# ----------------------------------------------------------------------
+# Figure 10: runtime vs size, per algorithm and L
+# ----------------------------------------------------------------------
+def figure10_series(dataset: str = "gnutella", sample_sizes: Sequence[int] = (40, 60, 80),
+                    lengths: Sequence[int] = (1, 2), theta: float = 0.5, seed: int = 0,
+                    insertion_cap: Optional[int] = 100,
+                    max_steps: Optional[int] = None,
+                    runner: Optional[ExperimentRunner] = None) -> Dict[str, List[Tuple[int, float]]]:
+    """Runtime for growing graph sizes, Rem and Rem-Ins, L ∈ {1, 2} (Figure 10)."""
+    runner = runner or ExperimentRunner()
+    series: Dict[str, List[Tuple[int, float]]] = {}
+    for algorithm in ("rem", "rem-ins"):
+        for length in lengths:
+            label = f"{algorithm} L={length}"
+            points: List[Tuple[int, float]] = []
+            for size in sample_sizes:
+                config = ExperimentConfig(
+                    dataset=dataset, sample_size=size, algorithm=algorithm,
+                    theta=theta, length_threshold=length, lookahead=1, seed=seed,
+                    insertion_candidate_cap=insertion_cap, max_steps=max_steps)
+                record = runner.run(config)
+                points.append((size, record.runtime_seconds))
+            series[label] = points
+    return series
+
+
+# ----------------------------------------------------------------------
+# Figures 11 and 12: ACM scaling experiment (runtime / distortion vs size)
+# ----------------------------------------------------------------------
+def _acm_scaling_records(sample_sizes: Sequence[int], thetas: Sequence[float],
+                         seed: int, max_steps: Optional[int],
+                         runner: Optional[ExperimentRunner]) -> Dict[float, List[RunRecord]]:
+    runner = runner or ExperimentRunner()
+    records: Dict[float, List[RunRecord]] = {}
+    for theta in thetas:
+        rows = []
+        for size in sample_sizes:
+            config = ExperimentConfig(
+                dataset="acm", sample_size=size, algorithm="rem", theta=theta,
+                length_threshold=1, lookahead=1, seed=seed, max_steps=max_steps)
+            rows.append(runner.run(config))
+        records[theta] = rows
+    return records
+
+
+def figure11_series(sample_sizes: Sequence[int] = (50, 100, 150, 200),
+                    thetas: Sequence[float] = (0.9, 0.8, 0.7, 0.6, 0.5), seed: int = 0,
+                    max_steps: Optional[int] = None,
+                    runner: Optional[ExperimentRunner] = None) -> Dict[float, List[Tuple[int, float]]]:
+    """Runtime vs graph size for several θ, Edge Removal, L = 1 (Figure 11).
+
+    The paper scales the ACM co-authorship graph from 1000 to 10000 nodes
+    (multi-day runtimes); the default grid here is laptop-scale but exercises
+    the same sweep so the growth trend can be inspected.
+    """
+    records = _acm_scaling_records(sample_sizes, thetas, seed, max_steps, runner)
+    return {theta: [(record.config.sample_size, record.runtime_seconds) for record in rows]
+            for theta, rows in records.items()}
+
+
+def figure12_series(sample_sizes: Sequence[int] = (50, 100, 150, 200),
+                    thetas: Sequence[float] = (0.9, 0.8, 0.7, 0.6, 0.5), seed: int = 0,
+                    max_steps: Optional[int] = None,
+                    runner: Optional[ExperimentRunner] = None) -> Dict[float, List[Tuple[int, float]]]:
+    """Distortion vs graph size for several θ, Edge Removal, L = 1 (Figure 12)."""
+    records = _acm_scaling_records(sample_sizes, thetas, seed, max_steps, runner)
+    return {theta: [(record.config.sample_size, record.distortion) for record in rows]
+            for theta, rows in records.items()}

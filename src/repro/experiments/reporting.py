@@ -1,0 +1,52 @@
+"""Plain-text rendering of experiment results (tables, CSV, series)."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, List, Mapping, Sequence, Tuple
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] = ()) -> str:
+    """Render dictionaries as a fixed-width text table.
+
+    ``columns`` selects and orders the columns; by default the keys of the
+    first row are used.
+    """
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) if columns else list(rows[0].keys())
+    rendered = [[str(row.get(column, "")) for column in columns] for row in rows]
+    widths = [max(len(column), *(len(line[i]) for line in rendered))
+              for i, column in enumerate(columns)]
+    header = "  ".join(column.ljust(width) for column, width in zip(columns, widths))
+    separator = "  ".join("-" * width for width in widths)
+    body = "\n".join("  ".join(cell.ljust(width) for cell, width in zip(line, widths))
+                     for line in rendered)
+    return "\n".join([header, separator, body])
+
+
+def records_to_csv(rows: Iterable[Mapping[str, object]]) -> str:
+    """Serialize dictionaries to CSV text (stable column order from first row)."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(row)
+    return buffer.getvalue()
+
+
+def format_series(series: Mapping[str, Sequence[Tuple[float, float]]],
+                  x_label: str = "theta", y_label: str = "value") -> str:
+    """Render a label -> [(x, y)] mapping as aligned text, one block per label."""
+    blocks: List[str] = []
+    for label, points in series.items():
+        lines = [f"{label}"]
+        for x, y in points:
+            lines.append(f"  {x_label}={x:<8g} {y_label}={y:.4f}")
+        blocks.append("\n".join(lines))
+    return "\n".join(blocks)

@@ -1,0 +1,85 @@
+"""Graph substrate for the L-opacity reproduction.
+
+This subpackage contains everything the anonymization algorithms need from a
+graph library: a mutable simple-graph type, truncated all-pairs-shortest-path
+engines (including the paper's Algorithms 2 and 3), random-node sampling,
+synthetic generators, structural property reports, and edge-list I/O.
+"""
+
+from repro.graph.graph import Edge, Graph, normalize_edge
+from repro.graph.matrices import TriangularMatrix, UNREACHABLE
+from repro.graph.distance import (
+    DistanceEngine,
+    available_engines,
+    bounded_distance_matrix,
+    bfs_bounded_distances,
+    floyd_warshall,
+    l_pruned_floyd_warshall,
+    numpy_bounded_distances,
+    pointer_l_pruned_floyd_warshall,
+)
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    erdos_renyi_graph,
+    path_graph,
+    powerlaw_cluster_graph,
+    star_graph,
+    watts_strogatz_graph,
+)
+from repro.graph.sampling import sample_nodes, induced_subgraph
+from repro.graph.properties import (
+    GraphProperties,
+    average_clustering_coefficient,
+    average_degree,
+    degree_standard_deviation,
+    diameter,
+    graph_properties,
+    local_clustering_coefficient,
+)
+from repro.graph.io import (
+    read_edge_list,
+    write_edge_list,
+    graph_to_dict,
+    graph_from_dict,
+)
+
+__all__ = [
+    "Edge",
+    "Graph",
+    "normalize_edge",
+    "TriangularMatrix",
+    "UNREACHABLE",
+    "DistanceEngine",
+    "available_engines",
+    "bounded_distance_matrix",
+    "bfs_bounded_distances",
+    "floyd_warshall",
+    "l_pruned_floyd_warshall",
+    "numpy_bounded_distances",
+    "pointer_l_pruned_floyd_warshall",
+    "barabasi_albert_graph",
+    "complete_graph",
+    "cycle_graph",
+    "empty_graph",
+    "erdos_renyi_graph",
+    "path_graph",
+    "powerlaw_cluster_graph",
+    "star_graph",
+    "watts_strogatz_graph",
+    "sample_nodes",
+    "induced_subgraph",
+    "GraphProperties",
+    "average_clustering_coefficient",
+    "average_degree",
+    "degree_standard_deviation",
+    "diameter",
+    "graph_properties",
+    "local_clustering_coefficient",
+    "read_edge_list",
+    "write_edge_list",
+    "graph_to_dict",
+    "graph_from_dict",
+]

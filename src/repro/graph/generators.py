@@ -1,0 +1,205 @@
+"""Random and deterministic graph generators.
+
+The paper's experiments run on random node samples of real SNAP graphs.  In
+this offline reproduction those samples are replaced by synthetic graphs
+whose density and clustering regime are calibrated per dataset (see
+``repro.datasets.synthetic``); the generators in this module are the raw
+building blocks for that calibration and are also useful on their own for
+tests and examples.
+
+All generators accept either an integer seed or a pre-built
+:class:`random.Random` instance so results are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Union
+
+from repro.errors import ConfigurationError
+from repro.graph.graph import Graph
+
+SeedLike = Union[int, random.Random, None]
+
+
+def _rng(seed: SeedLike) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def empty_graph(num_vertices: int) -> Graph:
+    """Return a graph with ``num_vertices`` vertices and no edges."""
+    return Graph(num_vertices)
+
+
+def complete_graph(num_vertices: int) -> Graph:
+    """Return the complete graph K_n."""
+    graph = Graph(num_vertices)
+    for u in range(num_vertices):
+        for v in range(u + 1, num_vertices):
+            graph.add_edge(u, v)
+    return graph
+
+
+def path_graph(num_vertices: int) -> Graph:
+    """Return the path graph P_n (vertices chained 0-1-2-...)."""
+    graph = Graph(num_vertices)
+    for u in range(num_vertices - 1):
+        graph.add_edge(u, u + 1)
+    return graph
+
+
+def cycle_graph(num_vertices: int) -> Graph:
+    """Return the cycle graph C_n."""
+    if num_vertices < 3:
+        raise ConfigurationError("a cycle needs at least 3 vertices")
+    graph = path_graph(num_vertices)
+    graph.add_edge(num_vertices - 1, 0)
+    return graph
+
+
+def star_graph(num_leaves: int) -> Graph:
+    """Return a star with hub 0 and ``num_leaves`` leaves."""
+    graph = Graph(num_leaves + 1)
+    for leaf in range(1, num_leaves + 1):
+        graph.add_edge(0, leaf)
+    return graph
+
+
+def erdos_renyi_graph(num_vertices: int, edge_probability: float,
+                      seed: SeedLike = None) -> Graph:
+    """G(n, p) random graph: each pair becomes an edge with probability p."""
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ConfigurationError(f"edge_probability must be in [0, 1], got {edge_probability}")
+    rng = _rng(seed)
+    graph = Graph(num_vertices)
+    for u in range(num_vertices):
+        for v in range(u + 1, num_vertices):
+            if rng.random() < edge_probability:
+                graph.add_edge(u, v)
+    return graph
+
+
+def gnm_random_graph(num_vertices: int, num_edges: int, seed: SeedLike = None) -> Graph:
+    """G(n, m) random graph: exactly ``num_edges`` distinct edges chosen uniformly."""
+    max_edges = num_vertices * (num_vertices - 1) // 2
+    if num_edges > max_edges:
+        raise ConfigurationError(
+            f"cannot place {num_edges} edges in a simple graph with {num_vertices} vertices")
+    rng = _rng(seed)
+    graph = Graph(num_vertices)
+    while graph.num_edges < num_edges:
+        u = rng.randrange(num_vertices)
+        v = rng.randrange(num_vertices)
+        if u != v:
+            graph.add_edge_if_absent(u, v)
+    return graph
+
+
+def barabasi_albert_graph(num_vertices: int, attachment: int, seed: SeedLike = None) -> Graph:
+    """Preferential-attachment (scale-free) graph.
+
+    Each new vertex attaches to ``attachment`` existing vertices chosen with
+    probability proportional to their degree, which yields the heavy-tailed
+    degree distributions typical of web and social graphs.
+    """
+    if attachment < 1 or attachment >= num_vertices:
+        raise ConfigurationError(
+            f"attachment must be in [1, num_vertices), got {attachment} for n={num_vertices}")
+    rng = _rng(seed)
+    graph = Graph(num_vertices)
+    # Start from a star over the first (attachment + 1) vertices so every new
+    # vertex has enough attachment targets.
+    targets = list(range(attachment))
+    repeated: list[int] = []
+    for new_vertex in range(attachment, num_vertices):
+        chosen: set[int] = set()
+        while len(chosen) < attachment:
+            if repeated and rng.random() < 0.9:
+                candidate = rng.choice(repeated)
+            else:
+                candidate = rng.choice(targets)
+            if candidate != new_vertex:
+                chosen.add(candidate)
+        for target in chosen:
+            graph.add_edge_if_absent(new_vertex, target)
+            repeated.append(target)
+            repeated.append(new_vertex)
+        targets.append(new_vertex)
+    return graph
+
+
+def watts_strogatz_graph(num_vertices: int, nearest_neighbors: int,
+                         rewire_probability: float, seed: SeedLike = None) -> Graph:
+    """Small-world graph: ring lattice with random rewiring.
+
+    High clustering plus short paths, matching the regime of collaboration
+    and friendship networks.
+    """
+    if nearest_neighbors % 2 != 0:
+        raise ConfigurationError("nearest_neighbors must be even")
+    if nearest_neighbors >= num_vertices:
+        raise ConfigurationError("nearest_neighbors must be smaller than num_vertices")
+    if not 0.0 <= rewire_probability <= 1.0:
+        raise ConfigurationError("rewire_probability must be in [0, 1]")
+    rng = _rng(seed)
+    graph = Graph(num_vertices)
+    half = nearest_neighbors // 2
+    for u in range(num_vertices):
+        for offset in range(1, half + 1):
+            graph.add_edge_if_absent(u, (u + offset) % num_vertices)
+    for u in range(num_vertices):
+        for offset in range(1, half + 1):
+            v = (u + offset) % num_vertices
+            if rng.random() < rewire_probability and graph.has_edge(u, v):
+                candidates = [w for w in range(num_vertices)
+                              if w != u and not graph.has_edge(u, w)]
+                if candidates:
+                    graph.remove_edge(u, v)
+                    graph.add_edge(u, rng.choice(candidates))
+    return graph
+
+
+def powerlaw_cluster_graph(num_vertices: int, attachment: int,
+                           triangle_probability: float, seed: SeedLike = None) -> Graph:
+    """Holme–Kim style graph: preferential attachment plus triangle closure.
+
+    Produces scale-free degree distributions *and* tunable clustering, which
+    is the regime of the web-graph samples (Google, Berkeley-Stanford) in the
+    paper's Table 3.
+    """
+    if attachment < 1 or attachment >= num_vertices:
+        raise ConfigurationError(
+            f"attachment must be in [1, num_vertices), got {attachment} for n={num_vertices}")
+    if not 0.0 <= triangle_probability <= 1.0:
+        raise ConfigurationError("triangle_probability must be in [0, 1]")
+    rng = _rng(seed)
+    graph = Graph(num_vertices)
+    repeated: list[int] = list(range(attachment))
+    for new_vertex in range(attachment, num_vertices):
+        first_target = rng.choice(repeated)
+        while first_target == new_vertex:
+            first_target = rng.choice(repeated)
+        graph.add_edge_if_absent(new_vertex, first_target)
+        repeated.append(first_target)
+        repeated.append(new_vertex)
+        added = 1
+        last_target = first_target
+        attempts = 0
+        while added < attachment and attempts < 10 * attachment:
+            attempts += 1
+            if rng.random() < triangle_probability and graph.degree(last_target) > 0:
+                # Close a triangle: attach to a neighbor of the previous target.
+                neighbor = rng.choice(sorted(graph.adjacency(last_target)))
+                candidate = neighbor
+            else:
+                candidate = rng.choice(repeated)
+            if candidate == new_vertex or graph.has_edge(new_vertex, candidate):
+                continue
+            graph.add_edge(new_vertex, candidate)
+            repeated.append(candidate)
+            repeated.append(new_vertex)
+            last_target = candidate
+            added += 1
+    return graph

@@ -1,0 +1,284 @@
+"""A mutable simple undirected graph.
+
+The anonymization heuristics of the paper repeatedly try removing and
+inserting single edges, evaluate the resulting opacity, and revert the
+change.  The :class:`Graph` type is therefore designed around O(1) edge
+mutation, O(1) adjacency membership tests, and cheap snapshots of the edge
+set.  Vertices are integers ``0 .. n-1`` so distance matrices and NumPy
+adjacency exports can index directly by vertex id.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError, InvalidEdgeError
+
+Edge = Tuple[int, int]
+
+
+def normalize_edge(u: int, v: int) -> Edge:
+    """Return the canonical (min, max) representation of an undirected edge."""
+    if u == v:
+        raise InvalidEdgeError(f"self-loops are not allowed: ({u}, {v})")
+    return (u, v) if u < v else (v, u)
+
+
+class Graph:
+    """Simple undirected graph (no self-loops, no parallel edges).
+
+    Parameters
+    ----------
+    num_vertices:
+        Number of vertices; vertices are ``0 .. num_vertices - 1``.
+    edges:
+        Optional iterable of ``(u, v)`` pairs to add at construction time.
+
+    Examples
+    --------
+    >>> g = Graph(4, edges=[(0, 1), (1, 2)])
+    >>> g.has_edge(1, 0)
+    True
+    >>> g.degree(1)
+    2
+    """
+
+    __slots__ = ("_num_vertices", "_adjacency", "_num_edges")
+
+    def __init__(self, num_vertices: int, edges: Optional[Iterable[Edge]] = None) -> None:
+        if num_vertices < 0:
+            raise GraphError(f"num_vertices must be non-negative, got {num_vertices}")
+        self._num_vertices = int(num_vertices)
+        self._adjacency: List[Set[int]] = [set() for _ in range(self._num_vertices)]
+        self._num_edges = 0
+        if edges is not None:
+            for u, v in edges:
+                self.add_edge(u, v)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices in the graph."""
+        return self._num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        """Number of edges in the graph."""
+        return self._num_edges
+
+    def vertices(self) -> range:
+        """Iterate over vertex ids ``0 .. n-1``."""
+        return range(self._num_vertices)
+
+    def neighbors(self, v: int) -> FrozenSet[int]:
+        """Return the neighbor set of ``v`` as an immutable snapshot."""
+        self._check_vertex(v)
+        return frozenset(self._adjacency[v])
+
+    def adjacency(self, v: int) -> Set[int]:
+        """Return the live adjacency set of ``v`` (do not mutate)."""
+        self._check_vertex(v)
+        return self._adjacency[v]
+
+    def degree(self, v: int) -> int:
+        """Return the degree of vertex ``v``."""
+        self._check_vertex(v)
+        return len(self._adjacency[v])
+
+    def degrees(self) -> List[int]:
+        """Return the degree of every vertex, indexed by vertex id."""
+        return [len(adj) for adj in self._adjacency]
+
+    def degree_array(self) -> np.ndarray:
+        """Return the degree sequence as a NumPy integer array."""
+        return np.fromiter((len(adj) for adj in self._adjacency), dtype=np.int64,
+                           count=self._num_vertices)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Return ``True`` if the edge ``{u, v}`` is present."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        return v in self._adjacency[u]
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate over edges in canonical ``(u, v)`` order with ``u < v``."""
+        for u in range(self._num_vertices):
+            for v in self._adjacency[u]:
+                if u < v:
+                    yield (u, v)
+
+    def edge_set(self) -> Set[Edge]:
+        """Return a snapshot of the edge set (canonical tuples)."""
+        return set(self.edges())
+
+    def edge_list(self) -> List[Edge]:
+        """Return a sorted list of edges (canonical tuples)."""
+        return sorted(self.edges())
+
+    def non_edges(self) -> Iterator[Edge]:
+        """Iterate over all vertex pairs that are *not* edges (u < v)."""
+        for u in range(self._num_vertices):
+            adj = self._adjacency[u]
+            for v in range(u + 1, self._num_vertices):
+                if v not in adj:
+                    yield (u, v)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def add_edge(self, u: int, v: int) -> None:
+        """Insert the edge ``{u, v}``.
+
+        Raises
+        ------
+        InvalidEdgeError
+            If the edge is a self-loop or already present.
+        """
+        u, v = normalize_edge(u, v)
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if v in self._adjacency[u]:
+            raise InvalidEdgeError(f"edge ({u}, {v}) already present")
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        self._num_edges += 1
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove the edge ``{u, v}``.
+
+        Raises
+        ------
+        InvalidEdgeError
+            If the edge is not present.
+        """
+        u, v = normalize_edge(u, v)
+        self._check_vertex(u)
+        self._check_vertex(v)
+        if v not in self._adjacency[u]:
+            raise InvalidEdgeError(f"edge ({u}, {v}) not present")
+        self._adjacency[u].discard(v)
+        self._adjacency[v].discard(u)
+        self._num_edges -= 1
+
+    def add_edge_if_absent(self, u: int, v: int) -> bool:
+        """Insert ``{u, v}`` if absent; return whether an insertion happened."""
+        u, v = normalize_edge(u, v)
+        if self.has_edge(u, v):
+            return False
+        self.add_edge(u, v)
+        return True
+
+    def remove_edge_if_present(self, u: int, v: int) -> bool:
+        """Remove ``{u, v}`` if present; return whether a removal happened."""
+        u, v = normalize_edge(u, v)
+        if not self.has_edge(u, v):
+            return False
+        self.remove_edge(u, v)
+        return True
+
+    # ------------------------------------------------------------------
+    # derived structures
+    # ------------------------------------------------------------------
+    def copy(self) -> "Graph":
+        """Return a deep copy of this graph."""
+        clone = Graph(self._num_vertices)
+        clone._adjacency = [set(adj) for adj in self._adjacency]
+        clone._num_edges = self._num_edges
+        return clone
+
+    def adjacency_matrix(self, dtype=np.bool_) -> np.ndarray:
+        """Return the dense symmetric adjacency matrix of the graph."""
+        n = self._num_vertices
+        matrix = np.zeros((n, n), dtype=dtype)
+        for u, v in self.edges():
+            matrix[u, v] = True
+            matrix[v, u] = True
+        return matrix
+
+    def subgraph(self, vertices: Sequence[int]) -> Tuple["Graph", Dict[int, int]]:
+        """Return the induced subgraph on ``vertices`` plus the relabeling map.
+
+        The returned mapping goes from the original vertex id to the id used
+        in the new graph (ids are assigned in the order of ``vertices``).
+        """
+        mapping = {old: new for new, old in enumerate(dict.fromkeys(vertices))}
+        sub = Graph(len(mapping))
+        for old_u, new_u in mapping.items():
+            for old_v in self._adjacency[old_u]:
+                if old_v in mapping and old_u < old_v:
+                    sub.add_edge(new_u, mapping[old_v])
+        return sub, mapping
+
+    def connected_components(self) -> List[List[int]]:
+        """Return the connected components as lists of vertex ids."""
+        seen = [False] * self._num_vertices
+        components: List[List[int]] = []
+        for start in range(self._num_vertices):
+            if seen[start]:
+                continue
+            stack = [start]
+            seen[start] = True
+            component = []
+            while stack:
+                node = stack.pop()
+                component.append(node)
+                for neighbor in self._adjacency[node]:
+                    if not seen[neighbor]:
+                        seen[neighbor] = True
+                        stack.append(neighbor)
+            components.append(sorted(component))
+        return components
+
+    def is_connected(self) -> bool:
+        """Return ``True`` if the graph has a single connected component."""
+        if self._num_vertices == 0:
+            return True
+        return len(self.connected_components()) == 1
+
+    # ------------------------------------------------------------------
+    # dunder protocol
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (self._num_vertices == other._num_vertices
+                and self.edge_set() == other.edge_set())
+
+    def __hash__(self) -> int:  # pragma: no cover - graphs are mutable
+        raise TypeError("Graph objects are mutable and unhashable")
+
+    def __len__(self) -> int:
+        return self._num_vertices
+
+    def __contains__(self, edge: Edge) -> bool:
+        u, v = edge
+        return self.has_edge(u, v)
+
+    def __repr__(self) -> str:
+        return f"Graph(num_vertices={self._num_vertices}, num_edges={self._num_edges})"
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edge_list(cls, edges: Iterable[Edge], num_vertices: Optional[int] = None) -> "Graph":
+        """Build a graph from an edge list, inferring the vertex count if needed."""
+        edge_list = [normalize_edge(u, v) for u, v in edges]
+        if num_vertices is None:
+            num_vertices = 1 + max((max(e) for e in edge_list), default=-1)
+        graph = cls(num_vertices)
+        for u, v in edge_list:
+            graph.add_edge_if_absent(u, v)
+        return graph
+
+    # ------------------------------------------------------------------
+    # internal helpers
+    # ------------------------------------------------------------------
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self._num_vertices:
+            raise GraphError(
+                f"vertex {v} out of range for graph with {self._num_vertices} vertices")

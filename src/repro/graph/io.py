@@ -1,0 +1,105 @@
+"""Graph serialization: SNAP-style edge lists and plain dictionaries.
+
+The SNAP datasets used in the paper ship as whitespace-separated edge lists
+with ``#`` comment lines.  :func:`read_edge_list` accepts that format
+directly (including directed lists, which are symmetrized, and arbitrary
+node labels, which are relabeled to ``0..n-1``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.errors import DatasetError
+from repro.graph.graph import Graph
+
+PathLike = Union[str, Path]
+
+
+def read_edge_list(path: PathLike, comments: str = "#") -> Tuple[Graph, Dict[str, int]]:
+    """Read a whitespace-separated edge list into a :class:`Graph`.
+
+    Node labels may be arbitrary strings; they are relabeled to consecutive
+    integer ids in order of first appearance.  Self-loops and duplicate
+    (or reverse-duplicate) edges are dropped, so directed SNAP lists load as
+    simple undirected graphs.
+
+    Returns
+    -------
+    (graph, labels)
+        ``labels`` maps the original node label to the assigned vertex id.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"edge list not found: {path}")
+    labels: Dict[str, int] = {}
+    edges: List[Tuple[int, int]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith(comments):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise DatasetError(f"{path}:{line_number}: expected two columns, got {line!r}")
+            source, target = parts[0], parts[1]
+            if source == target:
+                continue
+            for label in (source, target):
+                if label not in labels:
+                    labels[label] = len(labels)
+            edges.append((labels[source], labels[target]))
+    graph = Graph(len(labels))
+    for u, v in edges:
+        graph.add_edge_if_absent(u, v)
+    return graph, labels
+
+
+def write_edge_list(graph: Graph, path: PathLike, header: str = "") -> None:
+    """Write the graph as a whitespace-separated edge list."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        handle.write(f"# nodes: {graph.num_vertices} edges: {graph.num_edges}\n")
+        for u, v in graph.edge_list():
+            handle.write(f"{u}\t{v}\n")
+
+
+def graph_to_dict(graph: Graph) -> Dict[str, object]:
+    """Return a JSON-serializable representation of the graph."""
+    return {
+        "num_vertices": graph.num_vertices,
+        "edges": [list(edge) for edge in graph.edge_list()],
+    }
+
+
+def graph_from_dict(payload: Dict[str, object]) -> Graph:
+    """Rebuild a graph from :func:`graph_to_dict` output."""
+    try:
+        num_vertices = int(payload["num_vertices"])  # type: ignore[arg-type]
+        edges = [(int(u), int(v)) for u, v in payload["edges"]]  # type: ignore[union-attr]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise DatasetError(f"malformed graph payload: {exc}") from exc
+    return Graph(num_vertices, edges=edges)
+
+
+def save_graph_json(graph: Graph, path: PathLike) -> None:
+    """Save a graph as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(graph_to_dict(graph), handle)
+
+
+def load_graph_json(path: PathLike) -> Graph:
+    """Load a graph saved by :func:`save_graph_json`."""
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"graph JSON not found: {path}")
+    with path.open("r", encoding="utf-8") as handle:
+        return graph_from_dict(json.load(handle))

@@ -1,0 +1,94 @@
+"""Triangular matrices for geodesic distances.
+
+The paper stores all-pairs geodesic distances in an upper-triangular matrix
+(Section 5.1, Figure 4a).  :class:`TriangularMatrix` reproduces that storage
+layout while also offering a dense NumPy view for the vectorized engines.
+Distances that exceed the pruning threshold ``L`` or belong to mutually
+unreachable pairs carry the sentinel :data:`UNREACHABLE`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+import numpy as np
+
+#: Sentinel for "no path of interest" (unreachable or pruned beyond L).
+UNREACHABLE: int = np.iinfo(np.int32).max
+
+
+class TriangularMatrix:
+    """Upper-triangular symmetric matrix over vertex pairs ``i < j``.
+
+    Stores one ``int32`` per unordered pair in a flat array, the same
+    information content as the triangular distance matrix of Figure 4a.
+    """
+
+    __slots__ = ("_n", "_data")
+
+    def __init__(self, num_vertices: int, fill: int = UNREACHABLE) -> None:
+        self._n = int(num_vertices)
+        size = self._n * (self._n - 1) // 2
+        self._data = np.full(size, fill, dtype=np.int32)
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices indexed by this matrix."""
+        return self._n
+
+    def _index(self, i: int, j: int) -> int:
+        if i == j:
+            raise IndexError("diagonal entries (i == j) are not stored")
+        if i > j:
+            i, j = j, i
+        if not 0 <= i < j < self._n:
+            raise IndexError(f"pair ({i}, {j}) out of range for n={self._n}")
+        # Row-major offset of the upper triangle excluding the diagonal.
+        return i * (2 * self._n - i - 1) // 2 + (j - i - 1)
+
+    def __getitem__(self, pair: Tuple[int, int]) -> int:
+        i, j = pair
+        return int(self._data[self._index(i, j)])
+
+    def __setitem__(self, pair: Tuple[int, int], value: int) -> None:
+        i, j = pair
+        self._data[self._index(i, j)] = value
+
+    def pairs(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(i, j, value)`` for every stored pair with ``i < j``."""
+        for i in range(self._n):
+            for j in range(i + 1, self._n):
+                yield i, j, int(self._data[self._index(i, j)])
+
+    def to_dense(self) -> np.ndarray:
+        """Return a dense symmetric ``n x n`` matrix (diagonal = 0)."""
+        dense = np.full((self._n, self._n), UNREACHABLE, dtype=np.int32)
+        np.fill_diagonal(dense, 0)
+        for i, j, value in self.pairs():
+            dense[i, j] = value
+            dense[j, i] = value
+        return dense
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "TriangularMatrix":
+        """Build a triangular matrix from a dense symmetric matrix."""
+        n = dense.shape[0]
+        matrix = cls(n)
+        for i in range(n):
+            for j in range(i + 1, n):
+                matrix[i, j] = int(dense[i, j])
+        return matrix
+
+    def copy(self) -> "TriangularMatrix":
+        """Return a deep copy of this matrix."""
+        clone = TriangularMatrix(self._n)
+        clone._data = self._data.copy()
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TriangularMatrix):
+            return NotImplemented
+        return self._n == other._n and bool(np.array_equal(self._data, other._data))
+
+    def __repr__(self) -> str:
+        return f"TriangularMatrix(num_vertices={self._n})"

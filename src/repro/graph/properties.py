@@ -1,0 +1,129 @@
+"""Structural graph properties reported in the paper's Tables 2 and 3.
+
+The paper summarizes every dataset with four statistics: diameter (longest
+shortest path), average degree, standard deviation of the degrees (STDD),
+and average clustering coefficient (ACC).  This module computes those plus a
+few extras used by the utility metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.graph.distance import floyd_warshall
+from repro.graph.graph import Graph
+from repro.graph.matrices import UNREACHABLE
+
+
+def average_degree(graph: Graph) -> float:
+    """Mean vertex degree (2|E| / |V|)."""
+    if graph.num_vertices == 0:
+        return 0.0
+    return 2.0 * graph.num_edges / graph.num_vertices
+
+
+def degree_standard_deviation(graph: Graph) -> float:
+    """Population standard deviation of the degree sequence (paper's STDD)."""
+    if graph.num_vertices == 0:
+        return 0.0
+    return float(np.std(graph.degree_array()))
+
+
+def local_clustering_coefficient(graph: Graph, vertex: int) -> float:
+    """Local clustering coefficient of one vertex.
+
+    Following the paper (Section 6.2): the number of edges among the
+    neighbors of ``vertex`` divided by ``n_i * (n_i - 1)`` where ``n_i`` is
+    the neighbor count; vertices with fewer than two neighbors have
+    coefficient 0.
+    """
+    neighbors = list(graph.adjacency(vertex))
+    count = len(neighbors)
+    if count < 2:
+        return 0.0
+    links = 0
+    neighbor_set = graph.adjacency(vertex)
+    for i, u in enumerate(neighbors):
+        # Count unordered neighbor pairs that are themselves connected.
+        links += len(graph.adjacency(u) & neighbor_set)
+    # Each edge among neighbors was counted twice (once from each endpoint).
+    return links / (count * (count - 1))
+
+
+def local_clustering_coefficients(graph: Graph) -> List[float]:
+    """Local clustering coefficient of every vertex, indexed by vertex id."""
+    return [local_clustering_coefficient(graph, v) for v in graph.vertices()]
+
+
+def average_clustering_coefficient(graph: Graph) -> float:
+    """Mean of the local clustering coefficients (paper's ACC)."""
+    if graph.num_vertices == 0:
+        return 0.0
+    return float(np.mean(local_clustering_coefficients(graph)))
+
+
+def diameter(graph: Graph) -> int:
+    """Longest finite shortest-path length in the graph.
+
+    For disconnected graphs (common in random samples) the diameter of the
+    reachable pairs is reported, matching how the paper tabulates sampled
+    graphs that are not necessarily connected.  Returns 0 for graphs with no
+    reachable pairs.
+    """
+    if graph.num_vertices <= 1:
+        return 0
+    distances = floyd_warshall(graph)
+    finite = distances[(distances != UNREACHABLE)]
+    if finite.size == 0:
+        return 0
+    return int(finite.max())
+
+
+def geodesic_histogram(graph: Graph) -> Dict[int, int]:
+    """Histogram of geodesic distances over all vertex pairs.
+
+    Unreachable pairs are counted under the key :data:`UNREACHABLE`.
+    """
+    distances = floyd_warshall(graph)
+    n = graph.num_vertices
+    upper = distances[np.triu_indices(n, k=1)]
+    values, counts = np.unique(upper, return_counts=True)
+    return {int(value): int(count) for value, count in zip(values, counts)}
+
+
+@dataclass(frozen=True)
+class GraphProperties:
+    """The Table 2 / Table 3 property row for one graph."""
+
+    num_vertices: int
+    num_edges: int
+    diameter: int
+    average_degree: float
+    degree_stddev: float
+    average_clustering: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Return the properties as a plain dictionary."""
+        return {
+            "nodes": self.num_vertices,
+            "links": self.num_edges,
+            "diameter": self.diameter,
+            "avg_degree": self.average_degree,
+            "stdd": self.degree_stddev,
+            "acc": self.average_clustering,
+        }
+
+
+def graph_properties(graph: Graph) -> GraphProperties:
+    """Compute the full Table-2/3 style property row for ``graph``."""
+    return GraphProperties(
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        diameter=diameter(graph),
+        average_degree=average_degree(graph),
+        degree_stddev=degree_standard_deviation(graph),
+        average_clustering=average_clustering_coefficient(graph),
+    )

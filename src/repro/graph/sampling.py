@@ -1,0 +1,50 @@
+"""Random node sampling, as used to build the paper's experimental graphs.
+
+Section 6.1: "We have randomly sampled the vertices of six of these seven
+data sets to derive smaller graphs of 100-1000 nodes.  The edges in the
+sampled graph are the adjacent edges of the sampled nodes" — i.e. the
+induced subgraph on a uniform random vertex subset.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.graph.graph import Graph
+
+SeedLike = Union[int, random.Random, None]
+
+
+def _rng(seed: SeedLike) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def sample_nodes(graph: Graph, sample_size: int, seed: SeedLike = None) -> Sequence[int]:
+    """Choose ``sample_size`` distinct vertices uniformly at random."""
+    if not 0 <= sample_size <= graph.num_vertices:
+        raise ConfigurationError(
+            f"sample_size must be in [0, {graph.num_vertices}], got {sample_size}")
+    rng = _rng(seed)
+    return rng.sample(range(graph.num_vertices), sample_size)
+
+
+def induced_subgraph(graph: Graph, vertices: Sequence[int]) -> Tuple[Graph, Dict[int, int]]:
+    """Return the induced subgraph on ``vertices`` and the old->new vertex map."""
+    return graph.subgraph(vertices)
+
+
+def sample_graph(graph: Graph, sample_size: int,
+                 seed: SeedLike = None) -> Tuple[Graph, Dict[int, int]]:
+    """Sample vertices and return the induced subgraph (paper Section 6.1).
+
+    Returns
+    -------
+    (sampled_graph, mapping)
+        ``mapping`` maps original vertex ids to ids in the sampled graph.
+    """
+    vertices = sample_nodes(graph, sample_size, seed=seed)
+    return induced_subgraph(graph, vertices)

@@ -1,0 +1,37 @@
+"""Alteration and utility metrics used in the paper's evaluation (Section 6.2).
+
+* Edit-distance distortion (Equation 1).
+* Earth Mover's Distance between degree and geodesic-distance distributions.
+* Mean absolute difference of local clustering coefficients.
+* Spectral utility metrics (extra, for the ablation benches).
+"""
+
+from repro.metrics.distortion import edit_distance_ratio, edge_edit_distance
+from repro.metrics.distributions import (
+    degree_distribution,
+    geodesic_distribution,
+    normalize_distribution,
+)
+from repro.metrics.emd import earth_movers_distance, emd_between_histograms
+from repro.metrics.clustering import (
+    clustering_coefficient_differences,
+    mean_clustering_difference,
+)
+from repro.metrics.spectral import largest_adjacency_eigenvalue, spectral_gap
+from repro.metrics.report import UtilityReport, utility_report
+
+__all__ = [
+    "edit_distance_ratio",
+    "edge_edit_distance",
+    "degree_distribution",
+    "geodesic_distribution",
+    "normalize_distribution",
+    "earth_movers_distance",
+    "emd_between_histograms",
+    "clustering_coefficient_differences",
+    "mean_clustering_difference",
+    "largest_adjacency_eigenvalue",
+    "spectral_gap",
+    "UtilityReport",
+    "utility_report",
+]

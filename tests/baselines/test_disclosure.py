@@ -1,0 +1,53 @@
+"""Unit tests for the Zhang & Zhang single-edge disclosure model."""
+
+import pytest
+
+from repro.baselines.disclosure import (
+    link_disclosure_summary,
+    max_link_disclosure,
+    total_link_disclosure,
+)
+from repro.core.opacity import max_lo
+from repro.core.pair_types import DegreePairTyping
+from repro.graph.generators import complete_graph, erdos_renyi_graph
+from repro.graph.graph import Graph
+
+
+class TestDisclosureSummary:
+    def test_equals_l1_opacity(self, paper_example_graph):
+        typing = DegreePairTyping(paper_example_graph)
+        summary = link_disclosure_summary(paper_example_graph)
+        assert summary.maximum == pytest.approx(max_lo(paper_example_graph, typing, 1))
+
+    def test_per_type_values_match_figure_5c(self, paper_example_graph):
+        summary = link_disclosure_summary(paper_example_graph)
+        assert summary.per_type[(2, 4)] == pytest.approx(2 / 3)
+        assert summary.per_type[(4, 4)] == pytest.approx(1.0)
+        assert summary.per_type[(1, 2)] == 0.0
+
+    def test_total_is_sum_of_per_type(self, paper_example_graph):
+        summary = link_disclosure_summary(paper_example_graph)
+        assert summary.total == pytest.approx(sum(summary.per_type.values()))
+        assert total_link_disclosure(paper_example_graph) == pytest.approx(summary.total)
+
+    def test_exceeds_threshold(self, paper_example_graph):
+        summary = link_disclosure_summary(paper_example_graph)
+        assert summary.exceeds(0.9)
+        assert not summary.exceeds(1.0)
+
+    def test_complete_graph_full_disclosure(self):
+        assert max_link_disclosure(complete_graph(5)) == 1.0
+
+    def test_empty_graph_zero_disclosure(self):
+        assert max_link_disclosure(Graph(5)) == 0.0
+
+    def test_disclosure_uses_original_degrees_of_supplied_typing(self):
+        graph = erdos_renyi_graph(15, 0.3, seed=0)
+        typing = DegreePairTyping(graph)
+        modified = graph.copy()
+        edge = next(iter(modified.edges()))
+        modified.remove_edge(*edge)
+        # Evaluating the modified graph against the original typing must use
+        # the original degrees, not the new ones.
+        summary = link_disclosure_summary(modified, typing=typing)
+        assert set(summary.per_type) <= set(DegreePairTyping(graph).totals())

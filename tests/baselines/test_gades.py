@@ -1,0 +1,61 @@
+"""Unit tests for the GADES edge-swap baseline."""
+
+import pytest
+
+from repro.baselines.gades import GadesAnonymizer
+from repro.errors import ConfigurationError
+from repro.graph.generators import complete_graph, erdos_renyi_graph, star_graph
+
+
+class TestGades:
+    def test_preserves_every_degree(self):
+        graph = erdos_renyi_graph(25, 0.2, seed=0)
+        result = GadesAnonymizer(theta=0.3, seed=0, max_steps=10).anonymize(graph)
+        assert result.anonymized_graph.degrees() == graph.degrees()
+
+    def test_preserves_edge_count(self):
+        graph = erdos_renyi_graph(25, 0.2, seed=0)
+        result = GadesAnonymizer(theta=0.3, seed=0, max_steps=10).anonymize(graph)
+        assert result.anonymized_graph.num_edges == graph.num_edges
+
+    def test_stops_when_no_improving_swap_exists(self):
+        # On a star, any swap would create a self-edge or duplicate, so GADES
+        # must stop immediately without reaching the threshold.
+        graph = star_graph(5)
+        result = GadesAnonymizer(theta=0.1, seed=0).anonymize(graph)
+        assert result.num_steps == 0
+        assert not result.success
+
+    def test_complete_graph_cannot_be_improved(self):
+        graph = complete_graph(6)
+        result = GadesAnonymizer(theta=0.5, seed=0).anonymize(graph)
+        # Swapping edges of a complete graph is impossible (every candidate
+        # insertion already exists), so GADES terminates with no progress —
+        # the paper's observation that GADES often cannot find a solution.
+        assert result.num_steps == 0
+        assert not result.success
+
+    def test_may_reduce_disclosure_when_swaps_help(self):
+        graph = erdos_renyi_graph(30, 0.15, seed=3)
+        before = GadesAnonymizer(theta=0.0, seed=0, max_steps=0).anonymize(graph)
+        after = GadesAnonymizer(theta=0.0, seed=0, max_steps=15).anonymize(graph)
+        assert after.final_opacity <= before.final_opacity
+
+    def test_seeded_determinism(self):
+        graph = erdos_renyi_graph(20, 0.25, seed=4)
+        first = GadesAnonymizer(theta=0.4, seed=8, max_steps=5).anonymize(graph)
+        second = GadesAnonymizer(theta=0.4, seed=8, max_steps=5).anonymize(graph)
+        assert first.anonymized_graph == second.anonymized_graph
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GadesAnonymizer(theta=-0.1)
+        with pytest.raises(ConfigurationError):
+            GadesAnonymizer(swap_sample_size=0)
+
+    def test_swap_steps_record_four_edges(self):
+        graph = erdos_renyi_graph(30, 0.15, seed=3)
+        result = GadesAnonymizer(theta=0.0, seed=0, max_steps=3).anonymize(graph)
+        for step in result.steps:
+            assert step.operation == "swap"
+            assert len(step.edges) == 4

@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.graph import Graph
+
+
+#: Edges of the running example of Figure 1 (vertices renumbered 0-6).
+#: Original labels and degrees: v1:2, v2:4, v3:4, v4:2, v5:4, v6:3, v7:1.
+PAPER_EXAMPLE_EDGES = [
+    (0, 1), (0, 2),            # v1-v2, v1-v3
+    (1, 2), (1, 3), (1, 4),    # v2-v3, v2-v4, v2-v5
+    (2, 4), (2, 5),            # v3-v5, v3-v6
+    (3, 4),                    # v4-v5
+    (4, 5),                    # v5-v6
+    (5, 6),                    # v6-v7
+]
+
+#: Degrees of the paper example, indexed by the renumbered vertex id.
+PAPER_EXAMPLE_DEGREES = [2, 4, 4, 2, 4, 3, 1]
+
+
+@pytest.fixture
+def paper_example_graph() -> Graph:
+    """The 7-vertex, 10-edge running example of the paper (Figure 1)."""
+    return Graph(7, edges=PAPER_EXAMPLE_EDGES)
+
+
+@pytest.fixture
+def triangle_graph() -> Graph:
+    """A 3-cycle."""
+    return Graph(3, edges=[(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def path4_graph() -> Graph:
+    """A path on 4 vertices: 0-1-2-3."""
+    return Graph(4, edges=[(0, 1), (1, 2), (2, 3)])
+
+
+@pytest.fixture
+def disconnected_graph() -> Graph:
+    """Two disjoint edges plus an isolated vertex."""
+    return Graph(5, edges=[(0, 1), (2, 3)])

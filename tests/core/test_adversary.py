@@ -1,0 +1,111 @@
+"""Tests for the adversary inference model (Section 3 / Figure 2)."""
+
+import pytest
+
+from repro.core.adversary import DegreeAdversary
+from repro.core.edge_removal import EdgeRemovalAnonymizer
+from repro.core.opacity import OpacityComputer
+from repro.core.pair_types import DegreePairTyping
+from repro.errors import ConfigurationError
+from repro.graph.graph import Graph
+
+
+def _figure2_graph(links_to_c1: int, links_to_c2: int) -> Graph:
+    """Build the Figure 2 scenario: suspects S1-S3, criminal candidates C1, C2.
+
+    ``links_to_c1`` / ``links_to_c2`` say how many of the three suspect
+    candidates are adjacent to each criminal candidate.
+    """
+    # Vertices: 0, 1, 2 = S1..S3; 3 = C1; 4 = C2.
+    graph = Graph(5)
+    for suspect in range(links_to_c1):
+        graph.add_edge(suspect, 3)
+    for suspect in range(links_to_c2):
+        graph.add_edge(suspect, 4)
+    return graph
+
+
+class TestFigure2Scenario:
+    def test_full_confidence_when_linked_to_both(self):
+        graph = _figure2_graph(3, 3)
+        adversary = DegreeAdversary(graph)
+        inference = adversary.linkage_confidence([0, 1, 2], [3, 4], length_threshold=1)
+        assert inference.confidence == pytest.approx(1.0)   # Figure 2a
+
+    def test_half_confidence_when_linked_to_one_candidate(self):
+        graph = _figure2_graph(3, 0)
+        adversary = DegreeAdversary(graph)
+        inference = adversary.linkage_confidence([0, 1, 2], [3, 4], length_threshold=1)
+        assert inference.confidence == pytest.approx(0.5)   # Figure 2b
+
+    def test_zero_confidence_when_unlinked(self):
+        graph = _figure2_graph(0, 0)
+        adversary = DegreeAdversary(graph)
+        inference = adversary.linkage_confidence([0, 1, 2], [3, 4], length_threshold=1)
+        assert inference.confidence == 0.0                   # Figure 2c
+
+    def test_counts_are_reported(self):
+        graph = _figure2_graph(3, 0)
+        adversary = DegreeAdversary(graph)
+        inference = adversary.linkage_confidence([0, 1, 2], [3, 4], length_threshold=1)
+        assert inference.total_pairs == 6
+        assert inference.linked_pairs == 3
+
+
+class TestFigure1Scenario:
+    def test_charles_and_agatha_must_be_friends(self, paper_example_graph):
+        # Charles and Agatha both have four friends; the three degree-4
+        # vertices form a triangle, so any assignment makes them adjacent.
+        adversary = DegreeAdversary(paper_example_graph)
+        inference = adversary.degree_linkage_confidence(4, 4, length_threshold=1)
+        assert inference.confidence == pytest.approx(1.0)
+
+    def test_oliver_is_cynthias_friend(self, paper_example_graph):
+        # Oliver has one friend (vertex 6), Timothy three (vertex 5): linked.
+        adversary = DegreeAdversary(paper_example_graph)
+        inference = adversary.degree_linkage_confidence(1, 3, length_threshold=1)
+        assert inference.confidence == pytest.approx(1.0)
+
+    def test_degree_confidence_equals_type_opacity(self, paper_example_graph):
+        typing = DegreePairTyping(paper_example_graph)
+        opacity = OpacityComputer(typing, 1).evaluate(paper_example_graph)
+        adversary = DegreeAdversary(paper_example_graph, original_typing=typing)
+        for (low, high), entry in opacity.per_type.items():
+            inference = adversary.degree_linkage_confidence(low, high, 1)
+            assert inference.confidence == pytest.approx(entry.opacity)
+
+    def test_most_confident_inferences_ranked(self, paper_example_graph):
+        adversary = DegreeAdversary(paper_example_graph)
+        top = adversary.most_confident_inferences(length_threshold=1, top=3)
+        confidences = [inference.confidence for inference in top]
+        assert confidences == sorted(confidences, reverse=True)
+        assert confidences[0] == pytest.approx(1.0)
+
+
+class TestAnonymizationBoundsTheAdversary:
+    def test_confidence_bounded_by_theta_after_anonymization(self, paper_example_graph):
+        theta = 0.5
+        typing = DegreePairTyping(paper_example_graph)
+        result = EdgeRemovalAnonymizer(length_threshold=1, theta=theta,
+                                       seed=0).anonymize(paper_example_graph)
+        adversary = DegreeAdversary(result.anonymized_graph, original_typing=typing)
+        for inference in adversary.most_confident_inferences(length_threshold=1, top=10):
+            assert inference.confidence <= theta + 1e-9
+
+
+class TestValidation:
+    def test_mismatched_typing_rejected(self, paper_example_graph):
+        other = Graph(3, edges=[(0, 1)])
+        with pytest.raises(ConfigurationError):
+            DegreeAdversary(paper_example_graph, original_typing=DegreePairTyping(other))
+
+    def test_invalid_length_rejected(self, paper_example_graph):
+        adversary = DegreeAdversary(paper_example_graph)
+        with pytest.raises(ConfigurationError):
+            adversary.linkage_confidence([0], [1], length_threshold=0)
+
+    def test_overlapping_candidate_sets_skip_identical_vertices(self, paper_example_graph):
+        adversary = DegreeAdversary(paper_example_graph)
+        inference = adversary.degree_linkage_confidence(2, 2, length_threshold=1)
+        # Two degree-2 vertices: only the single cross pair is counted.
+        assert inference.total_pairs == 2  # ordered candidate products minus identical pairs

@@ -1,0 +1,121 @@
+"""Unit tests for the shared anonymizer machinery (config, tie-breaking, result)."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.anonymizer import (
+    AnonymizerConfig,
+    CandidateOutcome,
+    TieBreaker,
+)
+from repro.core.edge_removal import EdgeRemovalAnonymizer
+from repro.errors import ConfigurationError, InfeasibleError
+from repro.graph.generators import complete_graph, erdos_renyi_graph
+from repro.graph.graph import Graph
+
+
+class TestAnonymizerConfig:
+    def test_defaults_are_valid(self):
+        AnonymizerConfig().validate()
+
+    @pytest.mark.parametrize("field,value", [
+        ("length_threshold", 0),
+        ("theta", -0.1),
+        ("theta", 1.5),
+        ("lookahead", 0),
+        ("max_steps", 0),
+        ("max_combinations", 0),
+        ("insertion_candidate_cap", 0),
+    ])
+    def test_invalid_values_rejected(self, field, value):
+        config = AnonymizerConfig(**{field: value})
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_constructor_accepts_either_config_or_kwargs(self):
+        config = AnonymizerConfig(theta=0.4)
+        assert EdgeRemovalAnonymizer(config).config.theta == 0.4
+        assert EdgeRemovalAnonymizer(theta=0.4).config.theta == 0.4
+        with pytest.raises(ConfigurationError):
+            EdgeRemovalAnonymizer(config, theta=0.3)
+
+    def test_invalid_kwargs_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            EdgeRemovalAnonymizer(theta=2.0)
+
+
+class TestTieBreaker:
+    def _outcome(self, edge, fraction, types_at_max):
+        return CandidateOutcome(edges=(edge,), fraction=fraction, types_at_max=types_at_max)
+
+    def test_lower_opacity_wins(self):
+        breaker = TieBreaker(random.Random(0))
+        breaker.offer(self._outcome((0, 1), Fraction(1, 2), 3))
+        breaker.offer(self._outcome((0, 2), Fraction(1, 3), 5))
+        assert breaker.best.edges == ((0, 2),)
+
+    def test_fewer_types_at_max_break_ties(self):
+        breaker = TieBreaker(random.Random(0))
+        breaker.offer(self._outcome((0, 1), Fraction(1, 2), 3))
+        breaker.offer(self._outcome((0, 2), Fraction(1, 2), 1))
+        assert breaker.best.edges == ((0, 2),)
+
+    def test_worse_candidate_never_replaces(self):
+        breaker = TieBreaker(random.Random(0))
+        breaker.offer(self._outcome((0, 1), Fraction(1, 4), 1))
+        breaker.offer(self._outcome((0, 2), Fraction(1, 2), 1))
+        breaker.offer(self._outcome((0, 3), Fraction(1, 4), 2))
+        assert breaker.best.edges == ((0, 1),)
+
+    def test_random_tie_break_is_uniformish(self):
+        counts = {(0, 1): 0, (0, 2): 0}
+        for seed in range(200):
+            breaker = TieBreaker(random.Random(seed))
+            breaker.offer(self._outcome((0, 1), Fraction(1, 2), 1))
+            breaker.offer(self._outcome((0, 2), Fraction(1, 2), 1))
+            counts[breaker.best.edges[0]] += 1
+        # Both candidates should win a non-trivial share of the seeds.
+        assert counts[(0, 1)] > 40
+        assert counts[(0, 2)] > 40
+
+
+class TestAnonymizationResult:
+    def test_already_opaque_graph_returns_immediately(self):
+        graph = erdos_renyi_graph(20, 0.1, seed=0)
+        result = EdgeRemovalAnonymizer(length_threshold=1, theta=1.0, seed=0).anonymize(graph)
+        assert result.success
+        assert result.num_steps == 0
+        assert result.distortion == 0.0
+        assert result.anonymized_graph == graph
+
+    def test_strict_mode_raises_when_infeasible(self):
+        # A complete graph needs many removals to reach theta=0; capping the
+        # number of greedy steps at 1 makes the target unreachable, which the
+        # strict mode must turn into an exception.
+        graph = complete_graph(5)
+        anonymizer = EdgeRemovalAnonymizer(length_threshold=1, theta=0.0, seed=0,
+                                           max_steps=1, strict=True)
+        with pytest.raises(InfeasibleError):
+            anonymizer.anonymize(graph)
+
+    def test_best_effort_mode_reports_failure(self):
+        graph = complete_graph(5)
+        result = EdgeRemovalAnonymizer(length_threshold=1, theta=0.0, seed=0,
+                                       max_steps=1).anonymize(graph)
+        assert not result.success
+        assert result.final_opacity > 0.0
+
+    def test_summary_mentions_key_fields(self):
+        graph = complete_graph(5)
+        result = EdgeRemovalAnonymizer(length_threshold=1, theta=0.9, seed=0).anonymize(graph)
+        text = result.summary()
+        assert "theta=0.90" in text
+        assert "distortion=" in text
+
+    def test_original_graph_is_untouched(self):
+        graph = complete_graph(6)
+        before = graph.edge_set()
+        EdgeRemovalAnonymizer(length_threshold=1, theta=0.5, seed=0).anonymize(graph)
+        assert graph.edge_set() == before

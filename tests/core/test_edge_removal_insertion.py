@@ -1,0 +1,123 @@
+"""Unit tests for the Edge Removal/Insertion heuristic (Algorithm 5)."""
+
+import pytest
+
+from repro.core.edge_removal_insertion import EdgeRemovalInsertionAnonymizer
+from repro.core.opacity import max_lo
+from repro.core.pair_types import DegreePairTyping
+from repro.graph.generators import complete_graph, erdos_renyi_graph
+from repro.graph.graph import Graph
+
+
+class TestBasicBehaviour:
+    @pytest.mark.parametrize("theta", [0.9, 0.7])
+    def test_reaches_threshold_on_paper_example(self, paper_example_graph, theta):
+        result = EdgeRemovalInsertionAnonymizer(
+            length_threshold=1, theta=theta, seed=0).anonymize(paper_example_graph)
+        assert result.success
+        assert result.final_opacity <= theta
+
+    def test_may_stall_where_pure_removal_succeeds(self, paper_example_graph):
+        # Section 6 observation: the Removal heuristic is "more capable of
+        # always arriving at an alteration that satisfies the constraints",
+        # because Rem-Ins must compensate every removal with an insertion and
+        # on tiny graphs every insertion re-creates a short link of some type.
+        from repro.core.edge_removal import EdgeRemovalAnonymizer
+        removal = EdgeRemovalAnonymizer(
+            length_threshold=1, theta=0.5, seed=0).anonymize(paper_example_graph)
+        both = EdgeRemovalInsertionAnonymizer(
+            length_threshold=1, theta=0.5, seed=0).anonymize(paper_example_graph)
+        assert removal.success
+        # Rem-Ins terminates (no infinite loop) and reports its outcome honestly.
+        assert both.final_opacity >= 0.0
+        assert both.num_steps >= 1
+
+    def test_edge_count_is_preserved_when_insertions_possible(self, paper_example_graph):
+        result = EdgeRemovalInsertionAnonymizer(
+            length_threshold=1, theta=0.6, seed=0).anonymize(paper_example_graph)
+        assert result.anonymized_graph.num_edges == paper_example_graph.num_edges
+
+    def test_never_reinserts_a_removed_edge(self):
+        graph = erdos_renyi_graph(20, 0.2, seed=1)
+        result = EdgeRemovalInsertionAnonymizer(
+            length_threshold=1, theta=0.5, seed=0).anonymize(graph)
+        assert not (result.removed_edges & result.inserted_edges)
+
+    def test_inserted_edges_were_absent_originally(self):
+        graph = erdos_renyi_graph(20, 0.2, seed=1)
+        result = EdgeRemovalInsertionAnonymizer(
+            length_threshold=1, theta=0.5, seed=0).anonymize(graph)
+        original_edges = graph.edge_set()
+        assert all(edge not in original_edges for edge in result.inserted_edges)
+
+    def test_final_graph_matches_recorded_operations(self):
+        graph = erdos_renyi_graph(18, 0.25, seed=2)
+        result = EdgeRemovalInsertionAnonymizer(
+            length_threshold=1, theta=0.5, seed=0).anonymize(graph)
+        expected = (graph.edge_set() - result.removed_edges) | result.inserted_edges
+        assert result.anonymized_graph.edge_set() == expected
+
+    def test_multi_hop_threshold_holds(self):
+        graph = erdos_renyi_graph(22, 0.12, seed=5)
+        result = EdgeRemovalInsertionAnonymizer(
+            length_threshold=2, theta=0.6, seed=0).anonymize(graph)
+        assert result.final_opacity <= 0.6
+        typing = DegreePairTyping(graph)
+        assert max_lo(result.anonymized_graph, typing, 2) <= 0.6
+
+    def test_distortion_counts_removals_and_insertions(self):
+        graph = erdos_renyi_graph(18, 0.25, seed=2)
+        result = EdgeRemovalInsertionAnonymizer(
+            length_threshold=1, theta=0.6, seed=0).anonymize(graph)
+        expected = (len(result.removed_edges) + len(result.inserted_edges)) / graph.num_edges
+        assert result.distortion == pytest.approx(expected)
+
+    def test_step_records_name_both_phases(self, paper_example_graph):
+        result = EdgeRemovalInsertionAnonymizer(
+            length_threshold=1, theta=0.6, seed=0).anonymize(paper_example_graph)
+        assert result.num_steps >= 1
+        assert all(step.operation in ("remove", "remove+insert") for step in result.steps)
+
+
+class TestInsertionCandidateCap:
+    def test_cap_limits_evaluations(self):
+        graph = erdos_renyi_graph(25, 0.15, seed=3)
+        uncapped = EdgeRemovalInsertionAnonymizer(
+            length_threshold=1, theta=0.6, seed=0).anonymize(graph)
+        capped = EdgeRemovalInsertionAnonymizer(
+            length_threshold=1, theta=0.6, seed=0,
+            insertion_candidate_cap=20).anonymize(graph)
+        assert capped.evaluations <= uncapped.evaluations
+        assert capped.success
+
+    def test_cap_still_preserves_edge_count(self):
+        graph = erdos_renyi_graph(25, 0.15, seed=3)
+        result = EdgeRemovalInsertionAnonymizer(
+            length_threshold=1, theta=0.6, seed=0,
+            insertion_candidate_cap=10).anonymize(graph)
+        assert result.anonymized_graph.num_edges == graph.num_edges
+
+
+class TestEdgeCases:
+    def test_complete_graph_has_no_insertion_slots(self):
+        # On a complete graph there is no absent edge to insert, so the
+        # heuristic degenerates to pure removal but must still progress.
+        graph = complete_graph(6)
+        result = EdgeRemovalInsertionAnonymizer(
+            length_threshold=1, theta=0.8, seed=0).anonymize(graph)
+        assert result.final_opacity <= 0.8
+
+    def test_empty_graph(self):
+        graph = Graph(4)
+        result = EdgeRemovalInsertionAnonymizer(
+            length_threshold=1, theta=0.5, seed=0).anonymize(graph)
+        assert result.success
+        assert result.num_steps == 0
+
+    def test_determinism_with_seed(self):
+        graph = erdos_renyi_graph(20, 0.2, seed=4)
+        first = EdgeRemovalInsertionAnonymizer(
+            length_threshold=1, theta=0.5, seed=9).anonymize(graph)
+        second = EdgeRemovalInsertionAnonymizer(
+            length_threshold=1, theta=0.5, seed=9).anonymize(graph)
+        assert first.anonymized_graph == second.anonymized_graph

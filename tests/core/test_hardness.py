@@ -1,0 +1,136 @@
+"""Tests for the Theorem 1 reduction (3-SAT -> L-opacification)."""
+
+import pytest
+
+from repro.core.hardness import (
+    SatInstance,
+    brute_force_satisfiable,
+    build_lopacification_instance,
+    random_sat_instance,
+)
+from repro.errors import ConfigurationError
+
+#: The example formula from the paper's proof of Theorem 1:
+#: (a v ~b v c)(~a v ~c v d)(a v b v ~d)(a v ~b v ~c)(~b v c v d)(~a v b v ~d)
+PAPER_FORMULA = SatInstance(
+    num_variables=4,
+    clauses=(
+        ((0, False), (1, True), (2, False)),
+        ((0, True), (2, True), (3, False)),
+        ((0, False), (1, False), (3, True)),
+        ((0, False), (1, True), (2, True)),
+        ((1, True), (2, False), (3, False)),
+        ((0, True), (1, False), (3, True)),
+    ),
+)
+
+
+class TestSatInstance:
+    def test_evaluate_satisfying_assignment(self):
+        # a=True, b=True, c=True, d=True satisfies the paper formula.
+        assert PAPER_FORMULA.evaluate((True, True, True, True))
+
+    def test_evaluate_falsifying_assignment(self):
+        instance = SatInstance(3, (((0, False), (1, False), (2, False)),))
+        assert not instance.evaluate((False, False, False))
+
+    def test_clause_arity_enforced(self):
+        with pytest.raises(ConfigurationError):
+            SatInstance(3, (((0, False), (1, False)),))  # type: ignore[arg-type]
+
+    def test_variable_range_enforced(self):
+        with pytest.raises(ConfigurationError):
+            SatInstance(2, (((0, False), (1, False), (5, False)),))
+
+    def test_brute_force_finds_model_for_satisfiable(self):
+        assignment = brute_force_satisfiable(PAPER_FORMULA)
+        assert assignment is not None
+        assert PAPER_FORMULA.evaluate(assignment)
+
+    def test_brute_force_detects_unsatisfiable(self):
+        # All eight sign patterns over three variables: unsatisfiable.
+        clauses = tuple(
+            ((0, a), (1, b), (2, c))
+            for a in (False, True) for b in (False, True) for c in (False, True))
+        instance = SatInstance(3, clauses)
+        assert brute_force_satisfiable(instance) is None
+
+    def test_random_instance_shape(self):
+        instance = random_sat_instance(6, 10, seed=1)
+        assert instance.num_variables == 6
+        assert len(instance.clauses) == 10
+        for clause in instance.clauses:
+            assert len({var for var, _neg in clause}) == 3
+
+
+class TestReductionConstruction:
+    def test_gadget_sizes_match_paper(self):
+        reduction = build_lopacification_instance(PAPER_FORMULA)
+        # 4 vertices per variable + 2 per literal occurrence (3 per clause).
+        expected_vertices = 4 * 4 + 2 * 3 * 6
+        assert reduction.graph.num_vertices == expected_vertices
+        # 2 edges per variable + 2 per literal occurrence.
+        assert reduction.graph.num_edges == 2 * 4 + 2 * 3 * 6
+        assert reduction.length_threshold == 3
+        assert reduction.removal_budget == 4
+
+    def test_variable_types_have_two_pairs_and_clause_types_three(self):
+        reduction = build_lopacification_instance(PAPER_FORMULA)
+        for variable in range(PAPER_FORMULA.num_variables):
+            assert reduction.typing.pair_count(("var", variable)) == 2
+        for clause_index in range(len(PAPER_FORMULA.clauses)):
+            assert reduction.typing.pair_count(("clause", clause_index)) == 3
+
+    def test_clause_pairs_are_at_distance_three_initially(self):
+        reduction = build_lopacification_instance(PAPER_FORMULA)
+        from repro.graph.distance import floyd_warshall
+        distances = floyd_warshall(reduction.graph)
+        for pairs in reduction.clause_pairs.values():
+            for a_vertex, b_vertex in pairs:
+                assert distances[a_vertex, b_vertex] == 3
+
+    def test_original_gadget_is_not_opacified(self):
+        reduction = build_lopacification_instance(PAPER_FORMULA)
+        assert not reduction.is_opacified(reduction.graph)
+
+
+class TestReductionEquivalence:
+    def test_satisfying_assignment_yields_opacification(self):
+        reduction = build_lopacification_instance(PAPER_FORMULA)
+        assignment = brute_force_satisfiable(PAPER_FORMULA)
+        removals = reduction.removals_for_assignment(assignment)
+        assert len(removals) == reduction.removal_budget
+        assert reduction.is_opacified(reduction.apply_removals(removals))
+
+    def test_falsifying_assignment_does_not_opacify(self):
+        # a=b=c=d=False violates clause 3 (a v b v ~d)?  No: ~d is true.
+        # Use an assignment that brute-force checking confirms is falsifying.
+        falsifying = None
+        from itertools import product
+        for candidate in product((False, True), repeat=4):
+            if not PAPER_FORMULA.evaluate(candidate):
+                falsifying = candidate
+                break
+        assert falsifying is not None
+        reduction = build_lopacification_instance(PAPER_FORMULA)
+        removals = reduction.removals_for_assignment(falsifying)
+        assert not reduction.is_opacified(reduction.apply_removals(removals))
+
+    def test_assignment_roundtrip(self):
+        reduction = build_lopacification_instance(PAPER_FORMULA)
+        assignment = (True, False, True, False)
+        removals = reduction.removals_for_assignment(assignment)
+        assert reduction.assignment_from_removals(removals) == assignment
+
+    def test_non_encoding_removals_rejected(self):
+        reduction = build_lopacification_instance(PAPER_FORMULA)
+        positive, negative = reduction.variable_edges[0]
+        assert reduction.assignment_from_removals({positive, negative}) is None
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_equivalence_on_random_instances(self, seed):
+        instance = random_sat_instance(4, 6, seed=seed)
+        reduction = build_lopacification_instance(instance)
+        sat_answer = brute_force_satisfiable(instance) is not None
+        opacification_answer = reduction.solvable_with_budget() is not None
+        assert sat_answer == opacification_answer

@@ -1,0 +1,95 @@
+"""Unit tests for the look-ahead combination search."""
+
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.core.anonymizer import CandidateOutcome
+from repro.core.lookahead import _combinations_capped, search_best_combination
+
+
+def _make_evaluator(scores):
+    """Build an evaluate() function from a mapping frozenset(edges) -> fraction."""
+    calls = []
+
+    def evaluate(combo):
+        calls.append(tuple(combo))
+        fraction = scores[frozenset(combo)]
+        return CandidateOutcome(edges=tuple(combo), fraction=fraction, types_at_max=1)
+
+    evaluate.calls = calls
+    return evaluate
+
+
+class TestSearchBestCombination:
+    def test_single_improving_move_is_taken_without_escalation(self):
+        edges = [(0, 1), (0, 2)]
+        scores = {
+            frozenset({(0, 1)}): Fraction(1, 2),
+            frozenset({(0, 2)}): Fraction(3, 4),
+        }
+        evaluate = _make_evaluator(scores)
+        best = search_best_combination(edges, evaluate, current_fraction=Fraction(1),
+                                       lookahead=2, rng=random.Random(0),
+                                       max_combinations=100)
+        assert best.edges == ((0, 1),)
+        # No size-2 combination should have been evaluated.
+        assert all(len(call) == 1 for call in evaluate.calls)
+
+    def test_escalates_to_pairs_when_singles_do_not_improve(self):
+        edges = [(0, 1), (0, 2)]
+        scores = {
+            frozenset({(0, 1)}): Fraction(1),
+            frozenset({(0, 2)}): Fraction(1),
+            frozenset({(0, 1), (0, 2)}): Fraction(1, 3),
+        }
+        evaluate = _make_evaluator(scores)
+        best = search_best_combination(edges, evaluate, current_fraction=Fraction(1),
+                                       lookahead=2, rng=random.Random(0),
+                                       max_combinations=100)
+        assert set(best.edges) == {(0, 1), (0, 2)}
+
+    def test_lookahead_one_never_evaluates_pairs(self):
+        edges = [(0, 1), (0, 2), (1, 2)]
+        scores = {frozenset({edge}): Fraction(1) for edge in edges}
+        evaluate = _make_evaluator(scores)
+        best = search_best_combination(edges, evaluate, current_fraction=Fraction(1),
+                                       lookahead=1, rng=random.Random(0),
+                                       max_combinations=100)
+        assert len(best.edges) == 1
+        assert all(len(call) == 1 for call in evaluate.calls)
+
+    def test_returns_best_overall_when_nothing_improves(self):
+        edges = [(0, 1), (0, 2)]
+        scores = {
+            frozenset({(0, 1)}): Fraction(4, 5),
+            frozenset({(0, 2)}): Fraction(9, 10),
+            frozenset({(0, 1), (0, 2)}): Fraction(1),
+        }
+        evaluate = _make_evaluator(scores)
+        best = search_best_combination(edges, evaluate, current_fraction=Fraction(1, 2),
+                                       lookahead=2, rng=random.Random(0),
+                                       max_combinations=100)
+        assert best.edges == ((0, 1),)
+
+    def test_empty_candidate_list_returns_none(self):
+        best = search_best_combination([], lambda combo: None,
+                                       current_fraction=Fraction(1), lookahead=2,
+                                       rng=random.Random(0), max_combinations=100)
+        assert best is None
+
+
+class TestCombinationCapping:
+    def test_exact_enumeration_below_cap(self):
+        edges = [(0, i) for i in range(1, 6)]
+        combos = list(_combinations_capped(edges, 2, cap=100, rng=random.Random(0)))
+        assert len(combos) == 10
+        assert len(set(map(frozenset, combos))) == 10
+
+    def test_sampling_beyond_cap(self):
+        edges = [(0, i) for i in range(1, 30)]
+        combos = list(_combinations_capped(edges, 3, cap=50, rng=random.Random(0)))
+        assert len(combos) == 50
+        assert len(set(combos)) == 50
+        assert all(len(combo) == 3 for combo in combos)

@@ -1,0 +1,145 @@
+"""Unit tests for the opacity computation (Algorithm 1, Figures 4 and 5)."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core.opacity import OpacityComputer, max_lo
+from repro.core.pair_types import DegreePairTyping, ExplicitPairTyping
+from repro.errors import ConfigurationError
+from repro.graph.distance import available_engines
+from repro.graph.generators import complete_graph, erdos_renyi_graph, path_graph
+from repro.graph.graph import Graph
+
+
+class TestPaperExampleOpacity:
+    """Figure 5c of the paper gives the full opacity matrix for L = 1."""
+
+    EXPECTED_L1 = {
+        (1, 3): Fraction(1, 1),
+        (2, 4): Fraction(2, 3),    # 4 of 6 pairs connected
+        (3, 4): Fraction(2, 3),    # 2 of 3 pairs connected
+        (4, 4): Fraction(1, 1),    # the triangle v2-v3-v5
+        (1, 2): Fraction(0),
+        (1, 4): Fraction(0),
+        (2, 2): Fraction(0),
+        (2, 3): Fraction(0),
+    }
+
+    def test_per_type_opacities_match_figure_5c(self, paper_example_graph):
+        typing = DegreePairTyping(paper_example_graph)
+        computer = OpacityComputer(typing, length_threshold=1)
+        result = computer.evaluate(paper_example_graph)
+        for type_key, expected in self.EXPECTED_L1.items():
+            assert result.per_type[type_key].fraction == expected, type_key
+
+    def test_within_counts_match_figure_5a(self, paper_example_graph):
+        typing = DegreePairTyping(paper_example_graph)
+        result = OpacityComputer(typing, 1).evaluate(paper_example_graph)
+        assert result.per_type[(2, 4)].within_threshold == 4
+        assert result.per_type[(3, 4)].within_threshold == 2
+        assert result.per_type[(4, 4)].within_threshold == 3
+        assert result.per_type[(1, 3)].within_threshold == 1
+
+    def test_max_opacity_is_one_with_two_types_at_max(self, paper_example_graph):
+        typing = DegreePairTyping(paper_example_graph)
+        result = OpacityComputer(typing, 1).evaluate(paper_example_graph)
+        assert result.max_opacity == 1.0
+        assert result.types_at_max == 2   # (1,3) and (4,4)
+
+    @pytest.mark.parametrize("engine", available_engines())
+    def test_all_engines_agree_on_example(self, paper_example_graph, engine):
+        typing = DegreePairTyping(paper_example_graph)
+        for length in (1, 2, 3):
+            value = OpacityComputer(typing, length, engine=engine).max_opacity(
+                paper_example_graph)
+            reference = OpacityComputer(typing, length).max_opacity(paper_example_graph)
+            assert value == pytest.approx(reference)
+
+    def test_l3_makes_everything_visible(self, paper_example_graph):
+        # The example's diameter is 3, so with L = 3 every pair is within
+        # threshold and every non-empty type has opacity 1.
+        typing = DegreePairTyping(paper_example_graph)
+        result = OpacityComputer(typing, 3).evaluate(paper_example_graph)
+        assert all(entry.fraction == 1 for entry in result.per_type.values())
+
+
+class TestOpacityResult:
+    def test_is_opaque_strict_and_nonstrict(self, paper_example_graph):
+        typing = DegreePairTyping(paper_example_graph)
+        result = OpacityComputer(typing, 1).evaluate(paper_example_graph)
+        assert result.is_opaque(1.0) is True            # algorithm semantics: <=
+        assert result.is_opaque(1.0, strict=True) is False  # Definition 3: <
+        assert result.is_opaque(0.5) is False
+
+    def test_violating_types(self, paper_example_graph):
+        typing = DegreePairTyping(paper_example_graph)
+        result = OpacityComputer(typing, 1).evaluate(paper_example_graph)
+        violating = set(result.violating_types(0.7))
+        assert violating == {(1, 3), (4, 4)}
+
+    def test_opacity_of_unknown_type_is_zero(self, paper_example_graph):
+        typing = DegreePairTyping(paper_example_graph)
+        result = OpacityComputer(typing, 1).evaluate(paper_example_graph)
+        assert result.opacity_of((9, 9)) == 0.0
+
+
+class TestEdgeCases:
+    def test_empty_graph(self):
+        graph = Graph(4)
+        result = OpacityComputer(DegreePairTyping(graph), 2).evaluate(graph)
+        assert result.max_opacity == 0.0
+
+    def test_single_vertex(self):
+        graph = Graph(1)
+        result = OpacityComputer(DegreePairTyping(graph), 1).evaluate(graph)
+        assert result.max_opacity == 0.0
+        assert result.types_at_max == 0
+
+    def test_complete_graph_is_fully_disclosed(self):
+        graph = complete_graph(6)
+        assert max_lo(graph, DegreePairTyping(graph), 1) == 1.0
+
+    def test_path_graph_l1(self):
+        graph = path_graph(4)
+        typing = DegreePairTyping(graph)
+        result = OpacityComputer(typing, 1).evaluate(graph)
+        # Degree-1 endpoints never touch each other, both touch a degree-2 vertex.
+        assert result.per_type[(1, 1)].fraction == 0
+        assert result.per_type[(1, 2)].fraction == Fraction(2, 4)
+        assert result.per_type[(2, 2)].fraction == Fraction(1, 1)
+
+    def test_invalid_length_rejected(self, triangle_graph):
+        with pytest.raises(ConfigurationError):
+            OpacityComputer(DegreePairTyping(triangle_graph), 0)
+
+    def test_caller_supplied_distances_are_used(self, paper_example_graph):
+        typing = DegreePairTyping(paper_example_graph)
+        computer = OpacityComputer(typing, 2)
+        distances = computer.distances(paper_example_graph)
+        direct = computer.evaluate(paper_example_graph)
+        reused = computer.evaluate(paper_example_graph, distances=distances)
+        assert direct.max_fraction == reused.max_fraction
+
+
+class TestExplicitTypingOpacity:
+    def test_only_listed_pairs_counted(self, paper_example_graph):
+        typing = ExplicitPairTyping({(0, 1): "watched", (0, 6): "watched"})
+        result = OpacityComputer(typing, 1).evaluate(paper_example_graph)
+        # (0,1) is an edge, (0,6) is at distance 3.
+        assert result.per_type["watched"].fraction == Fraction(1, 2)
+
+    def test_generic_fallback_for_custom_typing(self, paper_example_graph):
+        class EverythingSameType(DegreePairTyping.__bases__[0]):  # PairTyping
+            def type_of(self, u, v):
+                return "all" if u != v else None
+
+            def types(self):
+                return iter(["all"])
+
+            def pair_count(self, type_key):
+                return 21 if type_key == "all" else 0
+
+        typing = EverythingSameType()
+        result = OpacityComputer(typing, 1).evaluate(paper_example_graph)
+        assert result.per_type["all"].fraction == Fraction(10, 21)

@@ -1,0 +1,95 @@
+"""Unit tests for vertex-pair typings (Definition 1)."""
+
+import pytest
+
+from repro.core.pair_types import DegreePairTyping, ExplicitPairTyping
+from repro.errors import ConfigurationError
+from repro.graph.generators import complete_graph, erdos_renyi_graph
+from repro.graph.graph import Graph
+
+
+class TestDegreePairTyping:
+    def test_types_are_ordered_degree_pairs(self, paper_example_graph):
+        typing = DegreePairTyping(paper_example_graph)
+        assert typing.type_of(6, 5) == (1, 3)   # v7 (deg 1) with v6 (deg 3)
+        assert typing.type_of(5, 6) == (1, 3)
+        assert typing.type_of(1, 2) == (4, 4)
+
+    def test_self_pair_has_no_type(self, paper_example_graph):
+        typing = DegreePairTyping(paper_example_graph)
+        assert typing.type_of(3, 3) is None
+
+    def test_pair_counts_match_paper_example(self, paper_example_graph):
+        typing = DegreePairTyping(paper_example_graph)
+        # Degrees: one vertex of degree 1, two of degree 2, one of degree 3,
+        # three of degree 4.
+        assert typing.pair_count((1, 2)) == 2
+        assert typing.pair_count((1, 4)) == 3
+        assert typing.pair_count((2, 4)) == 6
+        assert typing.pair_count((3, 4)) == 3
+        assert typing.pair_count((4, 4)) == 3
+        assert typing.pair_count((2, 2)) == 1
+        assert typing.pair_count((1, 1)) == 0
+        assert typing.pair_count((3, 3)) == 0
+
+    def test_total_pairs_partition_all_vertex_pairs(self):
+        graph = erdos_renyi_graph(25, 0.2, seed=0)
+        typing = DegreePairTyping(graph)
+        total = sum(typing.pair_count(key) for key in typing.types())
+        n = graph.num_vertices
+        assert total == n * (n - 1) // 2
+
+    def test_typing_is_frozen_against_graph_mutation(self, paper_example_graph):
+        typing = DegreePairTyping(paper_example_graph)
+        paper_example_graph.remove_edge(5, 6)
+        # v7's original degree stays 1 even after its only edge is removed.
+        assert typing.type_of(6, 5) == (1, 3)
+        assert typing.vertices_with_degree(1) == 1
+
+    def test_vertices_with_degree(self, paper_example_graph):
+        typing = DegreePairTyping(paper_example_graph)
+        assert typing.vertices_with_degree(4) == 3
+        assert typing.vertices_with_degree(9) == 0
+
+    def test_regular_graph_has_single_type(self):
+        typing = DegreePairTyping(complete_graph(5))
+        assert list(typing.types()) == [(4, 4)]
+        assert typing.pair_count((4, 4)) == 10
+
+    def test_num_types(self, paper_example_graph):
+        typing = DegreePairTyping(paper_example_graph)
+        # Degrees present: 1, 2, 3, 4 -> pairs with nonzero count:
+        # (1,2),(1,3),(1,4),(2,2),(2,3),(2,4),(3,4),(4,4) = 8
+        assert typing.num_types() == 8
+
+
+class TestExplicitPairTyping:
+    def test_lookup_both_orientations(self):
+        typing = ExplicitPairTyping({(3, 1): "a", (2, 4): "b"})
+        assert typing.type_of(1, 3) == "a"
+        assert typing.type_of(4, 2) == "b"
+        assert typing.type_of(1, 2) is None
+
+    def test_pair_counts(self):
+        typing = ExplicitPairTyping({(0, 1): "t", (2, 3): "t", (4, 5): "u"})
+        assert typing.pair_count("t") == 2
+        assert typing.pair_count("u") == 1
+        assert typing.pair_count("v") == 0
+
+    def test_conflicting_assignment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExplicitPairTyping({(0, 1): "a", (1, 0): "b"})
+
+    def test_duplicate_consistent_assignment_allowed(self):
+        typing = ExplicitPairTyping({(0, 1): "a", (1, 0): "a"})
+        assert typing.pair_count("a") == 1
+
+    def test_pairs_of_type(self):
+        typing = ExplicitPairTyping({(0, 1): "t", (2, 3): "t", (4, 5): "u"})
+        assert sorted(typing.pairs_of_type("t")) == [(0, 1), (2, 3)]
+        assert typing.all_pairs() and len(typing.all_pairs()) == 3
+
+    def test_self_pair_rejected(self):
+        from repro.errors import InvalidEdgeError
+        with pytest.raises(InvalidEdgeError):
+            ExplicitPairTyping({(2, 2): "a"})

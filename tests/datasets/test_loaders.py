@@ -1,0 +1,45 @@
+"""Unit tests for dataset loading (real SNAP files vs synthetic fallback)."""
+
+import pytest
+
+from repro.datasets.loaders import load_dataset, load_sample
+from repro.datasets.registry import get_dataset
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.io import write_edge_list
+
+
+class TestSyntheticFallback:
+    def test_sample_fallback_when_no_data_dir(self, tmp_path):
+        graph = load_sample("gnutella", 80, data_dir=tmp_path, seed=0)
+        assert graph.num_vertices == 80
+
+    def test_dataset_fallback(self, tmp_path):
+        graph = load_dataset("gnutella", data_dir=tmp_path, num_nodes=200, seed=0)
+        assert graph.num_vertices == 200
+
+    def test_acm_always_synthetic(self, tmp_path):
+        graph = load_sample("acm", 90, data_dir=tmp_path, seed=0)
+        assert graph.num_vertices == 90
+
+    def test_fallback_is_deterministic(self, tmp_path):
+        first = load_sample("enron", 70, data_dir=tmp_path, seed=3)
+        second = load_sample("enron", 70, data_dir=tmp_path, seed=3)
+        assert first == second
+
+
+class TestRealFileLoading:
+    def test_real_edge_list_is_used_when_present(self, tmp_path):
+        # Write a fake "SNAP" file under the expected filename and confirm the
+        # loader prefers it over synthesis.
+        spec = get_dataset("gnutella")
+        source = erdos_renyi_graph(150, 0.05, seed=1)
+        write_edge_list(source, tmp_path / spec.snap_filename)
+        full = load_dataset("gnutella", data_dir=tmp_path)
+        assert full.num_edges == source.num_edges
+
+    def test_real_file_sampling(self, tmp_path):
+        spec = get_dataset("gnutella")
+        source = erdos_renyi_graph(150, 0.05, seed=1)
+        write_edge_list(source, tmp_path / spec.snap_filename)
+        sampled = load_sample("gnutella", 40, data_dir=tmp_path, seed=0)
+        assert sampled.num_vertices == 40

@@ -1,0 +1,47 @@
+"""Unit tests for the dataset registry (Tables 1-3 descriptors)."""
+
+import pytest
+
+from repro.datasets.registry import DATASETS, dataset_names, get_dataset
+from repro.errors import DatasetError
+
+
+class TestRegistry:
+    def test_all_seven_paper_datasets_present(self):
+        assert set(dataset_names()) == {
+            "google", "berkeley-stanford", "epinions", "enron",
+            "gnutella", "acm", "wikipedia"}
+
+    def test_table1_values(self):
+        google = get_dataset("google")
+        assert google.nodes == 875_713
+        assert google.links == 5_105_039
+        enron = get_dataset("enron")
+        assert enron.nodes == 36_692
+        assert enron.links == 367_662
+
+    def test_table2_values(self):
+        wikipedia = get_dataset("wikipedia")
+        assert wikipedia.diameter == 7
+        assert wikipedia.average_degree == pytest.approx(29.1)
+        assert wikipedia.clustering == pytest.approx(0.2089)
+
+    def test_table3_sample_rows(self):
+        gnutella = get_dataset("gnutella")
+        sample = gnutella.sample_spec(500)
+        assert sample is not None
+        assert sample.links == 721
+        assert sample.average_degree == pytest.approx(2.88)
+        assert gnutella.sample_spec(250) is None
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_dataset("Google").name == "google"
+        assert get_dataset("  ENRON ").name == "enron"
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(DatasetError):
+            get_dataset("facebook")
+
+    def test_acm_has_no_snap_file(self):
+        assert get_dataset("acm").snap_filename is None
+        assert all(spec.snap_filename for name, spec in DATASETS.items() if name != "acm")

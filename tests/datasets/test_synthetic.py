@@ -1,0 +1,62 @@
+"""Unit tests for the calibrated synthetic dataset proxies."""
+
+import pytest
+
+from repro.datasets.registry import get_dataset
+from repro.datasets.synthetic import synthesize_dataset, synthesize_sample
+from repro.errors import DatasetError
+from repro.graph.properties import average_clustering_coefficient
+
+
+class TestSynthesizeSample:
+    @pytest.mark.parametrize("name,size", [
+        ("google", 100), ("enron", 100), ("gnutella", 100),
+        ("epinions", 100), ("wikipedia", 100)])
+    def test_matches_table3_node_and_edge_counts(self, name, size):
+        spec = get_dataset(name).sample_spec(size)
+        graph = synthesize_sample(name, size, seed=0)
+        assert graph.num_vertices == size
+        assert graph.num_edges == spec.links
+
+    def test_unreported_size_scales_density(self):
+        graph = synthesize_sample("gnutella", 60, seed=0)
+        assert graph.num_vertices == 60
+        assert graph.num_edges >= 59  # at least tree density
+
+    def test_clustered_family_is_more_clustered_than_sparse_family(self):
+        clustered = synthesize_sample("google", 100, seed=0)
+        sparse = synthesize_sample("gnutella", 100, seed=0)
+        assert (average_clustering_coefficient(clustered)
+                > average_clustering_coefficient(sparse))
+
+    def test_seed_reproducibility(self):
+        assert synthesize_sample("enron", 100, seed=5) == synthesize_sample("enron", 100, seed=5)
+
+    def test_different_seeds_differ(self):
+        assert synthesize_sample("enron", 100, seed=1) != synthesize_sample("enron", 100, seed=2)
+
+    def test_too_small_size_rejected(self):
+        with pytest.raises(DatasetError):
+            synthesize_sample("google", 1)
+
+    def test_acm_clustered_heavy_tail_family(self):
+        graph = synthesize_sample("acm", 120, seed=0)
+        assert graph.num_vertices == 120
+        # Co-authorship proxies stay sparse but clustered, with a few
+        # high-degree "prolific author" hubs.
+        assert average_clustering_coefficient(graph) > 0.05
+        degrees = sorted(graph.degrees(), reverse=True)
+        assert degrees[0] >= 2 * (2 * graph.num_edges / graph.num_vertices)
+
+
+class TestSynthesizeDataset:
+    def test_default_size(self):
+        graph = synthesize_dataset("gnutella", seed=0)
+        assert graph.num_vertices == 2000
+
+    def test_explicit_size_and_density(self):
+        graph = synthesize_dataset("gnutella", num_nodes=300, seed=0)
+        spec = get_dataset("gnutella")
+        assert graph.num_vertices == 300
+        expected_edges = int(spec.average_degree * 300 / 2)
+        assert abs(graph.num_edges - expected_edges) <= expected_edges * 0.05 + 2

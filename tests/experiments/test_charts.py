@@ -1,0 +1,50 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.charts import render_series_chart
+
+
+class TestRenderSeriesChart:
+    def test_empty_input(self):
+        assert render_series_chart({}) == "(no data)"
+        assert render_series_chart({"rem": []}) == "(no data)"
+
+    def test_contains_title_axes_and_legend(self):
+        chart = render_series_chart(
+            {"rem la=1": [(0.9, 0.05), (0.5, 0.2)],
+             "rem-ins la=1": [(0.9, 0.1), (0.5, 0.4)]},
+            title="Figure 6", x_label="theta", y_label="distortion")
+        assert chart.splitlines()[0] == "Figure 6"
+        assert "distortion" in chart
+        assert "theta" in chart
+        assert "o rem la=1" in chart
+        assert "x rem-ins la=1" in chart
+
+    def test_extreme_points_are_plotted_at_the_corners(self):
+        chart = render_series_chart({"s": [(0.0, 0.0), (1.0, 1.0)]},
+                                    width=20, height=5)
+        lines = chart.splitlines()
+        plot_rows = [line for line in lines if "|" in line]
+        # Highest y value lands on the first plot row, lowest on the last.
+        assert plot_rows[0].rstrip().endswith("o")
+        assert plot_rows[-1].split("|")[1].startswith("o")
+
+    def test_axis_labels_show_value_range(self):
+        chart = render_series_chart({"s": [(10, 2.0), (50, 8.0)]},
+                                    x_label="size", y_label="seconds")
+        assert "10" in chart and "50" in chart
+        assert "2" in chart and "8" in chart
+
+    def test_constant_series_does_not_crash(self):
+        chart = render_series_chart({"flat": [(0.5, 0.3), (0.8, 0.3)]})
+        assert "flat" in chart
+
+    def test_single_point(self):
+        chart = render_series_chart({"dot": [(0.5, 0.5)]})
+        assert "o" in chart
+
+    def test_marker_cycling_beyond_available_markers(self):
+        series = {f"series-{index}": [(index, index)] for index in range(12)}
+        chart = render_series_chart(series)
+        assert "series-11" in chart

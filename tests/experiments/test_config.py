@@ -1,0 +1,56 @@
+"""Unit tests for experiment configuration records and sweeps."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import ALGORITHMS, ExperimentConfig, SweepSpec
+
+
+class TestExperimentConfig:
+    def test_valid_construction(self):
+        config = ExperimentConfig(dataset="google", sample_size=100,
+                                  algorithm="rem", theta=0.5)
+        assert config.label() == "rem la=1 L=1"
+
+    def test_baseline_label_has_no_parameters(self):
+        config = ExperimentConfig(dataset="google", sample_size=100,
+                                  algorithm="gaded-max", theta=0.5)
+        assert config.label() == "gaded-max"
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(dataset="google", sample_size=100,
+                             algorithm="simulated-annealing", theta=0.5)
+
+    @pytest.mark.parametrize("field,value", [
+        ("theta", 1.5), ("length_threshold", 0), ("lookahead", 0)])
+    def test_invalid_parameters_rejected(self, field, value):
+        kwargs = dict(dataset="google", sample_size=100, algorithm="rem", theta=0.5)
+        kwargs[field] = value
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig(**kwargs)
+
+    def test_with_theta_copies(self):
+        config = ExperimentConfig(dataset="google", sample_size=100,
+                                  algorithm="rem", theta=0.5)
+        other = config.with_theta(0.3)
+        assert other.theta == 0.3
+        assert other.dataset == config.dataset
+        assert config.theta == 0.5
+
+
+class TestSweepSpec:
+    def test_grid_size_and_enumeration(self):
+        sweep = SweepSpec(datasets=("google", "enron"), sample_sizes=(50,),
+                          algorithms=("rem", "rem-ins"), thetas=(0.9, 0.5),
+                          length_thresholds=(1, 2), lookaheads=(1,))
+        configs = list(sweep.configurations())
+        assert len(sweep) == 16
+        assert len(configs) == 16
+        assert len({(c.dataset, c.algorithm, c.theta, c.length_threshold)
+                    for c in configs}) == 16
+
+    def test_all_algorithms_are_valid(self):
+        sweep = SweepSpec(datasets=("gnutella",), sample_sizes=(40,),
+                          algorithms=ALGORITHMS, thetas=(0.5,))
+        assert len(list(sweep.configurations())) == len(ALGORITHMS)

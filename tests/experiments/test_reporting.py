@@ -1,0 +1,42 @@
+"""Unit tests for plain-text reporting helpers."""
+
+from repro.experiments.reporting import format_series, format_table, records_to_csv
+
+
+class TestFormatTable:
+    def test_renders_header_and_rows(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "22" in lines[3]
+
+    def test_column_selection_and_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        assert text.splitlines()[0].split() == ["c", "a"]
+        assert "2" not in text.splitlines()[2].split()
+
+    def test_empty_input(self):
+        assert format_table([]) == "(no rows)"
+
+
+class TestCsv:
+    def test_round_trips_headers_and_values(self):
+        rows = [{"x": 1, "y": "a"}, {"x": 2, "y": "b"}]
+        text = records_to_csv(rows)
+        lines = text.strip().splitlines()
+        assert lines[0] == "x,y"
+        assert lines[2] == "2,b"
+
+    def test_empty_input(self):
+        assert records_to_csv([]) == ""
+
+
+class TestFormatSeries:
+    def test_renders_labels_and_points(self):
+        text = format_series({"rem la=1": [(0.9, 0.05), (0.5, 0.2)]},
+                             y_label="distortion")
+        assert "rem la=1" in text
+        assert "theta=0.9" in text
+        assert "distortion=0.2000" in text

@@ -1,0 +1,69 @@
+"""Unit tests for the experiment runner."""
+
+import pytest
+
+from repro.baselines import GadedMaxAnonymizer, GadedRandAnonymizer, GadesAnonymizer
+from repro.core import EdgeRemovalAnonymizer, EdgeRemovalInsertionAnonymizer
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import ExperimentRunner, make_algorithm
+
+
+def _config(**overrides):
+    base = dict(dataset="gnutella", sample_size=40, algorithm="rem", theta=0.6, seed=0)
+    base.update(overrides)
+    return ExperimentConfig(**base)
+
+
+class TestMakeAlgorithm:
+    @pytest.mark.parametrize("name,cls", [
+        ("rem", EdgeRemovalAnonymizer),
+        ("rem-ins", EdgeRemovalInsertionAnonymizer),
+        ("gaded-rand", GadedRandAnonymizer),
+        ("gaded-max", GadedMaxAnonymizer),
+        ("gades", GadesAnonymizer),
+    ])
+    def test_instantiates_correct_class(self, name, cls):
+        assert isinstance(make_algorithm(_config(algorithm=name)), cls)
+
+    def test_parameters_are_forwarded(self):
+        algorithm = make_algorithm(_config(theta=0.4, length_threshold=2, lookahead=2))
+        assert algorithm.config.theta == 0.4
+        assert algorithm.config.length_threshold == 2
+        assert algorithm.config.lookahead == 2
+
+
+class TestExperimentRunner:
+    def test_run_produces_complete_record(self):
+        runner = ExperimentRunner()
+        record = runner.run(_config())
+        assert record.success
+        assert 0.0 <= record.final_opacity <= 0.6
+        assert record.distortion >= 0.0
+        assert record.runtime_seconds >= 0.0
+        payload = record.as_dict()
+        assert payload["dataset"] == "gnutella"
+        assert payload["L"] == 1
+
+    def test_graph_cache_reuses_same_sample(self):
+        runner = ExperimentRunner()
+        first = runner.graph_for(_config(theta=0.9))
+        second = runner.graph_for(_config(theta=0.3))
+        assert first is second
+
+    def test_different_seeds_load_different_graphs(self):
+        runner = ExperimentRunner()
+        first = runner.graph_for(_config(seed=0))
+        second = runner.graph_for(_config(seed=1))
+        assert first is not second
+
+    def test_baselines_restricted_to_l1(self):
+        runner = ExperimentRunner()
+        with pytest.raises(ConfigurationError):
+            runner.run(_config(algorithm="gaded-max", length_threshold=2))
+
+    def test_run_all_preserves_order(self):
+        runner = ExperimentRunner()
+        configs = [_config(theta=theta) for theta in (0.9, 0.7)]
+        records = runner.run_all(configs)
+        assert [record.config.theta for record in records] == [0.9, 0.7]

@@ -1,0 +1,44 @@
+"""Unit tests for the Table 1-3 reproduction."""
+
+from repro.experiments.tables import table1_rows, table2_rows, table3_rows
+
+
+class TestTable1:
+    def test_has_all_seven_datasets(self):
+        rows = table1_rows()
+        assert len(rows) == 7
+        assert {row["dataset"] for row in rows} == {
+            "google", "berkeley-stanford", "epinions", "enron",
+            "gnutella", "acm", "wikipedia"}
+
+    def test_reports_published_sizes(self):
+        rows = {row["dataset"]: row for row in table1_rows()}
+        assert rows["wikipedia"]["nodes"] == 7_115
+        assert rows["wikipedia"]["links"] == 103_689
+
+
+class TestTable2:
+    def test_reports_published_properties(self):
+        rows = {row["dataset"]: row for row in table2_rows()}
+        assert rows["gnutella"]["diameter"] == 9
+        assert rows["gnutella"]["acc"] == 0.0080
+        assert rows["acm"]["avg_degree"] == 3.97
+
+
+class TestTable3:
+    def test_published_only_mode(self):
+        rows = table3_rows(sample_sizes=[100], measure=False)
+        assert rows, "expected at least one 100-node sample row"
+        assert all("links" not in row for row in rows)
+        assert all(row["paper_links"] > 0 for row in rows)
+
+    def test_measured_mode_adds_proxy_columns(self):
+        rows = table3_rows(sample_sizes=[100], seed=1)
+        for row in rows:
+            assert row["nodes"] == 100
+            assert row["links"] == row["paper_links"]
+            assert row["avg_degree"] > 0
+
+    def test_size_filter(self):
+        rows = table3_rows(sample_sizes=[500], measure=False)
+        assert all(row["nodes"] == 500 for row in rows)

@@ -1,0 +1,143 @@
+"""Unit and cross-engine tests for the distance engines (Algorithms 2 and 3)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.distance import (
+    available_engines,
+    bfs_bounded_distances,
+    bounded_distance_matrix,
+    floyd_warshall,
+    l_pruned_floyd_warshall,
+    numpy_bounded_distances,
+    pairwise_distance_histogram,
+    pointer_l_pruned_floyd_warshall,
+)
+from repro.graph.generators import erdos_renyi_graph, path_graph
+from repro.graph.graph import Graph
+from repro.graph.matrices import UNREACHABLE
+
+ALL_ENGINES = available_engines()
+
+
+def _networkx_bounded(graph: Graph, length_bound: int) -> np.ndarray:
+    """Independent oracle: networkx BFS distances truncated at the bound."""
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(range(graph.num_vertices))
+    nx_graph.add_edges_from(graph.edges())
+    n = graph.num_vertices
+    expected = np.full((n, n), UNREACHABLE, dtype=np.int32)
+    np.fill_diagonal(expected, 0)
+    for source, lengths in nx.all_pairs_shortest_path_length(nx_graph, cutoff=length_bound):
+        for target, distance in lengths.items():
+            expected[source, target] = distance
+    return expected
+
+
+class TestEngineRegistry:
+    def test_all_engines_registered(self):
+        assert set(ALL_ENGINES) == {"bfs", "floyd-warshall", "l-pruned-fw",
+                                    "numpy", "pointer-fw"}
+
+    def test_unknown_engine_rejected(self, triangle_graph):
+        with pytest.raises(ConfigurationError):
+            bounded_distance_matrix(triangle_graph, 2, engine="dijkstra")
+
+    def test_invalid_bound_rejected(self, triangle_graph):
+        with pytest.raises(ConfigurationError):
+            bounded_distance_matrix(triangle_graph, 0)
+
+
+class TestPaperExampleDistances:
+    """Figure 4a of the paper gives the full distance matrix of the example."""
+
+    EXPECTED = {
+        (0, 1): 1, (0, 2): 1, (0, 3): 2, (0, 4): 2, (0, 5): 2, (0, 6): 3,
+        (1, 2): 1, (1, 3): 1, (1, 4): 1, (1, 5): 2, (1, 6): 3,
+        (2, 3): 2, (2, 4): 1, (2, 5): 1, (2, 6): 2,
+        (3, 4): 1, (3, 5): 2, (3, 6): 3,
+        (4, 5): 1, (4, 6): 2,
+        (5, 6): 1,
+    }
+
+    def test_exact_distances_match_figure_4a(self, paper_example_graph):
+        distances = floyd_warshall(paper_example_graph)
+        for (i, j), expected in self.EXPECTED.items():
+            assert distances[i, j] == expected
+
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    @pytest.mark.parametrize("length_bound", [1, 2, 3, 4])
+    def test_bounded_engines_match_figure_4a(self, paper_example_graph, engine, length_bound):
+        distances = bounded_distance_matrix(paper_example_graph, length_bound, engine=engine)
+        for (i, j), expected in self.EXPECTED.items():
+            if expected <= length_bound:
+                assert distances[i, j] == expected
+            else:
+                assert distances[i, j] == UNREACHABLE
+
+
+class TestEngineAgreement:
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    @pytest.mark.parametrize("length_bound", [1, 2, 3])
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_engines_match_networkx_oracle(self, engine, length_bound, seed):
+        graph = erdos_renyi_graph(25, 0.12, seed=seed)
+        expected = _networkx_bounded(graph, length_bound)
+        actual = bounded_distance_matrix(graph, length_bound, engine=engine)
+        assert np.array_equal(actual, expected)
+
+    def test_engines_agree_on_disconnected_graph(self, disconnected_graph):
+        reference = bounded_distance_matrix(disconnected_graph, 3, engine="floyd-warshall")
+        for engine in ALL_ENGINES:
+            assert np.array_equal(
+                bounded_distance_matrix(disconnected_graph, 3, engine=engine), reference)
+
+    def test_engines_agree_on_empty_graph(self):
+        graph = Graph(5)
+        for engine in ALL_ENGINES:
+            distances = bounded_distance_matrix(graph, 2, engine=engine)
+            off_diagonal = distances[~np.eye(5, dtype=bool)]
+            assert (off_diagonal == UNREACHABLE).all()
+
+
+class TestIndividualEngines:
+    def test_floyd_warshall_unbounded_path(self):
+        graph = path_graph(6)
+        distances = floyd_warshall(graph)
+        assert distances[0, 5] == 5
+
+    def test_l_pruned_fw_prunes_beyond_bound(self):
+        graph = path_graph(6)
+        distances = l_pruned_floyd_warshall(graph, 3)
+        assert distances[0, 3] == 3
+        assert distances[0, 4] == UNREACHABLE
+
+    def test_pointer_fw_matches_plain_pruned(self):
+        graph = erdos_renyi_graph(30, 0.1, seed=5)
+        for bound in (1, 2, 4):
+            assert np.array_equal(l_pruned_floyd_warshall(graph, bound),
+                                  pointer_l_pruned_floyd_warshall(graph, bound))
+
+    def test_bfs_engine_single_edge(self):
+        graph = Graph(2, edges=[(0, 1)])
+        distances = bfs_bounded_distances(graph, 1)
+        assert distances[0, 1] == 1
+
+    def test_numpy_engine_zero_vertices(self):
+        distances = numpy_bounded_distances(Graph(0), 2)
+        assert distances.shape == (0, 0)
+
+
+class TestHistogram:
+    def test_pairwise_histogram_counts(self, path4_graph):
+        distances = floyd_warshall(path4_graph)
+        histogram = pairwise_distance_histogram(distances)
+        assert histogram == {1: 3, 2: 2, 3: 1}
+
+    def test_histogram_reports_unreachable(self, disconnected_graph):
+        distances = floyd_warshall(disconnected_graph)
+        histogram = pairwise_distance_histogram(distances)
+        assert histogram[UNREACHABLE] == 8
+        assert histogram[1] == 2

@@ -1,0 +1,138 @@
+"""Unit tests for the graph generators."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    erdos_renyi_graph,
+    gnm_random_graph,
+    path_graph,
+    powerlaw_cluster_graph,
+    star_graph,
+    watts_strogatz_graph,
+)
+from repro.graph.properties import average_clustering_coefficient
+
+
+class TestDeterministicGenerators:
+    def test_empty_graph(self):
+        graph = empty_graph(5)
+        assert graph.num_vertices == 5
+        assert graph.num_edges == 0
+
+    def test_complete_graph(self):
+        graph = complete_graph(6)
+        assert graph.num_edges == 15
+        assert all(graph.degree(v) == 5 for v in graph.vertices())
+
+    def test_path_graph(self):
+        graph = path_graph(5)
+        assert graph.num_edges == 4
+        assert graph.degree(0) == 1
+        assert graph.degree(2) == 2
+
+    def test_cycle_graph(self):
+        graph = cycle_graph(5)
+        assert graph.num_edges == 5
+        assert all(graph.degree(v) == 2 for v in graph.vertices())
+
+    def test_cycle_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cycle_graph(2)
+
+    def test_star_graph(self):
+        graph = star_graph(4)
+        assert graph.num_vertices == 5
+        assert graph.degree(0) == 4
+        assert all(graph.degree(v) == 1 for v in range(1, 5))
+
+
+class TestErdosRenyi:
+    def test_probability_zero_and_one(self):
+        assert erdos_renyi_graph(10, 0.0, seed=0).num_edges == 0
+        assert erdos_renyi_graph(10, 1.0, seed=0).num_edges == 45
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            erdos_renyi_graph(10, 1.5)
+
+    def test_seed_reproducibility(self):
+        assert erdos_renyi_graph(20, 0.3, seed=7) == erdos_renyi_graph(20, 0.3, seed=7)
+
+    def test_different_seeds_differ(self):
+        assert erdos_renyi_graph(20, 0.3, seed=1) != erdos_renyi_graph(20, 0.3, seed=2)
+
+
+class TestGnm:
+    def test_exact_edge_count(self):
+        graph = gnm_random_graph(20, 37, seed=3)
+        assert graph.num_edges == 37
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ConfigurationError):
+            gnm_random_graph(4, 7)
+
+
+class TestBarabasiAlbert:
+    def test_size_and_connectivity_regime(self):
+        graph = barabasi_albert_graph(60, 3, seed=0)
+        assert graph.num_vertices == 60
+        # Every vertex added after the seed core attaches to 3 targets.
+        assert graph.num_edges >= 3 * (60 - 3) * 0.9
+
+    def test_invalid_attachment_rejected(self):
+        with pytest.raises(ConfigurationError):
+            barabasi_albert_graph(10, 0)
+        with pytest.raises(ConfigurationError):
+            barabasi_albert_graph(10, 10)
+
+    def test_heavy_tail(self):
+        graph = barabasi_albert_graph(200, 2, seed=1)
+        degrees = sorted(graph.degrees(), reverse=True)
+        # Preferential attachment concentrates degree on a few hubs.
+        assert degrees[0] >= 3 * (2 * graph.num_edges / graph.num_vertices)
+
+
+class TestWattsStrogatz:
+    def test_degree_regularity_without_rewiring(self):
+        graph = watts_strogatz_graph(20, 4, 0.0, seed=0)
+        assert all(graph.degree(v) == 4 for v in graph.vertices())
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            watts_strogatz_graph(10, 3, 0.1)
+        with pytest.raises(ConfigurationError):
+            watts_strogatz_graph(10, 12, 0.1)
+        with pytest.raises(ConfigurationError):
+            watts_strogatz_graph(10, 4, 1.5)
+
+    def test_lattice_is_clustered(self):
+        graph = watts_strogatz_graph(50, 6, 0.0, seed=0)
+        assert average_clustering_coefficient(graph) > 0.4
+
+
+class TestPowerlawCluster:
+    def test_size_and_edges(self):
+        graph = powerlaw_cluster_graph(80, 4, 0.8, seed=0)
+        assert graph.num_vertices == 80
+        assert graph.num_edges > 0
+
+    def test_triangle_closure_raises_clustering(self):
+        clustered = powerlaw_cluster_graph(120, 4, 0.95, seed=0)
+        unclustered = powerlaw_cluster_graph(120, 4, 0.0, seed=0)
+        assert (average_clustering_coefficient(clustered)
+                > average_clustering_coefficient(unclustered))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            powerlaw_cluster_graph(10, 0, 0.5)
+        with pytest.raises(ConfigurationError):
+            powerlaw_cluster_graph(10, 2, -0.1)
+
+    def test_seed_reproducibility(self):
+        assert (powerlaw_cluster_graph(50, 3, 0.7, seed=11)
+                == powerlaw_cluster_graph(50, 3, 0.7, seed=11))

@@ -1,0 +1,86 @@
+"""Unit tests for edge-list and JSON graph I/O."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    graph_from_dict,
+    graph_to_dict,
+    load_graph_json,
+    read_edge_list,
+    save_graph_json,
+    write_edge_list,
+)
+
+
+class TestEdgeListRoundtrip:
+    def test_write_then_read(self, tmp_path, paper_example_graph):
+        # The example graph has no isolated vertices, so the edge-list
+        # round-trip preserves the vertex count (isolated vertices cannot be
+        # represented in an edge list by construction).
+        path = tmp_path / "graph.edges"
+        write_edge_list(paper_example_graph, path, header="test graph")
+        loaded, labels = read_edge_list(path)
+        assert loaded.num_vertices == paper_example_graph.num_vertices
+        assert loaded.num_edges == paper_example_graph.num_edges
+        assert len(labels) == paper_example_graph.num_vertices
+
+    def test_roundtrip_preserves_edge_count_with_isolates(self, tmp_path):
+        graph = erdos_renyi_graph(20, 0.2, seed=0)
+        path = tmp_path / "graph.edges"
+        write_edge_list(graph, path)
+        loaded, _labels = read_edge_list(path)
+        assert loaded.num_edges == graph.num_edges
+
+    def test_snap_style_input(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text(
+            "# Directed SNAP-style list\n"
+            "# FromNodeId ToNodeId\n"
+            "10 20\n"
+            "20 10\n"     # reverse duplicate: collapses to one undirected edge
+            "20 30\n"
+            "30 30\n"     # self-loop: dropped
+            "a b\n")      # arbitrary labels are accepted
+        graph, labels = read_edge_list(path)
+        assert graph.num_vertices == 5
+        assert graph.num_edges == 3
+        assert set(labels) == {"10", "20", "30", "a", "b"}
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            read_edge_list(tmp_path / "missing.txt")
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("42\n")
+        with pytest.raises(DatasetError):
+            read_edge_list(path)
+
+
+class TestDictAndJson:
+    def test_dict_roundtrip(self, paper_example_graph):
+        payload = graph_to_dict(paper_example_graph)
+        rebuilt = graph_from_dict(payload)
+        assert rebuilt == paper_example_graph
+
+    def test_malformed_payload_raises(self):
+        with pytest.raises(DatasetError):
+            graph_from_dict({"edges": [[0, 1]]})
+
+    def test_json_roundtrip(self, tmp_path, paper_example_graph):
+        path = tmp_path / "graph.json"
+        save_graph_json(paper_example_graph, path)
+        assert load_graph_json(path) == paper_example_graph
+
+    def test_missing_json_raises(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_graph_json(tmp_path / "nope.json")
+
+    def test_empty_graph_roundtrip(self, tmp_path):
+        graph = Graph(3)
+        path = tmp_path / "empty.json"
+        save_graph_json(graph, path)
+        assert load_graph_json(path) == graph

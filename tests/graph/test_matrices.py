@@ -1,0 +1,71 @@
+"""Unit tests for the triangular distance-matrix container."""
+
+import numpy as np
+import pytest
+
+from repro.graph.matrices import TriangularMatrix, UNREACHABLE
+
+
+class TestTriangularMatrix:
+    def test_default_fill_is_unreachable(self):
+        matrix = TriangularMatrix(4)
+        assert matrix[0, 3] == UNREACHABLE
+        assert matrix[2, 1] == UNREACHABLE
+
+    def test_set_and_get_symmetric(self):
+        matrix = TriangularMatrix(5)
+        matrix[1, 3] = 7
+        assert matrix[1, 3] == 7
+        assert matrix[3, 1] == 7
+
+    def test_diagonal_not_stored(self):
+        matrix = TriangularMatrix(3)
+        with pytest.raises(IndexError):
+            _ = matrix[1, 1]
+
+    def test_out_of_range_rejected(self):
+        matrix = TriangularMatrix(3)
+        with pytest.raises(IndexError):
+            _ = matrix[0, 3]
+
+    def test_pairs_enumerates_upper_triangle(self):
+        matrix = TriangularMatrix(4)
+        pairs = list(matrix.pairs())
+        assert len(pairs) == 6
+        assert all(i < j for i, j, _value in pairs)
+
+    def test_dense_roundtrip(self):
+        matrix = TriangularMatrix(4)
+        matrix[0, 1] = 1
+        matrix[2, 3] = 5
+        dense = matrix.to_dense()
+        assert dense[1, 0] == 1
+        assert dense[3, 2] == 5
+        assert dense[0, 0] == 0
+        rebuilt = TriangularMatrix.from_dense(dense)
+        assert rebuilt == matrix
+
+    def test_copy_is_independent(self):
+        matrix = TriangularMatrix(3)
+        matrix[0, 1] = 2
+        clone = matrix.copy()
+        clone[0, 1] = 9
+        assert matrix[0, 1] == 2
+
+    def test_equality(self):
+        first = TriangularMatrix(3)
+        second = TriangularMatrix(3)
+        assert first == second
+        second[0, 2] = 1
+        assert first != second
+
+    def test_index_layout_is_bijective(self):
+        n = 7
+        matrix = TriangularMatrix(n)
+        counter = 0
+        for i in range(n):
+            for j in range(i + 1, n):
+                matrix[i, j] = counter
+                counter += 1
+        seen = {value for _i, _j, value in matrix.pairs()}
+        assert seen == set(range(n * (n - 1) // 2))

@@ -1,0 +1,99 @@
+"""Unit tests for structural property computation (Tables 2/3 columns)."""
+
+import networkx as nx
+import pytest
+
+from repro.graph.generators import complete_graph, erdos_renyi_graph, path_graph, star_graph
+from repro.graph.graph import Graph
+from repro.graph.matrices import UNREACHABLE
+from repro.graph.properties import (
+    average_clustering_coefficient,
+    average_degree,
+    degree_standard_deviation,
+    diameter,
+    geodesic_histogram,
+    graph_properties,
+    local_clustering_coefficient,
+)
+
+
+def _to_networkx(graph: Graph) -> nx.Graph:
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(range(graph.num_vertices))
+    nx_graph.add_edges_from(graph.edges())
+    return nx_graph
+
+
+class TestDegreeStatistics:
+    def test_average_degree(self, paper_example_graph):
+        assert average_degree(paper_example_graph) == pytest.approx(20 / 7)
+
+    def test_average_degree_empty(self):
+        assert average_degree(Graph(0)) == 0.0
+
+    def test_degree_stddev_regular_graph(self):
+        assert degree_standard_deviation(complete_graph(5)) == 0.0
+
+    def test_degree_stddev_star(self):
+        graph = star_graph(4)
+        expected = float(nx.Graph(_to_networkx(graph)).degree(0))  # hub degree = 4
+        assert expected == 4
+        assert degree_standard_deviation(graph) > 0
+
+
+class TestClustering:
+    def test_triangle_has_full_clustering(self, triangle_graph):
+        assert local_clustering_coefficient(triangle_graph, 0) == 1.0
+        assert average_clustering_coefficient(triangle_graph) == 1.0
+
+    def test_path_has_zero_clustering(self, path4_graph):
+        assert average_clustering_coefficient(path4_graph) == 0.0
+
+    def test_low_degree_vertices_have_zero_coefficient(self, path4_graph):
+        assert local_clustering_coefficient(path4_graph, 0) == 0.0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_networkx(self, seed):
+        graph = erdos_renyi_graph(30, 0.2, seed=seed)
+        expected = nx.average_clustering(_to_networkx(graph))
+        assert average_clustering_coefficient(graph) == pytest.approx(expected)
+
+
+class TestDiameter:
+    def test_path_diameter(self):
+        assert diameter(path_graph(6)) == 5
+
+    def test_complete_graph_diameter(self):
+        assert diameter(complete_graph(5)) == 1
+
+    def test_disconnected_uses_reachable_pairs(self, disconnected_graph):
+        assert diameter(disconnected_graph) == 1
+
+    def test_single_vertex(self):
+        assert diameter(Graph(1)) == 0
+
+    def test_paper_example_diameter(self, paper_example_graph):
+        assert diameter(paper_example_graph) == 3
+
+
+class TestGeodesicHistogram:
+    def test_counts_sum_to_pair_count(self, paper_example_graph):
+        histogram = geodesic_histogram(paper_example_graph)
+        assert sum(histogram.values()) == 7 * 6 // 2
+        assert UNREACHABLE not in histogram  # example graph is connected
+
+    def test_matches_figure_4a_counts(self, paper_example_graph):
+        histogram = geodesic_histogram(paper_example_graph)
+        assert histogram == {1: 10, 2: 8, 3: 3}
+
+
+class TestGraphProperties:
+    def test_full_report(self, paper_example_graph):
+        properties = graph_properties(paper_example_graph)
+        assert properties.num_vertices == 7
+        assert properties.num_edges == 10
+        assert properties.diameter == 3
+        assert properties.average_degree == pytest.approx(20 / 7)
+        payload = properties.as_dict()
+        assert payload["nodes"] == 7
+        assert payload["links"] == 10

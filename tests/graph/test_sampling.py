@@ -1,0 +1,53 @@
+"""Unit tests for random node sampling (Section 6.1 methodology)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.generators import erdos_renyi_graph
+from repro.graph.sampling import induced_subgraph, sample_graph, sample_nodes
+
+
+class TestSampleNodes:
+    def test_sample_size_and_uniqueness(self):
+        graph = erdos_renyi_graph(50, 0.1, seed=0)
+        nodes = sample_nodes(graph, 20, seed=1)
+        assert len(nodes) == 20
+        assert len(set(nodes)) == 20
+        assert all(0 <= v < 50 for v in nodes)
+
+    def test_invalid_size_rejected(self):
+        graph = erdos_renyi_graph(10, 0.2, seed=0)
+        with pytest.raises(ConfigurationError):
+            sample_nodes(graph, 11)
+        with pytest.raises(ConfigurationError):
+            sample_nodes(graph, -1)
+
+    def test_seed_reproducibility(self):
+        graph = erdos_renyi_graph(50, 0.1, seed=0)
+        assert sample_nodes(graph, 10, seed=5) == sample_nodes(graph, 10, seed=5)
+
+
+class TestInducedSubgraph:
+    def test_keeps_only_internal_edges(self, paper_example_graph):
+        sub, mapping = induced_subgraph(paper_example_graph, [1, 2, 4, 6])
+        assert sub.num_vertices == 4
+        # Among {v2, v3, v5, v7} the triangle v2-v3-v5 survives, v7 is isolated.
+        assert sub.num_edges == 3
+        assert sub.degree(mapping[6]) == 0
+
+    def test_sample_graph_end_to_end(self):
+        graph = erdos_renyi_graph(40, 0.2, seed=2)
+        sampled, mapping = sample_graph(graph, 15, seed=3)
+        assert sampled.num_vertices == 15
+        assert len(mapping) == 15
+        # Every sampled edge must exist between the original endpoints.
+        reverse = {new: old for old, new in mapping.items()}
+        for u, v in sampled.edges():
+            assert graph.has_edge(reverse[u], reverse[v])
+
+    def test_sampled_edges_are_all_induced_edges(self):
+        graph = erdos_renyi_graph(30, 0.3, seed=4)
+        sampled, mapping = sample_graph(graph, 12, seed=5)
+        chosen = set(mapping)
+        expected = sum(1 for u, v in graph.edges() if u in chosen and v in chosen)
+        assert sampled.num_edges == expected

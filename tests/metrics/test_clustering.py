@@ -1,0 +1,53 @@
+"""Unit tests for the clustering-coefficient utility metric (Figure 8)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.generators import complete_graph, erdos_renyi_graph
+from repro.graph.graph import Graph
+from repro.metrics.clustering import (
+    clustering_coefficient_differences,
+    mean_clustering_difference,
+)
+
+
+class TestClusteringDifferences:
+    def test_identical_graphs_have_zero_difference(self, paper_example_graph):
+        assert mean_clustering_difference(paper_example_graph,
+                                          paper_example_graph.copy()) == 0.0
+
+    def test_breaking_a_triangle_changes_cc(self, triangle_graph):
+        modified = triangle_graph.copy()
+        modified.remove_edge(0, 1)
+        differences = clustering_coefficient_differences(triangle_graph, modified)
+        # Vertex 2 keeps both neighbors but they are no longer connected.
+        assert differences[2] == pytest.approx(1.0)
+        assert mean_clustering_difference(triangle_graph, modified) == pytest.approx(1.0)
+
+    def test_per_vertex_length(self, paper_example_graph):
+        modified = paper_example_graph.copy()
+        modified.remove_edge(1, 2)
+        differences = clustering_coefficient_differences(paper_example_graph, modified)
+        assert len(differences) == paper_example_graph.num_vertices
+        assert all(value >= 0 for value in differences)
+
+    def test_mismatched_graphs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mean_clustering_difference(Graph(3), Graph(4))
+
+    def test_empty_graphs(self):
+        assert mean_clustering_difference(Graph(0), Graph(0)) == 0.0
+
+    def test_removal_from_complete_graph_reduces_clustering(self):
+        graph = complete_graph(6)
+        modified = graph.copy()
+        modified.remove_edge(0, 1)
+        assert mean_clustering_difference(graph, modified) > 0.0
+
+    def test_metric_is_symmetric(self):
+        original = erdos_renyi_graph(20, 0.3, seed=0)
+        modified = original.copy()
+        edge = next(iter(modified.edges()))
+        modified.remove_edge(*edge)
+        assert mean_clustering_difference(original, modified) == pytest.approx(
+            mean_clustering_difference(modified, original))

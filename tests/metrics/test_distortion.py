@@ -1,0 +1,51 @@
+"""Unit tests for the distortion measure (Equation 1)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.graph.generators import complete_graph, erdos_renyi_graph
+from repro.graph.graph import Graph
+from repro.metrics.distortion import edge_edit_distance, edit_distance_ratio
+
+
+class TestEditDistance:
+    def test_identical_graphs(self, paper_example_graph):
+        assert edge_edit_distance(paper_example_graph, paper_example_graph.copy()) == 0
+        assert edit_distance_ratio(paper_example_graph, paper_example_graph.copy()) == 0.0
+
+    def test_single_removal(self, paper_example_graph):
+        modified = paper_example_graph.copy()
+        modified.remove_edge(5, 6)
+        assert edge_edit_distance(paper_example_graph, modified) == 1
+        assert edit_distance_ratio(paper_example_graph, modified) == pytest.approx(0.1)
+
+    def test_removal_plus_insertion_counts_both(self, paper_example_graph):
+        modified = paper_example_graph.copy()
+        modified.remove_edge(5, 6)
+        modified.add_edge(0, 6)
+        assert edge_edit_distance(paper_example_graph, modified) == 2
+        assert edit_distance_ratio(paper_example_graph, modified) == pytest.approx(0.2)
+
+    def test_symmetric_in_the_difference(self):
+        first = complete_graph(5)
+        second = Graph(5)
+        assert edge_edit_distance(first, second) == 10
+        assert edge_edit_distance(second, first) == 10
+
+    def test_ratio_normalized_by_original_edges(self):
+        original = Graph(4, edges=[(0, 1), (1, 2)])
+        modified = Graph(4, edges=[(0, 1), (1, 2), (2, 3), (0, 3)])
+        assert edit_distance_ratio(original, modified) == pytest.approx(1.0)
+
+    def test_empty_original_graph(self):
+        empty = Graph(3)
+        assert edit_distance_ratio(empty, empty.copy()) == 0.0
+        assert edit_distance_ratio(empty, Graph(3, edges=[(0, 1)])) == float("inf")
+
+    def test_mismatched_vertex_sets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            edit_distance_ratio(Graph(3), Graph(4))
+
+    def test_random_graph_self_distance_zero(self):
+        graph = erdos_renyi_graph(20, 0.3, seed=0)
+        assert edit_distance_ratio(graph, graph.copy()) == 0.0

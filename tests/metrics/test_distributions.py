@@ -1,0 +1,60 @@
+"""Unit tests for degree and geodesic distributions."""
+
+import pytest
+
+from repro.graph.generators import complete_graph, path_graph
+from repro.graph.graph import Graph
+from repro.graph.matrices import UNREACHABLE
+from repro.metrics.distributions import (
+    degree_distribution,
+    geodesic_distribution,
+    normalize_distribution,
+)
+
+
+class TestDegreeDistribution:
+    def test_complete_graph(self):
+        distribution = degree_distribution(complete_graph(5))
+        assert distribution == {4: 1.0}
+
+    def test_paper_example(self, paper_example_graph):
+        distribution = degree_distribution(paper_example_graph)
+        assert distribution[4] == pytest.approx(3 / 7)
+        assert distribution[2] == pytest.approx(2 / 7)
+        assert distribution[1] == pytest.approx(1 / 7)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        assert degree_distribution(Graph(0)) == {}
+
+
+class TestGeodesicDistribution:
+    def test_path_graph(self):
+        distribution = geodesic_distribution(path_graph(4))
+        assert distribution[1] == pytest.approx(3 / 6)
+        assert distribution[2] == pytest.approx(2 / 6)
+        assert distribution[3] == pytest.approx(1 / 6)
+
+    def test_includes_unreachable_mass(self, disconnected_graph):
+        distribution = geodesic_distribution(disconnected_graph)
+        assert distribution[UNREACHABLE] == pytest.approx(8 / 10)
+        assert sum(distribution.values()) == pytest.approx(1.0)
+
+    def test_can_exclude_unreachable(self, disconnected_graph):
+        distribution = geodesic_distribution(disconnected_graph, include_unreachable=False)
+        assert UNREACHABLE not in distribution
+
+    def test_single_vertex(self):
+        assert geodesic_distribution(Graph(1)) == {}
+
+
+class TestNormalize:
+    def test_normalizes_to_unit_mass(self):
+        normalized = normalize_distribution({1: 2.0, 2: 6.0})
+        assert normalized == {1: 0.25, 2: 0.75}
+
+    def test_empty_histogram_passthrough(self):
+        assert normalize_distribution({}) == {}
+
+    def test_zero_mass_passthrough(self):
+        assert normalize_distribution({3: 0.0}) == {3: 0.0}

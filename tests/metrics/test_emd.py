@@ -1,0 +1,60 @@
+"""Unit tests for the Earth Mover's Distance implementation."""
+
+import pytest
+
+from repro.graph.matrices import UNREACHABLE
+from repro.metrics.emd import earth_movers_distance, emd_between_histograms
+
+
+class TestEmdBetweenHistograms:
+    def test_identical_histograms(self):
+        histogram = {1: 0.5, 2: 0.3, 3: 0.2}
+        assert emd_between_histograms(histogram, dict(histogram)) == pytest.approx(0.0)
+
+    def test_unit_shift_by_one_bin(self):
+        assert emd_between_histograms({0: 1.0}, {1: 1.0}) == pytest.approx(1.0)
+
+    def test_shift_distance_scales_with_gap(self):
+        assert emd_between_histograms({0: 1.0}, {5: 1.0}) == pytest.approx(5.0)
+
+    def test_partial_mass_move(self):
+        first = {0: 0.5, 1: 0.5}
+        second = {0: 1.0}
+        assert emd_between_histograms(first, second) == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        first = {0: 0.7, 2: 0.3}
+        second = {1: 0.4, 3: 0.6}
+        assert emd_between_histograms(first, second) == pytest.approx(
+            emd_between_histograms(second, first))
+
+    def test_triangle_inequality_on_samples(self):
+        a = {0: 0.5, 1: 0.5}
+        b = {1: 1.0}
+        c = {2: 1.0}
+        assert emd_between_histograms(a, c) <= (
+            emd_between_histograms(a, b) + emd_between_histograms(b, c) + 1e-12)
+
+    def test_unnormalized_inputs_are_normalized(self):
+        first = {0: 2.0, 1: 2.0}
+        second = {0: 1.0, 1: 1.0}
+        assert emd_between_histograms(first, second) == pytest.approx(0.0)
+
+    def test_empty_histograms(self):
+        assert emd_between_histograms({}, {}) == 0.0
+
+    def test_unreachable_mapped_next_to_largest_finite_bin(self):
+        # One pair moved from distance 2 to "unreachable": should cost exactly
+        # one step (the unreachable bin sits at max finite distance + 1).
+        first = {1: 0.5, 2: 0.5}
+        second = {1: 0.5, UNREACHABLE: 0.5}
+        assert emd_between_histograms(first, second) == pytest.approx(0.5)
+
+
+class TestAlignedSequences:
+    def test_aligned_sequences(self):
+        assert earth_movers_distance([1.0, 0.0], [0.0, 1.0]) == pytest.approx(1.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            earth_movers_distance([1.0], [0.5, 0.5])

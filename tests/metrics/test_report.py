@@ -1,0 +1,42 @@
+"""Unit tests for the combined utility report."""
+
+import pytest
+
+from repro.core.edge_removal import EdgeRemovalAnonymizer
+from repro.graph.generators import erdos_renyi_graph
+from repro.metrics.report import UtilityReport, utility_report
+
+
+class TestUtilityReport:
+    def test_identity_report_is_all_zero(self, paper_example_graph):
+        report = utility_report(paper_example_graph, paper_example_graph.copy())
+        assert report.distortion == 0.0
+        assert report.degree_emd == pytest.approx(0.0)
+        assert report.geodesic_emd == pytest.approx(0.0)
+        assert report.mean_clustering_difference == 0.0
+        assert report.eigenvalue_shift == pytest.approx(0.0)
+
+    def test_report_after_anonymization_is_consistent(self):
+        graph = erdos_renyi_graph(25, 0.25, seed=1)
+        result = EdgeRemovalAnonymizer(length_threshold=1, theta=0.5, seed=0).anonymize(graph)
+        report = utility_report(result.original_graph, result.anonymized_graph)
+        assert report.distortion == pytest.approx(result.distortion)
+        assert report.degree_emd >= 0.0
+        assert report.geodesic_emd >= 0.0
+        assert report.mean_clustering_difference >= 0.0
+
+    def test_spectral_metrics_optional(self, paper_example_graph):
+        modified = paper_example_graph.copy()
+        modified.remove_edge(1, 2)
+        with_spectral = utility_report(paper_example_graph, modified)
+        without = utility_report(paper_example_graph, modified, include_spectral=False)
+        assert with_spectral.eigenvalue_shift > 0.0
+        assert without.eigenvalue_shift == 0.0
+        assert with_spectral.distortion == without.distortion
+
+    def test_as_dict_round_trip(self, paper_example_graph):
+        report = utility_report(paper_example_graph, paper_example_graph.copy())
+        payload = report.as_dict()
+        assert set(payload) == {"distortion", "degree_emd", "geodesic_emd",
+                                "mean_cc_diff", "eigenvalue_shift", "connectivity_shift"}
+        assert isinstance(report, UtilityReport)

@@ -1,0 +1,50 @@
+"""Unit tests for the spectral utility metrics."""
+
+import math
+
+import pytest
+
+from repro.graph.generators import complete_graph, cycle_graph, path_graph
+from repro.graph.graph import Graph
+from repro.metrics.spectral import (
+    algebraic_connectivity,
+    laplacian_matrix,
+    largest_adjacency_eigenvalue,
+    spectral_gap,
+)
+
+
+class TestAdjacencySpectrum:
+    def test_complete_graph_largest_eigenvalue(self):
+        # K_n has largest adjacency eigenvalue n - 1.
+        assert largest_adjacency_eigenvalue(complete_graph(6)) == pytest.approx(5.0)
+
+    def test_single_edge_eigenvalue(self):
+        assert largest_adjacency_eigenvalue(Graph(2, edges=[(0, 1)])) == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        assert largest_adjacency_eigenvalue(Graph(0)) == 0.0
+
+    def test_spectral_gap_of_complete_graph(self):
+        # Eigenvalues of K_n: n-1 once and -1 with multiplicity n-1 -> gap n.
+        assert spectral_gap(complete_graph(5)) == pytest.approx(5.0)
+
+
+class TestLaplacian:
+    def test_laplacian_rows_sum_to_zero(self, paper_example_graph):
+        laplacian = laplacian_matrix(paper_example_graph)
+        assert laplacian.sum(axis=1) == pytest.approx([0.0] * 7)
+
+    def test_connected_graph_has_positive_connectivity(self):
+        assert algebraic_connectivity(cycle_graph(6)) > 0.0
+
+    def test_disconnected_graph_has_zero_connectivity(self, disconnected_graph):
+        assert algebraic_connectivity(disconnected_graph) == pytest.approx(0.0, abs=1e-9)
+
+    def test_path_graph_known_value(self):
+        # Algebraic connectivity of P_n is 2(1 - cos(pi/n)).
+        expected = 2 * (1 - math.cos(math.pi / 4))
+        assert algebraic_connectivity(path_graph(4)) == pytest.approx(expected)
+
+    def test_tiny_graph_returns_zero(self):
+        assert algebraic_connectivity(Graph(1)) == 0.0

@@ -1,0 +1,40 @@
+"""Hypothesis strategies shared by the property-based tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.graph.graph import Graph
+
+
+@st.composite
+def graphs(draw, min_vertices: int = 2, max_vertices: int = 12,
+           edge_probability: float = 0.35) -> Graph:
+    """Random simple graphs with a bounded number of vertices.
+
+    Every possible edge is included independently, so the strategy covers
+    empty graphs, sparse graphs, and (rarely) near-complete graphs.
+    """
+    num_vertices = draw(st.integers(min_value=min_vertices, max_value=max_vertices))
+    edges = []
+    for u in range(num_vertices):
+        for v in range(u + 1, num_vertices):
+            if draw(st.booleans() if edge_probability == 0.5
+                    else st.floats(min_value=0.0, max_value=1.0)) < edge_probability:
+                edges.append((u, v))
+    return Graph(num_vertices, edges=edges)
+
+
+@st.composite
+def graphs_with_edge(draw, **kwargs):
+    """Random graphs guaranteed to contain at least one edge, plus one of its edges."""
+    graph = draw(graphs(**kwargs))
+    if graph.num_edges == 0:
+        graph.add_edge(0, 1)
+    edges = graph.edge_list()
+    index = draw(st.integers(min_value=0, max_value=len(edges) - 1))
+    return graph, edges[index]
+
+
+length_bounds = st.integers(min_value=1, max_value=4)
+thetas = st.sampled_from([0.0, 0.25, 0.5, 0.75, 0.9, 1.0])

@@ -1,0 +1,76 @@
+"""Property-based tests for the anonymization heuristics."""
+
+from hypothesis import given, settings
+
+from repro.core.edge_removal import EdgeRemovalAnonymizer
+from repro.core.edge_removal_insertion import EdgeRemovalInsertionAnonymizer
+from repro.core.opacity import OpacityComputer
+from repro.core.pair_types import DegreePairTyping
+from tests.property.strategies import graphs, length_bounds, thetas
+
+
+class TestEdgeRemovalProperties:
+    @given(graphs(max_vertices=10), length_bounds, thetas)
+    @settings(max_examples=25, deadline=None)
+    def test_removal_always_reaches_any_threshold(self, graph, length_bound, theta):
+        # Pure edge removal can always succeed: the empty graph has opacity 0.
+        result = EdgeRemovalAnonymizer(length_threshold=length_bound, theta=theta,
+                                       seed=0).anonymize(graph)
+        assert result.success
+        assert result.final_opacity <= theta + 1e-12
+
+    @given(graphs(max_vertices=10), length_bounds, thetas)
+    @settings(max_examples=25, deadline=None)
+    def test_reported_opacity_matches_recomputation(self, graph, length_bound, theta):
+        typing = DegreePairTyping(graph)
+        result = EdgeRemovalAnonymizer(length_threshold=length_bound, theta=theta,
+                                       seed=0).anonymize(graph)
+        recomputed = OpacityComputer(typing, length_bound).max_opacity(result.anonymized_graph)
+        assert abs(recomputed - result.final_opacity) < 1e-12
+
+    @given(graphs(max_vertices=10), length_bounds, thetas)
+    @settings(max_examples=25, deadline=None)
+    def test_removed_edges_and_distortion_are_consistent(self, graph, length_bound, theta):
+        result = EdgeRemovalAnonymizer(length_threshold=length_bound, theta=theta,
+                                       seed=0).anonymize(graph)
+        assert result.anonymized_graph.edge_set() == graph.edge_set() - result.removed_edges
+        assert not result.inserted_edges
+        if graph.num_edges:
+            assert result.distortion == len(result.removed_edges) / graph.num_edges
+
+    @given(graphs(max_vertices=10), thetas)
+    @settings(max_examples=25, deadline=None)
+    def test_input_graph_is_never_mutated(self, graph, theta):
+        snapshot = graph.edge_set()
+        EdgeRemovalAnonymizer(length_threshold=1, theta=theta, seed=0).anonymize(graph)
+        assert graph.edge_set() == snapshot
+
+
+class TestEdgeRemovalInsertionProperties:
+    @given(graphs(max_vertices=9), thetas)
+    @settings(max_examples=20, deadline=None)
+    def test_removal_and_insertion_sets_are_disjoint(self, graph, theta):
+        result = EdgeRemovalInsertionAnonymizer(length_threshold=1, theta=theta,
+                                                seed=0).anonymize(graph)
+        assert not (result.removed_edges & result.inserted_edges)
+        original = graph.edge_set()
+        assert result.removed_edges <= original
+        assert not (result.inserted_edges & original)
+
+    @given(graphs(max_vertices=9), thetas)
+    @settings(max_examples=20, deadline=None)
+    def test_edge_set_algebra_matches_recorded_operations(self, graph, theta):
+        result = EdgeRemovalInsertionAnonymizer(length_threshold=1, theta=theta,
+                                                seed=0).anonymize(graph)
+        expected = (graph.edge_set() - result.removed_edges) | result.inserted_edges
+        assert result.anonymized_graph.edge_set() == expected
+
+    @given(graphs(max_vertices=9), thetas)
+    @settings(max_examples=20, deadline=None)
+    def test_success_implies_threshold_met(self, graph, theta):
+        result = EdgeRemovalInsertionAnonymizer(length_threshold=1, theta=theta,
+                                                seed=0).anonymize(graph)
+        if result.success:
+            assert result.final_opacity <= theta + 1e-12
+        # Whatever the outcome, the run terminates and reports a sane value.
+        assert 0.0 <= result.final_opacity <= 1.0

@@ -1,0 +1,65 @@
+"""Property-based tests for the distance engines."""
+
+import numpy as np
+from hypothesis import given, settings
+
+from repro.graph.distance import available_engines, bounded_distance_matrix
+from repro.graph.matrices import UNREACHABLE
+from tests.property.strategies import graphs, graphs_with_edge, length_bounds
+
+
+class TestEngineEquivalence:
+    @given(graphs(), length_bounds)
+    @settings(max_examples=40, deadline=None)
+    def test_all_engines_produce_identical_matrices(self, graph, length_bound):
+        reference = bounded_distance_matrix(graph, length_bound, engine="floyd-warshall")
+        for engine in available_engines():
+            candidate = bounded_distance_matrix(graph, length_bound, engine=engine)
+            assert np.array_equal(candidate, reference), engine
+
+
+class TestDistanceMatrixProperties:
+    @given(graphs(), length_bounds)
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry_and_zero_diagonal(self, graph, length_bound):
+        distances = bounded_distance_matrix(graph, length_bound)
+        assert np.array_equal(distances, distances.T)
+        assert (np.diag(distances) == 0).all()
+
+    @given(graphs(), length_bounds)
+    @settings(max_examples=40, deadline=None)
+    def test_values_are_valid_distances(self, graph, length_bound):
+        distances = bounded_distance_matrix(graph, length_bound)
+        off_diagonal = distances[~np.eye(graph.num_vertices, dtype=bool)]
+        finite = off_diagonal[off_diagonal != UNREACHABLE]
+        assert ((finite >= 1) & (finite <= length_bound)).all()
+
+    @given(graphs(), length_bounds)
+    @settings(max_examples=40, deadline=None)
+    def test_distance_one_iff_edge(self, graph, length_bound):
+        distances = bounded_distance_matrix(graph, length_bound)
+        for u, v in graph.edges():
+            assert distances[u, v] == 1
+        ones = np.argwhere(distances == 1)
+        for u, v in ones:
+            assert graph.has_edge(int(u), int(v))
+
+    @given(graphs_with_edge(), length_bounds)
+    @settings(max_examples=40, deadline=None)
+    def test_edge_removal_never_shortens_distances(self, graph_and_edge, length_bound):
+        graph, edge = graph_and_edge
+        before = bounded_distance_matrix(graph, length_bound).astype(np.int64)
+        graph.remove_edge(*edge)
+        after = bounded_distance_matrix(graph, length_bound).astype(np.int64)
+        # UNREACHABLE is the largest representable value, so >= holds pointwise.
+        assert (after >= before).all()
+
+    @given(graphs(), length_bounds)
+    @settings(max_examples=30, deadline=None)
+    def test_larger_bound_reveals_no_shorter_distances(self, graph, length_bound):
+        tight = bounded_distance_matrix(graph, length_bound).astype(np.int64)
+        loose = bounded_distance_matrix(graph, length_bound + 1).astype(np.int64)
+        visible = tight != UNREACHABLE
+        assert (loose[visible] == tight[visible]).all()
+        newly_visible = (tight == UNREACHABLE) & (loose != UNREACHABLE)
+        assert (loose[newly_visible] == length_bound + 1).all()

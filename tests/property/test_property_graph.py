@@ -1,0 +1,52 @@
+"""Property-based tests for the Graph data structure."""
+
+from hypothesis import given, settings
+
+from tests.property.strategies import graphs, graphs_with_edge
+
+
+class TestGraphInvariants:
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_handshake_lemma(self, graph):
+        assert sum(graph.degrees()) == 2 * graph.num_edges
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_edges_and_non_edges_partition_all_pairs(self, graph):
+        n = graph.num_vertices
+        edges = graph.edge_set()
+        non_edges = set(graph.non_edges())
+        assert edges.isdisjoint(non_edges)
+        assert len(edges) + len(non_edges) == n * (n - 1) // 2
+
+    @given(graphs_with_edge())
+    @settings(max_examples=60, deadline=None)
+    def test_remove_then_add_is_identity(self, graph_and_edge):
+        graph, edge = graph_and_edge
+        snapshot = graph.edge_set()
+        graph.remove_edge(*edge)
+        graph.add_edge(*edge)
+        assert graph.edge_set() == snapshot
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_copy_equals_original_but_is_independent(self, graph):
+        clone = graph.copy()
+        assert clone == graph
+        if clone.num_edges:
+            clone.remove_edge(*next(iter(clone.edges())))
+            assert clone != graph
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_adjacency_matrix_row_sums_are_degrees(self, graph):
+        matrix = graph.adjacency_matrix(dtype=int)
+        assert list(matrix.sum(axis=1)) == graph.degrees()
+
+    @given(graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_connected_components_partition_vertices(self, graph):
+        components = graph.connected_components()
+        vertices = [v for component in components for v in component]
+        assert sorted(vertices) == list(range(graph.num_vertices))

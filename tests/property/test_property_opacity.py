@@ -1,0 +1,62 @@
+"""Property-based tests for the L-opacity computation."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+
+from repro.core.opacity import OpacityComputer
+from repro.core.pair_types import DegreePairTyping
+from tests.property.strategies import graphs, graphs_with_edge, length_bounds
+
+
+class TestOpacityInvariants:
+    @given(graphs(), length_bounds)
+    @settings(max_examples=50, deadline=None)
+    def test_opacities_are_probabilities(self, graph, length_bound):
+        result = OpacityComputer(DegreePairTyping(graph), length_bound).evaluate(graph)
+        assert 0.0 <= result.max_opacity <= 1.0
+        for entry in result.per_type.values():
+            assert 0 <= entry.within_threshold <= entry.total_pairs
+            assert Fraction(0) <= entry.fraction <= Fraction(1)
+
+    @given(graphs(), length_bounds)
+    @settings(max_examples=50, deadline=None)
+    def test_max_is_attained_and_counted(self, graph, length_bound):
+        result = OpacityComputer(DegreePairTyping(graph), length_bound).evaluate(graph)
+        if result.per_type:
+            fractions = [entry.fraction for entry in result.per_type.values()]
+            assert max(fractions) == result.max_fraction
+            assert result.types_at_max == sum(
+                1 for fraction in fractions if fraction == result.max_fraction)
+
+    @given(graphs(), length_bounds)
+    @settings(max_examples=40, deadline=None)
+    def test_opacity_monotone_in_length_threshold(self, graph, length_bound):
+        typing = DegreePairTyping(graph)
+        tight = OpacityComputer(typing, length_bound).evaluate(graph)
+        loose = OpacityComputer(typing, length_bound + 1).evaluate(graph)
+        assert loose.max_fraction >= tight.max_fraction
+        for key, entry in tight.per_type.items():
+            assert loose.per_type[key].within_threshold >= entry.within_threshold
+
+    @given(graphs_with_edge(), length_bounds)
+    @settings(max_examples=40, deadline=None)
+    def test_edge_removal_never_increases_any_opacity(self, graph_and_edge, length_bound):
+        graph, edge = graph_and_edge
+        typing = DegreePairTyping(graph)
+        computer = OpacityComputer(typing, length_bound)
+        before = computer.evaluate(graph)
+        graph.remove_edge(*edge)
+        after = computer.evaluate(graph)
+        assert after.max_fraction <= before.max_fraction
+        for key, entry in after.per_type.items():
+            assert entry.within_threshold <= before.per_type[key].within_threshold
+
+    @given(graphs(), length_bounds)
+    @settings(max_examples=40, deadline=None)
+    def test_within_counts_bounded_by_total_pairs(self, graph, length_bound):
+        typing = DegreePairTyping(graph)
+        result = OpacityComputer(typing, length_bound).evaluate(graph)
+        n = graph.num_vertices
+        total_within = sum(entry.within_threshold for entry in result.per_type.values())
+        assert total_within <= n * (n - 1) // 2

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_opacity_defaults(self):
+        args = build_parser().parse_args(["opacity", "--dataset", "gnutella"])
+        args_dict = vars(args)
+        assert args_dict["dataset"] == "gnutella"
+        assert args_dict["length"] == 1
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["opacity", "--dataset", "facebook"])
+
+
+class TestCommands:
+    def test_opacity_command(self, capsys):
+        exit_code = main(["opacity", "--dataset", "gnutella", "--size", "40",
+                          "--length", "2", "--seed", "0"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "max L-opacity=" in captured
+
+    def test_anonymize_command_writes_output(self, tmp_path, capsys):
+        output = tmp_path / "anon.edges"
+        exit_code = main(["anonymize", "--dataset", "gnutella", "--size", "40",
+                          "--algorithm", "rem", "--theta", "0.6", "--length", "1",
+                          "--seed", "0", "--output", str(output)])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert output.exists()
+        assert "distortion=" in captured
+
+    def test_anonymize_command_reads_edge_list(self, tmp_path, capsys):
+        from repro.graph.generators import erdos_renyi_graph
+        from repro.graph.io import write_edge_list
+        path = tmp_path / "input.edges"
+        write_edge_list(erdos_renyi_graph(30, 0.2, seed=0), path)
+        exit_code = main(["anonymize", "--input", str(path), "--theta", "0.6",
+                          "--seed", "0"])
+        assert exit_code == 0
+        assert "theta=0.60" in capsys.readouterr().out
+
+    def test_tables_command_published_only(self, capsys):
+        exit_code = main(["tables", "--no-measure"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Table 1" in captured and "Table 3" in captured
+        assert "google" in captured
+
+    def test_figure_command(self, capsys):
+        exit_code = main(["figure", "--name", "fig6", "--dataset", "gnutella",
+                          "--size", "30", "--thetas", "0.8"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "rem la=1" in captured
+
+    def test_figure_command_chart_mode(self, capsys):
+        exit_code = main(["figure", "--name", "fig6", "--dataset", "gnutella",
+                          "--size", "30", "--thetas", "0.8", "0.6", "--chart"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "Figure 6 — gnutella" in captured
+        assert "distortion" in captured
+        assert "o rem la=1" in captured

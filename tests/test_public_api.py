@@ -1,0 +1,32 @@
+"""Smoke tests for the top-level public API surface."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version_is_exposed(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_flow(self):
+        graph = repro.erdos_renyi_graph(30, 0.15, seed=1)
+        typing = repro.DegreePairTyping(graph)
+        before = repro.max_lo(graph, typing, 2)
+        result = repro.EdgeRemovalAnonymizer(
+            length_threshold=2, theta=0.5, seed=0).anonymize(graph)
+        assert result.final_opacity <= min(before, 0.5) + 1e-12
+        report = repro.utility_report(result.original_graph, result.anonymized_graph)
+        assert report.distortion == result.distortion
+
+    def test_exceptions_form_a_hierarchy(self):
+        assert issubclass(repro.GraphError, repro.ReproError)
+        assert issubclass(repro.InvalidEdgeError, repro.GraphError)
+        assert issubclass(repro.ConfigurationError, repro.ReproError)
+        assert issubclass(repro.DatasetError, repro.ReproError)
+
+    def test_dataset_names_listed(self):
+        assert "google" in repro.dataset_names()
