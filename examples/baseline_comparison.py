@@ -6,6 +6,10 @@ GADED-Rand, GADED-Max, and GADES on the same sampled graph for a sweep of
 confidence thresholds, printing a table of distortion, degree-distribution
 EMD, clustering change, and runtime — the quantities plotted in Figures 6-9.
 
+The whole grid goes through the service-layer API: one base
+:class:`repro.AnonymizationRequest` expanded with :func:`repro.sweep` over
+(algorithm × theta) and fanned across worker processes by the batch runner.
+
 Run with::
 
     python examples/baseline_comparison.py [dataset] [sample_size]
@@ -13,31 +17,47 @@ Run with::
 
 import sys
 
-from repro.experiments import ExperimentConfig, ExperimentRunner, format_table
+from repro import AnonymizationRequest, available_algorithms, sweep
+from repro.experiments import format_table
 
 THETAS = (0.8, 0.6, 0.5)
-ALGORITHMS = ("rem", "rem-ins", "gaded-rand", "gaded-max", "gades")
 
 
 def main() -> None:
     dataset = sys.argv[1] if len(sys.argv) > 1 else "google"
     sample_size = int(sys.argv[2]) if len(sys.argv) > 2 else 50
 
-    runner = ExperimentRunner()
-    rows = []
-    for algorithm in ALGORITHMS:
-        for theta in THETAS:
-            config = ExperimentConfig(
-                dataset=dataset, sample_size=sample_size, algorithm=algorithm,
-                theta=theta, length_threshold=1, lookahead=1, seed=0,
-                insertion_candidate_cap=100)
-            record = runner.run(config)
-            rows.append(record.as_dict())
+    base = AnonymizationRequest(
+        algorithm="rem", dataset=dataset, sample_size=sample_size,
+        theta=0.5, length_threshold=1, lookahead=1, seed=0,
+        insertion_candidate_cap=100, include_utility=True)
 
-    graph = runner.graph_for(ExperimentConfig(
-        dataset=dataset, sample_size=sample_size, algorithm="rem", theta=0.5))
+    # Every registered algorithm takes part — a newly registered method
+    # joins the comparison without touching this script.
+    responses = sweep(base, algorithms=available_algorithms(), thetas=THETAS,
+                      max_workers=None)
+
+    rows = []
+    for response in responses:
+        if response.error is not None:
+            print(f"!! {response.request.algorithm} theta={response.request.theta}: "
+                  f"{response.error}", file=sys.stderr)
+            continue
+        metrics = response.metrics or {}
+        rows.append({
+            "algorithm": response.request.algorithm,
+            "theta": response.request.theta,
+            "success": response.success,
+            "opacity": round(response.final_opacity, 4),
+            "distortion": round(response.distortion, 4),
+            "degree_emd": round(metrics.get("degree_emd", 0.0), 5),
+            "mean_cc_diff": round(metrics.get("mean_cc_diff", 0.0), 5),
+            "runtime_s": round(response.runtime_seconds, 4),
+        })
+
+    graph = base.resolve_graph()
     print(f"Dataset: {dataset} sample, {graph.num_vertices} nodes, {graph.num_edges} edges")
-    print(f"Comparison at L = 1 (the only setting the baselines support):\n")
+    print("Comparison at L = 1 (the only setting the baselines support):\n")
     print(format_table(rows, columns=[
         "algorithm", "theta", "success", "opacity", "distortion",
         "degree_emd", "mean_cc_diff", "runtime_s"]))

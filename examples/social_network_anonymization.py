@@ -14,6 +14,12 @@ linkage (L = 1) is the setting where Rem-Ins shines; for dense graphs and
 larger L the paper recommends falling back to pure Removal (see
 ``coauthorship_privacy.py`` for that trade-off).
 
+Everything goes through the service-layer API: the job is described by an
+:class:`repro.AnonymizationRequest` (with a wall-clock budget), executed by
+:func:`repro.anonymize`, and observed live through a progress observer —
+the same request record could be serialized to JSON and shipped to a
+``repro-lopacity batch`` worker unchanged.
+
 Run with::
 
     python examples/social_network_anonymization.py [sample_size]
@@ -21,54 +27,59 @@ Run with::
 
 import sys
 
-from repro import (
-    DegreePairTyping,
-    EdgeRemovalInsertionAnonymizer,
-    OpacityComputer,
-    load_sample,
-    utility_report,
-)
+from repro import AnonymizationRequest, anonymize, compute_opacity
+from repro.api import ConsoleProgressObserver
 
 LENGTH_THRESHOLD = 1
 THETA = 0.5
+TIME_BUDGET_SECONDS = 120.0
 
 
 def main() -> None:
     sample_size = int(sys.argv[1]) if len(sys.argv) > 1 else 50
-    graph = load_sample("enron", sample_size, seed=7)
-    typing = DegreePairTyping(graph)
-    computer = OpacityComputer(typing, LENGTH_THRESHOLD)
+    request = AnonymizationRequest(
+        algorithm="rem-ins",
+        dataset="enron",
+        sample_size=sample_size,
+        theta=THETA,
+        length_threshold=LENGTH_THRESHOLD,
+        seed=7,
+        insertion_candidate_cap=200,
+        timeout_seconds=TIME_BUDGET_SECONDS,
+        include_utility=True,
+        request_id="enron-publication",
+    )
 
-    before = computer.evaluate(graph)
-    print(f"Loaded Enron sample: {graph.num_vertices} people, {graph.num_edges} e-mail links")
+    before = compute_opacity(request, top=5)
+    print(f"Loaded Enron sample: {before.num_vertices} people, "
+          f"{before.num_edges} e-mail links")
     print(f"Before publication: max {LENGTH_THRESHOLD}-opacity = {before.max_opacity:.2f}")
     print("Most exposed degree pairs:")
-    for entry in sorted(before.per_type.values(), key=lambda e: -e.opacity)[:5]:
-        print(f"  degrees {entry.type_key}: confidence {entry.opacity:.0%} "
-              f"({entry.within_threshold}/{entry.total_pairs} pairs within "
-              f"{LENGTH_THRESHOLD} hops)")
+    for type_key, within, total, opacity in before.worst_types:
+        print(f"  degrees {type_key}: confidence {opacity:.0%} "
+              f"({within}/{total} pairs within {LENGTH_THRESHOLD} hops)")
 
-    anonymizer = EdgeRemovalInsertionAnonymizer(
-        length_threshold=LENGTH_THRESHOLD, theta=THETA, seed=0,
-        insertion_candidate_cap=200)
-    result = anonymizer.anonymize(graph)
+    print(f"\nAnonymizing (budget {TIME_BUDGET_SECONDS:.0f}s, live steps below) ...")
+    response = anonymize(request, observer=ConsoleProgressObserver(stream=sys.stdout))
 
-    print(f"\nAnonymization ({'succeeded' if result.success else 'best effort'}): "
-          f"{result.num_steps} steps, "
-          f"{len(result.removed_edges)} removals, {len(result.inserted_edges)} insertions")
-    print(f"Published graph keeps {result.anonymized_graph.num_edges} edges "
-          f"(original: {graph.num_edges})")
+    status = "succeeded" if response.success else "best effort"
+    if response.stop_reason == "observer":
+        status += " (stopped by the time budget)"
+    print(f"\nAnonymization ({status}): {response.num_steps} steps, "
+          f"{len(response.removed_edges)} removals, "
+          f"{len(response.inserted_edges)} insertions")
+    published = response.anonymized_graph()
+    print(f"Published graph keeps {published.num_edges} edges "
+          f"(original: {before.num_edges})")
+    print(f"After publication: max {LENGTH_THRESHOLD}-opacity = "
+          f"{response.final_opacity:.2f} (target <= {THETA:.0%})")
 
-    after = computer.evaluate(result.anonymized_graph)
-    print(f"After publication: max {LENGTH_THRESHOLD}-opacity = {after.max_opacity:.2f} "
-          f"(target <= {THETA:.0%})")
-
-    report = utility_report(result.original_graph, result.anonymized_graph)
+    metrics = response.metrics or {}
     print("\nHow much did the published graph change?")
-    print(f"  edit-distance distortion : {report.distortion:.1%}")
-    print(f"  degree-distribution EMD  : {report.degree_emd:.4f}")
-    print(f"  geodesic-distribution EMD: {report.geodesic_emd:.4f}")
-    print(f"  mean |delta clustering|  : {report.mean_clustering_difference:.4f}")
+    print(f"  edit-distance distortion : {response.distortion:.1%}")
+    print(f"  degree-distribution EMD  : {metrics.get('degree_emd', 0.0):.4f}")
+    print(f"  geodesic-distribution EMD: {metrics.get('geodesic_emd', 0.0):.4f}")
+    print(f"  mean |delta clustering|  : {metrics.get('mean_cc_diff', 0.0):.4f}")
 
 
 if __name__ == "__main__":

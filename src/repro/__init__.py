@@ -12,9 +12,18 @@ True
 The public API re-exported here covers the privacy model
 (:class:`OpacityComputer`, :class:`DegreePairTyping`), the two heuristics of
 the paper (:class:`EdgeRemovalAnonymizer`, :class:`EdgeRemovalInsertionAnonymizer`),
-the Zhang & Zhang baselines, the utility metrics, the datasets, and the graph
-substrate.  See DESIGN.md for the subsystem map and EXPERIMENTS.md for the
-reproduced tables and figures.
+the Zhang & Zhang baselines, the utility metrics, the datasets, the graph
+substrate, and the service layer (:mod:`repro.api`): a pluggable algorithm
+registry, JSON-serializable :class:`AnonymizationRequest` /
+:class:`AnonymizationResponse` records, progress/timeout/cancellation
+observers, and :class:`BatchRunner` fan-out across worker processes::
+
+    from repro import AnonymizationRequest, anonymize
+    response = anonymize(AnonymizationRequest(
+        algorithm="rem-ins", dataset="enron", sample_size=80, theta=0.5))
+
+See DESIGN.md for the subsystem map and EXPERIMENTS.md for the reproduced
+tables and figures.
 """
 
 from repro._version import __version__
@@ -65,6 +74,23 @@ from repro.metrics import (
     utility_report,
 )
 from repro.datasets import load_dataset, load_sample, dataset_names
+from repro.api import (
+    AnonymizationRequest,
+    AnonymizationResponse,
+    AnonymizerRegistry,
+    BatchRunner,
+    CancellationToken,
+    ProgressObserver,
+    StepLimitObserver,
+    TimeoutObserver,
+    anonymize,
+    available_algorithms,
+    compute_opacity,
+    create_anonymizer,
+    default_registry,
+    register_anonymizer,
+    sweep,
+)
 
 __all__ = [
     "__version__",
@@ -107,4 +133,19 @@ __all__ = [
     "load_dataset",
     "load_sample",
     "dataset_names",
+    "AnonymizationRequest",
+    "AnonymizationResponse",
+    "AnonymizerRegistry",
+    "BatchRunner",
+    "CancellationToken",
+    "ProgressObserver",
+    "StepLimitObserver",
+    "TimeoutObserver",
+    "anonymize",
+    "available_algorithms",
+    "compute_opacity",
+    "create_anonymizer",
+    "default_registry",
+    "register_anonymizer",
+    "sweep",
 ]

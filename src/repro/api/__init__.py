@@ -1,0 +1,127 @@
+"""Service-layer API: the one true entry point for anonymization work.
+
+Layers (see DESIGN.md §6):
+
+* :mod:`repro.api.registry` — pluggable algorithm registry; all built-in
+  algorithms self-register with :func:`register_anonymizer`.
+* :mod:`repro.api.requests` — :class:`AnonymizationRequest` /
+  :class:`AnonymizationResponse`, frozen records with full JSON round-trip.
+* :mod:`repro.api.progress` — :class:`ProgressObserver` protocol plus
+  timeout/cancellation/console observers threaded through every
+  anonymizer's greedy loop.
+* :mod:`repro.api.facade` — :func:`anonymize`, :func:`compute_opacity`,
+  :func:`sweep`.
+* :mod:`repro.api.batch` — :class:`BatchRunner` fan-out over worker
+  processes, powering ``repro-lopacity batch`` and parallel experiment
+  sweeps.
+
+Quickstart::
+
+    from repro.api import AnonymizationRequest, anonymize
+
+    response = anonymize(AnonymizationRequest(
+        algorithm="rem", dataset="gnutella", sample_size=60, theta=0.5))
+    print(response.summary())
+
+Only the registry and progress modules are imported eagerly (they are
+dependency-light and imported by :mod:`repro.core`); the request/facade/
+batch layers load lazily on first attribute access to keep the
+``core -> api.registry`` edge cycle-free.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.api.progress import (
+    AnonymizationStopped,
+    CallbackObserver,
+    CancellationToken,
+    CompositeObserver,
+    ConsoleProgressObserver,
+    NULL_OBSERVER,
+    NullObserver,
+    ProgressObserver,
+    StepLimitObserver,
+    TimeoutObserver,
+    combine_observers,
+)
+from repro.api.registry import (
+    AnonymizerRegistry,
+    AnonymizerSpec,
+    available_algorithms,
+    create_anonymizer,
+    default_registry,
+    register_anonymizer,
+)
+
+if TYPE_CHECKING:  # pragma: no cover — lazy at runtime, eager for type checkers
+    from repro.api.batch import BatchRunner, execute_request
+    from repro.api.facade import (
+        OpacityReport,
+        anonymize,
+        compute_opacity,
+        expand_sweep,
+        run_requests,
+        sweep,
+    )
+    from repro.api.requests import AnonymizationRequest, AnonymizationResponse
+
+#: Lazily resolved attribute -> defining submodule (PEP 562).
+_LAZY = {
+    "AnonymizationRequest": "repro.api.requests",
+    "AnonymizationResponse": "repro.api.requests",
+    "OpacityReport": "repro.api.facade",
+    "anonymize": "repro.api.facade",
+    "compute_opacity": "repro.api.facade",
+    "expand_sweep": "repro.api.facade",
+    "run_requests": "repro.api.facade",
+    "sweep": "repro.api.facade",
+    "BatchRunner": "repro.api.batch",
+    "execute_request": "repro.api.batch",
+}
+
+__all__ = [
+    "AnonymizationRequest",
+    "AnonymizationResponse",
+    "AnonymizationStopped",
+    "AnonymizerRegistry",
+    "AnonymizerSpec",
+    "BatchRunner",
+    "CallbackObserver",
+    "CancellationToken",
+    "CompositeObserver",
+    "ConsoleProgressObserver",
+    "NULL_OBSERVER",
+    "NullObserver",
+    "OpacityReport",
+    "ProgressObserver",
+    "StepLimitObserver",
+    "TimeoutObserver",
+    "anonymize",
+    "available_algorithms",
+    "combine_observers",
+    "compute_opacity",
+    "create_anonymizer",
+    "default_registry",
+    "execute_request",
+    "expand_sweep",
+    "register_anonymizer",
+    "run_requests",
+    "sweep",
+]
+
+
+def __getattr__(name: str) -> object:
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(_LAZY[name])
+        value = getattr(module, name)
+        globals()[name] = value  # cache for subsequent lookups
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list:
+    return sorted(set(globals()) | set(_LAZY))

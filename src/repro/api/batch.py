@@ -1,0 +1,98 @@
+"""Batch execution of anonymization requests across worker processes.
+
+A :class:`BatchRunner` fans a list of :class:`AnonymizationRequest` records
+over a ``concurrent.futures.ProcessPoolExecutor``.  Requests cross the
+process boundary as plain dictionaries (the JSON form of the request), so
+workers only need the default registry — the built-in algorithms register
+themselves when :mod:`repro` is imported in the worker.  Custom registries
+with process-local registrations therefore require ``max_workers=0``
+(in-process execution), which is also the deterministic mode used in tests.
+
+Guarantees:
+
+* **Ordering** — responses come back in request order regardless of which
+  worker finished first.
+* **Failure isolation** — an exception inside one request becomes an error
+  response (``response.error`` set, ``success=False``) and never aborts
+  the rest of the batch.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import Future, ProcessPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.api.progress import ProgressObserver
+from repro.api.registry import AnonymizerRegistry
+from repro.api.requests import AnonymizationRequest, AnonymizationResponse
+
+
+def execute_request(request: AnonymizationRequest, *,
+                    registry: Optional[AnonymizerRegistry] = None,
+                    observer: Optional[ProgressObserver] = None,
+                    data_dir: Optional[str] = None) -> AnonymizationResponse:
+    """Run one request, converting any exception into an error response."""
+    from repro.api.facade import anonymize
+
+    try:
+        return anonymize(request, registry=registry, observer=observer,
+                         data_dir=data_dir)
+    except Exception as exc:  # noqa: BLE001 — isolation is the contract
+        return AnonymizationResponse.failure(request, exc)
+
+
+def _execute_payload(payload: Dict[str, Any], data_dir: Optional[str]) -> Dict[str, Any]:
+    """Worker-side entry point: dict in, dict out (must stay module-level
+    so it is picklable by the process pool)."""
+    request = AnonymizationRequest.from_dict(payload)
+    return execute_request(request, data_dir=data_dir).to_dict()
+
+
+class BatchRunner:
+    """Execute request batches serially or across a process pool.
+
+    Parameters
+    ----------
+    max_workers:
+        ``0`` — run in the calling process (no pool, deterministic);
+        ``None`` — one worker per CPU (capped at the batch size);
+        ``n > 0`` — at most ``n`` worker processes.
+    data_dir:
+        Optional directory with real SNAP dataset files, forwarded to the
+        dataset loaders in every worker.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None, *,
+                 data_dir: Optional[str] = None) -> None:
+        if max_workers is not None and max_workers < 0:
+            raise ValueError(f"max_workers must be >= 0 or None, got {max_workers}")
+        self._max_workers = max_workers
+        self._data_dir = data_dir
+
+    def run(self, requests: Sequence[AnonymizationRequest]) -> List[AnonymizationResponse]:
+        """Execute ``requests`` and return responses in request order."""
+        requests = list(requests)
+        if not requests:
+            return []
+        if self._max_workers == 0 or len(requests) == 1:
+            return self.run_serial(requests)
+        workers = self._max_workers or os.cpu_count() or 1
+        workers = min(workers, len(requests))
+        responses: List[AnonymizationResponse] = []
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures: List[Future] = [
+                pool.submit(_execute_payload, request.to_dict(), self._data_dir)
+                for request in requests
+            ]
+            for request, future in zip(requests, futures):
+                try:
+                    responses.append(AnonymizationResponse.from_dict(future.result()))
+                except Exception as exc:  # worker crash / pool breakage
+                    responses.append(AnonymizationResponse.failure(request, exc))
+        return responses
+
+    def run_serial(self, requests: Sequence[AnonymizationRequest]) -> List[AnonymizationResponse]:
+        """Execute ``requests`` one after another in this process."""
+        return [execute_request(request, data_dir=self._data_dir)
+                for request in requests]

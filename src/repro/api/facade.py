@@ -1,0 +1,168 @@
+"""High-level entry points of the service layer.
+
+Three facade functions cover the workloads every front end (CLI, experiment
+runner, batch workers, library users) needs:
+
+* :func:`anonymize` — execute one :class:`AnonymizationRequest` end to end
+  and return an :class:`AnonymizationResponse`;
+* :func:`compute_opacity` — measure the L-opacity of a request's input
+  graph without modifying it;
+* :func:`sweep` — expand a base request over parameter axes (algorithms,
+  thetas, ...) and execute the grid, optionally across worker processes.
+
+All of them resolve algorithms exclusively through the registry, so any
+anonymizer registered with :func:`repro.api.register_anonymizer` — built-in
+or third-party — is reachable by name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.api.progress import ProgressObserver, TimeoutObserver, combine_observers
+from repro.api.registry import AnonymizerRegistry, default_registry
+from repro.api.requests import AnonymizationRequest, AnonymizationResponse
+
+
+def anonymize(request: AnonymizationRequest, *,
+              registry: Optional[AnonymizerRegistry] = None,
+              observer: Optional[ProgressObserver] = None,
+              data_dir: Optional[str] = None) -> AnonymizationResponse:
+    """Execute one anonymization request and return its response.
+
+    A ``timeout_seconds`` on the request is honoured with a
+    :class:`TimeoutObserver` (combined with any explicit ``observer``);
+    ``include_utility=True`` attaches the utility metrics of the paper's
+    figures to ``response.metrics``.  Exceptions propagate — use
+    :func:`repro.api.batch.execute_request` for the error-isolating variant.
+    """
+    from repro.metrics import utility_report
+
+    registry = registry if registry is not None else default_registry()
+    graph = request.resolve_graph(data_dir=data_dir)
+    algorithm = registry.create(request.algorithm, **request.algorithm_params())
+    if request.timeout_seconds is not None:
+        observer = combine_observers(observer, TimeoutObserver(request.timeout_seconds))
+    if observer is not None:
+        result = algorithm.anonymize(graph, observer=observer)
+    else:
+        result = algorithm.anonymize(graph)
+    metrics: Optional[Mapping[str, float]] = None
+    if request.include_utility:
+        report = utility_report(result.original_graph, result.anonymized_graph,
+                                include_spectral=False)
+        metrics = {key: value for key, value in report.as_dict().items()
+                   if key not in ("eigenvalue_shift", "connectivity_shift")}
+    return AnonymizationResponse.from_result(request, result, metrics=metrics)
+
+
+@dataclass(frozen=True)
+class OpacityReport:
+    """L-opacity measurement of one graph (no anonymization performed)."""
+
+    length_threshold: int
+    num_vertices: int
+    num_edges: int
+    max_opacity: float
+    types_at_max: int
+    worst_types: Tuple[Tuple[str, int, int, float], ...]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data (JSON-safe) form of the report."""
+        return {
+            "length_threshold": self.length_threshold,
+            "num_vertices": self.num_vertices,
+            "num_edges": self.num_edges,
+            "max_opacity": self.max_opacity,
+            "types_at_max": self.types_at_max,
+            "worst_types": [list(row) for row in self.worst_types],
+        }
+
+
+def compute_opacity(request: AnonymizationRequest, *,
+                    top: int = 10,
+                    data_dir: Optional[str] = None) -> OpacityReport:
+    """Measure the L-opacity of the request's input graph.
+
+    Only the graph source, ``length_threshold``, and ``engine`` fields of
+    the request are used; the algorithm name is ignored.  ``worst_types``
+    lists the ``top`` most exposed pair types as
+    ``(type_key, within_threshold, total_pairs, opacity)`` rows.
+    """
+    from repro.core.opacity import OpacityComputer
+    from repro.core.pair_types import DegreePairTyping
+
+    graph = request.resolve_graph(data_dir=data_dir)
+    computer = OpacityComputer(DegreePairTyping(graph), request.length_threshold,
+                               engine=request.engine)
+    outcome = computer.evaluate(graph)
+    worst = sorted(outcome.per_type.values(), key=lambda entry: -entry.opacity)[:top]
+    return OpacityReport(
+        length_threshold=request.length_threshold,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        max_opacity=outcome.max_opacity,
+        types_at_max=outcome.types_at_max,
+        worst_types=tuple((str(entry.type_key), entry.within_threshold,
+                           entry.total_pairs, entry.opacity) for entry in worst),
+    )
+
+
+def expand_sweep(base: AnonymizationRequest, *,
+                 algorithms: Optional[Sequence[str]] = None,
+                 thetas: Optional[Sequence[float]] = None,
+                 length_thresholds: Optional[Sequence[int]] = None,
+                 lookaheads: Optional[Sequence[int]] = None,
+                 seeds: Optional[Sequence[int]] = None) -> List[AnonymizationRequest]:
+    """Cartesian-product expansion of ``base`` over the given axes.
+
+    Axes left ``None`` keep the base request's value.  Nesting order, from
+    outermost to innermost: algorithms, length_thresholds, lookaheads,
+    seeds, thetas — i.e. thetas vary fastest, matching how the paper's
+    figures sweep θ for an otherwise fixed configuration.
+    """
+    axes = {
+        "algorithm": tuple(algorithms) if algorithms is not None else (base.algorithm,),
+        "length_threshold": (tuple(length_thresholds) if length_thresholds is not None
+                             else (base.length_threshold,)),
+        "lookahead": tuple(lookaheads) if lookaheads is not None else (base.lookahead,),
+        "seed": tuple(seeds) if seeds is not None else (base.seed,),
+        "theta": tuple(thetas) if thetas is not None else (base.theta,),
+    }
+    names = tuple(axes)
+    return [base.with_overrides(**dict(zip(names, values)))
+            for values in product(*axes.values())]
+
+
+def sweep(base: AnonymizationRequest, *,
+          algorithms: Optional[Sequence[str]] = None,
+          thetas: Optional[Sequence[float]] = None,
+          length_thresholds: Optional[Sequence[int]] = None,
+          lookaheads: Optional[Sequence[int]] = None,
+          seeds: Optional[Sequence[int]] = None,
+          max_workers: Optional[int] = 0,
+          data_dir: Optional[str] = None) -> List[AnonymizationResponse]:
+    """Expand ``base`` over the given axes and execute every request.
+
+    ``max_workers=0`` (the default) runs in-process; any other value fans
+    the grid across a :class:`repro.api.batch.BatchRunner` process pool
+    (``None`` = one worker per CPU).  Responses come back in expansion
+    order, with per-request failures isolated into error responses.
+    """
+    from repro.api.batch import BatchRunner
+
+    requests = expand_sweep(base, algorithms=algorithms, thetas=thetas,
+                            length_thresholds=length_thresholds,
+                            lookaheads=lookaheads, seeds=seeds)
+    return BatchRunner(max_workers=max_workers, data_dir=data_dir).run(requests)
+
+
+def run_requests(requests: Iterable[AnonymizationRequest], *,
+                 max_workers: Optional[int] = 0,
+                 data_dir: Optional[str] = None) -> List[AnonymizationResponse]:
+    """Execute an explicit list of requests (same semantics as :func:`sweep`)."""
+    from repro.api.batch import BatchRunner
+
+    return BatchRunner(max_workers=max_workers, data_dir=data_dir).run(list(requests))

@@ -1,0 +1,195 @@
+"""Progress instrumentation for long-running anonymization loops.
+
+Every anonymizer's ``anonymize()`` accepts an optional observer implementing
+the :class:`ProgressObserver` protocol:
+
+* ``on_evaluation(evaluations)`` — called after each opacity evaluation
+  (the unit of work that dominates runtime);
+* ``on_step(step, result)`` — called after each applied greedy step;
+* ``should_stop()`` — polled between evaluations and between steps; return
+  ``True`` to stop the run early (the anonymizer then returns a
+  best-effort result with ``stop_reason="observer"``).
+
+Concrete observers cover the common cases: wall-clock timeouts
+(:class:`TimeoutObserver`), cooperative cancellation
+(:class:`CancellationToken`), step budgets (:class:`StepLimitObserver`),
+live console reporting (:class:`ConsoleProgressObserver`), and composition
+(:class:`CompositeObserver`).  This module must stay dependency-light — it
+is imported by :mod:`repro.core.anonymizer`.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Callable, List, Optional, Protocol, TextIO, runtime_checkable
+
+
+@runtime_checkable
+class ProgressObserver(Protocol):
+    """Callbacks threaded through the greedy anonymization loops."""
+
+    def on_evaluation(self, evaluations: int) -> None:
+        """One opacity evaluation finished (``evaluations`` so far this run)."""
+
+    def on_step(self, step: Any, result: Any) -> None:
+        """One greedy step was applied (``step`` is an ``AnonymizationStep``)."""
+
+    def should_stop(self) -> bool:
+        """Return ``True`` to stop the run at the next safe point."""
+
+
+class AnonymizationStopped(Exception):
+    """Raised inside a greedy step when the observer requests a stop.
+
+    The anonymizers catch it at the step boundary (with the working graph
+    already restored to a consistent state) and return a best-effort
+    result; it never escapes ``anonymize()``.
+    """
+
+
+class NullObserver:
+    """The no-op observer used when none is supplied."""
+
+    def on_evaluation(self, evaluations: int) -> None:
+        pass
+
+    def on_step(self, step: Any, result: Any) -> None:
+        pass
+
+    def should_stop(self) -> bool:
+        return False
+
+
+#: Shared no-op instance (observers are stateless unless documented).
+NULL_OBSERVER = NullObserver()
+
+
+class StepLimitObserver(NullObserver):
+    """Stop after ``max_steps`` applied greedy steps."""
+
+    def __init__(self, max_steps: int) -> None:
+        if max_steps < 0:
+            raise ValueError(f"max_steps must be >= 0, got {max_steps}")
+        self._max_steps = max_steps
+        self.steps_seen = 0
+
+    def on_step(self, step: Any, result: Any) -> None:
+        self.steps_seen += 1
+
+    def should_stop(self) -> bool:
+        return self.steps_seen >= self._max_steps
+
+
+class TimeoutObserver(NullObserver):
+    """Stop once ``limit_seconds`` of wall-clock time have elapsed.
+
+    The clock starts at construction, so build the observer right before
+    calling ``anonymize()`` (the facade does exactly that when a request
+    carries ``timeout_seconds``).
+    """
+
+    def __init__(self, limit_seconds: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if limit_seconds <= 0:
+            raise ValueError(f"limit_seconds must be > 0, got {limit_seconds}")
+        self._limit = limit_seconds
+        self._clock = clock
+        self._started = clock()
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds elapsed since construction."""
+        return self._clock() - self._started
+
+    def should_stop(self) -> bool:
+        return self.elapsed >= self._limit
+
+
+class CancellationToken(NullObserver):
+    """Cooperative cancellation flag, safe to set from another thread."""
+
+    def __init__(self) -> None:
+        self._cancelled = False
+
+    def cancel(self) -> None:
+        """Request the run to stop at the next safe point."""
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._cancelled
+
+    def should_stop(self) -> bool:
+        return self._cancelled
+
+
+class ConsoleProgressObserver(NullObserver):
+    """Print one line per applied step (and a heartbeat while evaluating)."""
+
+    def __init__(self, stream: Optional[TextIO] = None,
+                 evaluation_interval: int = 0) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._interval = evaluation_interval
+
+    def on_evaluation(self, evaluations: int) -> None:
+        if self._interval and evaluations % self._interval == 0:
+            print(f"  ... {evaluations} opacity evaluations", file=self._stream)
+
+    def on_step(self, step: Any, result: Any) -> None:
+        edges = ",".join(f"{u}-{v}" for u, v in step.edges)
+        print(f"step {step.index + 1}: {step.operation} {edges} "
+              f"-> max opacity {step.max_opacity_after:.3f}", file=self._stream)
+
+
+class CallbackObserver(NullObserver):
+    """Adapter building an observer from plain callables."""
+
+    def __init__(self,
+                 on_step: Optional[Callable[[Any, Any], None]] = None,
+                 on_evaluation: Optional[Callable[[int], None]] = None,
+                 should_stop: Optional[Callable[[], bool]] = None) -> None:
+        self._on_step = on_step
+        self._on_evaluation = on_evaluation
+        self._should_stop = should_stop
+
+    def on_evaluation(self, evaluations: int) -> None:
+        if self._on_evaluation is not None:
+            self._on_evaluation(evaluations)
+
+    def on_step(self, step: Any, result: Any) -> None:
+        if self._on_step is not None:
+            self._on_step(step, result)
+
+    def should_stop(self) -> bool:
+        return self._should_stop() if self._should_stop is not None else False
+
+
+class CompositeObserver:
+    """Fan out to several observers; stops when any one asks to stop."""
+
+    def __init__(self, *observers: ProgressObserver) -> None:
+        self._observers: List[ProgressObserver] = [obs for obs in observers
+                                                   if obs is not None]
+
+    def on_evaluation(self, evaluations: int) -> None:
+        for obs in self._observers:
+            obs.on_evaluation(evaluations)
+
+    def on_step(self, step: Any, result: Any) -> None:
+        for obs in self._observers:
+            obs.on_step(step, result)
+
+    def should_stop(self) -> bool:
+        return any(obs.should_stop() for obs in self._observers)
+
+
+def combine_observers(*observers: Optional[ProgressObserver]) -> ProgressObserver:
+    """Collapse optional observers into one (``NULL_OBSERVER`` when empty)."""
+    present = [obs for obs in observers if obs is not None]
+    if not present:
+        return NULL_OBSERVER
+    if len(present) == 1:
+        return present[0]
+    return CompositeObserver(*present)

@@ -1,0 +1,263 @@
+"""Request/response records of the service-layer API.
+
+An :class:`AnonymizationRequest` fixes everything about one anonymization
+job — the input graph (either a named dataset sample or an explicit edge
+list), the algorithm name resolved through the registry, and the algorithm
+parameters.  An :class:`AnonymizationResponse` carries the outcome,
+including the full anonymized edge list, so both records can cross process
+boundaries: every field survives a JSON round-trip
+(``from_json(to_json(x)) == x``), which is what the batch workers and the
+``repro-lopacity batch`` job specs rely on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.graph.graph import Edge, Graph, normalize_edge
+
+EdgeTuple = Tuple[Edge, ...]
+
+
+def _normalize_edges(edges: Any) -> EdgeTuple:
+    """Coerce any iterable of 2-sequences into a sorted tuple of edges."""
+    return tuple(sorted(normalize_edge(int(u), int(v)) for u, v in edges))
+
+
+@dataclass(frozen=True)
+class AnonymizationRequest:
+    """One anonymization job, fully described by plain data.
+
+    The input graph comes either from a built-in dataset
+    (``dataset`` + ``sample_size``) or from an explicit ``edges`` tuple
+    (with an optional ``num_vertices`` for trailing isolated vertices);
+    exactly one of the two sources must be given.  Algorithm parameters
+    set to ``None`` fall back to the algorithm's own defaults.
+    """
+
+    algorithm: str = "rem"
+    # --- graph source -------------------------------------------------
+    dataset: Optional[str] = None
+    sample_size: Optional[int] = None
+    edges: Optional[EdgeTuple] = None
+    num_vertices: Optional[int] = None
+    # --- algorithm parameters ----------------------------------------
+    theta: float = 0.5
+    length_threshold: int = 1
+    lookahead: int = 1
+    seed: Optional[int] = 0
+    engine: str = "numpy"
+    max_steps: Optional[int] = None
+    insertion_candidate_cap: Optional[int] = None
+    # --- execution options -------------------------------------------
+    timeout_seconds: Optional[float] = None
+    include_utility: bool = False
+    request_id: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.edges is not None:
+            object.__setattr__(self, "edges", _normalize_edges(self.edges))
+        has_dataset = self.dataset is not None
+        has_edges = self.edges is not None
+        if has_dataset == has_edges:
+            raise ConfigurationError(
+                "exactly one graph source required: either dataset/sample_size "
+                "or an explicit edges list")
+        if has_dataset and self.sample_size is None:
+            raise ConfigurationError("sample_size is required with a dataset source")
+        if not self.algorithm or not isinstance(self.algorithm, str):
+            raise ConfigurationError(f"algorithm must be a non-empty string, got {self.algorithm!r}")
+        if not 0.0 <= self.theta <= 1.0:
+            raise ConfigurationError(f"theta must be in [0, 1], got {self.theta}")
+        if self.length_threshold < 1:
+            raise ConfigurationError("length_threshold must be >= 1")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ConfigurationError("timeout_seconds must be > 0")
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    def algorithm_params(self) -> Dict[str, Any]:
+        """The parameter mapping handed to ``AnonymizerSpec.create``."""
+        return {
+            "theta": self.theta,
+            "length_threshold": self.length_threshold,
+            "lookahead": self.lookahead,
+            "seed": self.seed,
+            "engine": self.engine,
+            "max_steps": self.max_steps,
+            "insertion_candidate_cap": self.insertion_candidate_cap,
+        }
+
+    def resolve_graph(self, data_dir: Optional[str] = None) -> Graph:
+        """Materialize the input graph described by this request."""
+        if self.edges is not None:
+            implied = 1 + max((max(u, v) for u, v in self.edges), default=-1)
+            num_vertices = self.num_vertices if self.num_vertices is not None else implied
+            if num_vertices < implied:
+                raise ConfigurationError(
+                    f"num_vertices={num_vertices} is smaller than the largest "
+                    f"endpoint implies ({implied})")
+            return Graph(num_vertices, edges=self.edges)
+        from repro.datasets import load_sample
+        return load_sample(self.dataset, self.sample_size,
+                           data_dir=data_dir, seed=self.seed)
+
+    def with_overrides(self, **overrides: Any) -> "AnonymizationRequest":
+        """Copy of this request with some fields replaced."""
+        return replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (edges become ``[u, v]`` lists), JSON-safe."""
+        payload = asdict(self)
+        if payload["edges"] is not None:
+            payload["edges"] = [[u, v] for u, v in payload["edges"]]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "AnonymizationRequest":
+        """Inverse of :meth:`to_dict`; unknown keys raise (typo protection)."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown request field(s) {unknown}; known: {sorted(known)}")
+        data = dict(payload)
+        if data.get("edges") is not None:
+            data["edges"] = _normalize_edges(data["edges"])
+        return cls(**data)
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        """JSON form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "AnonymizationRequest":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class AnonymizationResponse:
+    """Outcome of one request, self-contained and JSON-serializable.
+
+    ``error`` is ``None`` for runs that completed (successfully or
+    best-effort); a failed run carries the exception rendered as
+    ``"ExceptionType: message"`` and zeroed result fields, so one bad job
+    never poisons a batch.
+    """
+
+    request: AnonymizationRequest
+    success: bool = False
+    final_opacity: float = 0.0
+    distortion: float = 0.0
+    num_steps: int = 0
+    evaluations: int = 0
+    runtime_seconds: float = 0.0
+    num_vertices: int = 0
+    removed_edges: EdgeTuple = ()
+    inserted_edges: EdgeTuple = ()
+    anonymized_edges: EdgeTuple = ()
+    stop_reason: Optional[str] = None
+    metrics: Optional[Mapping[str, float]] = None
+    error: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        for name in ("removed_edges", "inserted_edges", "anonymized_edges"):
+            object.__setattr__(self, name, _normalize_edges(getattr(self, name)))
+        if self.metrics is not None:
+            object.__setattr__(self, "metrics",
+                               {str(k): float(v) for k, v in self.metrics.items()})
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run completed without raising."""
+        return self.error is None
+
+    def anonymized_graph(self) -> Graph:
+        """Rebuild the anonymized graph carried by this response."""
+        return Graph(self.num_vertices, edges=self.anonymized_edges)
+
+    def summary(self) -> str:
+        """One-line human-readable summary (mirrors the result record)."""
+        if self.error is not None:
+            return f"{self.request.algorithm} [failed] {self.error}"
+        status = "ok" if self.success else "best-effort"
+        line = (f"{self.request.algorithm} L={self.request.length_threshold} "
+                f"theta={self.request.theta:.2f} [{status}] "
+                f"opacity={self.final_opacity:.3f} distortion={self.distortion:.3f} "
+                f"steps={self.num_steps} removed={len(self.removed_edges)} "
+                f"inserted={len(self.inserted_edges)} "
+                f"time={self.runtime_seconds:.2f}s")
+        if self.stop_reason:
+            line += f" stopped={self.stop_reason}"
+        return line
+
+    # ------------------------------------------------------------------
+    # construction from a core result
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_result(cls, request: AnonymizationRequest, result: Any,
+                    metrics: Optional[Mapping[str, float]] = None) -> "AnonymizationResponse":
+        """Build a response from a core ``AnonymizationResult``."""
+        return cls(
+            request=request,
+            success=result.success,
+            final_opacity=float(result.final_opacity),
+            distortion=float(result.distortion),
+            num_steps=result.num_steps,
+            evaluations=result.evaluations,
+            runtime_seconds=float(result.runtime_seconds),
+            num_vertices=result.anonymized_graph.num_vertices,
+            removed_edges=tuple(result.removed_edges),
+            inserted_edges=tuple(result.inserted_edges),
+            anonymized_edges=tuple(result.anonymized_graph.edges()),
+            stop_reason=result.stop_reason,
+            metrics=metrics,
+        )
+
+    @classmethod
+    def failure(cls, request: AnonymizationRequest, exc: BaseException) -> "AnonymizationResponse":
+        """Build the error response for a request that raised ``exc``."""
+        return cls(request=request, success=False,
+                   error=f"{type(exc).__name__}: {exc}")
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data form (edges become ``[u, v]`` lists), JSON-safe."""
+        payload = asdict(self)
+        payload["request"] = self.request.to_dict()
+        for name in ("removed_edges", "inserted_edges", "anonymized_edges"):
+            payload[name] = [[u, v] for u, v in payload[name]]
+        if payload["metrics"] is not None:
+            payload["metrics"] = dict(payload["metrics"])
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "AnonymizationResponse":
+        """Inverse of :meth:`to_dict`."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown response field(s) {unknown}; known: {sorted(known)}")
+        data = dict(payload)
+        data["request"] = AnonymizationRequest.from_dict(data["request"])
+        return cls(**data)
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        """JSON form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "AnonymizationResponse":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))

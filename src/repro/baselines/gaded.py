@@ -20,6 +20,8 @@ import random
 import time
 from typing import List, Optional, Tuple
 
+from repro.api.progress import NULL_OBSERVER, AnonymizationStopped, ProgressObserver
+from repro.api.registry import register_anonymizer
 from repro.core.anonymizer import (
     AnonymizationResult,
     AnonymizationStep,
@@ -50,7 +52,8 @@ class _GadedBase:
         """The confidence threshold."""
         return self._theta
 
-    def anonymize(self, graph: Graph, typing: Optional[PairTyping] = None) -> AnonymizationResult:
+    def anonymize(self, graph: Graph, typing: Optional[PairTyping] = None,
+                  observer: Optional[ProgressObserver] = None) -> AnonymizationResult:
         """Run the heuristic and return the anonymization result."""
         if typing is None:
             typing = DegreePairTyping(graph)
@@ -63,24 +66,40 @@ class _GadedBase:
             original_graph=graph.copy(),
             anonymized_graph=working,
             config=config,
+            observer=observer if observer is not None else NULL_OBSERVER,
         )
         started = time.perf_counter()
         current = computer.evaluate(working)
         result.evaluations += 1
+        result.observer.on_evaluation(result.evaluations)
         step_index = 0
         while current.max_opacity > self._theta and working.num_edges > 0:
-            if self._max_steps is not None and step_index >= self._max_steps:
+            if result.observer.should_stop():
+                result.stop_reason = "observer"
                 break
-            edge = self._choose_edge(working, computer, current, rng, result)
+            if self._max_steps is not None and step_index >= self._max_steps:
+                result.stop_reason = "max_steps"
+                break
+            try:
+                edge = self._choose_edge(working, computer, current, rng, result)
+            except AnonymizationStopped:
+                # Raised between candidate evaluations (graph restored), so
+                # `current` still describes the working graph.
+                result.stop_reason = "observer"
+                break
             if edge is None:
+                result.stop_reason = "exhausted"
                 break
             working.remove_edge(*edge)
             result.removed_edges.add(edge)
             current = computer.evaluate(working)
             result.evaluations += 1
-            result.steps.append(AnonymizationStep(
+            result.observer.on_evaluation(result.evaluations)
+            step_record = AnonymizationStep(
                 index=step_index, operation="remove", edges=(edge,),
-                max_opacity_after=current.max_opacity))
+                max_opacity_after=current.max_opacity)
+            result.steps.append(step_record)
+            result.observer.on_step(step_record, result)
             step_index += 1
         result.final_opacity = current.max_opacity
         result.success = current.max_opacity <= self._theta
@@ -104,7 +123,20 @@ class _GadedBase:
                      rng: random.Random, result: AnonymizationResult) -> Optional[Edge]:
         raise NotImplementedError
 
+    @staticmethod
+    def _record_evaluation(result: AnonymizationResult) -> None:
+        """Count one candidate evaluation and honour stop requests mid-scan."""
+        result.evaluations += 1
+        result.observer.on_evaluation(result.evaluations)
+        if result.observer.should_stop():
+            raise AnonymizationStopped()
 
+
+@register_anonymizer(
+    "gaded-rand",
+    description="GADED-Rand baseline (Zhang & Zhang, single-edge disclosure)",
+    accepts=("theta", "seed", "max_steps", "engine", "strict"),
+)
 class GadedRandAnonymizer(_GadedBase):
     """GADED-Rand: remove a random edge participating in disclosure."""
 
@@ -116,6 +148,11 @@ class GadedRandAnonymizer(_GadedBase):
         return candidates[rng.randrange(len(candidates))]
 
 
+@register_anonymizer(
+    "gaded-max",
+    description="GADED-Max baseline (Zhang & Zhang, single-edge disclosure)",
+    accepts=("theta", "seed", "max_steps", "engine", "strict"),
+)
 class GadedMaxAnonymizer(_GadedBase):
     """GADED-Max: remove the edge with the greatest reduction of the maximum
     disclosure, tie-broken by the smallest increase of the total disclosure."""
@@ -136,7 +173,7 @@ class GadedMaxAnonymizer(_GadedBase):
                 outcome = computer.evaluate(working)
             finally:
                 working.add_edge(*edge)
-            result.evaluations += 1
+            self._record_evaluation(result)
             total = float(sum(entry.opacity for entry in outcome.per_type.values()))
             key = (outcome.max_opacity, total)
             if best_key is None or key < best_key:

@@ -13,6 +13,8 @@ import random
 import time
 from typing import List, Optional, Tuple
 
+from repro.api.progress import NULL_OBSERVER, AnonymizationStopped, ProgressObserver
+from repro.api.registry import register_anonymizer
 from repro.core.anonymizer import (
     AnonymizationResult,
     AnonymizationStep,
@@ -26,6 +28,11 @@ from repro.graph.graph import Edge, Graph, normalize_edge
 Swap = Tuple[Edge, Edge, Edge, Edge]  # (removed1, removed2, added1, added2)
 
 
+@register_anonymizer(
+    "gades",
+    description="GADES baseline (Zhang & Zhang, degree-preserving swaps)",
+    accepts=("theta", "seed", "max_steps", "swap_sample_size", "engine"),
+)
 class GadesAnonymizer:
     """GADES: greedy degree-preserving edge swapping against link disclosure.
 
@@ -57,7 +64,8 @@ class GadesAnonymizer:
         """The confidence threshold."""
         return self._theta
 
-    def anonymize(self, graph: Graph, typing: Optional[PairTyping] = None) -> AnonymizationResult:
+    def anonymize(self, graph: Graph, typing: Optional[PairTyping] = None,
+                  observer: Optional[ProgressObserver] = None) -> AnonymizationResult:
         """Run GADES and return the anonymization result.
 
         ``success`` is only reported when the threshold was actually reached;
@@ -75,16 +83,29 @@ class GadesAnonymizer:
             original_graph=graph.copy(),
             anonymized_graph=working,
             config=config,
+            observer=observer if observer is not None else NULL_OBSERVER,
         )
         started = time.perf_counter()
         current = computer.evaluate(working)
         result.evaluations += 1
+        result.observer.on_evaluation(result.evaluations)
         step_index = 0
         while current.max_opacity > self._theta:
-            if self._max_steps is not None and step_index >= self._max_steps:
+            if result.observer.should_stop():
+                result.stop_reason = "observer"
                 break
-            swap = self._best_swap(working, computer, current.max_opacity, rng, result)
+            if self._max_steps is not None and step_index >= self._max_steps:
+                result.stop_reason = "max_steps"
+                break
+            try:
+                swap = self._best_swap(working, computer, current.max_opacity, rng, result)
+            except AnonymizationStopped:
+                # Raised between candidate evaluations (swap undone), so
+                # `current` still describes the working graph.
+                result.stop_reason = "observer"
+                break
             if swap is None:
+                result.stop_reason = "exhausted"
                 break
             removed1, removed2, added1, added2 = swap
             working.remove_edge(*removed1)
@@ -95,10 +116,13 @@ class GadesAnonymizer:
             result.inserted_edges.update((added1, added2))
             current = computer.evaluate(working)
             result.evaluations += 1
-            result.steps.append(AnonymizationStep(
+            result.observer.on_evaluation(result.evaluations)
+            step_record = AnonymizationStep(
                 index=step_index, operation="swap",
                 edges=(removed1, removed2, added1, added2),
-                max_opacity_after=current.max_opacity))
+                max_opacity_after=current.max_opacity)
+            result.steps.append(step_record)
+            result.observer.on_step(step_record, result)
             step_index += 1
         result.final_opacity = current.max_opacity
         result.success = current.max_opacity <= self._theta
@@ -151,6 +175,9 @@ class GadesAnonymizer:
                 working.add_edge(*removed1)
                 working.add_edge(*removed2)
             result.evaluations += 1
+            result.observer.on_evaluation(result.evaluations)
+            if result.observer.should_stop():
+                raise AnonymizationStopped()
             if outcome.max_opacity < best_value:
                 best_value = outcome.max_opacity
                 best = swap

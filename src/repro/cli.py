@@ -3,7 +3,9 @@
 Subcommands
 -----------
 * ``anonymize`` — anonymize an edge-list file (or a built-in dataset sample)
-  with one of the heuristics and write the result.
+  with any registered algorithm and write the result.
+* ``batch`` — execute a JSON job spec of anonymization requests, fanning
+  the jobs across worker processes.
 * ``opacity`` — report the L-opacity of a graph for a given L.
 * ``tables`` — print the reproduction of Tables 1-3.
 * ``figure`` — compute one figure's series and print it.
@@ -15,20 +17,53 @@ Examples
     repro-lopacity opacity --dataset gnutella --size 100 --length 2
     repro-lopacity anonymize --dataset google --size 60 --algorithm rem \
         --theta 0.5 --length 1 --output anonymized.edges
+    repro-lopacity anonymize --dataset enron --size 80 --algorithm rem-ins \
+        --timeout 30 --progress
+    repro-lopacity batch jobs.json --max-workers 4 --output results.json
     repro-lopacity tables
     repro-lopacity figure --name fig6 --dataset google --size 50
+
+A batch job spec is either a JSON array of request objects, or an object
+with ``defaults`` merged into every job::
+
+    {
+      "defaults": {"dataset": "gnutella", "sample_size": 60, "theta": 0.5},
+      "max_workers": 4,
+      "jobs": [
+        {"algorithm": "rem"},
+        {"algorithm": "rem-ins", "insertion_candidate_cap": 100},
+        {"algorithm": "gaded-max"},
+        {"algorithm": "rem", "length_threshold": 2, "theta": 0.7}
+      ]
+    }
+
+Each job object takes the fields of
+:class:`repro.api.AnonymizationRequest` (``algorithm``, ``dataset`` +
+``sample_size`` or ``edges``, ``theta``, ``length_threshold``,
+``lookahead``, ``seed``, ``engine``, ``max_steps``,
+``insertion_candidate_cap``, ``timeout_seconds``, ``include_utility``,
+``request_id``).  Results are written as a JSON array of response objects
+in job order; a failing job yields an ``error`` response without aborting
+the rest of the batch.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
-from repro.core import DegreePairTyping, OpacityComputer
-from repro.datasets import dataset_names, load_sample
+from repro.api import (
+    AnonymizationRequest,
+    BatchRunner,
+    ConsoleProgressObserver,
+    anonymize as api_anonymize,
+    available_algorithms,
+)
+from repro.datasets import dataset_names
+from repro.errors import ReproError
 from repro.experiments import (
-    ExperimentConfig,
     ExperimentRunner,
     figure6_series,
     figure7_series,
@@ -41,49 +76,120 @@ from repro.experiments import (
     table2_rows,
     table3_rows,
 )
-from repro.experiments.runner import make_algorithm
 from repro.graph.io import read_edge_list, write_edge_list
-from repro.metrics import utility_report
-
-
-def _load_graph(args: argparse.Namespace):
-    if args.input:
-        graph, _labels = read_edge_list(args.input)
-        return graph
-    return load_sample(args.dataset, args.size, seed=args.seed)
 
 
 def _cmd_opacity(args: argparse.Namespace) -> int:
-    graph = _load_graph(args)
-    computer = OpacityComputer(DegreePairTyping(graph), args.length)
-    result = computer.evaluate(graph)
-    print(f"vertices={graph.num_vertices} edges={graph.num_edges}")
-    print(f"L={args.length} max L-opacity={result.max_opacity:.4f} "
-          f"types at max={result.types_at_max}")
-    worst = sorted(result.per_type.values(), key=lambda entry: -entry.opacity)[:10]
-    for entry in worst:
-        print(f"  type {entry.type_key}: {entry.within_threshold}/{entry.total_pairs} "
-              f"= {entry.opacity:.3f}")
+    from repro.api import compute_opacity
+
+    if args.input:
+        graph, _labels = read_edge_list(args.input)
+        request = AnonymizationRequest(edges=tuple(graph.edges()),
+                                       num_vertices=graph.num_vertices,
+                                       length_threshold=args.length)
+    else:
+        request = AnonymizationRequest(dataset=args.dataset, sample_size=args.size,
+                                       seed=args.seed, length_threshold=args.length)
+    report = compute_opacity(request)
+    print(f"vertices={report.num_vertices} edges={report.num_edges}")
+    print(f"L={args.length} max L-opacity={report.max_opacity:.4f} "
+          f"types at max={report.types_at_max}")
+    for type_key, within, total, opacity in report.worst_types:
+        print(f"  type {type_key}: {within}/{total} = {opacity:.3f}")
     return 0
 
 
+def _request_from_args(args: argparse.Namespace) -> AnonymizationRequest:
+    """Build the service-layer request described by the CLI arguments."""
+    common = dict(
+        algorithm=args.algorithm,
+        theta=args.theta,
+        length_threshold=args.length,
+        lookahead=args.lookahead,
+        seed=args.seed,
+        insertion_candidate_cap=args.insertion_cap,
+        timeout_seconds=args.timeout,
+        include_utility=True,
+    )
+    if args.input:
+        graph, _labels = read_edge_list(args.input)
+        return AnonymizationRequest(edges=tuple(graph.edges()),
+                                    num_vertices=graph.num_vertices, **common)
+    return AnonymizationRequest(dataset=args.dataset, sample_size=args.size, **common)
+
+
 def _cmd_anonymize(args: argparse.Namespace) -> int:
-    graph = _load_graph(args)
-    config = ExperimentConfig(
-        dataset=args.dataset, sample_size=args.size, algorithm=args.algorithm,
-        theta=args.theta, length_threshold=args.length, lookahead=args.lookahead,
-        seed=args.seed, insertion_candidate_cap=args.insertion_cap)
-    algorithm = make_algorithm(config)
-    result = algorithm.anonymize(graph)
-    report = utility_report(result.original_graph, result.anonymized_graph)
-    print(result.summary())
-    print(f"degree EMD={report.degree_emd:.4f} geodesic EMD={report.geodesic_emd:.4f} "
-          f"mean |dCC|={report.mean_clustering_difference:.4f}")
+    request = _request_from_args(args)
+    observer = ConsoleProgressObserver() if args.progress else None
+    response = api_anonymize(request, observer=observer)
+    metrics = response.metrics or {}
+    print(response.summary())
+    print(f"degree EMD={metrics.get('degree_emd', 0.0):.4f} "
+          f"geodesic EMD={metrics.get('geodesic_emd', 0.0):.4f} "
+          f"mean |dCC|={metrics.get('mean_cc_diff', 0.0):.4f}")
     if args.output:
-        write_edge_list(result.anonymized_graph, args.output,
+        write_edge_list(response.anonymized_graph(), args.output,
                         header=f"L-opaque graph (L={args.length}, theta={args.theta})")
         print(f"wrote {args.output}")
-    return 0 if result.success else 1
+    return 0 if response.success else 1
+
+
+def _load_batch_spec(path: str) -> tuple:
+    """Read a job-spec file; returns ``(requests, max_workers_from_spec)``."""
+    try:
+        if path == "-":
+            payload = json.load(sys.stdin)
+        else:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+    except OSError as exc:
+        raise ReproError(f"cannot read batch spec {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"batch spec {path!r} is not valid JSON: {exc}") from exc
+    if isinstance(payload, list):
+        defaults, jobs, max_workers = {}, payload, None
+    elif isinstance(payload, dict):
+        defaults = payload.get("defaults", {})
+        jobs = payload.get("jobs", [])
+        max_workers = payload.get("max_workers")
+    else:
+        raise ReproError("batch spec must be a JSON array of jobs or an object "
+                         "with a 'jobs' array")
+    if not isinstance(defaults, dict):
+        raise ReproError(f"'defaults' must be an object, got {type(defaults).__name__}")
+    if not isinstance(jobs, list) or not jobs:
+        raise ReproError("batch spec contains no jobs")
+    if max_workers is not None and (not isinstance(max_workers, int)
+                                    or isinstance(max_workers, bool)
+                                    or max_workers < 0):
+        raise ReproError(f"'max_workers' must be a non-negative integer, "
+                         f"got {max_workers!r}")
+    requests = []
+    for index, job in enumerate(jobs):
+        if not isinstance(job, dict):
+            raise ReproError(f"job {index} must be an object, got {type(job).__name__}")
+        requests.append(AnonymizationRequest.from_dict({**defaults, **job}))
+    return requests, max_workers
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    requests, spec_workers = _load_batch_spec(args.spec)
+    max_workers = args.max_workers if args.max_workers is not None else spec_workers
+    if max_workers is not None and max_workers < 0:
+        raise ReproError(f"--max-workers must be >= 0, got {max_workers}")
+    runner = BatchRunner(max_workers=max_workers, data_dir=args.data_dir)
+    responses = runner.run(requests)
+    for index, response in enumerate(responses):
+        label = response.request.request_id or f"job {index}"
+        print(f"[{label}] {response.summary()}")
+    payload = [response.to_dict() for response in responses]
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"wrote {args.output}")
+    else:
+        print(json.dumps(payload, indent=2))
+    return 0 if all(response.ok for response in responses) else 1
 
 
 def _cmd_tables(args: argparse.Namespace) -> int:
@@ -149,16 +255,29 @@ def build_parser() -> argparse.ArgumentParser:
     opacity.add_argument("--length", "-L", type=int, default=1)
     opacity.set_defaults(func=_cmd_opacity)
 
-    anonymize = subparsers.add_parser("anonymize", help="run an anonymization heuristic")
+    anonymize = subparsers.add_parser("anonymize", help="run an anonymization algorithm")
     add_graph_arguments(anonymize)
-    anonymize.add_argument("--algorithm", default="rem",
-                           choices=("rem", "rem-ins", "gaded-rand", "gaded-max", "gades"))
+    anonymize.add_argument("--algorithm", default="rem", choices=available_algorithms())
     anonymize.add_argument("--theta", type=float, default=0.5)
     anonymize.add_argument("--length", "-L", type=int, default=1)
     anonymize.add_argument("--lookahead", type=int, default=1)
     anonymize.add_argument("--insertion-cap", type=int, default=None)
+    anonymize.add_argument("--timeout", type=float, default=None,
+                           help="wall-clock budget in seconds (best-effort stop)")
+    anonymize.add_argument("--progress", action="store_true",
+                           help="print one line per applied greedy step")
     anonymize.add_argument("--output", help="write the anonymized edge list here")
     anonymize.set_defaults(func=_cmd_anonymize)
+
+    batch = subparsers.add_parser(
+        "batch", help="execute a JSON job spec across worker processes")
+    batch.add_argument("spec", help="path to the JSON job spec ('-' for stdin)")
+    batch.add_argument("--max-workers", type=int, default=None,
+                       help="worker processes (0 = run in-process; default: auto)")
+    batch.add_argument("--data-dir", default=None,
+                       help="directory with real SNAP dataset files")
+    batch.add_argument("--output", help="write the JSON results here (default: stdout)")
+    batch.set_defaults(func=_cmd_batch)
 
     tables = subparsers.add_parser("tables", help="print Tables 1-3")
     tables.add_argument("--sizes", type=int, nargs="*", default=[100])
@@ -182,10 +301,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Domain errors (bad parameters, malformed job specs, unknown
+    algorithms) are reported as one ``error:`` line with exit code 2
+    instead of a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -15,12 +15,18 @@ import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from fractions import Fraction
+from functools import cached_property
 from typing import List, Optional, Sequence, Set, Tuple
 
+from repro.api.progress import (
+    NULL_OBSERVER,
+    AnonymizationStopped,
+    ProgressObserver,
+)
 from repro.core.opacity import OpacityComputer, OpacityResult
 from repro.core.pair_types import DegreePairTyping, PairTyping
 from repro.errors import ConfigurationError, InfeasibleError
-from repro.graph.distance import DistanceEngine
+from repro.graph.distance import DistanceEngine, available_engines
 from repro.graph.graph import Edge, Graph
 from repro.metrics.distortion import edit_distance_ratio
 
@@ -81,6 +87,10 @@ class AnonymizerConfig:
             raise ConfigurationError(f"theta must be in [0, 1], got {self.theta}")
         if self.lookahead < 1:
             raise ConfigurationError(f"lookahead must be >= 1, got {self.lookahead}")
+        if self.engine not in available_engines():
+            raise ConfigurationError(
+                f"unknown distance engine {self.engine!r}; "
+                f"available: {available_engines()}")
         if self.max_steps is not None and self.max_steps < 1:
             raise ConfigurationError(f"max_steps must be >= 1, got {self.max_steps}")
         if self.max_combinations < 1:
@@ -101,7 +111,13 @@ class AnonymizationStep:
 
 @dataclass
 class AnonymizationResult:
-    """Outcome of one anonymization run."""
+    """Outcome of one anonymization run.
+
+    ``stop_reason`` is ``None`` when the run ended because the threshold
+    was met; otherwise it names why the loop stopped early: ``"observer"``
+    (a progress observer asked to stop), ``"max_steps"``, or
+    ``"exhausted"`` (no candidate modification could improve further).
+    """
 
     original_graph: Graph
     anonymized_graph: Graph
@@ -113,10 +129,17 @@ class AnonymizationResult:
     success: bool = False
     runtime_seconds: float = 0.0
     evaluations: int = 0
+    stop_reason: Optional[str] = None
+    observer: ProgressObserver = field(default=NULL_OBSERVER, repr=False, compare=False)
 
-    @property
+    @cached_property
     def distortion(self) -> float:
-        """Edit-distance ratio D(E, Ê) of Equation 1."""
+        """Edit-distance ratio D(E, Ê) of Equation 1.
+
+        Cached on first access (the underlying comparison walks both edge
+        sets); only read it once the run has finished mutating
+        ``anonymized_graph``.
+        """
         return edit_distance_ratio(self.original_graph, self.anonymized_graph)
 
     @property
@@ -198,11 +221,15 @@ class BaseAnonymizer(ABC):
     # ------------------------------------------------------------------
     # template method
     # ------------------------------------------------------------------
-    def anonymize(self, graph: Graph, typing: Optional[PairTyping] = None) -> AnonymizationResult:
+    def anonymize(self, graph: Graph, typing: Optional[PairTyping] = None,
+                  observer: Optional[ProgressObserver] = None) -> AnonymizationResult:
         """Run the heuristic on ``graph`` and return the anonymization result.
 
         ``typing`` defaults to the degree-pair typing frozen from ``graph``,
-        matching the paper's adversary model.
+        matching the paper's adversary model.  ``observer`` receives
+        ``on_evaluation`` / ``on_step`` callbacks and is polled via
+        ``should_stop`` between opacity evaluations; a requested stop ends
+        the run at the next safe point with ``stop_reason="observer"``.
         """
         config = self._config
         if typing is None:
@@ -214,25 +241,45 @@ class BaseAnonymizer(ABC):
             original_graph=graph.copy(),
             anonymized_graph=working,
             config=config,
+            observer=observer if observer is not None else NULL_OBSERVER,
         )
         started = time.perf_counter()
         current = computer.evaluate(working)
         result.evaluations += 1
+        result.observer.on_evaluation(result.evaluations)
         step_index = 0
         while current.max_opacity > config.theta:
-            if config.max_steps is not None and step_index >= config.max_steps:
+            if result.observer.should_stop():
+                result.stop_reason = "observer"
                 break
-            step = self._perform_step(working, computer, current, rng, result)
+            if config.max_steps is not None and step_index >= config.max_steps:
+                result.stop_reason = "max_steps"
+                break
+            try:
+                step = self._perform_step(working, computer, current, rng, result)
+            except AnonymizationStopped:
+                # The step may have been interrupted after applying part of
+                # its modifications (rem-ins applies the removal before the
+                # insertion scan), so re-evaluate to keep the reported
+                # opacity consistent with the returned graph.
+                current = computer.evaluate(working)
+                result.evaluations += 1
+                result.stop_reason = "observer"
+                break
             if step is None:
+                result.stop_reason = "exhausted"
                 break
             current = computer.evaluate(working)
             result.evaluations += 1
-            result.steps.append(AnonymizationStep(
+            result.observer.on_evaluation(result.evaluations)
+            step_record = AnonymizationStep(
                 index=step_index,
                 operation=step[0],
                 edges=step[1],
                 max_opacity_after=current.max_opacity,
-            ))
+            )
+            result.steps.append(step_record)
+            result.observer.on_step(step_record, result)
             step_index += 1
         result.final_opacity = current.max_opacity
         result.success = current.max_opacity <= config.theta
@@ -266,7 +313,7 @@ class BaseAnonymizer(ABC):
         finally:
             for u, v in edges:
                 working.add_edge(u, v)
-        result.evaluations += 1
+        self._record_evaluation(result)
         return CandidateOutcome(edges=tuple(edges), fraction=outcome.max_fraction,
                                 types_at_max=outcome.types_at_max)
 
@@ -280,6 +327,19 @@ class BaseAnonymizer(ABC):
         finally:
             for u, v in edges:
                 working.remove_edge(u, v)
-        result.evaluations += 1
+        self._record_evaluation(result)
         return CandidateOutcome(edges=tuple(edges), fraction=outcome.max_fraction,
                                 types_at_max=outcome.types_at_max)
+
+    @staticmethod
+    def _record_evaluation(result: AnonymizationResult) -> None:
+        """Count one tentative evaluation and honour stop requests.
+
+        Raising :class:`AnonymizationStopped` here (the working graph is
+        already restored) makes cancellation responsive *within* a greedy
+        step, whose candidate scan can span thousands of evaluations.
+        """
+        result.evaluations += 1
+        result.observer.on_evaluation(result.evaluations)
+        if result.observer.should_stop():
+            raise AnonymizationStopped()

@@ -15,12 +15,19 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.api.registry import register_anonymizer
 from repro.core.anonymizer import AnonymizationResult, BaseAnonymizer
 from repro.core.lookahead import search_best_combination
 from repro.core.opacity import OpacityComputer, OpacityResult
 from repro.graph.graph import Edge, Graph
 
 
+@register_anonymizer(
+    "rem",
+    description="Edge Removal (paper Algorithm 4)",
+    accepts=("length_threshold", "theta", "lookahead", "engine", "seed",
+             "max_steps", "prune_candidates", "max_combinations", "strict"),
+)
 class EdgeRemovalAnonymizer(BaseAnonymizer):
     """Algorithm 4: greedy L-opacification via edge removal.
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 import random
 from typing import List, Optional, Tuple
 
+from repro.api.registry import register_anonymizer
 from repro.core.anonymizer import AnonymizationResult, TieBreaker
 from repro.core.edge_removal import EdgeRemovalAnonymizer
 from repro.core.lookahead import search_best_combination
@@ -20,6 +21,13 @@ from repro.core.opacity import OpacityComputer, OpacityResult
 from repro.graph.graph import Edge, Graph
 
 
+@register_anonymizer(
+    "rem-ins",
+    description="Edge Removal/Insertion (paper Algorithm 5)",
+    accepts=("length_threshold", "theta", "lookahead", "engine", "seed",
+             "max_steps", "prune_candidates", "max_combinations",
+             "insertion_candidate_cap", "strict"),
+)
 class EdgeRemovalInsertionAnonymizer(EdgeRemovalAnonymizer):
     """Algorithm 5: greedy L-opacification via alternating removal and insertion.
 

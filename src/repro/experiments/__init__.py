@@ -6,7 +6,7 @@ those builders into pytest-benchmark targets.
 """
 
 from repro.experiments.config import ExperimentConfig, SweepSpec
-from repro.experiments.runner import ExperimentRunner, RunRecord, make_algorithm
+from repro.experiments.runner import ExperimentRunner, RunRecord, request_for
 from repro.experiments.tables import table1_rows, table2_rows, table3_rows
 from repro.experiments.figures import (
     figure6_series,
@@ -27,7 +27,7 @@ __all__ = [
     "SweepSpec",
     "ExperimentRunner",
     "RunRecord",
-    "make_algorithm",
+    "request_for",
     "table1_rows",
     "table2_rows",
     "table3_rows",

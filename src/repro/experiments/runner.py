@@ -2,7 +2,11 @@
 
 The runner caches loaded dataset samples (one graph per dataset/size/seed) so
 a sweep over θ reuses the same input graph, exactly as the paper evaluates
-one sampled graph across all thresholds.
+one sampled graph across all thresholds.  Algorithms are resolved through
+the service-layer registry (:mod:`repro.api.registry`), so any registered
+anonymizer — built-in or third-party — can appear in an experiment grid;
+``run_all(..., max_workers=...)`` additionally fans a grid across worker
+processes via :class:`repro.api.BatchRunner`.
 """
 
 from __future__ import annotations
@@ -11,11 +15,11 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from repro.baselines import GadedMaxAnonymizer, GadedRandAnonymizer, GadesAnonymizer
-from repro.core import EdgeRemovalAnonymizer, EdgeRemovalInsertionAnonymizer
+from repro.api.registry import create_anonymizer
+from repro.api.requests import AnonymizationRequest
 from repro.core.anonymizer import AnonymizationResult
 from repro.datasets import load_sample
-from repro.errors import ConfigurationError
+from repro.errors import ReproError
 from repro.experiments.config import ExperimentConfig
 from repro.graph.graph import Graph
 from repro.metrics import utility_report
@@ -57,29 +61,21 @@ class RunRecord:
         }
 
 
-def make_algorithm(config: ExperimentConfig):
-    """Instantiate the anonymizer named by ``config.algorithm``."""
-    if config.algorithm == "rem":
-        return EdgeRemovalAnonymizer(
-            length_threshold=config.length_threshold, theta=config.theta,
-            lookahead=config.lookahead, seed=config.seed, engine=config.engine,
-            max_steps=config.max_steps)
-    if config.algorithm == "rem-ins":
-        return EdgeRemovalInsertionAnonymizer(
-            length_threshold=config.length_threshold, theta=config.theta,
-            lookahead=config.lookahead, seed=config.seed, engine=config.engine,
-            max_steps=config.max_steps,
-            insertion_candidate_cap=config.insertion_candidate_cap)
-    if config.algorithm == "gaded-rand":
-        return GadedRandAnonymizer(theta=config.theta, seed=config.seed,
-                                   max_steps=config.max_steps, engine=config.engine)
-    if config.algorithm == "gaded-max":
-        return GadedMaxAnonymizer(theta=config.theta, seed=config.seed,
-                                  max_steps=config.max_steps, engine=config.engine)
-    if config.algorithm == "gades":
-        return GadesAnonymizer(theta=config.theta, seed=config.seed,
-                               max_steps=config.max_steps, engine=config.engine)
-    raise ConfigurationError(f"unknown algorithm {config.algorithm!r}")
+def request_for(config: ExperimentConfig) -> AnonymizationRequest:
+    """The service-layer request equivalent to an experiment configuration."""
+    return AnonymizationRequest(
+        algorithm=config.algorithm,
+        dataset=config.dataset,
+        sample_size=config.sample_size,
+        theta=config.theta,
+        length_threshold=config.length_threshold,
+        lookahead=config.lookahead,
+        seed=config.seed,
+        engine=config.engine,
+        max_steps=config.max_steps,
+        insertion_candidate_cap=config.insertion_candidate_cap,
+        include_utility=True,
+    )
 
 
 class ExperimentRunner:
@@ -111,13 +107,19 @@ class ExperimentRunner:
 
         The baselines only address single-edge linkage, so requesting them
         with L > 1 raises (the paper likewise restricts the comparison to
-        L = 1).
+        L = 1; the registry enforces it).
         """
-        if config.algorithm.startswith("gade") and config.length_threshold != 1:
-            raise ConfigurationError(
-                f"{config.algorithm} only supports L = 1 (requested L={config.length_threshold})")
         graph = self.graph_for(config)
-        algorithm = make_algorithm(config)
+        algorithm = create_anonymizer(
+            config.algorithm,
+            theta=config.theta,
+            length_threshold=config.length_threshold,
+            lookahead=config.lookahead,
+            seed=config.seed,
+            engine=config.engine,
+            max_steps=config.max_steps,
+            insertion_candidate_cap=config.insertion_candidate_cap,
+        )
         started = time.perf_counter()
         result: AnonymizationResult = algorithm.anonymize(graph)
         elapsed = time.perf_counter() - started
@@ -136,6 +138,38 @@ class ExperimentRunner:
             evaluations=result.evaluations,
         )
 
-    def run_all(self, configs: Iterable[ExperimentConfig]) -> List[RunRecord]:
-        """Execute every configuration and return the records in order."""
-        return [self.run(config) for config in configs]
+    def run_all(self, configs: Iterable[ExperimentConfig],
+                max_workers: Optional[int] = 0) -> List[RunRecord]:
+        """Execute every configuration and return the records in order.
+
+        ``max_workers=0`` (the default) runs serially in this process;
+        any other value fans the grid over a
+        :class:`repro.api.BatchRunner` process pool (``None`` = one worker
+        per CPU).  A failure in any configuration raises either way.
+        """
+        configs = list(configs)
+        if max_workers == 0:
+            return [self.run(config) for config in configs]
+        from repro.api.batch import BatchRunner
+
+        runner = BatchRunner(max_workers=max_workers, data_dir=self._data_dir)
+        responses = runner.run([request_for(config) for config in configs])
+        records = []
+        for config, response in zip(configs, responses):
+            if response.error is not None:
+                raise ReproError(
+                    f"parallel run failed for {config.label()!r}: {response.error}")
+            metrics = response.metrics or {}
+            records.append(RunRecord(
+                config=config,
+                success=response.success,
+                final_opacity=response.final_opacity,
+                distortion=response.distortion,
+                degree_emd=metrics.get("degree_emd", 0.0),
+                geodesic_emd=metrics.get("geodesic_emd", 0.0),
+                mean_cc_difference=metrics.get("mean_cc_diff", 0.0),
+                runtime_seconds=response.runtime_seconds,
+                steps=response.num_steps,
+                evaluations=response.evaluations,
+            ))
+        return records

@@ -1,0 +1,80 @@
+"""Tests for the batch runner: ordering, failure isolation, process fan-out."""
+
+import pytest
+
+from repro.api.batch import BatchRunner, execute_request
+from repro.api.requests import AnonymizationRequest
+from repro.graph.generators import erdos_renyi_graph
+
+
+def _request(index, **overrides):
+    graph = erdos_renyi_graph(20, 0.25, seed=index)
+    params = dict(algorithm="rem", edges=tuple(graph.edges()),
+                  num_vertices=graph.num_vertices, theta=0.6, seed=0,
+                  request_id=f"job-{index}")
+    params.update(overrides)
+    return AnonymizationRequest(**params)
+
+
+class TestExecuteRequest:
+    def test_converts_exceptions_into_error_responses(self):
+        response = execute_request(_request(0, algorithm="missing"))
+        assert not response.ok
+        assert "unknown algorithm" in response.error
+        assert response.request.request_id == "job-0"
+
+    def test_successful_execution(self):
+        response = execute_request(_request(1))
+        assert response.ok
+        assert response.evaluations >= 1
+
+
+class TestBatchRunnerSerial:
+    def test_empty_batch(self):
+        assert BatchRunner(max_workers=0).run([]) == []
+
+    def test_ordering_preserved(self):
+        requests = [_request(i) for i in range(5)]
+        responses = BatchRunner(max_workers=0).run(requests)
+        assert [r.request.request_id for r in responses] == [
+            f"job-{i}" for i in range(5)]
+
+    def test_failure_isolation(self):
+        requests = [_request(0), _request(1, algorithm="broken"), _request(2)]
+        responses = BatchRunner(max_workers=0).run(requests)
+        assert responses[0].ok
+        assert not responses[1].ok and "unknown algorithm" in responses[1].error
+        assert responses[2].ok
+
+    def test_negative_max_workers_rejected(self):
+        with pytest.raises(ValueError):
+            BatchRunner(max_workers=-1)
+
+
+class TestBatchRunnerProcessPool:
+    def test_batch_of_four_requests_across_processes(self):
+        # Acceptance scenario: >= 4 requests through the process pool, mixing
+        # algorithms, with ordering and per-request results intact.
+        requests = [
+            _request(0, algorithm="rem"),
+            _request(1, algorithm="rem-ins", insertion_candidate_cap=50),
+            _request(2, algorithm="gaded-max"),
+            _request(3, algorithm="gaded-rand"),
+        ]
+        responses = BatchRunner(max_workers=2).run(requests)
+        assert len(responses) == 4
+        assert [r.request.request_id for r in responses] == [
+            "job-0", "job-1", "job-2", "job-3"]
+        for response in responses:
+            assert response.ok, response.error
+            assert response.evaluations >= 1
+            assert response.anonymized_graph().num_vertices == 20
+
+    def test_failure_isolation_across_processes(self):
+        requests = [_request(0), _request(1, algorithm="missing"), _request(2)]
+        responses = BatchRunner(max_workers=2).run(requests)
+        assert [r.ok for r in responses] == [True, False, True]
+
+    def test_single_request_short_circuits_the_pool(self):
+        responses = BatchRunner(max_workers=4).run([_request(0)])
+        assert len(responses) == 1 and responses[0].ok

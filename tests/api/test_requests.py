@@ -1,0 +1,127 @@
+"""Tests for the request/response records and their JSON round-trips."""
+
+import pytest
+
+from repro.api.requests import AnonymizationRequest, AnonymizationResponse
+from repro.core import EdgeRemovalAnonymizer
+from repro.errors import ConfigurationError
+from repro.graph.generators import erdos_renyi_graph
+
+EDGES = ((0, 1), (1, 2), (2, 3), (0, 3), (1, 3))
+
+
+class TestAnonymizationRequest:
+    def test_dataset_request_json_round_trip(self):
+        request = AnonymizationRequest(
+            algorithm="rem-ins", dataset="gnutella", sample_size=60, theta=0.4,
+            length_threshold=2, lookahead=2, seed=7, max_steps=10,
+            insertion_candidate_cap=50, timeout_seconds=3.5,
+            include_utility=True, request_id="job-1")
+        assert AnonymizationRequest.from_json(request.to_json()) == request
+
+    def test_edges_request_json_round_trip(self):
+        request = AnonymizationRequest(algorithm="rem", edges=EDGES, num_vertices=6)
+        restored = AnonymizationRequest.from_json(request.to_json())
+        assert restored == request
+        assert restored.edges == request.edges
+
+    def test_edges_are_normalized_and_sorted(self):
+        request = AnonymizationRequest(algorithm="rem", edges=((3, 2), (1, 0)))
+        assert request.edges == ((0, 1), (2, 3))
+
+    def test_requires_exactly_one_graph_source(self):
+        with pytest.raises(ConfigurationError, match="exactly one graph source"):
+            AnonymizationRequest(algorithm="rem")
+        with pytest.raises(ConfigurationError, match="exactly one graph source"):
+            AnonymizationRequest(algorithm="rem", dataset="gnutella",
+                                 sample_size=10, edges=EDGES)
+
+    def test_dataset_requires_sample_size(self):
+        with pytest.raises(ConfigurationError, match="sample_size"):
+            AnonymizationRequest(algorithm="rem", dataset="gnutella")
+
+    def test_invalid_theta_rejected(self):
+        with pytest.raises(ConfigurationError, match="theta"):
+            AnonymizationRequest(dataset="gnutella", sample_size=10, theta=1.5)
+
+    def test_unknown_field_rejected_on_deserialization(self):
+        with pytest.raises(ConfigurationError, match="unknown request field"):
+            AnonymizationRequest.from_dict(
+                {"algorithm": "rem", "dataset": "gnutella", "sample_size": 10,
+                 "thetta": 0.5})
+
+    def test_resolve_graph_from_edges(self):
+        request = AnonymizationRequest(edges=EDGES, num_vertices=6)
+        graph = request.resolve_graph()
+        assert graph.num_vertices == 6
+        assert set(graph.edges()) == set(EDGES)
+
+    def test_resolve_graph_infers_num_vertices(self):
+        graph = AnonymizationRequest(edges=EDGES).resolve_graph()
+        assert graph.num_vertices == 4
+
+    def test_num_vertices_below_max_endpoint_rejected(self):
+        with pytest.raises(ConfigurationError, match="num_vertices"):
+            AnonymizationRequest(edges=EDGES, num_vertices=2).resolve_graph()
+
+    def test_resolve_graph_from_dataset(self):
+        request = AnonymizationRequest(dataset="gnutella", sample_size=30, seed=0)
+        graph = request.resolve_graph()
+        assert graph.num_vertices == 30
+
+    def test_with_overrides(self):
+        base = AnonymizationRequest(dataset="gnutella", sample_size=30)
+        other = base.with_overrides(theta=0.3, algorithm="gades")
+        assert other.theta == 0.3
+        assert other.algorithm == "gades"
+        assert base.theta == 0.5  # original untouched (frozen)
+
+
+class TestAnonymizationResponse:
+    def _run(self):
+        graph = erdos_renyi_graph(20, 0.25, seed=3)
+        request = AnonymizationRequest(
+            algorithm="rem", edges=tuple(graph.edges()),
+            num_vertices=graph.num_vertices, theta=0.5)
+        result = EdgeRemovalAnonymizer(theta=0.5, seed=0).anonymize(graph)
+        return request, result
+
+    def test_from_result_and_json_round_trip(self):
+        request, result = self._run()
+        response = AnonymizationResponse.from_result(
+            request, result, metrics={"degree_emd": 0.125})
+        restored = AnonymizationResponse.from_json(response.to_json())
+        assert restored == response
+        assert restored.metrics == {"degree_emd": 0.125}
+        assert restored.success == result.success
+        assert restored.distortion == pytest.approx(result.distortion)
+
+    def test_anonymized_graph_reconstruction(self):
+        request, result = self._run()
+        response = AnonymizationResponse.from_result(request, result)
+        rebuilt = response.anonymized_graph()
+        assert rebuilt.num_vertices == result.anonymized_graph.num_vertices
+        assert set(rebuilt.edges()) == set(result.anonymized_graph.edges())
+
+    def test_failure_response(self):
+        request = AnonymizationRequest(dataset="gnutella", sample_size=10)
+        response = AnonymizationResponse.failure(request, ValueError("boom"))
+        assert not response.ok
+        assert not response.success
+        assert response.error == "ValueError: boom"
+        assert "failed" in response.summary()
+        assert AnonymizationResponse.from_json(response.to_json()) == response
+
+    def test_summary_mentions_key_quantities(self):
+        request, result = self._run()
+        summary = AnonymizationResponse.from_result(request, result).summary()
+        assert "rem" in summary
+        assert "theta=0.50" in summary
+        assert "distortion=" in summary
+
+    def test_unknown_field_rejected_on_deserialization(self):
+        request, result = self._run()
+        payload = AnonymizationResponse.from_result(request, result).to_dict()
+        payload["bogus"] = 1
+        with pytest.raises(ConfigurationError, match="unknown response field"):
+            AnonymizationResponse.from_dict(payload)

@@ -28,11 +28,22 @@ class TestAnonymizerConfig:
         ("max_steps", 0),
         ("max_combinations", 0),
         ("insertion_candidate_cap", 0),
+        ("engine", "no-such-engine"),
     ])
     def test_invalid_values_rejected(self, field, value):
         config = AnonymizerConfig(**{field: value})
         with pytest.raises(ConfigurationError):
             config.validate()
+
+    def test_every_available_engine_is_valid(self):
+        from repro.graph import available_engines
+
+        for engine in available_engines():
+            AnonymizerConfig(engine=engine).validate()
+
+    def test_invalid_engine_rejected_up_front_at_construction(self):
+        with pytest.raises(ConfigurationError, match="engine"):
+            EdgeRemovalAnonymizer(engine="typo")
 
     def test_constructor_accepts_either_config_or_kwargs(self):
         config = AnonymizerConfig(theta=0.4)
@@ -106,6 +117,16 @@ class TestAnonymizationResult:
                                        max_steps=1).anonymize(graph)
         assert not result.success
         assert result.final_opacity > 0.0
+
+    def test_distortion_is_cached(self):
+        graph = complete_graph(5)
+        result = EdgeRemovalAnonymizer(length_threshold=1, theta=0.9, seed=0).anonymize(graph)
+        first = result.distortion
+        assert first > 0.0
+        # Mutating the graph after the first read must not change the cached
+        # value (the edit-distance comparison is not recomputed per access).
+        result.anonymized_graph.remove_edge(*next(iter(result.anonymized_graph.edges())))
+        assert result.distortion == first
 
     def test_summary_mentions_key_fields(self):
         graph = complete_graph(5)

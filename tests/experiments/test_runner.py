@@ -6,7 +6,7 @@ from repro.baselines import GadedMaxAnonymizer, GadedRandAnonymizer, GadesAnonym
 from repro.core import EdgeRemovalAnonymizer, EdgeRemovalInsertionAnonymizer
 from repro.errors import ConfigurationError
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.runner import ExperimentRunner, make_algorithm
+from repro.experiments.runner import ExperimentRunner, request_for
 
 
 def _config(**overrides):
@@ -15,7 +15,21 @@ def _config(**overrides):
     return ExperimentConfig(**base)
 
 
-class TestMakeAlgorithm:
+class TestRequestFor:
+    def test_mirrors_the_configuration(self):
+        config = _config(algorithm="rem-ins", theta=0.4, length_threshold=2,
+                         lookahead=2, insertion_candidate_cap=50, max_steps=7)
+        request = request_for(config)
+        assert request.algorithm == "rem-ins"
+        assert request.dataset == "gnutella"
+        assert request.sample_size == 40
+        assert request.theta == 0.4
+        assert request.length_threshold == 2
+        assert request.lookahead == 2
+        assert request.insertion_candidate_cap == 50
+        assert request.max_steps == 7
+        assert request.include_utility  # records need the utility metrics
+
     @pytest.mark.parametrize("name,cls", [
         ("rem", EdgeRemovalAnonymizer),
         ("rem-ins", EdgeRemovalInsertionAnonymizer),
@@ -23,14 +37,15 @@ class TestMakeAlgorithm:
         ("gaded-max", GadedMaxAnonymizer),
         ("gades", GadesAnonymizer),
     ])
-    def test_instantiates_correct_class(self, name, cls):
-        assert isinstance(make_algorithm(_config(algorithm=name)), cls)
+    def test_runner_resolves_each_algorithm_through_the_registry(self, name, cls):
+        # The registry (not an if/elif chain) backs every runner execution.
+        from repro.api.registry import create_anonymizer
 
-    def test_parameters_are_forwarded(self):
-        algorithm = make_algorithm(_config(theta=0.4, length_threshold=2, lookahead=2))
-        assert algorithm.config.theta == 0.4
-        assert algorithm.config.length_threshold == 2
-        assert algorithm.config.lookahead == 2
+        config = _config(algorithm=name)
+        assert isinstance(
+            create_anonymizer(name, **{key: value
+                                       for key, value in request_for(config)
+                                       .algorithm_params().items()}), cls)
 
 
 class TestExperimentRunner:
@@ -67,3 +82,15 @@ class TestExperimentRunner:
         configs = [_config(theta=theta) for theta in (0.9, 0.7)]
         records = runner.run_all(configs)
         assert [record.config.theta for record in records] == [0.9, 0.7]
+
+    def test_run_all_parallel_matches_serial(self):
+        runner = ExperimentRunner()
+        configs = [_config(sample_size=30, theta=theta) for theta in (0.8, 0.6)]
+        serial = runner.run_all(configs)
+        parallel = runner.run_all(configs, max_workers=2)
+        assert [r.config for r in parallel] == [r.config for r in serial]
+        for left, right in zip(serial, parallel):
+            assert left.success == right.success
+            assert left.final_opacity == pytest.approx(right.final_opacity)
+            assert left.distortion == pytest.approx(right.distortion)
+            assert left.degree_emd == pytest.approx(right.degree_emd)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -63,6 +65,79 @@ class TestCommands:
         captured = capsys.readouterr().out
         assert exit_code == 0
         assert "rem la=1" in captured
+
+    def test_anonymize_command_progress_and_timeout(self, capsys):
+        exit_code = main(["anonymize", "--dataset", "gnutella", "--size", "40",
+                          "--theta", "0.6", "--seed", "0", "--timeout", "60",
+                          "--progress"])
+        assert exit_code == 0
+        assert "distortion=" in capsys.readouterr().out
+
+    def test_batch_command_runs_job_spec(self, tmp_path, capsys):
+        spec = {
+            "defaults": {"dataset": "gnutella", "sample_size": 30,
+                         "theta": 0.6, "seed": 0},
+            "max_workers": 0,
+            "jobs": [
+                {"algorithm": "rem", "request_id": "first"},
+                {"algorithm": "gaded-max", "request_id": "second"},
+            ],
+        }
+        spec_path = tmp_path / "jobs.json"
+        spec_path.write_text(json.dumps(spec))
+        output = tmp_path / "results.json"
+        exit_code = main(["batch", str(spec_path), "--output", str(output)])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "[first]" in captured and "[second]" in captured
+        results = json.loads(output.read_text())
+        assert [r["request"]["request_id"] for r in results] == ["first", "second"]
+        assert all(r["error"] is None for r in results)
+
+    def test_batch_command_reports_failures_with_exit_code(self, tmp_path, capsys):
+        spec = [
+            {"algorithm": "rem", "dataset": "gnutella", "sample_size": 30,
+             "theta": 0.6, "seed": 0},
+            {"algorithm": "no-such-algorithm", "dataset": "gnutella",
+             "sample_size": 30},
+        ]
+        spec_path = tmp_path / "jobs.json"
+        spec_path.write_text(json.dumps(spec))
+        exit_code = main(["batch", str(spec_path), "--max-workers", "0"])
+        captured = capsys.readouterr().out
+        assert exit_code == 1
+        assert "unknown algorithm" in captured
+
+    @pytest.mark.parametrize("spec,message", [
+        (["rem"], "must be an object"),
+        ({"jobs": []}, "no jobs"),
+        ({"jobs": [{"algorithm": "rem"}], "max_workers": "4"},
+         "non-negative integer"),
+        ({"jobs": [{"algorithm": "rem"}], "defaults": "x"},
+         "'defaults' must be an object"),
+        ("just-a-string", "must be a JSON array"),
+    ])
+    def test_batch_command_rejects_malformed_specs(self, tmp_path, capsys,
+                                                   spec, message):
+        spec_path = tmp_path / "jobs.json"
+        spec_path.write_text(json.dumps(spec))
+        exit_code = main(["batch", str(spec_path)])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert message in captured.err
+
+    def test_batch_command_rejects_invalid_json(self, tmp_path, capsys):
+        spec_path = tmp_path / "jobs.json"
+        spec_path.write_text("{broken")
+        assert main(["batch", str(spec_path)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_domain_errors_exit_cleanly(self, capsys):
+        exit_code = main(["anonymize", "--dataset", "gnutella", "--size", "30",
+                          "--algorithm", "gades", "--length", "2"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "error: gades only supports L = 1" in captured.err
 
     def test_figure_command_chart_mode(self, capsys):
         exit_code = main(["figure", "--name", "fig6", "--dataset", "gnutella",
