@@ -9,12 +9,12 @@ that both variants reach the threshold.
 
 import pytest
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_once, smoke
 from repro.core import EdgeRemovalAnonymizer
 from repro.datasets import load_sample
 
 DATASET = "enron"
-SAMPLE_SIZE = 60
+SAMPLE_SIZE = smoke(60, 30)
 THETA = 0.5
 LENGTH = 2
 

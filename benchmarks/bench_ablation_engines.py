@@ -9,10 +9,11 @@ experiments actually use, on the same graph, verifying they agree.
 import numpy as np
 import pytest
 
+from benchmarks.conftest import smoke
 from repro.datasets import load_sample
 from repro.graph.distance import available_engines, bounded_distance_matrix
 
-SAMPLE_SIZE = 80
+SAMPLE_SIZE = smoke(80, 40)
 LENGTH = 2
 
 

@@ -8,12 +8,12 @@ mildly.  This bench quantifies both effects on one workload.
 
 import pytest
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_once, smoke
 from repro.core import EdgeRemovalAnonymizer, EdgeRemovalInsertionAnonymizer
 from repro.datasets import load_sample
 
 DATASET = "wikipedia"
-SAMPLE_SIZE = 40
+SAMPLE_SIZE = smoke(40, 25)
 THETA = 0.5
 
 

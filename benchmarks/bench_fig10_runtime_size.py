@@ -5,10 +5,10 @@ algorithm is faster than Removal/Insertion (whose insertion phase scans
 absent edges, a larger candidate set than the existing edges).
 """
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_once, smoke
 from repro.experiments import figure10_series
 
-SIZES = (40, 60, 80)
+SIZES = smoke((40, 60, 80), (40,))
 
 
 def bench_fig10_gnutella_runtime(benchmark, runner):

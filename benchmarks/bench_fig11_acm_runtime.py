@@ -5,11 +5,11 @@ The paper scales the ACM co-authorship crawl from 1,000 to 10,000 nodes
 sweep.  Expected shape: runtime grows with graph size and with decreasing θ.
 """
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_once, smoke
 from repro.experiments import figure11_series
 
-SIZES = (50, 100, 150)
-THETAS = (0.9, 0.7, 0.5)
+SIZES = smoke((50, 100, 150), (50,))
+THETAS = smoke((0.9, 0.7, 0.5), (0.9,))
 
 
 def bench_fig11_acm_runtime(benchmark, runner):

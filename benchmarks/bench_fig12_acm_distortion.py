@@ -5,11 +5,11 @@ The paper's headline scaling observation: as the published graph grows, the
 publishing large L-opaque graphs becomes increasingly attractive.
 """
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_once, smoke
 from repro.experiments import figure12_series
 
-SIZES = (50, 100, 150, 200)
-THETAS = (0.9, 0.7, 0.5)
+SIZES = smoke((50, 100, 150, 200), (50,))
+THETAS = smoke((0.9, 0.7, 0.5), (0.9,))
 
 
 def bench_fig12_acm_distortion(benchmark, runner):

@@ -9,12 +9,12 @@ because it cannot reach the threshold at all).
 
 import pytest
 
-from benchmarks.conftest import print_series, run_once
+from benchmarks.conftest import print_series, run_once, smoke
 from repro.experiments import figure6_series
 
 #: Scaled-down experiment parameters (paper: 100-500 node samples, θ 0.9→0.3).
-SAMPLE_SIZE = 50
-THETAS = (0.8, 0.6, 0.5)
+SAMPLE_SIZE = smoke(50, 30)
+THETAS = smoke((0.8, 0.6, 0.5), (0.8,))
 
 
 @pytest.mark.parametrize("dataset", ["google", "wikipedia", "enron", "berkeley-stanford"])

@@ -8,14 +8,16 @@ Removal/Insertion for the same threshold.
 
 import pytest
 
-from benchmarks.conftest import print_series, run_once
+from benchmarks.conftest import print_series, run_once, smoke
 from repro.experiments import figure6_series
 
 #: Per-dataset sweep parameters; the sparse samples need tighter thresholds
 #: before any modification is required (their baseline opacity is low).
 CASES = {
-    "epinions": dict(sample_size=100, thetas=(0.15, 0.1, 0.05)),
-    "gnutella": dict(sample_size=80, thetas=(0.5, 0.3, 0.2)),
+    "epinions": dict(sample_size=smoke(100, 50),
+                     thetas=smoke((0.15, 0.1, 0.05), (0.15,))),
+    "gnutella": dict(sample_size=smoke(80, 40),
+                     thetas=smoke((0.5, 0.3, 0.2), (0.5,))),
 }
 
 

@@ -7,14 +7,14 @@ sparser network (Epinions sample) than on Gnutella, as the paper notes.
 
 import pytest
 
-from benchmarks.conftest import print_series, run_once
+from benchmarks.conftest import print_series, run_once, smoke
 from repro.experiments import figure6_lsweep_series
 
 CASES = {
     # The Epinions sample is very sparse, so modification is only needed at
     # tight thresholds; Gnutella already violates looser ones.
-    "epinions": dict(sample_size=100, thetas=(0.15, 0.1)),
-    "gnutella": dict(sample_size=60, thetas=(0.3, 0.2)),
+    "epinions": dict(sample_size=smoke(100, 50), thetas=smoke((0.15, 0.1), (0.15,))),
+    "gnutella": dict(sample_size=smoke(60, 30), thetas=smoke((0.3, 0.2), (0.3,))),
 }
 LENGTHS = (1, 2, 3)
 

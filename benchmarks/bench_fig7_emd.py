@@ -7,11 +7,11 @@ pure Removal (it keeps the edge count constant); the Zhang & Zhang baselines
 alter the distributions at least as much as our heuristics.
 """
 
-from benchmarks.conftest import print_series, run_once
+from benchmarks.conftest import print_series, run_once, smoke
 from repro.experiments import figure7_series
 
-SAMPLE_SIZE = 50
-THETAS = (0.8, 0.6, 0.5)
+SAMPLE_SIZE = smoke(50, 30)
+THETAS = smoke((0.8, 0.6, 0.5), (0.8,))
 
 
 def bench_fig7_enron_emd(benchmark, runner):

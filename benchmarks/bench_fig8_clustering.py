@@ -8,16 +8,16 @@ Expected shape: |ΔCC| grows as θ tightens, and the Removal heuristic changes
 the clustering coefficient no more than GADED-Max (the paper's Figure 8a).
 """
 
-from benchmarks.conftest import print_series, run_once
+from benchmarks.conftest import print_series, run_once, smoke
 from repro.experiments import figure8_series
 from repro.experiments.figures import figure8_lsweep_series
 
-THETAS = (0.8, 0.6, 0.5)
+THETAS = smoke((0.8, 0.6, 0.5), (0.8,))
 
 
 def bench_fig8a_wikipedia_l1(benchmark, runner):
     series = run_once(benchmark, figure8_series, "wikipedia", length_threshold=1,
-                      sample_size=50, thetas=THETAS, lookaheads=(1, 2),
+                      sample_size=smoke(50, 30), thetas=THETAS, lookaheads=(1, 2),
                       insertion_cap=100, seed=0, runner=runner)
     print_series("Figure 8a — mean |dCC| (Wikipedia, L=1)", series, y_label="dCC")
     rem = dict(series["rem la=1"])
@@ -29,9 +29,9 @@ def bench_fig8a_wikipedia_l1(benchmark, runner):
 
 
 def bench_fig8b_epinions_l2(benchmark, runner):
-    thetas = (0.15, 0.1, 0.05)
+    thetas = smoke((0.15, 0.1, 0.05), (0.15,))
     series = run_once(benchmark, figure8_series, "epinions", length_threshold=2,
-                      sample_size=100, thetas=thetas, lookaheads=(1, 2),
+                      sample_size=smoke(100, 40), thetas=thetas, lookaheads=(1, 2),
                       insertion_cap=100, seed=0, runner=runner)
     print_series("Figure 8b — mean |dCC| (Epinions, L=2)", series, y_label="dCC")
     assert set(series) == {"rem la=1", "rem la=2", "rem-ins la=1", "rem-ins la=2"}
@@ -40,10 +40,10 @@ def bench_fig8b_epinions_l2(benchmark, runner):
 
 
 def bench_fig8c_epinions_lsweep(benchmark, runner):
-    thetas = (0.15, 0.1)
+    thetas = smoke((0.15, 0.1), (0.15,))
     series = run_once(benchmark, figure8_lsweep_series, "epinions", lengths=(1, 2, 3),
-                      sample_size=100, thetas=thetas, insertion_cap=100, seed=0,
-                      runner=runner)
+                      sample_size=smoke(100, 40), thetas=thetas, insertion_cap=100,
+                      seed=0, runner=runner)
     print_series("Figure 8c — mean |dCC| (Epinions, varying L)", series, y_label="dCC")
     assert set(series) == {f"{algorithm} L={length}"
                            for algorithm in ("rem", "rem-ins") for length in (1, 2, 3)}

@@ -7,11 +7,11 @@ heuristic.  The look-ahead runtime trade-off is measured separately in
 ``bench_ablation_lookahead.py``.
 """
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_once, smoke
 from repro.experiments import figure9_series
 
-SIZES = (40, 60, 80)
-THETAS = (0.9, 0.8)
+SIZES = smoke((40, 60, 80), (40,))
+THETAS = smoke((0.9, 0.8), (0.9,))
 
 
 def bench_fig9_google_runtime(benchmark, runner):

@@ -1,6 +1,6 @@
 """Table 3: properties of the sampled graphs the experiments run on."""
 
-from benchmarks.conftest import run_once
+from benchmarks.conftest import run_once, smoke
 from repro.experiments import format_table, table3_rows
 
 
@@ -16,7 +16,7 @@ def bench_table3_100_node_samples(benchmark):
 
 
 def bench_table3_500_node_samples(benchmark):
-    rows = run_once(benchmark, table3_rows, sample_sizes=[500], seed=42)
+    rows = run_once(benchmark, table3_rows, sample_sizes=[smoke(500, 150)], seed=42)
     print("\n== Table 3: 500-node samples (paper vs measured proxy) ==")
     print(format_table(rows))
     assert all(row["links"] == row["paper_links"] for row in rows)

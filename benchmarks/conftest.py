@@ -10,11 +10,25 @@ paper (run pytest with ``-s`` to see them).
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, Sequence, Tuple
+import os
+from typing import Callable, Mapping, Sequence, Tuple, TypeVar
 
 import pytest
 
 from repro.experiments import ExperimentRunner
+
+T = TypeVar("T")
+
+
+def smoke(full: T, small: T) -> T:
+    """Pick the smoke-sized variant of a workload knob under CI.
+
+    The CI benchmark job sets ``REPRO_BENCH_SMOKE=1`` and runs every bench
+    at its smallest size — enough to catch rotted imports, renamed builder
+    keyword arguments, and broken assertions without paying for the full
+    grids.  Locally (unset) the full workload runs.
+    """
+    return small if os.environ.get("REPRO_BENCH_SMOKE") else full
 
 
 def run_once(benchmark, func: Callable, *args, **kwargs):

@@ -58,6 +58,7 @@ from repro.core import (
     ExplicitPairTyping,
     OpacityComputer,
     OpacityResult,
+    OpacitySession,
 )
 from repro.core.opacity import max_lo
 from repro.baselines import (
@@ -116,6 +117,7 @@ __all__ = [
     "ExplicitPairTyping",
     "OpacityComputer",
     "OpacityResult",
+    "OpacitySession",
     "max_lo",
     "AnonymizerConfig",
     "AnonymizationResult",

@@ -1,6 +1,6 @@
 """Service-layer API: the one true entry point for anonymization work.
 
-Layers (see DESIGN.md §6):
+Layers (see DESIGN.md §7):
 
 * :mod:`repro.api.registry` — pluggable algorithm registry; all built-in
   algorithms self-register with :func:`register_anonymizer`.

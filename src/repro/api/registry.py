@@ -43,6 +43,7 @@ _TUNING_PARAMS = frozenset({
     "swap_sample_size",
     "seed",
     "engine",
+    "evaluation_mode",
     "max_steps",
 })
 

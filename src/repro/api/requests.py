@@ -50,6 +50,7 @@ class AnonymizationRequest:
     lookahead: int = 1
     seed: Optional[int] = 0
     engine: str = "numpy"
+    evaluation_mode: str = "incremental"
     max_steps: Optional[int] = None
     insertion_candidate_cap: Optional[int] = None
     # --- execution options -------------------------------------------
@@ -88,6 +89,7 @@ class AnonymizationRequest:
             "lookahead": self.lookahead,
             "seed": self.seed,
             "engine": self.engine,
+            "evaluation_mode": self.evaluation_mode,
             "max_steps": self.max_steps,
             "insertion_candidate_cap": self.insertion_candidate_cap,
         }

@@ -28,6 +28,7 @@ from repro.core.anonymizer import (
     AnonymizerConfig,
 )
 from repro.core.opacity import OpacityComputer
+from repro.core.opacity_session import OpacitySession, validate_evaluation_mode
 from repro.core.pair_types import DegreePairTyping, PairTyping
 from repro.errors import ConfigurationError, InfeasibleError
 from repro.graph.graph import Edge, Graph
@@ -38,14 +39,16 @@ class _GadedBase:
 
     def __init__(self, theta: float = 0.5, seed: Optional[int] = None,
                  max_steps: Optional[int] = None, engine: str = "numpy",
-                 strict: bool = False) -> None:
+                 strict: bool = False, evaluation_mode: str = "incremental") -> None:
         if not 0.0 <= theta <= 1.0:
             raise ConfigurationError(f"theta must be in [0, 1], got {theta}")
+        validate_evaluation_mode(evaluation_mode)
         self._theta = theta
         self._seed = seed
         self._max_steps = max_steps
         self._engine = engine
         self._strict = strict
+        self._evaluation_mode = evaluation_mode
 
     @property
     def theta(self) -> float:
@@ -59,9 +62,11 @@ class _GadedBase:
             typing = DegreePairTyping(graph)
         computer = OpacityComputer(typing, length_threshold=1, engine=self._engine)
         working = graph.copy()
+        session = OpacitySession(computer, working, mode=self._evaluation_mode)
         rng = random.Random(self._seed)
         config = AnonymizerConfig(length_threshold=1, theta=self._theta, seed=self._seed,
-                                  engine=self._engine, strict=self._strict)
+                                  engine=self._engine, strict=self._strict,
+                                  evaluation_mode=self._evaluation_mode)
         result = AnonymizationResult(
             original_graph=graph.copy(),
             anonymized_graph=working,
@@ -69,7 +74,7 @@ class _GadedBase:
             observer=observer if observer is not None else NULL_OBSERVER,
         )
         started = time.perf_counter()
-        current = computer.evaluate(working)
+        current = session.current()
         result.evaluations += 1
         result.observer.on_evaluation(result.evaluations)
         step_index = 0
@@ -81,7 +86,7 @@ class _GadedBase:
                 result.stop_reason = "max_steps"
                 break
             try:
-                edge = self._choose_edge(working, computer, current, rng, result)
+                edge = self._choose_edge(session, current, rng, result)
             except AnonymizationStopped:
                 # Raised between candidate evaluations (graph restored), so
                 # `current` still describes the working graph.
@@ -90,9 +95,9 @@ class _GadedBase:
             if edge is None:
                 result.stop_reason = "exhausted"
                 break
-            working.remove_edge(*edge)
+            session.apply_edit(removals=(edge,))
             result.removed_edges.add(edge)
-            current = computer.evaluate(working)
+            current = session.current()
             result.evaluations += 1
             result.observer.on_evaluation(result.evaluations)
             step_record = AnonymizationStep(
@@ -110,16 +115,15 @@ class _GadedBase:
                 f"(final disclosure {result.final_opacity:.3f})")
         return result
 
-    def _disclosing_edges(self, working: Graph, computer: OpacityComputer,
-                          current) -> List[Edge]:
+    def _disclosing_edges(self, session: OpacitySession, current) -> List[Edge]:
         """Edges whose degree-pair type currently exceeds the threshold."""
-        typing = computer.typing
+        typing = session.computer.typing
         exceeding = {key for key, entry in current.per_type.items()
                      if entry.opacity > self._theta}
-        return [edge for edge in working.edges()
+        return [edge for edge in session.graph.edges()
                 if typing.type_of(*edge) in exceeding]
 
-    def _choose_edge(self, working: Graph, computer: OpacityComputer, current,
+    def _choose_edge(self, session: OpacitySession, current,
                      rng: random.Random, result: AnonymizationResult) -> Optional[Edge]:
         raise NotImplementedError
 
@@ -135,14 +139,14 @@ class _GadedBase:
 @register_anonymizer(
     "gaded-rand",
     description="GADED-Rand baseline (Zhang & Zhang, single-edge disclosure)",
-    accepts=("theta", "seed", "max_steps", "engine", "strict"),
+    accepts=("theta", "seed", "max_steps", "engine", "strict", "evaluation_mode"),
 )
 class GadedRandAnonymizer(_GadedBase):
     """GADED-Rand: remove a random edge participating in disclosure."""
 
-    def _choose_edge(self, working: Graph, computer: OpacityComputer, current,
+    def _choose_edge(self, session: OpacitySession, current,
                      rng: random.Random, result: AnonymizationResult) -> Optional[Edge]:
-        candidates = self._disclosing_edges(working, computer, current)
+        candidates = self._disclosing_edges(session, current)
         if not candidates:
             return None
         return candidates[rng.randrange(len(candidates))]
@@ -151,31 +155,26 @@ class GadedRandAnonymizer(_GadedBase):
 @register_anonymizer(
     "gaded-max",
     description="GADED-Max baseline (Zhang & Zhang, single-edge disclosure)",
-    accepts=("theta", "seed", "max_steps", "engine", "strict"),
+    accepts=("theta", "seed", "max_steps", "engine", "strict", "evaluation_mode"),
 )
 class GadedMaxAnonymizer(_GadedBase):
     """GADED-Max: remove the edge with the greatest reduction of the maximum
     disclosure, tie-broken by the smallest increase of the total disclosure."""
 
-    def _choose_edge(self, working: Graph, computer: OpacityComputer, current,
+    def _choose_edge(self, session: OpacitySession, current,
                      rng: random.Random, result: AnonymizationResult) -> Optional[Edge]:
-        candidates = self._disclosing_edges(working, computer, current)
+        candidates = self._disclosing_edges(session, current)
         if not candidates:
-            candidates = list(working.edges())
+            candidates = list(session.graph.edges())
         if not candidates:
             return None
         best_edge: Optional[Edge] = None
         best_key: Optional[Tuple[float, float]] = None
         tie_count = 0
         for edge in candidates:
-            working.remove_edge(*edge)
-            try:
-                outcome = computer.evaluate(working)
-            finally:
-                working.add_edge(*edge)
+            outcome = session.evaluate_edit(removals=(edge,))
             self._record_evaluation(result)
-            total = float(sum(entry.opacity for entry in outcome.per_type.values()))
-            key = (outcome.max_opacity, total)
+            key = (outcome.max_opacity, outcome.total_opacity)
             if best_key is None or key < best_key:
                 best_key = key
                 best_edge = edge

@@ -61,6 +61,7 @@ from repro.api import (
     anonymize as api_anonymize,
     available_algorithms,
 )
+from repro.core.opacity_session import EVALUATION_MODES
 from repro.datasets import dataset_names
 from repro.errors import ReproError
 from repro.experiments import (
@@ -107,6 +108,7 @@ def _request_from_args(args: argparse.Namespace) -> AnonymizationRequest:
         length_threshold=args.length,
         lookahead=args.lookahead,
         seed=args.seed,
+        evaluation_mode=args.evaluation_mode,
         insertion_candidate_cap=args.insertion_cap,
         timeout_seconds=args.timeout,
         include_utility=True,
@@ -261,6 +263,11 @@ def build_parser() -> argparse.ArgumentParser:
     anonymize.add_argument("--theta", type=float, default=0.5)
     anonymize.add_argument("--length", "-L", type=int, default=1)
     anonymize.add_argument("--lookahead", type=int, default=1)
+    anonymize.add_argument("--evaluation-mode", choices=EVALUATION_MODES,
+                           default="incremental", dest="evaluation_mode",
+                           help="candidate evaluation strategy: delta-evaluated "
+                                "sessions (incremental) or per-candidate recounts "
+                                "(scratch); both choose identical edits")
     anonymize.add_argument("--insertion-cap", type=int, default=None)
     anonymize.add_argument("--timeout", type=float, default=None,
                            help="wall-clock budget in seconds (best-effort stop)")

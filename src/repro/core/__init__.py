@@ -4,6 +4,8 @@ Contents
 --------
 * :mod:`repro.core.pair_types` — vertex-pair typings (Definition 1).
 * :mod:`repro.core.opacity` — opacity matrices and ``maxLO`` (Algorithm 1).
+* :mod:`repro.core.opacity_session` — stateful delta-evaluated opacity
+  sessions driving the candidate scans.
 * :mod:`repro.core.edge_removal` — the Edge Removal heuristic (Algorithm 4).
 * :mod:`repro.core.edge_removal_insertion` — Edge Removal/Insertion (Algorithm 5).
 * :mod:`repro.core.lookahead` — the shared look-ahead combination search.
@@ -18,6 +20,11 @@ from repro.core.pair_types import (
     TypeKey,
 )
 from repro.core.opacity import OpacityComputer, OpacityResult, TypeOpacity
+from repro.core.opacity_session import (
+    EVALUATION_MODES,
+    EditEvaluation,
+    OpacitySession,
+)
 from repro.core.anonymizer import (
     AnonymizationResult,
     AnonymizationStep,
@@ -43,6 +50,9 @@ __all__ = [
     "OpacityComputer",
     "OpacityResult",
     "TypeOpacity",
+    "EVALUATION_MODES",
+    "EditEvaluation",
+    "OpacitySession",
     "AnonymizationResult",
     "AnonymizationStep",
     "AnonymizerConfig",

@@ -24,6 +24,7 @@ from repro.api.progress import (
     ProgressObserver,
 )
 from repro.core.opacity import OpacityComputer, OpacityResult
+from repro.core.opacity_session import OpacitySession, validate_evaluation_mode
 from repro.core.pair_types import DegreePairTyping, PairTyping
 from repro.errors import ConfigurationError, InfeasibleError
 from repro.graph.distance import DistanceEngine, available_engines
@@ -65,6 +66,12 @@ class AnonymizerConfig:
     strict:
         If ``True``, raise :class:`InfeasibleError` when the threshold cannot
         be met; otherwise return a best-effort result with ``success=False``.
+    evaluation_mode:
+        How candidate edits are evaluated: ``"incremental"`` (default)
+        delta-evaluates each candidate through an
+        :class:`~repro.core.opacity_session.OpacitySession`;
+        ``"scratch"`` recomputes distances and counts from scratch per
+        candidate.  Both modes choose bit-identical edits.
     """
 
     length_threshold: int = 1
@@ -77,6 +84,7 @@ class AnonymizerConfig:
     max_combinations: int = 100_000
     insertion_candidate_cap: Optional[int] = None
     strict: bool = False
+    evaluation_mode: str = "incremental"
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` for invalid parameter values."""
@@ -97,6 +105,7 @@ class AnonymizerConfig:
             raise ConfigurationError("max_combinations must be >= 1")
         if self.insertion_candidate_cap is not None and self.insertion_candidate_cap < 1:
             raise ConfigurationError("insertion_candidate_cap must be >= 1")
+        validate_evaluation_mode(self.evaluation_mode)
 
 
 @dataclass(frozen=True)
@@ -236,6 +245,7 @@ class BaseAnonymizer(ABC):
             typing = DegreePairTyping(graph)
         computer = OpacityComputer(typing, config.length_threshold, engine=config.engine)
         working = graph.copy()
+        session = OpacitySession(computer, working, mode=config.evaluation_mode)
         rng = random.Random(config.seed)
         result = AnonymizationResult(
             original_graph=graph.copy(),
@@ -244,7 +254,7 @@ class BaseAnonymizer(ABC):
             observer=observer if observer is not None else NULL_OBSERVER,
         )
         started = time.perf_counter()
-        current = computer.evaluate(working)
+        current = session.current()
         result.evaluations += 1
         result.observer.on_evaluation(result.evaluations)
         step_index = 0
@@ -256,20 +266,20 @@ class BaseAnonymizer(ABC):
                 result.stop_reason = "max_steps"
                 break
             try:
-                step = self._perform_step(working, computer, current, rng, result)
+                step = self._perform_step(session, current, rng, result)
             except AnonymizationStopped:
                 # The step may have been interrupted after applying part of
                 # its modifications (rem-ins applies the removal before the
                 # insertion scan), so re-evaluate to keep the reported
                 # opacity consistent with the returned graph.
-                current = computer.evaluate(working)
+                current = session.current()
                 result.evaluations += 1
                 result.stop_reason = "observer"
                 break
             if step is None:
                 result.stop_reason = "exhausted"
                 break
-            current = computer.evaluate(working)
+            current = session.current()
             result.evaluations += 1
             result.observer.on_evaluation(result.evaluations)
             step_record = AnonymizationStep(
@@ -291,10 +301,10 @@ class BaseAnonymizer(ABC):
         return result
 
     @abstractmethod
-    def _perform_step(self, working: Graph, computer: OpacityComputer,
-                      current: OpacityResult, rng: random.Random,
+    def _perform_step(self, session: OpacitySession, current: OpacityResult,
+                      rng: random.Random,
                       result: AnonymizationResult) -> Optional[Tuple[str, Tuple[Edge, ...]]]:
-        """Apply one greedy step in place.
+        """Apply one greedy step through ``session``.
 
         Returns the ``(operation, edges)`` applied, or ``None`` when no
         further step is possible (the driver then stops).
@@ -303,32 +313,20 @@ class BaseAnonymizer(ABC):
     # ------------------------------------------------------------------
     # helpers shared by subclasses
     # ------------------------------------------------------------------
-    def _evaluate_removal(self, working: Graph, computer: OpacityComputer,
-                          edges: Sequence[Edge], result: AnonymizationResult) -> CandidateOutcome:
-        """Opacity after tentatively removing ``edges`` (the graph is restored)."""
-        for u, v in edges:
-            working.remove_edge(u, v)
-        try:
-            outcome = computer.evaluate(working)
-        finally:
-            for u, v in edges:
-                working.add_edge(u, v)
+    def _evaluate_removal(self, session: OpacitySession, edges: Sequence[Edge],
+                          result: AnonymizationResult) -> CandidateOutcome:
+        """Opacity after tentatively removing ``edges`` (no trace is left)."""
+        outcome = session.evaluate_edit(removals=edges)
         self._record_evaluation(result)
-        return CandidateOutcome(edges=tuple(edges), fraction=outcome.max_fraction,
+        return CandidateOutcome(edges=tuple(edges), fraction=outcome.fraction,
                                 types_at_max=outcome.types_at_max)
 
-    def _evaluate_insertion(self, working: Graph, computer: OpacityComputer,
-                            edges: Sequence[Edge], result: AnonymizationResult) -> CandidateOutcome:
-        """Opacity after tentatively inserting ``edges`` (the graph is restored)."""
-        for u, v in edges:
-            working.add_edge(u, v)
-        try:
-            outcome = computer.evaluate(working)
-        finally:
-            for u, v in edges:
-                working.remove_edge(u, v)
+    def _evaluate_insertion(self, session: OpacitySession, edges: Sequence[Edge],
+                            result: AnonymizationResult) -> CandidateOutcome:
+        """Opacity after tentatively inserting ``edges`` (no trace is left)."""
+        outcome = session.evaluate_edit(insertions=edges)
         self._record_evaluation(result)
-        return CandidateOutcome(edges=tuple(edges), fraction=outcome.max_fraction,
+        return CandidateOutcome(edges=tuple(edges), fraction=outcome.fraction,
                                 types_at_max=outcome.types_at_max)
 
     @staticmethod

@@ -1,8 +1,9 @@
 """The Edge Removal heuristic (paper Algorithm 4, with look-ahead).
 
 At every step the heuristic tentatively removes each candidate edge (or
-combination of up to ``la`` edges), evaluates the resulting maximum opacity,
-and applies the best candidate according to the tie-breaking rule: lowest
+combination of up to ``la`` edges), evaluates the resulting maximum opacity
+through the step's :class:`~repro.core.opacity_session.OpacitySession`, and
+applies the best candidate according to the tie-breaking rule: lowest
 maximum opacity first, then fewest types attaining that maximum, then a
 uniform random choice.  The loop ends when the graph satisfies
 ``max_T LO(T) <= θ`` or no removable edges remain.
@@ -18,15 +19,18 @@ import numpy as np
 from repro.api.registry import register_anonymizer
 from repro.core.anonymizer import AnonymizationResult, BaseAnonymizer
 from repro.core.lookahead import search_best_combination
-from repro.core.opacity import OpacityComputer, OpacityResult
-from repro.graph.graph import Edge, Graph
+from repro.core.opacity import OpacityResult
+from repro.core.opacity_session import OpacitySession
+from repro.graph.graph import Edge
+from repro.graph.matrices import triu_pair_indices
 
 
 @register_anonymizer(
     "rem",
     description="Edge Removal (paper Algorithm 4)",
     accepts=("length_threshold", "theta", "lookahead", "engine", "seed",
-             "max_steps", "prune_candidates", "max_combinations", "strict"),
+             "max_steps", "prune_candidates", "max_combinations", "strict",
+             "evaluation_mode"),
 )
 class EdgeRemovalAnonymizer(BaseAnonymizer):
     """Algorithm 4: greedy L-opacification via edge removal.
@@ -40,15 +44,15 @@ class EdgeRemovalAnonymizer(BaseAnonymizer):
     True
     """
 
-    def _perform_step(self, working: Graph, computer: OpacityComputer,
-                      current: OpacityResult, rng: random.Random,
+    def _perform_step(self, session: OpacitySession, current: OpacityResult,
+                      rng: random.Random,
                       result: AnonymizationResult) -> Optional[Tuple[str, Tuple[Edge, ...]]]:
-        candidates = self._removal_candidates(working, computer, current)
+        candidates = self._removal_candidates(session, current)
         if not candidates:
             return None
         best = search_best_combination(
             candidates,
-            lambda combo: self._evaluate_removal(working, computer, combo, result),
+            lambda combo: self._evaluate_removal(session, combo, result),
             current_fraction=current.max_fraction,
             lookahead=self._config.lookahead,
             rng=rng,
@@ -56,15 +60,14 @@ class EdgeRemovalAnonymizer(BaseAnonymizer):
         )
         if best is None:
             return None
-        for u, v in best.edges:
-            working.remove_edge(u, v)
+        session.apply_edit(removals=best.edges)
         result.removed_edges.update(best.edges)
         return ("remove", best.edges)
 
     # ------------------------------------------------------------------
     # candidate selection
     # ------------------------------------------------------------------
-    def _removal_candidates(self, working: Graph, computer: OpacityComputer,
+    def _removal_candidates(self, session: OpacitySession,
                             current: OpacityResult) -> List[Edge]:
         """Edges considered for removal in this step.
 
@@ -72,30 +75,29 @@ class EdgeRemovalAnonymizer(BaseAnonymizer):
         length ≤ L between a pair of a type currently attaining the maximum
         opacity are scanned; removing any other edge cannot lower the
         maximum (edge removal never shortens a geodesic), so the greedy
-        optimum over the full scan is preserved whenever an improving move
-        exists.
+        choice is preserved whenever an improving move exists.
         """
-        edges = list(working.edges())
+        edges = list(session.graph.edges())
         if not edges or not self._config.prune_candidates:
             return edges
-        pruned = self._prune_to_short_paths(working, computer, current, edges)
+        pruned = self._prune_to_short_paths(session, current, edges)
         # Fall back to the full scan if pruning removed every candidate
         # (e.g. the maximum is attained only by already-unreachable types).
         return pruned if pruned else edges
 
-    def _prune_to_short_paths(self, working: Graph, computer: OpacityComputer,
+    def _prune_to_short_paths(self, session: OpacitySession,
                               current: OpacityResult, edges: Sequence[Edge]) -> List[Edge]:
         length = self._config.length_threshold
-        distances = computer.distances(working).astype(np.int64)
-        typing = computer.typing
+        distances = session.distances().astype(np.int64)
+        typing = session.computer.typing
         # Collect the vertex pairs of the types at the current maximum that
         # are within distance L — only breaking one of their short paths can
         # reduce the maximum opacity.
         max_fraction = current.max_fraction
         max_types = {key for key, entry in current.per_type.items()
                      if entry.fraction == max_fraction}
-        n = working.num_vertices
-        rows, cols = np.triu_indices(n, k=1)
+        n = session.graph.num_vertices
+        rows, cols = triu_pair_indices(n)
         within = distances[rows, cols] <= length
         rows, cols = rows[within], cols[within]
         pair_mask = np.fromiter(

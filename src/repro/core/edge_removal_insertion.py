@@ -5,7 +5,9 @@ Removal heuristic, immediately followed by the edge *insertion* that yields
 the lowest maximum opacity, thereby keeping the number of edges of the
 original graph constant.  To avoid oscillation, an edge that has been
 inserted is never removed again and an edge that has been removed is never
-re-inserted (the ``E_A`` / ``E_D`` sets of the pseudo-code).
+re-inserted (the ``E_A`` / ``E_D`` sets of the pseudo-code).  Both phases
+evaluate their candidates through the step's
+:class:`~repro.core.opacity_session.OpacitySession`.
 """
 
 from __future__ import annotations
@@ -17,7 +19,8 @@ from repro.api.registry import register_anonymizer
 from repro.core.anonymizer import AnonymizationResult, TieBreaker
 from repro.core.edge_removal import EdgeRemovalAnonymizer
 from repro.core.lookahead import search_best_combination
-from repro.core.opacity import OpacityComputer, OpacityResult
+from repro.core.opacity import OpacityResult
+from repro.core.opacity_session import OpacitySession
 from repro.graph.graph import Edge, Graph
 
 
@@ -26,7 +29,7 @@ from repro.graph.graph import Edge, Graph
     description="Edge Removal/Insertion (paper Algorithm 5)",
     accepts=("length_threshold", "theta", "lookahead", "engine", "seed",
              "max_steps", "prune_candidates", "max_combinations",
-             "insertion_candidate_cap", "strict"),
+             "insertion_candidate_cap", "strict", "evaluation_mode"),
 )
 class EdgeRemovalInsertionAnonymizer(EdgeRemovalAnonymizer):
     """Algorithm 5: greedy L-opacification via alternating removal and insertion.
@@ -45,13 +48,13 @@ class EdgeRemovalInsertionAnonymizer(EdgeRemovalAnonymizer):
     True
     """
 
-    def _perform_step(self, working: Graph, computer: OpacityComputer,
-                      current: OpacityResult, rng: random.Random,
+    def _perform_step(self, session: OpacitySession, current: OpacityResult,
+                      rng: random.Random,
                       result: AnonymizationResult) -> Optional[Tuple[str, Tuple[Edge, ...]]]:
-        removed = self._removal_phase(working, computer, current, rng, result)
+        removed = self._removal_phase(session, current, rng, result)
         if removed is None:
             return None
-        inserted = self._insertion_phase(working, computer, rng, result)
+        inserted = self._insertion_phase(session, rng, result)
         applied = removed + (inserted if inserted is not None else ())
         operation = "remove+insert" if inserted else "remove"
         return (operation, applied)
@@ -59,16 +62,16 @@ class EdgeRemovalInsertionAnonymizer(EdgeRemovalAnonymizer):
     # ------------------------------------------------------------------
     # removal phase (lines 3-9 of Algorithm 5)
     # ------------------------------------------------------------------
-    def _removal_phase(self, working: Graph, computer: OpacityComputer,
-                       current: OpacityResult, rng: random.Random,
+    def _removal_phase(self, session: OpacitySession, current: OpacityResult,
+                       rng: random.Random,
                        result: AnonymizationResult) -> Optional[Tuple[Edge, ...]]:
-        candidates = [edge for edge in self._removal_candidates(working, computer, current)
+        candidates = [edge for edge in self._removal_candidates(session, current)
                       if edge not in result.inserted_edges]
         if not candidates:
             return None
         best = search_best_combination(
             candidates,
-            lambda combo: self._evaluate_removal(working, computer, combo, result),
+            lambda combo: self._evaluate_removal(session, combo, result),
             current_fraction=current.max_fraction,
             lookahead=self._config.lookahead,
             rng=rng,
@@ -76,28 +79,25 @@ class EdgeRemovalInsertionAnonymizer(EdgeRemovalAnonymizer):
         )
         if best is None:
             return None
-        for u, v in best.edges:
-            working.remove_edge(u, v)
+        session.apply_edit(removals=best.edges)
         result.removed_edges.update(best.edges)
         return best.edges
 
     # ------------------------------------------------------------------
     # insertion phase (lines 10-18 of Algorithm 5)
     # ------------------------------------------------------------------
-    def _insertion_phase(self, working: Graph, computer: OpacityComputer,
-                         rng: random.Random,
+    def _insertion_phase(self, session: OpacitySession, rng: random.Random,
                          result: AnonymizationResult) -> Optional[Tuple[Edge, ...]]:
-        candidates = self._insertion_candidates(working, rng, result)
+        candidates = self._insertion_candidates(session.graph, rng, result)
         if not candidates:
             return None
         breaker = TieBreaker(rng)
         for edge in candidates:
-            breaker.offer(self._evaluate_insertion(working, computer, (edge,), result))
+            breaker.offer(self._evaluate_insertion(session, (edge,), result))
         best = breaker.best
         if best is None:
             return None
-        for u, v in best.edges:
-            working.add_edge(u, v)
+        session.apply_edit(insertions=best.edges)
         result.inserted_edges.update(best.edges)
         return best.edges
 

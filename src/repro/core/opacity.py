@@ -20,7 +20,30 @@ from repro.core.pair_types import DegreePairTyping, ExplicitPairTyping, PairTypi
 from repro.errors import ConfigurationError
 from repro.graph.distance import DistanceEngine, bounded_distance_matrix
 from repro.graph.graph import Graph
-from repro.graph.matrices import UNREACHABLE
+from repro.graph.matrices import UNREACHABLE, triu_pair_indices
+
+
+def encode_degree_pairs(degrees: np.ndarray, first: np.ndarray,
+                        second: np.ndarray) -> Tuple[np.ndarray, int]:
+    """Encode the degree pairs of vertex pairs as integers for ``bincount``.
+
+    Returns ``(codes, span)`` with ``code = min(g, h) * span + max(g, h)``
+    and ``span = max degree + 1``.  The single authoritative scheme shared by
+    the stateless tally (:meth:`OpacityComputer.within_counts`) and the
+    incremental count deltas
+    (:class:`repro.core.opacity_session.OpacitySession`) — their bit-identity
+    depends on both using the same codes.
+    """
+    span = int(degrees.max()) + 1 if degrees.size else 1
+    d_first = degrees[first]
+    d_second = degrees[second]
+    codes = np.minimum(d_first, d_second) * span + np.maximum(d_first, d_second)
+    return codes.astype(np.int64), span
+
+
+def decode_degree_pair(code: int, span: int) -> Tuple[int, int]:
+    """Invert :func:`encode_degree_pairs` for one code."""
+    return (int(code // span), int(code % span))
 
 
 @dataclass(frozen=True)
@@ -128,15 +151,26 @@ class OpacityComputer:
         """
         if distances is None:
             distances = self.distances(graph)
-        if isinstance(self._typing, DegreePairTyping):
-            counts = self._degree_pair_counts(distances)
-        else:
-            counts = self._generic_counts(distances)
-        return self._build_result(counts)
+        return self.result_from_counts(self.within_counts(distances))
 
     def max_opacity(self, graph: Graph, distances: Optional[np.ndarray] = None) -> float:
         """Return ``maxLO`` — the maximum opacity over all types."""
         return self.evaluate(graph, distances=distances).max_opacity
+
+    def within_counts(self, distances: np.ndarray) -> Dict[TypeKey, int]:
+        """Per-type counts of pairs within distance L (Algorithm 1's tally).
+
+        Exposed separately from :meth:`evaluate` so the stateful
+        :class:`repro.core.opacity_session.OpacitySession` can seed and
+        re-derive its incremental count state from the same code path.
+        """
+        if isinstance(self._typing, DegreePairTyping):
+            return self._degree_pair_counts(distances)
+        return self._generic_counts(distances)
+
+    def result_from_counts(self, counts: Mapping[TypeKey, int]) -> OpacityResult:
+        """Assemble the full :class:`OpacityResult` from within-L counts."""
+        return self._build_result(counts)
 
     # ------------------------------------------------------------------
     # counting strategies
@@ -148,20 +182,14 @@ class OpacityComputer:
         n = distances.shape[0]
         if n < 2:
             return {}
-        rows, cols = np.triu_indices(n, k=1)
+        rows, cols = triu_pair_indices(n)
         within = distances[rows, cols] <= self._length
         if not within.any():
             return {}
-        rows = rows[within]
-        cols = cols[within]
-        low = np.minimum(degrees[rows], degrees[cols])
-        high = np.maximum(degrees[rows], degrees[cols])
-        # Encode (low, high) as a single integer key for bincount.
-        span = int(degrees.max()) + 1 if degrees.size else 1
-        encoded = low * span + high
+        encoded, span = encode_degree_pairs(degrees, rows[within], cols[within])
         counted = np.bincount(encoded)
         nonzero = np.nonzero(counted)[0]
-        return {(int(code // span), int(code % span)): int(counted[code]) for code in nonzero}
+        return {decode_degree_pair(code, span): int(counted[code]) for code in nonzero}
 
     def _generic_counts(self, distances: np.ndarray) -> Dict[TypeKey, int]:
         typing = self._typing
@@ -188,7 +216,7 @@ class OpacityComputer:
     # ------------------------------------------------------------------
     # result assembly
     # ------------------------------------------------------------------
-    def _build_result(self, counts: Dict[TypeKey, int]) -> OpacityResult:
+    def _build_result(self, counts: Mapping[TypeKey, int]) -> OpacityResult:
         per_type: Dict[TypeKey, TypeOpacity] = {}
         max_fraction = Fraction(0)
         for type_key in self._typing.types():

@@ -1,0 +1,324 @@
+"""Stateful, delta-evaluated opacity sessions.
+
+:class:`repro.core.opacity.OpacityComputer` stays the stateless Algorithm 1
+evaluator; :class:`OpacitySession` adds the state the candidate scans need
+to answer "what would ``maxLO`` be after this edit?" thousands of times per
+greedy step without a from-scratch recount.
+
+A session owns a working graph together with
+
+* a :class:`repro.graph.distance_delta.DistanceSession` maintaining the
+  L-bounded distance matrix, and
+* the per-type within-L counts of the *current* graph, kept in the frozen
+  typing's iteration order.
+
+A tentative edit then costs one distance delta plus a count delta over the
+flipped cells — for :class:`~repro.core.pair_types.DegreePairTyping` a
+vectorized bincount over the changed pairs; at L = 1 only the edited
+endpoints' rows are touched, so the per-edit work shrinks to a couple of
+column scans.  The session reproduces the
+stateless evaluator *bit-identically*: the same ``Fraction`` maxima, the
+same ``types_at_max`` tie-break counts, and (for GADED-Max) the same
+float-summed total opacity, so a greedy run chooses the same edits in either
+evaluation mode.
+
+``mode="scratch"`` is the reference implementation: every query applies the
+edit, runs the stateless evaluator, and reverts — the paper's
+copy-evaluate-restore loop behind the same interface.  Both modes apply and
+revert tentative edits through the same :class:`~repro.graph.graph.Graph`
+mutations in the same order, so adjacency-set iteration (and with it every
+seeded tie-break downstream) is mode-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.opacity import (
+    OpacityComputer,
+    OpacityResult,
+    decode_degree_pair,
+    encode_degree_pairs,
+)
+from repro.core.pair_types import DegreePairTyping, TypeKey
+from repro.errors import ConfigurationError
+from repro.graph.distance_delta import DistanceDelta, DistanceSession
+from repro.graph.graph import Edge, Graph
+
+#: Valid values of the ``evaluation_mode`` knob, service layer included.
+EVALUATION_MODES: Tuple[str, ...] = ("scratch", "incremental")
+
+
+def validate_evaluation_mode(mode: str) -> None:
+    """Raise :class:`ConfigurationError` unless ``mode`` is a known mode."""
+    if mode not in EVALUATION_MODES:
+        raise ConfigurationError(
+            f"unknown evaluation_mode {mode!r}; available: {EVALUATION_MODES}")
+
+
+@dataclass(frozen=True)
+class EditEvaluation:
+    """Outcome of one tentative edit — exactly what the candidate scans need.
+
+    ``total_opacity`` is the float sum of per-type opacities in typing order
+    (GADED-Max's secondary objective), accumulated identically to the
+    stateless evaluator's ``sum(entry.opacity for entry in per_type)``.
+    """
+
+    fraction: Fraction
+    types_at_max: int
+    total_opacity: float
+
+    @property
+    def max_opacity(self) -> float:
+        """``maxLO`` after the edit, as a float."""
+        return float(self.fraction)
+
+
+class OpacitySession:
+    """Evaluate and apply edge edits against a working graph.
+
+    All graph mutations of an anonymization run must go through
+    :meth:`apply_edit` so the incremental state stays in sync; tentative
+    candidates go through :meth:`evaluate_edit`, which leaves no trace.
+
+    Parameters
+    ----------
+    computer:
+        The stateless evaluator fixing typing, L, and the distance engine.
+    graph:
+        The working graph (shared, not copied).
+    mode:
+        ``"incremental"`` (delta evaluation) or ``"scratch"``
+        (copy-evaluate-restore reference).
+    fallback_row_fraction:
+        Passed to :class:`DistanceSession` — removal deltas touching more
+        than this fraction of rows fall back to a from-scratch matrix.
+    """
+
+    def __init__(self, computer: OpacityComputer, graph: Graph,
+                 mode: str = "incremental",
+                 fallback_row_fraction: float = 0.5) -> None:
+        validate_evaluation_mode(mode)
+        self._computer = computer
+        self._graph = graph
+        self._mode = mode
+        self._current: Optional[OpacityResult] = None
+        self._distance: Optional[DistanceSession] = None
+        if mode == "incremental":
+            self._distance = DistanceSession(
+                graph, computer.length_threshold, engine=computer.engine,
+                fallback_row_fraction=fallback_row_fraction)
+            self._init_counts()
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def computer(self) -> OpacityComputer:
+        """The stateless evaluator this session wraps."""
+        return self._computer
+
+    @property
+    def graph(self) -> Graph:
+        """The working graph."""
+        return self._graph
+
+    @property
+    def mode(self) -> str:
+        """The evaluation mode (``"scratch"`` or ``"incremental"``)."""
+        return self._mode
+
+    def distances(self) -> np.ndarray:
+        """The current L-bounded distance matrix (treat as read-only)."""
+        if self._distance is not None:
+            return self._distance.distances
+        return self._computer.distances(self._graph)
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def current(self) -> OpacityResult:
+        """Full Algorithm 1 result for the current graph state."""
+        if self._mode == "scratch":
+            return self._computer.evaluate(self._graph)
+        if self._current is None:
+            counts = {key: int(within)
+                      for key, within in zip(self._type_keys, self._withins)}
+            self._current = self._computer.result_from_counts(counts)
+        return self._current
+
+    def evaluate_edit(self, removals: Sequence[Edge] = (),
+                      insertions: Sequence[Edge] = ()) -> EditEvaluation:
+        """Opacity outcome after tentatively applying the edit (no trace left)."""
+        if self._mode == "scratch":
+            return self._scratch_evaluate(removals, insertions)
+        delta = self._distance.preview(removals, insertions)
+        changes = self._count_changes(delta)
+        return self._summarize(changes)
+
+    def apply_edit(self, removals: Sequence[Edge] = (),
+                   insertions: Sequence[Edge] = ()) -> None:
+        """Permanently apply the edit, keeping all session state in sync."""
+        if self._mode == "scratch":
+            for u, v in removals:
+                self._graph.remove_edge(u, v)
+            for u, v in insertions:
+                self._graph.add_edge(u, v)
+            return
+        # Two-phase: stage mutates the graph exactly once (the same mutation
+        # sequence scratch mode performs), count deltas are diffed against
+        # the still-pre-edit matrix, then the delta is folded in.
+        delta = self._distance.stage(removals, insertions)
+        changes = self._count_changes(delta)
+        self._distance.commit(delta)
+        for index, change in changes.items():
+            self._withins[index] += change
+        self._current = None
+
+    def resync(self) -> None:
+        """Rebuild all incremental state from scratch (testing / recovery)."""
+        if self._mode == "incremental":
+            self._distance.refresh()
+            self._init_counts()
+
+    # ------------------------------------------------------------------
+    # scratch reference path
+    # ------------------------------------------------------------------
+    def _scratch_evaluate(self, removals: Sequence[Edge],
+                          insertions: Sequence[Edge]) -> EditEvaluation:
+        for u, v in removals:
+            self._graph.remove_edge(u, v)
+        for u, v in insertions:
+            self._graph.add_edge(u, v)
+        try:
+            outcome = self._computer.evaluate(self._graph)
+        finally:
+            for u, v in insertions:
+                self._graph.remove_edge(u, v)
+            for u, v in removals:
+                self._graph.add_edge(u, v)
+        total = float(sum(entry.opacity for entry in outcome.per_type.values()))
+        return EditEvaluation(fraction=outcome.max_fraction,
+                              types_at_max=outcome.types_at_max,
+                              total_opacity=total)
+
+    # ------------------------------------------------------------------
+    # incremental machinery
+    # ------------------------------------------------------------------
+    def _init_counts(self) -> None:
+        typing = self._computer.typing
+        counts = self._computer.within_counts(self._distance.distances)
+        type_keys: List[TypeKey] = []
+        totals: List[int] = []
+        withins: List[int] = []
+        for key in typing.types():
+            total = typing.pair_count(key)
+            if total == 0:
+                continue
+            type_keys.append(key)
+            totals.append(total)
+            withins.append(counts.get(key, 0))
+        self._type_keys = type_keys
+        self._totals = np.asarray(totals, dtype=np.int64)
+        self._withins = np.asarray(withins, dtype=np.int64)
+        self._type_index: Dict[TypeKey, int] = {
+            key: index for index, key in enumerate(type_keys)}
+        self._current = None
+
+    def _summarize(self, changes: Dict[int, int]) -> EditEvaluation:
+        """Max/tie/total scan over the per-type counts with ``changes`` applied.
+
+        Exactness without per-type ``Fraction`` objects: correctly-rounded
+        float division is monotone, so the exact maximum must live among the
+        types whose float ratio equals the float maximum; only those few are
+        compared by integer cross-multiplication (the ordering ``Fraction``
+        induces), and only they can tie the exact maximum.  The float total
+        accumulates left-to-right like the stateless evaluator's
+        ``sum(entry.opacity ...)``, so GADED-Max sees bit-identical keys.
+        """
+        withins = self._withins
+        if changes:
+            withins = withins.copy()
+            for index, change in changes.items():
+                withins[index] += change
+        if withins.size == 0:
+            return EditEvaluation(fraction=Fraction(0), types_at_max=0,
+                                  total_opacity=0.0)
+        ratios = withins / self._totals
+        total = sum(ratios.tolist())
+        candidates = np.nonzero(ratios == ratios.max())[0].tolist()
+        best_num, best_den = 0, 1
+        for index in candidates:
+            num = int(withins[index])
+            den = int(self._totals[index])
+            if num * best_den > best_num * den:
+                best_num, best_den = num, den
+        ties = sum(1 for index in candidates
+                   if int(withins[index]) * best_den == best_num * int(self._totals[index]))
+        return EditEvaluation(fraction=Fraction(best_num, best_den),
+                              types_at_max=ties, total_opacity=float(total))
+
+    def _count_changes(self, delta: DistanceDelta) -> Dict[int, int]:
+        """Per-type within-L count deltas implied by a distance delta.
+
+        Returns a mapping from type *index* (position in the frozen typing
+        order) to the signed change of its within-L pair count.
+        """
+        if delta.rows.size == 0:
+            return {}
+        length = self._computer.length_threshold
+        if delta.from_scratch:
+            new_counts = self._computer.within_counts(delta.new_rows)
+            changes = {}
+            for index, key in enumerate(self._type_keys):
+                change = new_counts.get(key, 0) - self._withins[index]
+                if change:
+                    changes[index] = change
+            return changes
+        rows = delta.rows
+        old_within = self._distance.distances[rows] <= length
+        new_within = delta.new_rows <= length
+        flips = old_within != new_within
+        if not flips.any():
+            return {}
+        # Each changed cell appears in its row and (when both endpoints are
+        # affected rows) again transposed; keep exactly one representative.
+        n = self._graph.num_vertices
+        in_rows = np.zeros(n, dtype=bool)
+        in_rows[rows] = True
+        columns = np.arange(n)
+        keep = flips & (~in_rows[None, :] | (columns[None, :] > rows[:, None]))
+        row_pos, col_idx = np.nonzero(keep)
+        if row_pos.size == 0:
+            return {}
+        row_idx = rows[row_pos]
+        gained = new_within[row_pos, col_idx]
+        typing = self._computer.typing
+        changes: Dict[int, int] = {}
+        if isinstance(typing, DegreePairTyping):
+            encoded, span = encode_degree_pairs(typing.degrees, row_idx, col_idx)
+            for codes, sign in ((encoded[gained], 1), (encoded[~gained], -1)):
+                if codes.size == 0:
+                    continue
+                counted = np.bincount(codes)
+                for code in np.nonzero(counted)[0]:
+                    index = self._type_index.get(decode_degree_pair(code, span))
+                    if index is None:
+                        continue
+                    changes[index] = changes.get(index, 0) + sign * int(counted[code])
+        else:
+            for i, j, is_gain in zip(row_idx.tolist(), col_idx.tolist(),
+                                     gained.tolist()):
+                key = typing.type_of(i, j)
+                if key is None:
+                    continue
+                index = self._type_index.get(key)
+                if index is None:
+                    continue
+                changes[index] = changes.get(index, 0) + (1 if is_gain else -1)
+        return {index: change for index, change in changes.items() if change}

@@ -7,7 +7,8 @@ synthetic generators, structural property reports, and edge-list I/O.
 """
 
 from repro.graph.graph import Edge, Graph, normalize_edge
-from repro.graph.matrices import TriangularMatrix, UNREACHABLE
+from repro.graph.matrices import TriangularMatrix, UNREACHABLE, triu_pair_indices
+from repro.graph.distance_delta import DistanceDelta, DistanceSession
 from repro.graph.distance import (
     DistanceEngine,
     available_engines,
@@ -52,6 +53,9 @@ __all__ = [
     "normalize_edge",
     "TriangularMatrix",
     "UNREACHABLE",
+    "triu_pair_indices",
+    "DistanceDelta",
+    "DistanceSession",
     "DistanceEngine",
     "available_engines",
     "bounded_distance_matrix",

@@ -31,7 +31,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.graph.graph import Graph
-from repro.graph.matrices import UNREACHABLE
+from repro.graph.matrices import UNREACHABLE, triu_pair_indices
 
 #: Registry of engine name -> callable(graph, L) -> dense bounded distance matrix.
 _ENGINES: Dict[str, Callable[[Graph, int], np.ndarray]] = {}
@@ -238,7 +238,9 @@ def numpy_bounded_distances(graph: Graph, length_bound: int) -> np.ndarray:
     dist = _empty_matrix(n)
     if n == 0 or graph.num_edges == 0:
         return dist
-    adjacency = graph.adjacency_matrix(dtype=np.uint8)
+    # float32 keeps the 0/1 products exact up to 2**24 neighbors (a uint8
+    # accumulator would wrap at 256) and routes the product through BLAS.
+    adjacency = graph.adjacency_matrix(dtype=np.float32)
     reached = np.eye(n, dtype=np.bool_)
     frontier = adjacency.astype(np.bool_)
     step = 1
@@ -248,7 +250,7 @@ def numpy_bounded_distances(graph: Graph, length_bound: int) -> np.ndarray:
         reached |= new
         if step == length_bound:
             break
-        frontier = (new.astype(np.uint8) @ adjacency) > 0
+        frontier = (new.astype(np.float32) @ adjacency) > 0
         step += 1
     return dist
 
@@ -260,6 +262,6 @@ def pairwise_distance_histogram(distances: np.ndarray) -> Dict[int, int]:
     :data:`UNREACHABLE`.
     """
     n = distances.shape[0]
-    upper = distances[np.triu_indices(n, k=1)]
+    upper = distances[triu_pair_indices(n)]
     values, counts = np.unique(upper, return_counts=True)
     return {int(value): int(count) for value, count in zip(values, counts)}

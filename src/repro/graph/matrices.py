@@ -9,12 +9,44 @@ unreachable pairs carry the sentinel :data:`UNREACHABLE`.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Iterator, Tuple
 
 import numpy as np
 
 #: Sentinel for "no path of interest" (unreachable or pruned beyond L).
 UNREACHABLE: int = np.iinfo(np.int32).max
+
+
+#: Largest matrix size whose triangle indices are worth pinning in memory
+#: (each cached entry holds ~8·n² bytes); together with the bounded LRU this
+#: caps the cache at a few tens of MB while covering every sampled size a
+#:  sweep is realistically working on at once.
+_TRIU_CACHE_MAX_N = 1024
+
+
+def triu_pair_indices(n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Cached ``np.triu_indices(n, k=1)`` — the (row, col) arrays of all pairs.
+
+    Every opacity evaluation scans the strict upper triangle of an ``n x n``
+    distance matrix, and a greedy run performs thousands of evaluations at a
+    handful of distinct sizes; caching the index arrays removes their
+    regeneration from the hot path.  The arrays are marked read-only — take a
+    copy before mutating (boolean/fancy indexing already returns copies).
+    Sizes beyond :data:`_TRIU_CACHE_MAX_N` are computed per call rather than
+    pinned (the arrays would dwarf the distance matrix itself).
+    """
+    if n > _TRIU_CACHE_MAX_N:
+        return np.triu_indices(n, k=1)
+    return _cached_triu_pair_indices(n)
+
+
+@lru_cache(maxsize=8)
+def _cached_triu_pair_indices(n: int) -> Tuple[np.ndarray, np.ndarray]:
+    rows, cols = np.triu_indices(n, k=1)
+    rows.setflags(write=False)
+    cols.setflags(write=False)
+    return rows, cols
 
 
 class TriangularMatrix:

@@ -25,6 +25,20 @@ class TestAnonymizationRequest:
         assert restored == request
         assert restored.edges == request.edges
 
+    def test_evaluation_mode_round_trips_and_reaches_algorithms(self):
+        request = AnonymizationRequest(algorithm="rem", edges=EDGES,
+                                       evaluation_mode="scratch")
+        restored = AnonymizationRequest.from_json(request.to_json())
+        assert restored.evaluation_mode == "scratch"
+        assert request.algorithm_params()["evaluation_mode"] == "scratch"
+        # Defaults to the delta-evaluated sessions.
+        assert AnonymizationRequest(algorithm="rem", edges=EDGES).evaluation_mode \
+            == "incremental"
+
+    def test_unknown_evaluation_mode_raises_at_construction_time(self):
+        with pytest.raises(ConfigurationError, match="evaluation_mode"):
+            EdgeRemovalAnonymizer(evaluation_mode="lazy")
+
     def test_edges_are_normalized_and_sorted(self):
         request = AnonymizationRequest(algorithm="rem", edges=((3, 2), (1, 0)))
         assert request.edges == ((0, 1), (2, 3))

@@ -1,0 +1,195 @@
+"""Unit tests for the incremental distance session (delta evaluation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, InvalidEdgeError
+from repro.graph import Graph, erdos_renyi_graph
+from repro.graph.distance import bounded_distance_matrix
+from repro.graph.distance_delta import DistanceSession
+
+
+def apply_delta(session, delta):
+    """Materialize a previewed delta into a full matrix (for comparison)."""
+    if delta.from_scratch:
+        return delta.new_rows.copy()
+    matrix = session.distances.copy()
+    if delta.rows.size:
+        matrix[delta.rows, :] = delta.new_rows
+        matrix[:, delta.rows] = delta.new_rows.T
+    return matrix
+
+
+def reference_after(graph, removals, insertions, length):
+    for u, v in removals:
+        graph.remove_edge(u, v)
+    for u, v in insertions:
+        graph.add_edge(u, v)
+    try:
+        return bounded_distance_matrix(graph, length)
+    finally:
+        for u, v in insertions:
+            graph.remove_edge(u, v)
+        for u, v in removals:
+            graph.add_edge(u, v)
+
+
+class TestPreview:
+    @pytest.mark.parametrize("length", [1, 2, 3])
+    def test_single_removal_matches_scratch(self, paper_example_graph, length):
+        session = DistanceSession(paper_example_graph, length)
+        for edge in list(paper_example_graph.edges()):
+            delta = session.preview(removals=[edge])
+            expected = reference_after(paper_example_graph, [edge], [], length)
+            assert np.array_equal(apply_delta(session, delta), expected)
+
+    @pytest.mark.parametrize("length", [1, 2, 3])
+    def test_single_insertion_matches_scratch(self, paper_example_graph, length):
+        session = DistanceSession(paper_example_graph, length)
+        for edge in list(paper_example_graph.non_edges()):
+            delta = session.preview(insertions=[edge])
+            expected = reference_after(paper_example_graph, [], [edge], length)
+            assert np.array_equal(apply_delta(session, delta), expected)
+
+    def test_combination_edit_matches_scratch(self, paper_example_graph):
+        session = DistanceSession(paper_example_graph, 2)
+        removals = [(0, 1), (4, 5)]
+        insertions = [(0, 6), (3, 6)]
+        delta = session.preview(removals=removals, insertions=insertions)
+        expected = reference_after(paper_example_graph, removals, insertions, 2)
+        assert np.array_equal(apply_delta(session, delta), expected)
+
+    def test_preview_leaves_no_trace(self, paper_example_graph):
+        session = DistanceSession(paper_example_graph, 2)
+        before_edges = paper_example_graph.edge_set()
+        before_matrix = session.distances.copy()
+        session.preview(removals=[(0, 1)], insertions=[(0, 6)])
+        assert paper_example_graph.edge_set() == before_edges
+        assert np.array_equal(session.distances, before_matrix)
+
+    def test_empty_preview_is_empty_delta(self, paper_example_graph):
+        session = DistanceSession(paper_example_graph, 2)
+        delta = session.preview()
+        assert delta.num_affected_rows == 0
+        assert not delta.from_scratch
+
+    def test_fallback_produces_full_scratch_matrix(self, paper_example_graph):
+        session = DistanceSession(paper_example_graph, 2, fallback_row_fraction=0.0)
+        delta = session.preview(removals=[(0, 1)])
+        assert delta.from_scratch
+        expected = reference_after(paper_example_graph, [(0, 1)], [], 2)
+        assert np.array_equal(delta.new_rows, expected)
+        # The graph is restored even on the fallback path.
+        assert paper_example_graph.has_edge(0, 1)
+
+
+class TestApply:
+    @pytest.mark.parametrize("fallback", [0.0, 0.5, 1.0])
+    def test_random_edit_sequence_stays_exact(self, fallback):
+        graph = erdos_renyi_graph(30, 0.2, seed=5)
+        session = DistanceSession(graph, 2, fallback_row_fraction=fallback)
+        for index in range(25):
+            edges = list(graph.edges())
+            non_edges = list(graph.non_edges())
+            if index % 2 == 0 and edges:
+                session.apply(removals=[edges[index % len(edges)]])
+            elif non_edges:
+                session.apply(insertions=[non_edges[index % len(non_edges)]])
+            assert np.array_equal(session.distances,
+                                  bounded_distance_matrix(graph, 2))
+
+    def test_apply_accepts_matching_preview(self, paper_example_graph):
+        session = DistanceSession(paper_example_graph, 2)
+        delta = session.preview(removals=[(0, 1)])
+        session.apply(removals=[(0, 1)], delta=delta)
+        assert not paper_example_graph.has_edge(0, 1)
+        assert np.array_equal(session.distances,
+                              bounded_distance_matrix(paper_example_graph, 2))
+
+    def test_apply_rejects_mismatched_delta(self, paper_example_graph):
+        session = DistanceSession(paper_example_graph, 2)
+        delta = session.preview(removals=[(0, 1)])
+        with pytest.raises(ConfigurationError):
+            session.apply(removals=[(1, 2)], delta=delta)
+
+    def test_refresh_resyncs_after_out_of_band_edit(self, paper_example_graph):
+        session = DistanceSession(paper_example_graph, 2)
+        paper_example_graph.remove_edge(0, 1)
+        session.refresh()
+        assert np.array_equal(session.distances,
+                              bounded_distance_matrix(paper_example_graph, 2))
+
+
+class TestFallbackTransition:
+    def test_mid_sequence_fallback_after_incremental_op(self):
+        # n must exceed the threshold floor of 16 affected rows for the
+        # fallback to be reachable at all; a dense L=3 sample guarantees a
+        # removal's affected region blows past it.
+        graph = erdos_renyi_graph(40, 0.3, seed=11)
+        session = DistanceSession(graph, 3, fallback_row_fraction=0.05)
+        removal = next(iter(graph.edges()))
+        insertion = next(iter(graph.non_edges()))
+        # Insertions never fall back, so the first op is processed
+        # incrementally and the removal then flips the preview to scratch.
+        delta = session.preview(removals=[removal], insertions=[insertion])
+        assert delta.from_scratch
+        expected = reference_after(graph, [removal], [insertion], 3)
+        assert np.array_equal(delta.new_rows, expected)
+        # The same transition through the permanent-application path.
+        session.apply(removals=[removal], insertions=[insertion])
+        assert np.array_equal(session.distances,
+                              bounded_distance_matrix(graph, 3))
+
+    def test_mixed_incremental_and_fallback_sequence_stays_exact(self):
+        graph = erdos_renyi_graph(40, 0.3, seed=12)
+        session = DistanceSession(graph, 3, fallback_row_fraction=0.05)
+        for index in range(12):
+            edges = list(graph.edges())
+            non_edges = list(graph.non_edges())
+            if index % 2 == 0 and edges:
+                session.apply(removals=[edges[index % len(edges)]])
+            elif non_edges:
+                session.apply(insertions=[non_edges[index % len(non_edges)]])
+            assert np.array_equal(session.distances,
+                                  bounded_distance_matrix(graph, 3))
+
+
+class TestWideFrontiers:
+    def test_256_wide_frontier_is_not_truncated(self):
+        # Regression: a uint8 matmul accumulator wraps at 256 common
+        # neighbors, silently reporting reachable vertices as UNREACHABLE.
+        hub, sink = 1, 258
+        leaves = range(2, 258)  # exactly 256 intermediate vertices
+        edges = [(0, hub)]
+        edges += [(hub, leaf) for leaf in leaves]
+        edges += [(leaf, sink) for leaf in leaves]
+        graph = Graph(259, edges=edges)
+        reference = bounded_distance_matrix(graph, 3, engine="bfs")
+        assert reference[0, sink] == 3
+        assert np.array_equal(bounded_distance_matrix(graph, 3, engine="numpy"),
+                              reference)
+        session = DistanceSession(graph, 3, fallback_row_fraction=1.0)
+        session.apply(removals=[(0, hub)])
+        session.apply(insertions=[(0, hub)])
+        assert np.array_equal(session.distances, reference)
+
+
+class TestValidation:
+    def test_rejects_bad_length(self):
+        with pytest.raises(ConfigurationError):
+            DistanceSession(Graph(3), 0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            DistanceSession(Graph(3), 1, fallback_row_fraction=1.5)
+
+    def test_preview_of_present_edge_insertion_raises_and_restores(self, paper_example_graph):
+        session = DistanceSession(paper_example_graph, 2)
+        before = paper_example_graph.edge_set()
+        with pytest.raises(InvalidEdgeError):
+            # (0, 1) is already present, so the removal is undone and the
+            # offending insertion never sticks.
+            session.preview(removals=[(4, 5)], insertions=[(0, 1)])
+        assert paper_example_graph.edge_set() == before

@@ -1,0 +1,195 @@
+"""Property-based differential tests for the evaluation-session layer.
+
+The incremental sessions promise *bit-identical* results to the stateless
+from-scratch evaluator: same ``Fraction`` opacities, same ``types_at_max``,
+same per-type counts, and — for whole anonymization runs — the same step
+sequence under a fixed seed.  These tests drive random graphs through random
+edit sequences across every distance engine and check exactly that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    GadedMaxAnonymizer,
+    GadedRandAnonymizer,
+    GadesAnonymizer,
+)
+from repro.core import (
+    DegreePairTyping,
+    EdgeRemovalAnonymizer,
+    EdgeRemovalInsertionAnonymizer,
+    OpacityComputer,
+    OpacitySession,
+)
+from repro.graph.distance import available_engines, bounded_distance_matrix
+from repro.graph.distance_delta import DistanceSession
+from repro.graph.graph import Graph
+from tests.property.strategies import graphs, length_bounds, thetas
+
+engines = st.sampled_from(sorted(available_engines()))
+fallback_fractions = st.sampled_from([0.0, 0.5, 1.0])
+
+
+@st.composite
+def edit_scripts(draw, max_edits: int = 8):
+    """A graph plus a feasible sequence of alternating random edits.
+
+    Each entry is ``("remove" | "insert", edge)``; feasibility (edges exist /
+    are absent at that point) is guaranteed by replaying the script while it
+    is generated.
+    """
+    graph = draw(graphs(max_vertices=10))
+    working = graph.copy()
+    script = []
+    for _ in range(draw(st.integers(min_value=0, max_value=max_edits))):
+        edges = working.edge_list()
+        non_edges = sorted(working.non_edges())
+        choices = []
+        if edges:
+            choices.append("remove")
+        if non_edges:
+            choices.append("insert")
+        if not choices:
+            break
+        kind = draw(st.sampled_from(choices))
+        pool = edges if kind == "remove" else non_edges
+        edge = pool[draw(st.integers(min_value=0, max_value=len(pool) - 1))]
+        if kind == "remove":
+            working.remove_edge(*edge)
+        else:
+            working.add_edge(*edge)
+        script.append((kind, edge))
+    return graph, script
+
+
+class TestDistanceSessionProperties:
+    @given(edit_scripts(), length_bounds, engines, fallback_fractions)
+    @settings(max_examples=40, deadline=None)
+    def test_applied_edits_track_scratch_matrices(self, script_case, length,
+                                                  engine, fallback):
+        graph, script = script_case
+        session = DistanceSession(graph, length, engine=engine,
+                                  fallback_row_fraction=fallback)
+        for kind, edge in script:
+            if kind == "remove":
+                session.apply(removals=[edge])
+            else:
+                session.apply(insertions=[edge])
+            expected = bounded_distance_matrix(graph, length, engine=engine)
+            assert np.array_equal(session.distances, expected)
+
+    @given(edit_scripts(max_edits=4), length_bounds, fallback_fractions)
+    @settings(max_examples=40, deadline=None)
+    def test_previews_match_scratch_and_leave_no_trace(self, script_case,
+                                                       length, fallback):
+        graph, script = script_case
+        session = DistanceSession(graph, length, fallback_row_fraction=fallback)
+        for kind, edge in script:
+            before = graph.edge_set()
+            matrix_before = session.distances.copy()
+            delta = session.preview(
+                removals=[edge] if kind == "remove" else (),
+                insertions=[edge] if kind == "insert" else ())
+            assert graph.edge_set() == before
+            assert np.array_equal(session.distances, matrix_before)
+            if delta.from_scratch:
+                materialized = delta.new_rows
+            else:
+                materialized = session.distances.copy()
+                if delta.rows.size:
+                    materialized[delta.rows, :] = delta.new_rows
+                    materialized[:, delta.rows] = delta.new_rows.T
+            if kind == "remove":
+                graph.remove_edge(*edge)
+            else:
+                graph.add_edge(*edge)
+            assert np.array_equal(materialized, bounded_distance_matrix(graph, length))
+            session.refresh()
+
+
+class TestOpacitySessionProperties:
+    @given(edit_scripts(), length_bounds, engines)
+    @settings(max_examples=40, deadline=None)
+    def test_session_state_matches_from_scratch_evaluation(self, script_case,
+                                                           length, engine):
+        graph, script = script_case
+        typing = DegreePairTyping(graph)
+        computer = OpacityComputer(typing, length, engine=engine)
+        session = OpacitySession(computer, graph, mode="incremental")
+        for kind, edge in script:
+            session.apply_edit(
+                removals=[edge] if kind == "remove" else (),
+                insertions=[edge] if kind == "insert" else ())
+            expected = computer.evaluate(graph)
+            observed = session.current()
+            assert observed.max_fraction == expected.max_fraction
+            assert observed.types_at_max == expected.types_at_max
+            assert dict(observed.per_type) == dict(expected.per_type)
+
+    @given(edit_scripts(max_edits=5), length_bounds)
+    @settings(max_examples=40, deadline=None)
+    def test_tentative_evaluations_match_scratch_mode(self, script_case, length):
+        graph, script = script_case
+        typing = DegreePairTyping(graph)
+        computer = OpacityComputer(typing, length)
+        incremental = OpacitySession(computer, graph.copy(), mode="incremental")
+        scratch = OpacitySession(computer, graph.copy(), mode="scratch")
+        for kind, edge in script:
+            removals = [edge] if kind == "remove" else ()
+            insertions = [edge] if kind == "insert" else ()
+            assert incremental.evaluate_edit(removals, insertions) == \
+                scratch.evaluate_edit(removals, insertions)
+            incremental.apply_edit(removals, insertions)
+            scratch.apply_edit(removals, insertions)
+
+
+class TestEndToEndModeEquivalence:
+    @given(graphs(max_vertices=9), length_bounds, thetas,
+           st.integers(min_value=0, max_value=3))
+    @settings(max_examples=20, deadline=None)
+    def test_edge_removal_runs_identically(self, graph, length, theta, seed):
+        self._assert_identical(
+            EdgeRemovalAnonymizer,
+            dict(length_threshold=length, theta=theta, seed=seed), graph)
+
+    @given(graphs(max_vertices=8), thetas, st.integers(min_value=0, max_value=3))
+    @settings(max_examples=15, deadline=None)
+    def test_edge_removal_insertion_runs_identically(self, graph, theta, seed):
+        self._assert_identical(
+            EdgeRemovalInsertionAnonymizer,
+            dict(length_threshold=2, theta=theta, seed=seed), graph)
+
+    @given(graphs(max_vertices=8), thetas, st.integers(min_value=0, max_value=3))
+    @settings(max_examples=15, deadline=None)
+    def test_gaded_max_runs_identically(self, graph, theta, seed):
+        self._assert_identical(GadedMaxAnonymizer,
+                               dict(theta=theta, seed=seed), graph)
+
+    @given(graphs(max_vertices=8), thetas, st.integers(min_value=0, max_value=3))
+    @settings(max_examples=10, deadline=None)
+    def test_gaded_rand_runs_identically(self, graph, theta, seed):
+        self._assert_identical(GadedRandAnonymizer,
+                               dict(theta=theta, seed=seed), graph)
+
+    @given(graphs(max_vertices=8), st.integers(min_value=0, max_value=3))
+    @settings(max_examples=10, deadline=None)
+    def test_gades_runs_identically(self, graph, seed):
+        self._assert_identical(
+            GadesAnonymizer,
+            dict(theta=0.5, seed=seed, max_steps=3, swap_sample_size=50), graph)
+
+    @staticmethod
+    def _assert_identical(algorithm, params, graph):
+        incremental = algorithm(evaluation_mode="incremental",
+                                **params).anonymize(graph)
+        scratch = algorithm(evaluation_mode="scratch", **params).anonymize(graph)
+        assert [(step.operation, step.edges) for step in incremental.steps] == \
+               [(step.operation, step.edges) for step in scratch.steps]
+        assert incremental.final_opacity == scratch.final_opacity
+        assert incremental.evaluations == scratch.evaluations
+        assert incremental.distortion == scratch.distortion
+        assert incremental.anonymized_graph == scratch.anonymized_graph
