@@ -1,16 +1,22 @@
 """Ablation: delta-evaluated candidate scans vs from-scratch recounts.
 
 The greedy heuristics spend nearly all of their runtime evaluating tentative
-edge edits (the runtime wall of Figures 9-11).  ``evaluation_mode =
-"incremental"`` routes every scan through an ``OpacitySession`` that updates
-only the distance-matrix rows an edit can touch and applies count deltas for
-the flipped cells, while ``"scratch"`` recomputes the bounded matrix and the
-Algorithm 1 recount per candidate.  This bench measures candidate
-evaluations per second in both modes on the same workload and verifies the
-modes choose bit-identical edits.
+edge edits (the runtime wall of Figures 9-11).  Two orthogonal knobs govern
+that cost:
+
+* ``evaluation_mode`` — ``"incremental"`` routes every scan through an
+  ``OpacitySession`` that updates only the distance-matrix rows an edit can
+  touch, while ``"scratch"`` recomputes the bounded matrix and the
+  Algorithm 1 recount per candidate.
+* ``scan_mode`` — ``"batched"`` evaluates all single-edge candidates of a
+  greedy step in one stacked numpy pass (shared removal slab, grouped
+  bincount), while ``"per_candidate"`` previews them one at a time.
+
+This bench measures candidate evaluations per second along both axes on the
+same workload and verifies every configuration chooses bit-identical edits.
 
 ``max_steps`` caps the greedy loop so the measurement stays smoke-sized:
-both modes walk the exact same steps, so evaluations/sec is an
+all configurations walk the exact same steps, so evaluations/sec is an
 apples-to-apples throughput comparison.
 """
 
@@ -28,17 +34,26 @@ LENGTH = 2
 THETA = 0.3
 MAX_STEPS = 4
 
-#: The largest sample must beat scratch throughput at least this much; the
-#: measured margin is ~5-6x locally, so 2x absorbs scheduler noise.  Under
-#: the CI smoke knob only the bit-identity assertions run — a shared runner
-#: must not fail the build on a timing measurement.
+#: (evaluation_mode, scan_mode) points of the ablation grid; the first entry
+#: is the fully-optimized default, the last the from-scratch reference.
+CONFIGURATIONS = (
+    ("incremental", "batched"),
+    ("incremental", "per_candidate"),
+    ("scratch", "per_candidate"),
+)
+
+#: At the largest sample, incremental/per-candidate must beat scratch and
+#: batched must beat per-candidate, each by at least this much; the measured
+#: margins are ~3-6x and ~2-3x locally, so 2x absorbs scheduler noise.
+#: Under the CI smoke knob only the bit-identity assertions run — a shared
+#: runner must not fail the build on a timing measurement.
 MIN_SPEEDUP_LARGEST = smoke(2.0, None)
 
 
-def _run(graph, mode):
+def _run(graph, evaluation_mode, scan_mode):
     anonymizer = EdgeRemovalAnonymizer(
         length_threshold=LENGTH, theta=THETA, seed=0, max_steps=MAX_STEPS,
-        evaluation_mode=mode)
+        evaluation_mode=evaluation_mode, scan_mode=scan_mode)
     started = time.perf_counter()
     result = anonymizer.anonymize(graph)
     elapsed = time.perf_counter() - started
@@ -49,21 +64,33 @@ def _run(graph, mode):
 def bench_incremental_vs_scratch(benchmark, size):
     benchmark.group = f"candidate evaluations/sec, {DATASET} L={LENGTH}"
     graph = load_sample(DATASET, size, seed=0)
-    scratch_result, scratch_rate = _run(graph, "scratch")
-    incremental_result, incremental_rate = benchmark.pedantic(
-        _run, args=(graph, "incremental"), rounds=1, iterations=1)
-    ratio = incremental_rate / scratch_rate
-    print(f"\n  |V|={size}: scratch {scratch_rate:,.0f} evals/s, "
-          f"incremental {incremental_rate:,.0f} evals/s  ({ratio:.1f}x)")
+    results, rates = {}, {}
+    for evaluation_mode, scan_mode in CONFIGURATIONS[1:]:
+        results[evaluation_mode, scan_mode], rates[evaluation_mode, scan_mode] = \
+            _run(graph, evaluation_mode, scan_mode)
+    results["incremental", "batched"], rates["incremental", "batched"] = \
+        benchmark.pedantic(_run, args=(graph, "incremental", "batched"),
+                           rounds=1, iterations=1)
+    print(f"\n  |V|={size}:")
+    for key in CONFIGURATIONS:
+        print(f"    {key[0]:>11s}/{key[1]:<13s} {rates[key]:>10,.0f} evals/s")
 
-    # Both modes must walk the identical greedy trajectory ...
-    assert [(step.operation, step.edges, step.max_opacity_after)
-            for step in incremental_result.steps] == \
-           [(step.operation, step.edges, step.max_opacity_after)
-            for step in scratch_result.steps]
-    assert incremental_result.final_opacity == scratch_result.final_opacity
-    assert incremental_result.evaluations == scratch_result.evaluations
-    # ... and the delta evaluation must pay off where the matrices are big
-    # enough for the recount to dominate fixed per-step overheads.
+    # Every configuration must walk the identical greedy trajectory ...
+    reference = results["scratch", "per_candidate"]
+    for key in CONFIGURATIONS[:2]:
+        observed = results[key]
+        assert [(step.operation, step.edges, step.max_opacity_after)
+                for step in observed.steps] == \
+               [(step.operation, step.edges, step.max_opacity_after)
+                for step in reference.steps]
+        assert observed.final_opacity == reference.final_opacity
+        assert observed.evaluations == reference.evaluations
+    # ... and each optimization layer must pay off where the matrices are
+    # big enough for fixed per-step overheads not to dominate.
     if MIN_SPEEDUP_LARGEST is not None and size == max(SAMPLE_SIZES):
-        assert ratio >= MIN_SPEEDUP_LARGEST
+        incremental_over_scratch = (rates["incremental", "per_candidate"]
+                                    / rates["scratch", "per_candidate"])
+        batched_over_per_candidate = (rates["incremental", "batched"]
+                                      / rates["incremental", "per_candidate"])
+        assert incremental_over_scratch >= MIN_SPEEDUP_LARGEST
+        assert batched_over_per_candidate >= MIN_SPEEDUP_LARGEST

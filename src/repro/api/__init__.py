@@ -1,6 +1,6 @@
 """Service-layer API: the one true entry point for anonymization work.
 
-Layers (see DESIGN.md §7):
+Layers (see DESIGN.md §8):
 
 * :mod:`repro.api.registry` — pluggable algorithm registry; all built-in
   algorithms self-register with :func:`register_anonymizer`.

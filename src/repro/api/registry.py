@@ -44,6 +44,7 @@ _TUNING_PARAMS = frozenset({
     "seed",
     "engine",
     "evaluation_mode",
+    "scan_mode",
     "max_steps",
 })
 

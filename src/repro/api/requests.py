@@ -51,8 +51,10 @@ class AnonymizationRequest:
     seed: Optional[int] = 0
     engine: str = "numpy"
     evaluation_mode: str = "incremental"
+    scan_mode: str = "batched"
     max_steps: Optional[int] = None
     insertion_candidate_cap: Optional[int] = None
+    swap_sample_size: Optional[int] = None
     # --- execution options -------------------------------------------
     timeout_seconds: Optional[float] = None
     include_utility: bool = False
@@ -90,8 +92,10 @@ class AnonymizationRequest:
             "seed": self.seed,
             "engine": self.engine,
             "evaluation_mode": self.evaluation_mode,
+            "scan_mode": self.scan_mode,
             "max_steps": self.max_steps,
             "insertion_candidate_cap": self.insertion_candidate_cap,
+            "swap_sample_size": self.swap_sample_size,
         }
 
     def resolve_graph(self, data_dir: Optional[str] = None) -> Graph:

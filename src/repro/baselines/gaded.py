@@ -26,9 +26,14 @@ from repro.core.anonymizer import (
     AnonymizationResult,
     AnonymizationStep,
     AnonymizerConfig,
+    iter_batched_evaluations,
 )
 from repro.core.opacity import OpacityComputer
-from repro.core.opacity_session import OpacitySession, validate_evaluation_mode
+from repro.core.opacity_session import (
+    OpacitySession,
+    validate_evaluation_mode,
+    validate_scan_mode,
+)
 from repro.core.pair_types import DegreePairTyping, PairTyping
 from repro.errors import ConfigurationError, InfeasibleError
 from repro.graph.graph import Edge, Graph
@@ -39,16 +44,19 @@ class _GadedBase:
 
     def __init__(self, theta: float = 0.5, seed: Optional[int] = None,
                  max_steps: Optional[int] = None, engine: str = "numpy",
-                 strict: bool = False, evaluation_mode: str = "incremental") -> None:
+                 strict: bool = False, evaluation_mode: str = "incremental",
+                 scan_mode: str = "batched") -> None:
         if not 0.0 <= theta <= 1.0:
             raise ConfigurationError(f"theta must be in [0, 1], got {theta}")
         validate_evaluation_mode(evaluation_mode)
+        validate_scan_mode(scan_mode)
         self._theta = theta
         self._seed = seed
         self._max_steps = max_steps
         self._engine = engine
         self._strict = strict
         self._evaluation_mode = evaluation_mode
+        self._scan_mode = scan_mode
 
     @property
     def theta(self) -> float:
@@ -64,9 +72,13 @@ class _GadedBase:
         working = graph.copy()
         session = OpacitySession(computer, working, mode=self._evaluation_mode)
         rng = random.Random(self._seed)
+        # The full constructor state (max_steps included) is recorded so the
+        # result's config round-trips through the api layer for reproduction.
         config = AnonymizerConfig(length_threshold=1, theta=self._theta, seed=self._seed,
                                   engine=self._engine, strict=self._strict,
-                                  evaluation_mode=self._evaluation_mode)
+                                  max_steps=self._max_steps,
+                                  evaluation_mode=self._evaluation_mode,
+                                  scan_mode=self._scan_mode)
         result = AnonymizationResult(
             original_graph=graph.copy(),
             anonymized_graph=working,
@@ -139,7 +151,8 @@ class _GadedBase:
 @register_anonymizer(
     "gaded-rand",
     description="GADED-Rand baseline (Zhang & Zhang, single-edge disclosure)",
-    accepts=("theta", "seed", "max_steps", "engine", "strict", "evaluation_mode"),
+    accepts=("theta", "seed", "max_steps", "engine", "strict", "evaluation_mode",
+             "scan_mode"),
 )
 class GadedRandAnonymizer(_GadedBase):
     """GADED-Rand: remove a random edge participating in disclosure."""
@@ -155,7 +168,8 @@ class GadedRandAnonymizer(_GadedBase):
 @register_anonymizer(
     "gaded-max",
     description="GADED-Max baseline (Zhang & Zhang, single-edge disclosure)",
-    accepts=("theta", "seed", "max_steps", "engine", "strict", "evaluation_mode"),
+    accepts=("theta", "seed", "max_steps", "engine", "strict", "evaluation_mode",
+             "scan_mode"),
 )
 class GadedMaxAnonymizer(_GadedBase):
     """GADED-Max: remove the edge with the greatest reduction of the maximum
@@ -168,11 +182,16 @@ class GadedMaxAnonymizer(_GadedBase):
             candidates = list(session.graph.edges())
         if not candidates:
             return None
+        if self._scan_mode == "batched":
+            outcomes = iter_batched_evaluations(session, candidates,
+                                                lambda edge: ((edge,), ()))
+        else:
+            outcomes = (session.evaluate_edit(removals=(edge,))
+                        for edge in candidates)
         best_edge: Optional[Edge] = None
         best_key: Optional[Tuple[float, float]] = None
         tie_count = 0
-        for edge in candidates:
-            outcome = session.evaluate_edit(removals=(edge,))
+        for edge, outcome in zip(candidates, outcomes):
             self._record_evaluation(result)
             key = (outcome.max_opacity, outcome.total_opacity)
             if best_key is None or key < best_key:

@@ -19,9 +19,14 @@ from repro.core.anonymizer import (
     AnonymizationResult,
     AnonymizationStep,
     AnonymizerConfig,
+    iter_batched_evaluations,
 )
 from repro.core.opacity import OpacityComputer
-from repro.core.opacity_session import OpacitySession, validate_evaluation_mode
+from repro.core.opacity_session import (
+    OpacitySession,
+    validate_evaluation_mode,
+    validate_scan_mode,
+)
 from repro.core.pair_types import DegreePairTyping, PairTyping
 from repro.errors import ConfigurationError
 from repro.graph.graph import Edge, Graph, normalize_edge
@@ -33,7 +38,7 @@ Swap = Tuple[Edge, Edge, Edge, Edge]  # (removed1, removed2, added1, added2)
     "gades",
     description="GADES baseline (Zhang & Zhang, degree-preserving swaps)",
     accepts=("theta", "seed", "max_steps", "swap_sample_size", "engine",
-             "evaluation_mode"),
+             "evaluation_mode", "scan_mode"),
 )
 class GadesAnonymizer:
     """GADES: greedy degree-preserving edge swapping against link disclosure.
@@ -54,18 +59,21 @@ class GadesAnonymizer:
 
     def __init__(self, theta: float = 0.5, seed: Optional[int] = None,
                  max_steps: Optional[int] = None, swap_sample_size: int = 2000,
-                 engine: str = "numpy", evaluation_mode: str = "incremental") -> None:
+                 engine: str = "numpy", evaluation_mode: str = "incremental",
+                 scan_mode: str = "batched") -> None:
         if not 0.0 <= theta <= 1.0:
             raise ConfigurationError(f"theta must be in [0, 1], got {theta}")
         if swap_sample_size < 1:
             raise ConfigurationError("swap_sample_size must be >= 1")
         validate_evaluation_mode(evaluation_mode)
+        validate_scan_mode(scan_mode)
         self._theta = theta
         self._seed = seed
         self._max_steps = max_steps
         self._swap_sample_size = swap_sample_size
         self._engine = engine
         self._evaluation_mode = evaluation_mode
+        self._scan_mode = scan_mode
 
     @property
     def theta(self) -> float:
@@ -86,9 +94,15 @@ class GadesAnonymizer:
         working = graph.copy()
         session = OpacitySession(computer, working, mode=self._evaluation_mode)
         rng = random.Random(self._seed)
+        # The full constructor state (max_steps and swap_sample_size
+        # included) is recorded so the result's config round-trips through
+        # the api layer for reproduction.
         config = AnonymizerConfig(length_threshold=1, theta=self._theta, seed=self._seed,
                                   engine=self._engine,
-                                  evaluation_mode=self._evaluation_mode)
+                                  max_steps=self._max_steps,
+                                  swap_sample_size=self._swap_sample_size,
+                                  evaluation_mode=self._evaluation_mode,
+                                  scan_mode=self._scan_mode)
         result = AnonymizationResult(
             original_graph=graph.copy(),
             anonymized_graph=working,
@@ -141,10 +155,20 @@ class GadesAnonymizer:
     # swap search
     # ------------------------------------------------------------------
     def _candidate_swaps(self, working: Graph, rng: random.Random) -> List[Swap]:
+        """Sample distinct candidate swaps for one step.
+
+        Each drawn edge pair is deduplicated on its *normalized* swap (the
+        unordered removed pair plus the unordered added pair) so no swap is
+        scored twice within a step, and when the first randomly-chosen
+        rewiring collides with an existing edge the alternate
+        degree-preserving rewiring is tried before the pair is discarded —
+        both previously wasted draws against ``swap_sample_size``.
+        """
         edges = list(working.edges())
         if len(edges) < 2:
             return []
         swaps: List[Swap] = []
+        seen = set()
         attempts = 0
         limit = self._swap_sample_size
         while len(swaps) < limit and attempts < 10 * limit:
@@ -155,24 +179,35 @@ class GadesAnonymizer:
                 continue
             # Two rewirings preserve all degrees: (a-d, c-b) and (a-c, b-d).
             if rng.random() < 0.5:
-                new_first, new_second = (a, d), (c, b)
+                rewirings = (((a, d), (c, b)), ((a, c), (b, d)))
             else:
-                new_first, new_second = (a, c), (b, d)
-            if working.has_edge(*new_first) or working.has_edge(*new_second):
-                continue
-            swaps.append((normalize_edge(a, b), normalize_edge(c, d),
-                          normalize_edge(*new_first), normalize_edge(*new_second)))
+                rewirings = (((a, c), (b, d)), ((a, d), (c, b)))
+            for new_first, new_second in rewirings:
+                if working.has_edge(*new_first) or working.has_edge(*new_second):
+                    continue
+                swap = (normalize_edge(a, b), normalize_edge(c, d),
+                        normalize_edge(*new_first), normalize_edge(*new_second))
+                key = (frozenset(swap[:2]), frozenset(swap[2:]))
+                if key not in seen:
+                    seen.add(key)
+                    swaps.append(swap)
+                break
         return swaps
 
     def _best_swap(self, session: OpacitySession, current_max: float,
                    rng: random.Random,
                    result: AnonymizationResult) -> Optional[Swap]:
+        candidates = self._candidate_swaps(session.graph, rng)
+        if self._scan_mode == "batched":
+            outcomes = iter_batched_evaluations(session, candidates,
+                                                lambda swap: (swap[:2], swap[2:]))
+        else:
+            outcomes = (session.evaluate_edit(removals=swap[:2],
+                                              insertions=swap[2:])
+                        for swap in candidates)
         best: Optional[Swap] = None
         best_value = current_max
-        for swap in self._candidate_swaps(session.graph, rng):
-            removed1, removed2, added1, added2 = swap
-            outcome = session.evaluate_edit(removals=(removed1, removed2),
-                                            insertions=(added1, added2))
+        for swap, outcome in zip(candidates, outcomes):
             result.evaluations += 1
             result.observer.on_evaluation(result.evaluations)
             if result.observer.should_stop():

@@ -61,7 +61,7 @@ from repro.api import (
     anonymize as api_anonymize,
     available_algorithms,
 )
-from repro.core.opacity_session import EVALUATION_MODES
+from repro.core.opacity_session import EVALUATION_MODES, SCAN_MODES
 from repro.datasets import dataset_names
 from repro.errors import ReproError
 from repro.experiments import (
@@ -109,6 +109,7 @@ def _request_from_args(args: argparse.Namespace) -> AnonymizationRequest:
         lookahead=args.lookahead,
         seed=args.seed,
         evaluation_mode=args.evaluation_mode,
+        scan_mode=args.scan_mode,
         insertion_candidate_cap=args.insertion_cap,
         timeout_seconds=args.timeout,
         include_utility=True,
@@ -268,6 +269,12 @@ def build_parser() -> argparse.ArgumentParser:
                            help="candidate evaluation strategy: delta-evaluated "
                                 "sessions (incremental) or per-candidate recounts "
                                 "(scratch); both choose identical edits")
+    anonymize.add_argument("--scan-mode", choices=SCAN_MODES,
+                           default="batched", dest="scan_mode",
+                           help="candidate scan strategy: one stacked pass over "
+                                "a step's single-edge candidates (batched) or "
+                                "one preview per candidate (per_candidate); "
+                                "both choose identical edits")
     anonymize.add_argument("--insertion-cap", type=int, default=None)
     anonymize.add_argument("--timeout", type=float, default=None,
                            help="wall-clock budget in seconds (best-effort stop)")

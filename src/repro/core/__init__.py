@@ -22,6 +22,7 @@ from repro.core.pair_types import (
 from repro.core.opacity import OpacityComputer, OpacityResult, TypeOpacity
 from repro.core.opacity_session import (
     EVALUATION_MODES,
+    SCAN_MODES,
     EditEvaluation,
     OpacitySession,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "OpacityResult",
     "TypeOpacity",
     "EVALUATION_MODES",
+    "SCAN_MODES",
     "EditEvaluation",
     "OpacitySession",
     "AnonymizationResult",

@@ -24,12 +24,39 @@ from repro.api.progress import (
     ProgressObserver,
 )
 from repro.core.opacity import OpacityComputer, OpacityResult
-from repro.core.opacity_session import OpacitySession, validate_evaluation_mode
+from repro.core.opacity_session import (
+    OpacitySession,
+    validate_evaluation_mode,
+    validate_scan_mode,
+)
 from repro.core.pair_types import DegreePairTyping, PairTyping
 from repro.errors import ConfigurationError, InfeasibleError
 from repro.graph.distance import DistanceEngine, available_engines
 from repro.graph.graph import Edge, Graph
 from repro.metrics.distortion import edit_distance_ratio
+
+#: Candidates per stacked ``evaluate_edits`` call in batched scans.  Large
+#: enough to amortize the per-pass numpy dispatch, small enough that a stop
+#: request (observer/timeout) never waits on more than one chunk's worth of
+#: computed-but-unreported evaluations.
+BATCH_SCAN_CHUNK = 256
+
+
+def iter_batched_evaluations(session: OpacitySession, candidates: Sequence,
+                             to_edit):
+    """Stream a batched candidate scan's evaluations in stop-friendly chunks.
+
+    ``to_edit`` maps one candidate to its ``(removals, insertions)`` edit.
+    Evaluations arrive in candidate order, computed one
+    ``BATCH_SCAN_CHUNK``-sized :meth:`OpacitySession.evaluate_edits` pass at
+    a time, so the consumer's per-candidate accounting (and any stop raised
+    from it) never waits on more than one chunk of computed-but-unreported
+    work.  Shared by every ``scan_mode="batched"`` scan loop.
+    """
+    for start in range(0, len(candidates), BATCH_SCAN_CHUNK):
+        chunk = candidates[start:start + BATCH_SCAN_CHUNK]
+        yield from session.evaluate_edits([to_edit(candidate)
+                                           for candidate in chunk])
 
 
 @dataclass(frozen=True)
@@ -72,6 +99,16 @@ class AnonymizerConfig:
         :class:`~repro.core.opacity_session.OpacitySession`;
         ``"scratch"`` recomputes distances and counts from scratch per
         candidate.  Both modes choose bit-identical edits.
+    scan_mode:
+        How a step's candidate list is walked: ``"batched"`` (default)
+        evaluates all single-edge candidates of a scan in one stacked
+        :meth:`~repro.core.opacity_session.OpacitySession.evaluate_edits`
+        pass; ``"per_candidate"`` previews them one at a time.  Both scan
+        modes choose bit-identical edits.
+    swap_sample_size:
+        GADES only: candidate swap pairs examined per step.  Recorded here
+        so a result's config reproduces the run; ``None`` for the other
+        algorithms.
     """
 
     length_threshold: int = 1
@@ -85,6 +122,8 @@ class AnonymizerConfig:
     insertion_candidate_cap: Optional[int] = None
     strict: bool = False
     evaluation_mode: str = "incremental"
+    scan_mode: str = "batched"
+    swap_sample_size: Optional[int] = None
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` for invalid parameter values."""
@@ -105,7 +144,10 @@ class AnonymizerConfig:
             raise ConfigurationError("max_combinations must be >= 1")
         if self.insertion_candidate_cap is not None and self.insertion_candidate_cap < 1:
             raise ConfigurationError("insertion_candidate_cap must be >= 1")
+        if self.swap_sample_size is not None and self.swap_sample_size < 1:
+            raise ConfigurationError("swap_sample_size must be >= 1")
         validate_evaluation_mode(self.evaluation_mode)
+        validate_scan_mode(self.scan_mode)
 
 
 @dataclass(frozen=True)
@@ -328,6 +370,42 @@ class BaseAnonymizer(ABC):
         self._record_evaluation(result)
         return CandidateOutcome(edges=tuple(edges), fraction=outcome.fraction,
                                 types_at_max=outcome.types_at_max)
+
+    def _batch_removal_evaluator(self, session: OpacitySession,
+                                 result: AnonymizationResult):
+        """Batch counterpart of :meth:`_evaluate_removal` for candidate scans.
+
+        Returns a callable mapping a list of edge combinations to an
+        iterator of :class:`CandidateOutcome`\\ s: outcomes are computed in
+        stacked :meth:`OpacitySession.evaluate_edits` chunks, then yielded
+        one at a time with the same per-candidate evaluation accounting
+        (and :class:`AnonymizationStopped` cadence) as the sequential scan
+        — chunking keeps a stop request from waiting on the whole batch.
+        """
+        return self._batch_evaluator(session, result, "remove")
+
+    def _batch_insertion_evaluator(self, session: OpacitySession,
+                                   result: AnonymizationResult):
+        """Batch counterpart of :meth:`_evaluate_insertion` (see above)."""
+        return self._batch_evaluator(session, result, "insert")
+
+    def _batch_evaluator(self, session: OpacitySession,
+                         result: AnonymizationResult, kind: str):
+        if kind == "remove":
+            def to_edit(combo):
+                return (tuple(combo), ())
+        else:
+            def to_edit(combo):
+                return ((), tuple(combo))
+
+        def evaluate_batch(combos):
+            evaluations = iter_batched_evaluations(session, combos, to_edit)
+            for combo, evaluation in zip(combos, evaluations):
+                self._record_evaluation(result)
+                yield CandidateOutcome(edges=tuple(combo),
+                                       fraction=evaluation.fraction,
+                                       types_at_max=evaluation.types_at_max)
+        return evaluate_batch
 
     @staticmethod
     def _record_evaluation(result: AnonymizationResult) -> None:

@@ -22,7 +22,6 @@ from repro.core.lookahead import search_best_combination
 from repro.core.opacity import OpacityResult
 from repro.core.opacity_session import OpacitySession
 from repro.graph.graph import Edge
-from repro.graph.matrices import triu_pair_indices
 
 
 @register_anonymizer(
@@ -30,7 +29,7 @@ from repro.graph.matrices import triu_pair_indices
     description="Edge Removal (paper Algorithm 4)",
     accepts=("length_threshold", "theta", "lookahead", "engine", "seed",
              "max_steps", "prune_candidates", "max_combinations", "strict",
-             "evaluation_mode"),
+             "evaluation_mode", "scan_mode"),
 )
 class EdgeRemovalAnonymizer(BaseAnonymizer):
     """Algorithm 4: greedy L-opacification via edge removal.
@@ -57,6 +56,8 @@ class EdgeRemovalAnonymizer(BaseAnonymizer):
             lookahead=self._config.lookahead,
             rng=rng,
             max_combinations=self._config.max_combinations,
+            evaluate_batch=(self._batch_removal_evaluator(session, result)
+                            if self._config.scan_mode == "batched" else None),
         )
         if best is None:
             return None
@@ -89,21 +90,16 @@ class EdgeRemovalAnonymizer(BaseAnonymizer):
                               current: OpacityResult, edges: Sequence[Edge]) -> List[Edge]:
         length = self._config.length_threshold
         distances = session.distances().astype(np.int64)
-        typing = session.computer.typing
         # Collect the vertex pairs of the types at the current maximum that
         # are within distance L — only breaking one of their short paths can
-        # reduce the maximum opacity.
+        # reduce the maximum opacity.  The session maintains the within-L
+        # pair mask incrementally across applied steps (and the frozen
+        # per-pair type codes once), so this query no longer rebuilds the
+        # violating-pair set from scratch per step.
         max_fraction = current.max_fraction
         max_types = {key for key, entry in current.per_type.items()
                      if entry.fraction == max_fraction}
-        n = session.graph.num_vertices
-        rows, cols = triu_pair_indices(n)
-        within = distances[rows, cols] <= length
-        rows, cols = rows[within], cols[within]
-        pair_mask = np.fromiter(
-            (typing.type_of(int(i), int(j)) in max_types for i, j in zip(rows, cols)),
-            dtype=bool, count=len(rows))
-        rows, cols = rows[pair_mask], cols[pair_mask]
+        rows, cols = session.violating_pair_indices(max_types, distances=distances)
         if rows.size == 0:
             return []
         # Too many violating pairs: the pruning pass would cost more than it
@@ -113,13 +109,16 @@ class EdgeRemovalAnonymizer(BaseAnonymizer):
         edge_u = np.fromiter((edge[0] for edge in edges), dtype=np.int64, count=len(edges))
         edge_v = np.fromiter((edge[1] for edge in edges), dtype=np.int64, count=len(edges))
         keep = np.zeros(len(edges), dtype=bool)
-        for i, j in zip(rows, cols):
-            d_iu = distances[i, edge_u]
-            d_jv = distances[j, edge_v]
-            d_iv = distances[i, edge_v]
-            d_ju = distances[j, edge_u]
-            on_path = ((d_iu + d_jv + 1 <= length) | (d_iv + d_ju + 1 <= length))
-            keep |= on_path
+        # Chunked vectorized membership test: a removal candidate survives
+        # when it lies on a ≤L path of some violating pair.
+        for start in range(0, rows.size, 256):
+            i = rows[start:start + 256]
+            j = cols[start:start + 256]
+            on_path = ((distances[np.ix_(i, edge_u)] + distances[np.ix_(j, edge_v)]
+                        + 1 <= length)
+                       | (distances[np.ix_(i, edge_v)] + distances[np.ix_(j, edge_u)]
+                          + 1 <= length))
+            keep |= on_path.any(axis=0)
             if keep.all():
                 break
         return [edge for edge, flag in zip(edges, keep) if flag]

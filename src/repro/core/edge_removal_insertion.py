@@ -29,7 +29,8 @@ from repro.graph.graph import Edge, Graph
     description="Edge Removal/Insertion (paper Algorithm 5)",
     accepts=("length_threshold", "theta", "lookahead", "engine", "seed",
              "max_steps", "prune_candidates", "max_combinations",
-             "insertion_candidate_cap", "strict", "evaluation_mode"),
+             "insertion_candidate_cap", "strict", "evaluation_mode",
+             "scan_mode"),
 )
 class EdgeRemovalInsertionAnonymizer(EdgeRemovalAnonymizer):
     """Algorithm 5: greedy L-opacification via alternating removal and insertion.
@@ -76,6 +77,8 @@ class EdgeRemovalInsertionAnonymizer(EdgeRemovalAnonymizer):
             lookahead=self._config.lookahead,
             rng=rng,
             max_combinations=self._config.max_combinations,
+            evaluate_batch=(self._batch_removal_evaluator(session, result)
+                            if self._config.scan_mode == "batched" else None),
         )
         if best is None:
             return None
@@ -92,8 +95,13 @@ class EdgeRemovalInsertionAnonymizer(EdgeRemovalAnonymizer):
         if not candidates:
             return None
         breaker = TieBreaker(rng)
-        for edge in candidates:
-            breaker.offer(self._evaluate_insertion(session, (edge,), result))
+        if self._config.scan_mode == "batched":
+            evaluate_batch = self._batch_insertion_evaluator(session, result)
+            for outcome in evaluate_batch([(edge,) for edge in candidates]):
+                breaker.offer(outcome)
+        else:
+            for edge in candidates:
+                breaker.offer(self._evaluate_insertion(session, (edge,), result))
         best = breaker.best
         if best is None:
             return None

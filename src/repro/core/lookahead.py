@@ -13,12 +13,18 @@ from __future__ import annotations
 import random
 from fractions import Fraction
 from itertools import combinations
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from math import comb
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.anonymizer import CandidateOutcome, TieBreaker
 from repro.graph.graph import Edge
 
 EvaluateCombo = Callable[[Sequence[Edge]], CandidateOutcome]
+
+#: Batch evaluator: maps a list of combinations to their outcomes (an
+#: iterator, so evaluation accounting interleaves per candidate).
+EvaluateComboBatch = Callable[[Sequence[Tuple[Edge, ...]]],
+                              Iterator[CandidateOutcome]]
 
 
 def _combinations_capped(candidates: Sequence[Edge], size: int, cap: int,
@@ -27,20 +33,21 @@ def _combinations_capped(candidates: Sequence[Edge], size: int, cap: int,
 
     The exact number of combinations can explode for large candidate sets and
     look-ahead levels; beyond ``cap`` a random subset keeps the step tractable
-    (documented deviation, see DESIGN.md §5).
+    (documented deviation, see DESIGN.md §5).  The count is computed exactly
+    with :func:`math.comb` — a running partial product overestimates it
+    (``C(30, k)`` peaks at ``k = 15`` before falling back to ``C(30, 28) =
+    435``), and acting on that overestimate would leave the rejection-
+    sampling loop below asking for more distinct combinations than exist,
+    never terminating.
     """
-    total = 1
-    pool = len(candidates)
-    for offset in range(size):
-        total = total * (pool - offset) // (offset + 1)
-        if total > cap:
-            break
+    total = comb(len(candidates), size)
     if total <= cap:
         return combinations(candidates, size)
+    pool = list(candidates)
     sampled: List[Tuple[Edge, ...]] = []
     seen = set()
     while len(sampled) < cap:
-        combo = tuple(sorted(rng.sample(list(candidates), size)))
+        combo = tuple(sorted(rng.sample(pool, size)))
         if combo not in seen:
             seen.add(combo)
             sampled.append(combo)
@@ -52,7 +59,9 @@ def search_best_combination(candidates: Sequence[Edge],
                             current_fraction: Fraction,
                             lookahead: int,
                             rng: random.Random,
-                            max_combinations: int) -> Optional[CandidateOutcome]:
+                            max_combinations: int,
+                            evaluate_batch: Optional[EvaluateComboBatch] = None
+                            ) -> Optional[CandidateOutcome]:
     """Find the best edge combination of size 1..lookahead.
 
     Sizes are explored in increasing order; as soon as a size yields a
@@ -60,14 +69,25 @@ def search_best_combination(candidates: Sequence[Edge],
     candidate of that size is returned (ties broken per Algorithm 4).  If no
     size improves, the best candidate observed overall is returned; ``None``
     is returned only when there are no candidates at all.
+
+    ``evaluate_batch``, when given, handles the size-1 level: the session it
+    wraps computes every single-edge outcome in one stacked pass against the
+    shared distance state instead of one preview per candidate.  Larger
+    sizes keep per-combination evaluation so stop checks stay responsive
+    inside the (potentially capped-but-huge) combination scans; outcomes
+    are offered to the tie-breakers in the same order either way.
     """
     if not candidates:
         return None
     overall = TieBreaker(rng)
     for size in range(1, min(lookahead, len(candidates)) + 1):
         level = TieBreaker(rng)
-        for combo in _combinations_capped(candidates, size, max_combinations, rng):
-            outcome = evaluate(combo)
+        combos = _combinations_capped(candidates, size, max_combinations, rng)
+        if size == 1 and evaluate_batch is not None:
+            outcomes: Iterable[CandidateOutcome] = evaluate_batch(list(combos))
+        else:
+            outcomes = (evaluate(combo) for combo in combos)
+        for outcome in outcomes:
             level.offer(outcome)
             overall.offer(outcome)
         best_at_level = level.best

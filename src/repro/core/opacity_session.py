@@ -28,6 +28,14 @@ copy-evaluate-restore loop behind the same interface.  Both modes apply and
 revert tentative edits through the same :class:`~repro.graph.graph.Graph`
 mutations in the same order, so adjacency-set iteration (and with it every
 seeded tie-break downstream) is mode-independent.
+
+Whole candidate scans go through :meth:`OpacitySession.evaluate_edits`,
+which stacks the distance deltas of all single-edge candidates into one
+:meth:`~repro.graph.distance_delta.DistanceSession.preview_batch` pass and
+tallies every candidate with a single grouped bincount — the ``"batched"``
+scan mode of the algorithms (DESIGN.md §7), bit-identical to the
+per-candidate loop.  The session also maintains the pruning pass's
+within-L violating-pair mask incrementally (:meth:`violating_pair_indices`).
 """
 
 from __future__ import annotations
@@ -48,9 +56,19 @@ from repro.core.pair_types import DegreePairTyping, TypeKey
 from repro.errors import ConfigurationError
 from repro.graph.distance_delta import DistanceDelta, DistanceSession
 from repro.graph.graph import Edge, Graph
+from repro.graph.matrices import triu_pair_indices
 
 #: Valid values of the ``evaluation_mode`` knob, service layer included.
 EVALUATION_MODES: Tuple[str, ...] = ("scratch", "incremental")
+
+#: Valid values of the ``scan_mode`` knob: how the greedy algorithms walk a
+#: step's candidate list — one :meth:`OpacitySession.evaluate_edit` per
+#: candidate, or one :meth:`OpacitySession.evaluate_edits` pass over all of
+#: them.  Both scan modes choose bit-identical edits.
+SCAN_MODES: Tuple[str, ...] = ("per_candidate", "batched")
+
+#: One candidate edit: the removals and insertions applied together.
+EditCandidate = Tuple[Sequence[Edge], Sequence[Edge]]
 
 
 def validate_evaluation_mode(mode: str) -> None:
@@ -58,6 +76,13 @@ def validate_evaluation_mode(mode: str) -> None:
     if mode not in EVALUATION_MODES:
         raise ConfigurationError(
             f"unknown evaluation_mode {mode!r}; available: {EVALUATION_MODES}")
+
+
+def validate_scan_mode(mode: str) -> None:
+    """Raise :class:`ConfigurationError` unless ``mode`` is a known scan mode."""
+    if mode not in SCAN_MODES:
+        raise ConfigurationError(
+            f"unknown scan_mode {mode!r}; available: {SCAN_MODES}")
 
 
 @dataclass(frozen=True)
@@ -109,6 +134,11 @@ class OpacitySession:
         self._mode = mode
         self._current: Optional[OpacityResult] = None
         self._distance: Optional[DistanceSession] = None
+        # Lazy pruning-pass state: frozen degree-pair codes of every upper-
+        # triangle pair, and (incremental mode) the maintained within-L mask.
+        self._triu_codes: Optional[np.ndarray] = None
+        self._triu_code_span: int = 1
+        self._within_pairs: Optional[np.ndarray] = None
         if mode == "incremental":
             self._distance = DistanceSession(
                 graph, computer.length_threshold, engine=computer.engine,
@@ -161,6 +191,37 @@ class OpacitySession:
         changes = self._count_changes(delta)
         return self._summarize(changes)
 
+    def evaluate_edits(self, candidates: Sequence[EditCandidate]) -> List[EditEvaluation]:
+        """Outcomes of many *independent* tentative edits, batch-evaluated.
+
+        Bit-identical to ``[self.evaluate_edit(r, i) for r, i in candidates]``
+        — same ``Fraction`` maxima, tie counts, float totals, and the same
+        graph-mutation history — but a homogeneous scan of single-edge
+        removals (resp. insertions) computes all distance deltas in one
+        stacked :meth:`~repro.graph.distance_delta.DistanceSession.preview_batch`
+        pass and tallies every candidate's count deltas with a single grouped
+        bincount over the stacked flipped cells.  Heterogeneous or multi-edge
+        candidate lists (GADES swaps, look-ahead combinations) fall back to
+        sequential previews but still share the grouped count stage.
+        """
+        pairs = [(tuple(removals), tuple(insertions))
+                 for removals, insertions in candidates]
+        if self._mode == "scratch":
+            return [self._scratch_evaluate(removals, insertions)
+                    for removals, insertions in pairs]
+        # Deltas are consumed into (small) per-type change dicts group by
+        # group, so peak retained memory is bounded by ~128 MB of delta
+        # cells even when many removal candidates hit the from-scratch
+        # fallback (each such delta holds a full n × n matrix); grouping
+        # changes neither the per-candidate math nor the mutation order.
+        n = self._graph.num_vertices
+        group = max(1, (1 << 25) // max(1, n * n))
+        changes: List[Dict[int, int]] = []
+        for start in range(0, len(pairs), group):
+            deltas = self._preview_deltas(pairs[start:start + group])
+            changes.extend(self._count_changes_batch(deltas))
+        return self._summarize_batch(changes)
+
     def apply_edit(self, removals: Sequence[Edge] = (),
                    insertions: Sequence[Edge] = ()) -> None:
         """Permanently apply the edit, keeping all session state in sync."""
@@ -174,7 +235,17 @@ class OpacitySession:
         # sequence scratch mode performs), count deltas are diffed against
         # the still-pre-edit matrix, then the delta is folded in.
         delta = self._distance.stage(removals, insertions)
-        changes = self._count_changes(delta)
+        if delta.from_scratch:
+            changes = self._count_changes(delta)
+            if self._within_pairs is not None:
+                rows, cols = triu_pair_indices(self._graph.num_vertices)
+                self._within_pairs = (
+                    delta.new_rows[rows, cols] <= self._computer.length_threshold)
+        else:
+            cells = self._flipped_cells(delta)
+            changes = {} if cells is None else self._changes_from_cells(*cells)
+            if self._within_pairs is not None and cells is not None:
+                self._update_pair_mask(*cells)
         self._distance.commit(delta)
         for index, change in changes.items():
             self._withins[index] += change
@@ -185,6 +256,78 @@ class OpacitySession:
         if self._mode == "incremental":
             self._distance.refresh()
             self._init_counts()
+        self._within_pairs = None
+
+    # ------------------------------------------------------------------
+    # pruning support
+    # ------------------------------------------------------------------
+    def violating_pair_indices(self, max_types,
+                               distances: Optional[np.ndarray] = None
+                               ) -> Tuple[np.ndarray, np.ndarray]:
+        """Upper-triangle ``(i, j)`` pairs within L whose type is in ``max_types``.
+
+        The candidate-pruning pass of the removal heuristics asks this every
+        step.  In incremental mode the within-L mask is *maintained* across
+        applied edits (only the flipped cells of each step's delta are
+        touched) and the frozen per-pair type codes are computed once, so a
+        query costs one vectorized membership test instead of a per-pair
+        Python scan.  Scratch mode recomputes the mask from ``distances``
+        (or a fresh matrix) per call — same pairs, same triu order.
+        """
+        n = self._graph.num_vertices
+        rows, cols = triu_pair_indices(n)
+        if rows.size == 0:
+            return rows, cols
+        length = self._computer.length_threshold
+        if self._mode == "incremental":
+            self._ensure_pair_mask()
+            within = self._within_pairs
+        else:
+            if distances is None:
+                distances = self._computer.distances(self._graph)
+            within = distances[rows, cols] <= length
+        typing = self._computer.typing
+        if isinstance(typing, DegreePairTyping):
+            codes = self._ensure_triu_codes()
+            span = self._triu_code_span
+            wanted = np.unique(np.fromiter(
+                (g * span + h for g, h in max_types), dtype=np.int64,
+                count=len(max_types)))
+            mask = within & np.isin(codes, wanted) if wanted.size else \
+                np.zeros(rows.size, dtype=bool)
+        else:
+            candidate_positions = np.nonzero(within)[0]
+            member = np.fromiter(
+                (typing.type_of(int(rows[p]), int(cols[p])) in max_types
+                 for p in candidate_positions),
+                dtype=bool, count=candidate_positions.size)
+            mask = np.zeros(rows.size, dtype=bool)
+            mask[candidate_positions[member]] = True
+        return rows[mask], cols[mask]
+
+    def _ensure_triu_codes(self) -> np.ndarray:
+        if self._triu_codes is None:
+            typing = self._computer.typing
+            assert isinstance(typing, DegreePairTyping)
+            rows, cols = triu_pair_indices(self._graph.num_vertices)
+            self._triu_codes, self._triu_code_span = encode_degree_pairs(
+                typing.degrees, rows, cols)
+        return self._triu_codes
+
+    def _ensure_pair_mask(self) -> None:
+        if self._within_pairs is None:
+            rows, cols = triu_pair_indices(self._graph.num_vertices)
+            self._within_pairs = (self._distance.distances[rows, cols]
+                                  <= self._computer.length_threshold)
+
+    def _update_pair_mask(self, row_idx: np.ndarray, col_idx: np.ndarray,
+                          gained: np.ndarray) -> None:
+        """Fold one applied delta's flipped cells into the within-L mask."""
+        n = self._graph.num_vertices
+        i = np.minimum(row_idx, col_idx)
+        j = np.maximum(row_idx, col_idx)
+        flat = i * (2 * n - i - 1) // 2 + (j - i - 1)
+        self._within_pairs[flat] = gained
 
     # ------------------------------------------------------------------
     # scratch reference path
@@ -271,7 +414,6 @@ class OpacitySession:
         """
         if delta.rows.size == 0:
             return {}
-        length = self._computer.length_threshold
         if delta.from_scratch:
             new_counts = self._computer.within_counts(delta.new_rows)
             changes = {}
@@ -280,12 +422,25 @@ class OpacitySession:
                 if change:
                     changes[index] = change
             return changes
+        cells = self._flipped_cells(delta)
+        if cells is None:
+            return {}
+        return self._changes_from_cells(*cells)
+
+    def _flipped_cells(self, delta: DistanceDelta
+                       ) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        """Cells whose within-L membership flips under a (non-scratch) delta.
+
+        Returns ``(row_idx, col_idx, gained)`` with exactly one
+        representative per unordered pair, or ``None`` when nothing flips.
+        """
+        length = self._computer.length_threshold
         rows = delta.rows
         old_within = self._distance.distances[rows] <= length
         new_within = delta.new_rows <= length
         flips = old_within != new_within
         if not flips.any():
-            return {}
+            return None
         # Each changed cell appears in its row and (when both endpoints are
         # affected rows) again transposed; keep exactly one representative.
         n = self._graph.num_vertices
@@ -295,9 +450,12 @@ class OpacitySession:
         keep = flips & (~in_rows[None, :] | (columns[None, :] > rows[:, None]))
         row_pos, col_idx = np.nonzero(keep)
         if row_pos.size == 0:
-            return {}
-        row_idx = rows[row_pos]
-        gained = new_within[row_pos, col_idx]
+            return None
+        return rows[row_pos], col_idx, new_within[row_pos, col_idx]
+
+    def _changes_from_cells(self, row_idx: np.ndarray, col_idx: np.ndarray,
+                            gained: np.ndarray) -> Dict[int, int]:
+        """Tally one candidate's flipped cells into per-type count changes."""
         typing = self._computer.typing
         changes: Dict[int, int] = {}
         if isinstance(typing, DegreePairTyping):
@@ -322,3 +480,136 @@ class OpacitySession:
                     continue
                 changes[index] = changes.get(index, 0) + (1 if is_gain else -1)
         return {index: change for index, change in changes.items() if change}
+
+    def _preview_deltas(self, pairs: List[Tuple[Tuple[Edge, ...], Tuple[Edge, ...]]]
+                        ) -> List[DistanceDelta]:
+        """Distance deltas of independent candidates, stacked when possible."""
+        if pairs and all(len(removals) == 1 and not insertions
+                         for removals, insertions in pairs):
+            return self._distance.preview_batch(
+                removals=[removals[0] for removals, _ in pairs])
+        if pairs and all(not removals and len(insertions) == 1
+                         for removals, insertions in pairs):
+            return self._distance.preview_batch(
+                insertions=[insertions[0] for _, insertions in pairs])
+        return [self._distance.preview(removals, insertions)
+                for removals, insertions in pairs]
+
+    def _count_changes_batch(self, deltas: List[DistanceDelta]) -> List[Dict[int, int]]:
+        """Per-candidate count changes, one grouped bincount over all flips.
+
+        Every candidate's flipped cells are extracted from one stacked
+        comparison over the concatenated delta rows and tallied in a single
+        ``bincount`` over ``(candidate, type-code, sign)`` groups — the
+        per-candidate results are exactly what :meth:`_count_changes`
+        returns for each delta alone.  From-scratch fallbacks and non-degree
+        typings take the per-candidate path.
+        """
+        changes_list: List[Optional[Dict[int, int]]] = [None] * len(deltas)
+        batchable = isinstance(self._computer.typing, DegreePairTyping)
+        stacked: List[Tuple[int, DistanceDelta]] = []
+        for position, delta in enumerate(deltas):
+            if delta.rows.size == 0:
+                changes_list[position] = {}
+            elif delta.from_scratch or not batchable:
+                changes_list[position] = self._count_changes(delta)
+            else:
+                stacked.append((position, delta))
+        if not stacked:
+            return [changes if changes is not None else {}
+                    for changes in changes_list]
+        for position, _ in stacked:
+            changes_list[position] = {}
+        typing = self._computer.typing
+        length = self._computer.length_threshold
+        n = self._graph.num_vertices
+        rows_cat = np.concatenate([delta.rows for _, delta in stacked])
+        new_cat = np.concatenate([delta.new_rows for _, delta in stacked], axis=0)
+        group_of_row = np.repeat(np.arange(len(stacked)),
+                                 [delta.rows.size for _, delta in stacked])
+        old_within = self._distance.distances[rows_cat] <= length
+        new_within = new_cat <= length
+        flips = old_within != new_within
+        # Each changed cell appears in its candidate's row and (when both
+        # endpoints are that candidate's affected rows) again transposed;
+        # keep exactly one representative per candidate — the same dedupe
+        # rule as :meth:`_flipped_cells`, with the affected-row membership
+        # looked up per candidate group.
+        in_rows = np.zeros((len(stacked), n), dtype=bool)
+        in_rows[group_of_row, rows_cat] = True
+        columns = np.arange(n)
+        keep = flips & (~in_rows[group_of_row]
+                        | (columns[None, :] > rows_cat[:, None]))
+        slab_pos, col_idx = np.nonzero(keep)
+        if slab_pos.size == 0:
+            return [changes if changes is not None else {}
+                    for changes in changes_list]
+        row_idx = rows_cat[slab_pos]
+        gained = new_within[slab_pos, col_idx]
+        position_of_group = np.fromiter((position for position, _ in stacked),
+                                        dtype=np.int64, count=len(stacked))
+        candidate = position_of_group[group_of_row[slab_pos]]
+        encoded, span = encode_degree_pairs(typing.degrees, row_idx, col_idx)
+        codes, inverse = np.unique(encoded, return_inverse=True)
+        type_of_code = [self._type_index.get(decode_degree_pair(int(code), span))
+                        for code in codes]
+        grouped = (candidate * codes.size + inverse) * 2 + gained.astype(np.int64)
+        counts = np.bincount(grouped, minlength=len(deltas) * codes.size * 2)
+        net = counts.reshape(len(deltas), codes.size, 2)
+        net = net[:, :, 1].astype(np.int64) - net[:, :, 0]
+        for position, code_pos in zip(*np.nonzero(net)):
+            index = type_of_code[code_pos]
+            if index is None:
+                continue
+            changes_list[position][index] = int(net[position, code_pos])
+        return [changes if changes is not None else {} for changes in changes_list]
+
+    def _summarize_batch(self, changes_list: List[Dict[int, int]]
+                         ) -> List[EditEvaluation]:
+        """:meth:`_summarize` across candidates without per-candidate passes.
+
+        The float ratio matrix, its row maxima, and the left-to-right float
+        totals (``cumsum`` accumulates element by element, exactly like the
+        stateless evaluator's ``sum``) are computed for all candidates at
+        once; only the exact cross-multiplied refinement of each row's few
+        float-argmax columns stays scalar.  Bit-identical to mapping
+        :meth:`_summarize` over ``changes_list``.
+        """
+        if self._withins.size == 0:
+            return [EditEvaluation(fraction=Fraction(0), types_at_max=0,
+                                   total_opacity=0.0)
+                    for _ in changes_list]
+        count = len(changes_list)
+        if count == 0:
+            return []
+        withins = np.tile(self._withins, (count, 1))
+        for row, changes in enumerate(changes_list):
+            for index, change in changes.items():
+                withins[row, index] += change
+        ratios = withins / self._totals[None, :]
+        totals = np.cumsum(ratios, axis=1)[:, -1]
+        at_max = ratios == ratios.max(axis=1)[:, None]
+        tie_rows, tie_cols = np.nonzero(at_max)
+        rows_list = tie_rows.tolist()
+        nums = withins[tie_rows, tie_cols].tolist()
+        dens = self._totals[tie_cols].tolist()
+        totals_list = totals.tolist()
+        evaluations: List[Optional[EditEvaluation]] = [None] * count
+        best_num, best_den, ties, current = 0, 1, 0, -1
+        for row, num, den in zip(rows_list, nums, dens):
+            if row != current:
+                if current >= 0:
+                    evaluations[current] = EditEvaluation(
+                        fraction=Fraction(best_num, best_den),
+                        types_at_max=ties,
+                        total_opacity=totals_list[current])
+                best_num, best_den, ties, current = 0, 1, 0, row
+            ordering = num * best_den - best_num * den
+            if ordering > 0:
+                best_num, best_den, ties = num, den, 1
+            elif ordering == 0:
+                ties += 1
+        evaluations[current] = EditEvaluation(
+            fraction=Fraction(best_num, best_den), types_at_max=ties,
+            total_opacity=totals_list[current])
+        return evaluations  # type: ignore[return-value]

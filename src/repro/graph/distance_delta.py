@@ -34,12 +34,21 @@ keeps every step exact without copying the matrix per candidate.  Both
 code paths yield matrices identical to
 :func:`repro.graph.distance.bounded_distance_matrix` on the edited graph;
 the property suite asserts this bit-for-bit.
+
+:meth:`DistanceSession.preview_batch` evaluates *many independent
+single-edge candidates* of the same kind in one stacked pass: all removal
+candidates share one ``|rows_total| × n`` slab recompute (with per-row
+corrections for each candidate's own removed edge), and all insertion
+candidates share one broadcast relaxation.  The batch is bit-identical to
+the equivalent sequence of :meth:`preview` calls — including the per-edit
+fallback heuristic and the graph-mutation order the sequential path leaves
+behind.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -154,6 +163,234 @@ class DistanceSession:
             return self._compute_delta(removals, insertions, applied)
         finally:
             self._revert(applied)
+
+    def preview_batch(self, removals: Sequence[Edge] = (),
+                      insertions: Sequence[Edge] = ()) -> List[DistanceDelta]:
+        """Deltas of *independent* single-edge candidates, one stacked pass.
+
+        Unlike :meth:`preview` — where the listed edges form one combined
+        edit — every edge here is its own candidate: the result is
+        bit-identical to ``[preview(removals=[e]) for e in removals] +
+        [preview(insertions=[e]) for e in insertions]``, but all removal
+        candidates share a single ``|rows_total| × n`` slab recompute and
+        all insertion candidates share a single broadcast relaxation,
+        eliminating the per-candidate numpy call overhead that dominates
+        the greedy scans.  The graph is touched (and restored) per
+        candidate with the same mutation sequence the sequential previews
+        use, so adjacency-set iteration order stays scan-mode-independent.
+        """
+        removal_edges = [normalize_edge(u, v) for u, v in removals]
+        insertion_edges = [normalize_edge(u, v) for u, v in insertions]
+        deltas = self._batch_removal_deltas(removal_edges)
+        deltas += self._batch_insertion_deltas(insertion_edges)
+        return deltas
+
+    def _batch_slab_row_cap(self) -> int:
+        """Rows per stacked pass, bounding the workspace to ~32 MB of int64."""
+        n = max(1, self._graph.num_vertices)
+        return max(256, (1 << 22) // n)
+
+    def _batch_candidate_cap(self) -> int:
+        """Candidates per ``n × |chunk|`` column gather (bounds the gather)."""
+        n = max(1, self._graph.num_vertices)
+        return max(64, (1 << 21) // n)
+
+    def _slab_chunks(self, slab: List[Tuple[int, np.ndarray]]
+                     ) -> Iterator[List[Tuple[int, np.ndarray]]]:
+        """Greedily pack slab entries into row-capped stacked-pass chunks."""
+        cap = self._batch_slab_row_cap()
+        start = 0
+        while start < len(slab):
+            stop = start
+            total_rows = 0
+            while stop < len(slab) and (stop == start
+                                        or total_rows + slab[stop][1].size <= cap):
+                total_rows += slab[stop][1].size
+                stop += 1
+            yield slab[start:stop]
+            start = stop
+
+    def _batch_affected_rows(self, edges: Sequence[Edge],
+                             removal: bool) -> List[np.ndarray]:
+        """Affected-row arrays of every candidate from one stacked gather.
+
+        Vectorizes :meth:`_removal_rows` (resp. the insertion row filter)
+        across the chunk's candidates: both endpoint columns are gathered at
+        once and the per-candidate row sets split out of a single
+        ``nonzero``.
+        """
+        endpoint_u = np.fromiter((edge[0] for edge in edges), dtype=np.int64,
+                                 count=len(edges))
+        endpoint_v = np.fromiter((edge[1] for edge in edges), dtype=np.int64,
+                                 count=len(edges))
+        du = self._dist[:, endpoint_u].astype(np.int64)
+        dv = self._dist[:, endpoint_v].astype(np.int64)
+        near = np.minimum(du, dv) <= self._length - 1
+        affected = (near & (np.abs(du - dv) == 1)) if removal else near
+        counts = affected.sum(axis=0)
+        candidate_index, row_index = np.nonzero(affected.T)
+        del candidate_index
+        return np.split(row_index, np.cumsum(counts)[:-1])
+
+    def _batch_removal_deltas(self, edges: List[Edge]) -> List[DistanceDelta]:
+        n = self._graph.num_vertices
+        deltas: List[DistanceDelta] = [None] * len(edges)  # type: ignore[list-item]
+        slab: List[Tuple[int, np.ndarray]] = []  # (candidate index, affected rows)
+        threshold = self._fallback_threshold(n)
+        candidate_cap = self._batch_candidate_cap()
+        for chunk_start in range(0, len(edges), candidate_cap):
+            chunk = edges[chunk_start:chunk_start + candidate_cap]
+            rows_per_candidate = self._batch_affected_rows(chunk, removal=True)
+            for local, (u, v) in enumerate(chunk):
+                index = chunk_start + local
+                # Same mutate/restore sequence as a sequential preview, so
+                # adjacency sets end up with identical iteration histories.
+                self._graph.remove_edge(u, v)
+                rows = rows_per_candidate[local]
+                if rows.size > threshold:
+                    full = bounded_distance_matrix(self._graph, self._length,
+                                                   engine=self._engine)
+                    deltas[index] = DistanceDelta(
+                        (edges[index],), (), np.arange(n, dtype=np.int64), full,
+                        from_scratch=True)
+                else:
+                    slab.append((index, rows))
+                self._graph.add_edge(u, v)
+        for slab_chunk in self._slab_chunks(slab):
+            self._fill_removal_chunk(edges, slab_chunk, deltas)
+        return deltas
+
+    def _fill_removal_chunk(self, edges: List[Edge],
+                            chunk: List[Tuple[int, np.ndarray]],
+                            deltas: List[DistanceDelta]) -> None:
+        """Recompute one chunk's affected rows in a shared stacked slab."""
+        n = self._graph.num_vertices
+        empty_rows = np.empty(0, dtype=np.int64)
+        empty_block = np.empty((0, n), dtype=np.int32)
+        live = [(index, rows) for index, rows in chunk if rows.size]
+        for index, rows in chunk:
+            if not rows.size:
+                deltas[index] = DistanceDelta((edges[index],), (),
+                                              empty_rows, empty_block)
+        if not live:
+            return
+        rows_cat = np.concatenate([rows for _, rows in live])
+        sizes = [rows.size for _, rows in live]
+        edge_u = np.repeat(np.fromiter((edges[index][0] for index, _ in live),
+                                       dtype=np.int64, count=len(live)), sizes)
+        edge_v = np.repeat(np.fromiter((edges[index][1] for index, _ in live),
+                                       dtype=np.int64, count=len(live)), sizes)
+        block = self._rows_block_batch(rows_cat, edge_u, edge_v)
+        changed_cat = (block != self._dist[rows_cat]).any(axis=1)
+        offset = 0
+        for index, rows in live:
+            candidate_block = block[offset:offset + rows.size]
+            changed = changed_cat[offset:offset + rows.size]
+            offset += rows.size
+            deltas[index] = DistanceDelta(
+                (edges[index],), (), rows[changed],
+                np.ascontiguousarray(candidate_block[changed], dtype=np.int32))
+
+    def _rows_block_batch(self, rows: np.ndarray, edge_u: np.ndarray,
+                          edge_v: np.ndarray) -> np.ndarray:
+        """:meth:`_rows_block` across candidates, one frontier expansion.
+
+        ``edge_u``/``edge_v`` name the removed edge of each slab row's
+        candidate.  The expansion runs against the *unedited* adjacency and
+        subtracts, per row, the single product term its candidate's removed
+        edge would have contributed — float32 0/1 dot products are exact, so
+        the corrected frontier equals the one computed on the edited
+        adjacency bit for bit.
+        """
+        n = self._graph.num_vertices
+        total = rows.size
+        block = np.full((total, n), UNREACHABLE, dtype=np.int32)
+        source_index = np.arange(total)
+        block[source_index, rows] = 0
+        reached = np.zeros((total, n), dtype=np.bool_)
+        reached[source_index, rows] = True
+        frontier = self._adj[rows].astype(np.bool_)
+        # A source row that is itself an endpoint of its candidate's removed
+        # edge must not start from the other endpoint.
+        at_u = rows == edge_u
+        frontier[source_index[at_u], edge_v[at_u]] = False
+        at_v = rows == edge_v
+        frontier[source_index[at_v], edge_u[at_v]] = False
+        step = 1
+        while step <= self._length and frontier.any():
+            new = frontier & ~reached
+            block[new & (block == UNREACHABLE)] = step
+            reached |= new
+            if step == self._length:
+                break
+            product = new.astype(np.float32) @ self._adj
+            product[source_index, edge_v] -= new[source_index, edge_u]
+            product[source_index, edge_u] -= new[source_index, edge_v]
+            frontier = product > 0
+            step += 1
+        return block
+
+    def _batch_insertion_deltas(self, edges: List[Edge]) -> List[DistanceDelta]:
+        n = self._graph.num_vertices
+        deltas: List[DistanceDelta] = [None] * len(edges)  # type: ignore[list-item]
+        empty_rows = np.empty(0, dtype=np.int64)
+        empty_block = np.empty((0, n), dtype=np.int32)
+        slab: List[Tuple[int, np.ndarray]] = []
+        candidate_cap = self._batch_candidate_cap()
+        for chunk_start in range(0, len(edges), candidate_cap):
+            chunk = edges[chunk_start:chunk_start + candidate_cap]
+            rows_per_candidate = self._batch_affected_rows(chunk, removal=False)
+            for local, (u, v) in enumerate(chunk):
+                index = chunk_start + local
+                self._graph.add_edge(u, v)
+                rows = rows_per_candidate[local]
+                if rows.size == 0:
+                    deltas[index] = DistanceDelta((), (edges[index],),
+                                                  empty_rows, empty_block)
+                else:
+                    slab.append((index, rows))
+                self._graph.remove_edge(u, v)
+        for slab_chunk in self._slab_chunks(slab):
+            self._fill_insertion_chunk(edges, slab_chunk, deltas)
+        return deltas
+
+    def _fill_insertion_chunk(self, edges: List[Edge],
+                              chunk: List[Tuple[int, np.ndarray]],
+                              deltas: List[DistanceDelta]) -> None:
+        """Relax one chunk's affected rows in a shared broadcast pass.
+
+        The single-edge relaxation of :meth:`_relax_insertion` applied to the
+        stacked ``(candidate, row)`` pairs at once; the matrix is symmetric,
+        so each pair's endpoint columns are read as matrix rows.
+        """
+        rows_cat = np.concatenate([rows for _, rows in chunk])
+        sizes = [rows.size for _, rows in chunk]
+        edge_u = np.repeat(np.fromiter((edges[index][0] for index, _ in chunk),
+                                       dtype=np.int64, count=len(chunk)), sizes)
+        edge_v = np.repeat(np.fromiter((edges[index][1] for index, _ in chunk),
+                                       dtype=np.int64, count=len(chunk)), sizes)
+        # Only the gathered slab rows are widened to int64 (the arithmetic
+        # must not wrap on UNREACHABLE + 1 + d), never the full matrix.
+        block = self._dist[rows_cat].astype(np.int64)
+        du_values = self._dist[rows_cat, edge_u].astype(np.int64)
+        dv_values = self._dist[rows_cat, edge_v].astype(np.int64)
+        np.minimum(block,
+                   (du_values + 1)[:, None] + self._dist[edge_v, :].astype(np.int64),
+                   out=block)
+        np.minimum(block,
+                   (dv_values + 1)[:, None] + self._dist[edge_u, :].astype(np.int64),
+                   out=block)
+        block[block > self._length] = UNREACHABLE
+        block = block.astype(np.int32)
+        changed_cat = (block != self._dist[rows_cat]).any(axis=1)
+        offset = 0
+        for index, rows in chunk:
+            candidate_block = block[offset:offset + rows.size]
+            changed = changed_cat[offset:offset + rows.size]
+            offset += rows.size
+            deltas[index] = DistanceDelta(
+                (), (edges[index],), rows[changed],
+                np.ascontiguousarray(candidate_block[changed], dtype=np.int32))
 
     def stage(self, removals: Sequence[Edge] = (),
               insertions: Sequence[Edge] = ()) -> DistanceDelta:

@@ -39,6 +39,37 @@ class TestAnonymizationRequest:
         with pytest.raises(ConfigurationError, match="evaluation_mode"):
             EdgeRemovalAnonymizer(evaluation_mode="lazy")
 
+    def test_scan_mode_round_trips_and_reaches_algorithms(self):
+        request = AnonymizationRequest(algorithm="rem", edges=EDGES,
+                                       scan_mode="per_candidate")
+        restored = AnonymizationRequest.from_json(request.to_json())
+        assert restored.scan_mode == "per_candidate"
+        assert request.algorithm_params()["scan_mode"] == "per_candidate"
+        # Defaults to the stacked batch scans.
+        assert AnonymizationRequest(algorithm="rem", edges=EDGES).scan_mode \
+            == "batched"
+
+    def test_unknown_scan_mode_raises_at_construction_time(self):
+        with pytest.raises(ConfigurationError, match="scan_mode"):
+            EdgeRemovalAnonymizer(scan_mode="vectorized")
+
+    def test_swap_sample_size_round_trips_to_gades(self):
+        from repro.api.registry import create_anonymizer
+
+        request = AnonymizationRequest(algorithm="gades", edges=EDGES,
+                                       theta=0.9, swap_sample_size=17,
+                                       max_steps=2)
+        restored = AnonymizationRequest.from_json(request.to_json())
+        assert restored.swap_sample_size == 17
+        assert request.algorithm_params()["swap_sample_size"] == 17
+        # The recorded config is complete: re-running from it reproduces the
+        # request's tuning knobs (the GADES config-dropping bugfix).
+        result = create_anonymizer(
+            "gades", **request.algorithm_params()).anonymize(
+            request.resolve_graph())
+        assert result.config.swap_sample_size == 17
+        assert result.config.max_steps == 2
+
     def test_edges_are_normalized_and_sorted(self):
         request = AnonymizationRequest(algorithm="rem", edges=((3, 2), (1, 0)))
         assert request.edges == ((0, 1), (2, 3))

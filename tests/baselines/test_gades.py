@@ -59,3 +59,63 @@ class TestGades:
         for step in result.steps:
             assert step.operation == "swap"
             assert len(step.edges) == 4
+
+
+class _ScriptedRng:
+    """Deterministic stand-in for ``random.Random`` with scripted draws."""
+
+    def __init__(self, randranges, randoms):
+        self._randranges = iter(randranges)
+        self._randoms = iter(randoms)
+
+    def randrange(self, _n):
+        return next(self._randranges)
+
+    def random(self):
+        return next(self._randoms)
+
+
+class TestCandidateSwapSampling:
+    def test_no_duplicate_normalized_swaps(self):
+        graph = erdos_renyi_graph(12, 0.25, seed=0)
+        anonymizer = GadesAnonymizer(theta=0.5, seed=0, swap_sample_size=500)
+        import random
+        swaps = anonymizer._candidate_swaps(graph, random.Random(0))
+        keys = [(frozenset(swap[:2]), frozenset(swap[2:])) for swap in swaps]
+        assert len(keys) == len(set(keys))
+
+    def test_alternate_rewiring_used_when_first_collides(self):
+        # Edges (0,1), (0,3), (2,3); drawing the pair (0,1)/(2,3) with the
+        # coin choosing the (a-d, c-b) rewiring first collides on the
+        # existing edge (0,3) — the alternate (a-c, b-d) rewiring is valid
+        # and must be used instead of discarding the draw.
+        from repro.graph.graph import Graph
+        graph = Graph(4, edges=[(0, 1), (0, 3), (2, 3)])
+        edges = list(graph.edges())
+        first, second = edges.index((0, 1)), edges.index((2, 3))
+        anonymizer = GadesAnonymizer(theta=0.5, swap_sample_size=1)
+        rng = _ScriptedRng([first, second], [0.4])
+        swaps = anonymizer._candidate_swaps(graph, rng)
+        assert swaps == [((0, 1), (2, 3), (0, 2), (1, 3))]
+
+    def test_repeated_draws_are_deduplicated(self):
+        from itertools import cycle
+        from repro.graph.graph import Graph
+        graph = Graph(4, edges=[(0, 1), (2, 3)])
+        edges = list(graph.edges())
+        first, second = edges.index((0, 1)), edges.index((2, 3))
+        anonymizer = GadesAnonymizer(theta=0.5, swap_sample_size=5)
+        # Every attempt draws the same edge pair and the same coin, so the
+        # same normalized swap: it must be scored exactly once.
+        rng = _ScriptedRng(cycle([first, second]), cycle([0.4]))
+        swaps = anonymizer._candidate_swaps(graph, rng)
+        assert swaps == [((0, 1), (2, 3), (0, 3), (1, 2))]
+
+    def test_result_config_records_full_constructor_state(self):
+        graph = erdos_renyi_graph(15, 0.2, seed=1)
+        result = GadesAnonymizer(theta=0.4, seed=3, max_steps=2,
+                                 swap_sample_size=77).anonymize(graph)
+        assert result.config.max_steps == 2
+        assert result.config.swap_sample_size == 77
+        assert result.config.seed == 3
+        assert result.config.theta == 0.4

@@ -29,6 +29,9 @@ class TestAnonymizerConfig:
         ("max_combinations", 0),
         ("insertion_candidate_cap", 0),
         ("engine", "no-such-engine"),
+        ("evaluation_mode", "lazy"),
+        ("scan_mode", "vectorized"),
+        ("swap_sample_size", 0),
     ])
     def test_invalid_values_rejected(self, field, value):
         config = AnonymizerConfig(**{field: value})

@@ -93,3 +93,126 @@ class TestCombinationCapping:
         assert len(combos) == 50
         assert len(set(combos)) == 50
         assert all(len(combo) == 3 for combo in combos)
+
+
+class TestCappedSamplingNearPoolSize:
+    """Regression tests for the overestimating partial-product bug: with
+    ``size`` close to the pool, a running product of partial binomials peaks
+    mid-way (e.g. C(30, 15) for pool=30) and wrongly trips the cap, making
+    the rejection-sampling loop ask for more distinct combinations than
+    exist — an infinite loop.  The count is now exact."""
+
+    def test_size_near_pool_enumerates_exactly(self):
+        # C(30, 28) = 435 <= cap, but the old partial product exceeded it.
+        edges = [(0, i) for i in range(1, 31)]
+        combos = list(_combinations_capped(edges, 28, cap=1000,
+                                           rng=random.Random(0)))
+        assert len(combos) == 435
+        assert len(set(map(frozenset, combos))) == 435
+
+    def test_size_equal_to_pool_is_single_combination(self):
+        edges = [(0, i) for i in range(1, 21)]
+        combos = list(_combinations_capped(edges, 20, cap=5,
+                                           rng=random.Random(0)))
+        assert combos == [tuple(edges)]
+
+    def test_sampling_just_under_distinct_count_terminates(self):
+        # cap one below the exact count: sampling must collect cap distinct
+        # combinations and stop (the old code could never have).
+        edges = [(0, i) for i in range(1, 31)]
+        combos = list(_combinations_capped(edges, 28, cap=434,
+                                           rng=random.Random(3)))
+        assert len(combos) == 434
+        assert len(set(combos)) == 434
+
+    def test_sampling_is_seed_deterministic(self):
+        edges = [(0, i) for i in range(1, 31)]
+        first = list(_combinations_capped(edges, 28, cap=100,
+                                          rng=random.Random(7)))
+        second = list(_combinations_capped(edges, 28, cap=100,
+                                           rng=random.Random(7)))
+        assert first == second
+
+    def test_search_with_lookahead_near_pool_size(self):
+        edges = [(0, 1), (0, 2), (0, 3), (1, 2)]
+        scores = {}
+        for size in range(1, 5):
+            from itertools import combinations as iter_combinations
+            for combo in iter_combinations(edges, size):
+                scores[frozenset(combo)] = Fraction(1)
+        scores[frozenset(edges)] = Fraction(1, 4)
+        evaluate = _make_evaluator(scores)
+        best = search_best_combination(edges, evaluate,
+                                       current_fraction=Fraction(1),
+                                       lookahead=4, rng=random.Random(0),
+                                       max_combinations=3)
+        # Every level is capped at 3 sampled combinations; the search must
+        # terminate and return a candidate even when C(4, size) > 3.
+        assert best is not None
+
+    def test_search_near_pool_size_is_seed_deterministic(self):
+        edges = [(0, i) for i in range(1, 9)]
+        scores = {}
+        from itertools import combinations as iter_combinations
+        for size in range(1, 9):
+            for combo in iter_combinations(edges, size):
+                scores[frozenset(combo)] = Fraction(len(combo), len(combo) + 1)
+        runs = []
+        for _ in range(2):
+            evaluate = _make_evaluator(scores)
+            best = search_best_combination(edges, evaluate,
+                                           current_fraction=Fraction(1, 10),
+                                           lookahead=7, rng=random.Random(11),
+                                           max_combinations=5)
+            runs.append((best.edges, tuple(evaluate.calls)))
+        assert runs[0] == runs[1]
+
+
+class TestBatchEvaluation:
+    def test_size_one_level_uses_the_batch_evaluator(self):
+        edges = [(0, 1), (0, 2)]
+        scores = {
+            frozenset({(0, 1)}): Fraction(1, 2),
+            frozenset({(0, 2)}): Fraction(3, 4),
+        }
+        sequential = _make_evaluator(scores)
+        batch_calls = []
+
+        def evaluate_batch(combos):
+            batch_calls.append(list(combos))
+            for combo in combos:
+                yield CandidateOutcome(edges=tuple(combo),
+                                       fraction=scores[frozenset(combo)],
+                                       types_at_max=1)
+
+        best = search_best_combination(edges, sequential,
+                                       current_fraction=Fraction(1),
+                                       lookahead=2, rng=random.Random(0),
+                                       max_combinations=100,
+                                       evaluate_batch=evaluate_batch)
+        assert best.edges == ((0, 1),)
+        assert batch_calls == [[((0, 1),), ((0, 2),)]]
+        assert sequential.calls == []  # size 1 went through the batch path
+
+    def test_larger_sizes_stay_per_combination(self):
+        edges = [(0, 1), (0, 2)]
+        scores = {
+            frozenset({(0, 1)}): Fraction(1),
+            frozenset({(0, 2)}): Fraction(1),
+            frozenset({(0, 1), (0, 2)}): Fraction(1, 3),
+        }
+        sequential = _make_evaluator(scores)
+
+        def evaluate_batch(combos):
+            for combo in combos:
+                yield CandidateOutcome(edges=tuple(combo),
+                                       fraction=scores[frozenset(combo)],
+                                       types_at_max=1)
+
+        best = search_best_combination(edges, sequential,
+                                       current_fraction=Fraction(1),
+                                       lookahead=2, rng=random.Random(0),
+                                       max_combinations=100,
+                                       evaluate_batch=evaluate_batch)
+        assert set(best.edges) == {(0, 1), (0, 2)}
+        assert all(len(call) == 2 for call in sequential.calls)

@@ -168,3 +168,134 @@ class TestObserverParity:
             # The scan for a single step spans |E| evaluations, so stopping
             # at 5 proves per-evaluation polling survived the refactor.
             assert result.evaluations <= limit + 2
+
+
+class TestEvaluateEdits:
+    """The batched scan API must reproduce per-candidate evaluation exactly."""
+
+    @pytest.mark.parametrize("mode", ["scratch", "incremental"])
+    def test_single_edge_batches_match_per_candidate(self, paper_example_graph, mode):
+        computer = OpacityComputer(DegreePairTyping(paper_example_graph), 2)
+        session = OpacitySession(computer, paper_example_graph, mode=mode)
+        removals = [((edge,), ()) for edge in paper_example_graph.edges()]
+        insertions = [((), (edge,)) for edge in paper_example_graph.non_edges()]
+        for candidates in (removals, insertions):
+            expected = [session.evaluate_edit(r, i) for r, i in candidates]
+            assert session.evaluate_edits(candidates) == expected
+
+    @pytest.mark.parametrize("mode", ["scratch", "incremental"])
+    def test_multi_edge_candidates_match_per_candidate(self, mode):
+        graph = erdos_renyi_graph(14, 0.3, seed=5)
+        computer = OpacityComputer(DegreePairTyping(graph), 1)
+        session = OpacitySession(computer, graph, mode=mode)
+        edges = list(graph.edges())
+        absent = list(graph.non_edges())
+        candidates = [((edges[0], edges[1]), (absent[0], absent[1])),
+                      ((edges[2],), (absent[2],)),
+                      ((), (absent[3], absent[4]))]
+        expected = [session.evaluate_edit(r, i) for r, i in candidates]
+        assert session.evaluate_edits(candidates) == expected
+
+    def test_batch_leaves_no_trace(self, paper_example_graph):
+        computer = OpacityComputer(DegreePairTyping(paper_example_graph), 2)
+        session = OpacitySession(computer, paper_example_graph, mode="incremental")
+        before = paper_example_graph.edge_set()
+        current = session.current()
+        session.evaluate_edits([((edge,), ()) for edge in before])
+        assert paper_example_graph.edge_set() == before
+        assert session.current().max_fraction == current.max_fraction
+
+    def test_empty_candidate_list(self, paper_example_graph):
+        computer = OpacityComputer(DegreePairTyping(paper_example_graph), 2)
+        session = OpacitySession(computer, paper_example_graph, mode="incremental")
+        assert session.evaluate_edits([]) == []
+
+    def test_explicit_typing_batches_match_per_candidate(self):
+        graph = Graph(5, edges=[(0, 1), (1, 2), (2, 3), (3, 4)])
+        typing = ExplicitPairTyping({(0, 2): "near", (0, 4): "far", (1, 3): "near"})
+        computer = OpacityComputer(typing, 2)
+        session = OpacitySession(computer, graph, mode="incremental")
+        candidates = [((edge,), ()) for edge in graph.edges()]
+        expected = [session.evaluate_edit(r, i) for r, i in candidates]
+        assert session.evaluate_edits(candidates) == expected
+
+    def test_batches_interleaved_with_applied_edits(self, paper_example_graph):
+        computer = OpacityComputer(DegreePairTyping(paper_example_graph), 2)
+        session = OpacitySession(computer, paper_example_graph, mode="incremental")
+        for _ in range(3):
+            candidates = [((edge,), ()) for edge in session.graph.edges()]
+            evaluations = session.evaluate_edits(candidates)
+            expected = [session.evaluate_edit(r, i) for r, i in candidates]
+            assert evaluations == expected
+            best = min(range(len(evaluations)),
+                       key=lambda pos: evaluations[pos].fraction)
+            session.apply_edit(*candidates[best])
+
+
+class TestViolatingPairIndices:
+    def _max_types(self, session):
+        current = session.current()
+        return {key for key, entry in current.per_type.items()
+                if entry.fraction == current.max_fraction}
+
+    def test_incremental_mask_tracks_scratch_across_edits(self):
+        graph = erdos_renyi_graph(16, 0.25, seed=3)
+        computer = OpacityComputer(DegreePairTyping(graph), 2)
+        incremental = OpacitySession(computer, graph.copy(), mode="incremental")
+        scratch = OpacitySession(computer, graph.copy(), mode="scratch")
+        for _ in range(6):
+            max_types = self._max_types(incremental)
+            left = incremental.violating_pair_indices(max_types)
+            right = scratch.violating_pair_indices(max_types)
+            assert left[0].tolist() == right[0].tolist()
+            assert left[1].tolist() == right[1].tolist()
+            edges = list(incremental.graph.edges())
+            if not edges:
+                break
+            incremental.apply_edit(removals=[edges[0]])
+            scratch.apply_edit(removals=[edges[0]])
+
+    def test_mask_survives_from_scratch_fallback_deltas(self):
+        graph = erdos_renyi_graph(16, 0.25, seed=4)
+        computer = OpacityComputer(DegreePairTyping(graph), 2)
+        incremental = OpacitySession(computer, graph.copy(), mode="incremental",
+                                     fallback_row_fraction=0.0)
+        scratch = OpacitySession(computer, graph.copy(), mode="scratch")
+        max_types = self._max_types(incremental)
+        incremental.violating_pair_indices(max_types)  # materialize the mask
+        for edge in list(graph.edges())[:4]:
+            incremental.apply_edit(removals=[edge])
+            scratch.apply_edit(removals=[edge])
+        max_types = self._max_types(incremental)
+        left = incremental.violating_pair_indices(max_types)
+        right = scratch.violating_pair_indices(max_types)
+        assert left[0].tolist() == right[0].tolist()
+        assert left[1].tolist() == right[1].tolist()
+
+
+class TestScanModeEquivalence:
+    @pytest.mark.parametrize("algorithm,params", ALL_ALGORITHMS)
+    def test_end_to_end_runs_are_bit_identical(self, algorithm, params):
+        graph = erdos_renyi_graph(22, 0.25, seed=9)
+        batched = algorithm(scan_mode="batched", **params).anonymize(graph)
+        sequential = algorithm(scan_mode="per_candidate", **params).anonymize(graph)
+        assert_results_identical(batched, sequential)
+
+    @pytest.mark.parametrize("algorithm,params", ALL_ALGORITHMS)
+    def test_stop_mid_scan_is_scan_mode_independent(self, algorithm, params):
+        graph = erdos_renyi_graph(22, 0.25, seed=9)
+        outcomes = {}
+        for scan_mode in ("per_candidate", "batched"):
+            observer = _StopAfterEvaluations(9)
+            result = algorithm(scan_mode=scan_mode, **params).anonymize(
+                graph, observer=observer)
+            outcomes[scan_mode] = (result.evaluations, result.stop_reason,
+                                   [step.edges for step in result.steps],
+                                   result.anonymized_graph.edge_set())
+        assert outcomes["per_candidate"] == outcomes["batched"]
+
+    def test_rejects_unknown_scan_mode(self):
+        with pytest.raises(ConfigurationError):
+            EdgeRemovalAnonymizer(scan_mode="vectorized")
+        with pytest.raises(ConfigurationError):
+            GadesAnonymizer(scan_mode="vectorized")

@@ -193,3 +193,89 @@ class TestValidation:
             # offending insertion never sticks.
             session.preview(removals=[(4, 5)], insertions=[(0, 1)])
         assert paper_example_graph.edge_set() == before
+
+
+class TestPreviewBatch:
+    """The stacked batch pass must equal the sequential previews bit for bit."""
+
+    @pytest.mark.parametrize("length", [1, 2, 3])
+    @pytest.mark.parametrize("fallback", [0.0, 0.5, 1.0])
+    def test_removal_batch_matches_sequential_previews(self, paper_example_graph,
+                                                       length, fallback):
+        edges = list(paper_example_graph.edges())
+        sequential_session = DistanceSession(paper_example_graph.copy(), length,
+                                             fallback_row_fraction=fallback)
+        expected = [sequential_session.preview(removals=[edge]) for edge in edges]
+        batch_session = DistanceSession(paper_example_graph, length,
+                                        fallback_row_fraction=fallback)
+        observed = batch_session.preview_batch(removals=edges)
+        assert len(observed) == len(expected)
+        for got, want in zip(observed, expected):
+            assert got.removals == want.removals
+            assert got.insertions == want.insertions
+            assert got.from_scratch == want.from_scratch
+            assert np.array_equal(got.rows, want.rows)
+            assert np.array_equal(got.new_rows, want.new_rows)
+
+    @pytest.mark.parametrize("length", [1, 2, 3])
+    def test_insertion_batch_matches_sequential_previews(self, paper_example_graph,
+                                                         length):
+        edges = list(paper_example_graph.non_edges())
+        sequential_session = DistanceSession(paper_example_graph.copy(), length)
+        expected = [sequential_session.preview(insertions=[edge]) for edge in edges]
+        observed = DistanceSession(paper_example_graph, length).preview_batch(
+            insertions=edges)
+        for got, want in zip(observed, expected):
+            assert got.insertions == want.insertions
+            assert np.array_equal(got.rows, want.rows)
+            assert np.array_equal(got.new_rows, want.new_rows)
+
+    def test_batch_on_random_graphs_matches_scratch_matrices(self):
+        for seed in range(4):
+            graph = erdos_renyi_graph(18, 0.2, seed=seed)
+            session = DistanceSession(graph, 2)
+            edges = list(graph.edges())
+            for edge, delta in zip(edges, session.preview_batch(removals=edges)):
+                expected = reference_after(graph, [edge], [], 2)
+                assert np.array_equal(apply_delta(session, delta), expected)
+            non_edges = list(graph.non_edges())[:40]
+            for edge, delta in zip(non_edges,
+                                   session.preview_batch(insertions=non_edges)):
+                expected = reference_after(graph, [], [edge], 2)
+                assert np.array_equal(apply_delta(session, delta), expected)
+
+    def test_batch_leaves_no_trace(self, paper_example_graph):
+        session = DistanceSession(paper_example_graph, 2)
+        before_edges = paper_example_graph.edge_set()
+        before_matrix = session.distances.copy()
+        session.preview_batch(removals=list(paper_example_graph.edges()),
+                              insertions=list(paper_example_graph.non_edges()))
+        assert paper_example_graph.edge_set() == before_edges
+        assert np.array_equal(session.distances, before_matrix)
+
+    def test_empty_batch_returns_no_deltas(self, paper_example_graph):
+        session = DistanceSession(paper_example_graph, 2)
+        assert session.preview_batch() == []
+
+    def test_forced_fallback_yields_from_scratch_deltas(self, paper_example_graph):
+        session = DistanceSession(paper_example_graph, 2,
+                                  fallback_row_fraction=0.0)
+        edges = list(paper_example_graph.edges())
+        deltas = session.preview_batch(removals=edges)
+        assert all(delta.from_scratch for delta in deltas)
+        for edge, delta in zip(edges, deltas):
+            expected = reference_after(paper_example_graph, [edge], [], 2)
+            assert np.array_equal(delta.new_rows, expected)
+
+    def test_small_slab_chunks_do_not_change_results(self, monkeypatch):
+        graph = erdos_renyi_graph(16, 0.25, seed=1)
+        session = DistanceSession(graph, 2)
+        edges = list(graph.edges())
+        non_edges = list(graph.non_edges())
+        expected = session.preview_batch(removals=edges, insertions=non_edges)
+        monkeypatch.setattr(DistanceSession, "_batch_slab_row_cap", lambda self: 1)
+        monkeypatch.setattr(DistanceSession, "_batch_candidate_cap", lambda self: 1)
+        chunked = session.preview_batch(removals=edges, insertions=non_edges)
+        for got, want in zip(chunked, expected):
+            assert np.array_equal(got.rows, want.rows)
+            assert np.array_equal(got.new_rows, want.new_rows)

@@ -184,12 +184,99 @@ class TestEndToEndModeEquivalence:
 
     @staticmethod
     def _assert_identical(algorithm, params, graph):
-        incremental = algorithm(evaluation_mode="incremental",
-                                **params).anonymize(graph)
-        scratch = algorithm(evaluation_mode="scratch", **params).anonymize(graph)
-        assert [(step.operation, step.edges) for step in incremental.steps] == \
-               [(step.operation, step.edges) for step in scratch.steps]
-        assert incremental.final_opacity == scratch.final_opacity
-        assert incremental.evaluations == scratch.evaluations
-        assert incremental.distortion == scratch.distortion
-        assert incremental.anonymized_graph == scratch.anonymized_graph
+        reference = algorithm(evaluation_mode="scratch",
+                              scan_mode="per_candidate", **params).anonymize(graph)
+        for evaluation_mode, scan_mode in (("incremental", "batched"),
+                                           ("incremental", "per_candidate")):
+            observed = algorithm(evaluation_mode=evaluation_mode,
+                                 scan_mode=scan_mode, **params).anonymize(graph)
+            assert [(step.operation, step.edges) for step in observed.steps] == \
+                   [(step.operation, step.edges) for step in reference.steps]
+            assert observed.final_opacity == reference.final_opacity
+            assert observed.evaluations == reference.evaluations
+            assert observed.distortion == reference.distortion
+            assert observed.anonymized_graph == reference.anonymized_graph
+
+
+@st.composite
+def candidate_scans(draw, max_candidates: int = 12):
+    """A graph plus a list of independent single-candidate edits.
+
+    Each candidate is ``(removals, insertions)`` evaluated against the *same*
+    graph state — exactly the scans the greedy algorithms batch.  The list is
+    drawn homogeneous (all single-edge removals, all single-edge insertions)
+    or mixed (multi-edge swaps included) to exercise both the stacked and
+    the sequential-fallback batch paths.
+    """
+    graph = draw(graphs(max_vertices=10))
+    edges = graph.edge_list()
+    non_edges = sorted(graph.non_edges())
+    shape = draw(st.sampled_from(["removals", "insertions", "mixed"]))
+    count = draw(st.integers(min_value=0, max_value=max_candidates))
+    candidates = []
+    for _ in range(count):
+        if shape == "removals" and edges:
+            pool = draw(st.integers(min_value=0, max_value=len(edges) - 1))
+            candidates.append(((edges[pool],), ()))
+        elif shape == "insertions" and non_edges:
+            pool = draw(st.integers(min_value=0, max_value=len(non_edges) - 1))
+            candidates.append(((), (non_edges[pool],)))
+        elif shape == "mixed" and len(edges) >= 2 and len(non_edges) >= 2:
+            removal_pair = draw(st.permutations(range(len(edges))))[:2]
+            insertion_pair = draw(st.permutations(range(len(non_edges))))[:2]
+            candidates.append((tuple(edges[p] for p in removal_pair),
+                               tuple(non_edges[p] for p in insertion_pair)))
+    return graph, candidates
+
+
+class TestEvaluateEditsProperties:
+    @given(candidate_scans(), length_bounds, fallback_fractions)
+    @settings(max_examples=60, deadline=None)
+    def test_batch_matches_per_candidate_exactly(self, scan_case, length,
+                                                 fallback):
+        graph, candidates = scan_case
+        computer = OpacityComputer(DegreePairTyping(graph), length)
+        session = OpacitySession(computer, graph, mode="incremental",
+                                 fallback_row_fraction=fallback)
+        expected = [session.evaluate_edit(removals, insertions)
+                    for removals, insertions in candidates]
+        observed = session.evaluate_edits(candidates)
+        assert observed == expected
+
+    @given(candidate_scans(), length_bounds)
+    @settings(max_examples=40, deadline=None)
+    def test_batch_matches_scratch_mode(self, scan_case, length):
+        graph, candidates = scan_case
+        computer = OpacityComputer(DegreePairTyping(graph), length)
+        incremental = OpacitySession(computer, graph.copy(), mode="incremental")
+        scratch = OpacitySession(computer, graph.copy(), mode="scratch")
+        assert incremental.evaluate_edits(candidates) == \
+            scratch.evaluate_edits(candidates)
+
+    @given(candidate_scans(max_candidates=6), length_bounds, engines,
+           fallback_fractions)
+    @settings(max_examples=30, deadline=None)
+    def test_preview_batch_matches_sequential_previews(self, scan_case, length,
+                                                       engine, fallback):
+        graph, candidates = scan_case
+        single_removals = [removals[0] for removals, insertions in candidates
+                           if len(removals) == 1 and not insertions]
+        single_insertions = [insertions[0] for removals, insertions in candidates
+                             if len(insertions) == 1 and not removals]
+        sequential = DistanceSession(graph.copy(), length, engine=engine,
+                                     fallback_row_fraction=fallback)
+        expected = [sequential.preview(removals=[edge])
+                    for edge in single_removals]
+        expected += [sequential.preview(insertions=[edge])
+                     for edge in single_insertions]
+        batch = DistanceSession(graph, length, engine=engine,
+                                fallback_row_fraction=fallback)
+        observed = batch.preview_batch(removals=single_removals,
+                                       insertions=single_insertions)
+        assert len(observed) == len(expected)
+        for got, want in zip(observed, expected):
+            assert got.removals == want.removals
+            assert got.insertions == want.insertions
+            assert got.from_scratch == want.from_scratch
+            assert np.array_equal(got.rows, want.rows)
+            assert np.array_equal(got.new_rows, want.new_rows)

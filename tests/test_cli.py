@@ -59,6 +59,23 @@ class TestCommands:
             main(["anonymize", "--dataset", "gnutella", "--size", "40",
                   "--evaluation-mode", "lazy"])
 
+    def test_anonymize_command_scan_modes_agree(self, tmp_path, capsys):
+        outputs = {}
+        for mode in ("batched", "per_candidate"):
+            output = tmp_path / f"anon-{mode}.edges"
+            exit_code = main(["anonymize", "--dataset", "gnutella", "--size", "40",
+                              "--algorithm", "rem", "--theta", "0.6", "--length", "1",
+                              "--seed", "0", "--scan-mode", mode,
+                              "--output", str(output)])
+            assert exit_code == 0
+            outputs[mode] = output.read_text()
+        assert outputs["batched"] == outputs["per_candidate"]
+
+    def test_anonymize_command_rejects_unknown_scan_mode(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["anonymize", "--dataset", "gnutella", "--size", "40",
+                  "--scan-mode", "turbo"])
+
     def test_anonymize_command_reads_edge_list(self, tmp_path, capsys):
         from repro.graph.generators import erdos_renyi_graph
         from repro.graph.io import write_edge_list
