@@ -11,9 +11,12 @@ Layers (see DESIGN.md §8):
   anonymizer's greedy loop.
 * :mod:`repro.api.facade` — :func:`anonymize`, :func:`compute_opacity`,
   :func:`sweep`.
+* :mod:`repro.api.theta_sweep` — :class:`SweepRequest` / :class:`SweepResponse`
+  and the grouped checkpointed θ-sweep engine behind :func:`sweep` and
+  ``repro-lopacity sweep`` (DESIGN.md §9).
 * :mod:`repro.api.batch` — :class:`BatchRunner` fan-out over worker
   processes, powering ``repro-lopacity batch`` and parallel experiment
-  sweeps.
+  sweeps; sweeps fan θ-sweep groups instead of single requests.
 
 Quickstart::
 
@@ -66,6 +69,12 @@ if TYPE_CHECKING:  # pragma: no cover — lazy at runtime, eager for type checke
         sweep,
     )
     from repro.api.requests import AnonymizationRequest, AnonymizationResponse
+    from repro.api.theta_sweep import (
+        SweepRequest,
+        SweepResponse,
+        execute_sweep_group,
+        run_sweep,
+    )
 
 #: Lazily resolved attribute -> defining submodule (PEP 562).
 _LAZY = {
@@ -79,6 +88,10 @@ _LAZY = {
     "sweep": "repro.api.facade",
     "BatchRunner": "repro.api.batch",
     "execute_request": "repro.api.batch",
+    "SweepRequest": "repro.api.theta_sweep",
+    "SweepResponse": "repro.api.theta_sweep",
+    "execute_sweep_group": "repro.api.theta_sweep",
+    "run_sweep": "repro.api.theta_sweep",
 }
 
 __all__ = [
@@ -97,6 +110,8 @@ __all__ = [
     "OpacityReport",
     "ProgressObserver",
     "StepLimitObserver",
+    "SweepRequest",
+    "SweepResponse",
     "TimeoutObserver",
     "anonymize",
     "available_algorithms",
@@ -105,9 +120,11 @@ __all__ = [
     "create_anonymizer",
     "default_registry",
     "execute_request",
+    "execute_sweep_group",
     "expand_sweep",
     "register_anonymizer",
     "run_requests",
+    "run_sweep",
     "sweep",
 ]
 

@@ -8,24 +8,33 @@ themselves when :mod:`repro` is imported in the worker.  Custom registries
 with process-local registrations therefore require ``max_workers=0``
 (in-process execution), which is also the deterministic mode used in tests.
 
+:meth:`BatchRunner.run_sweep` fans θ-sweep *groups* (not single requests)
+across the pool: each group is one checkpointed anonymization pass
+(:mod:`repro.api.theta_sweep`), so a worker amortizes a whole θ grid instead of
+re-running the anonymization per grid point.
+
 Guarantees:
 
 * **Ordering** — responses come back in request order regardless of which
   worker finished first.
 * **Failure isolation** — an exception inside one request becomes an error
   response (``response.error`` set, ``success=False``) and never aborts
-  the rest of the batch.
+  the rest of the batch; sweep groups isolate failures at group
+  granularity.
 """
 
 from __future__ import annotations
 
 import os
 from concurrent.futures import Future, ProcessPoolExecutor
-from typing import Any, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 from repro.api.progress import ProgressObserver
 from repro.api.registry import AnonymizerRegistry
 from repro.api.requests import AnonymizationRequest, AnonymizationResponse
+
+if TYPE_CHECKING:  # pragma: no cover — avoids an import cycle at runtime
+    from repro.api.theta_sweep import SweepRequest
 
 
 def execute_request(request: AnonymizationRequest, *,
@@ -47,6 +56,17 @@ def _execute_payload(payload: Dict[str, Any], data_dir: Optional[str]) -> Dict[s
     so it is picklable by the process pool)."""
     request = AnonymizationRequest.from_dict(payload)
     return execute_request(request, data_dir=data_dir).to_dict()
+
+
+def _execute_group_payload(payloads: List[Dict[str, Any]], sweep_mode: str,
+                           data_dir: Optional[str]) -> List[Dict[str, Any]]:
+    """Worker-side entry point for one θ-sweep group (module-level for pickling)."""
+    from repro.api.theta_sweep import execute_sweep_group
+
+    requests = [AnonymizationRequest.from_dict(payload) for payload in payloads]
+    responses = execute_sweep_group(requests, sweep_mode=sweep_mode,
+                                    data_dir=data_dir)
+    return [response.to_dict() for response in responses]
 
 
 class BatchRunner:
@@ -77,8 +97,7 @@ class BatchRunner:
             return []
         if self._max_workers == 0 or len(requests) == 1:
             return self.run_serial(requests)
-        workers = self._max_workers or os.cpu_count() or 1
-        workers = min(workers, len(requests))
+        workers = self._worker_count(len(requests))
         responses: List[AnonymizationResponse] = []
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures: List[Future] = [
@@ -96,3 +115,59 @@ class BatchRunner:
         """Execute ``requests`` one after another in this process."""
         return [execute_request(request, data_dir=self._data_dir)
                 for request in requests]
+
+    def _worker_count(self, num_jobs: int) -> int:
+        """Pool size for ``num_jobs`` independent submissions."""
+        workers = self._max_workers or os.cpu_count() or 1
+        return min(workers, num_jobs)
+
+    # ------------------------------------------------------------------
+    # θ-sweep groups
+    # ------------------------------------------------------------------
+    def run_sweep(self, sweep: "SweepRequest", *,
+                  registry: Optional[AnonymizerRegistry] = None
+                  ) -> List[AnonymizationResponse]:
+        """Execute a sweep, fanning θ-sweep *groups* across the pool.
+
+        Each group runs as one checkpointed anonymization pass; responses
+        come back in request order.  ``sweep_mode="independent"`` opts out
+        of grouping entirely and takes :meth:`run`'s per-request fan-out
+        (per-request timeouts, failure isolation, and parallelism).  A
+        custom ``registry`` is only honoured with ``max_workers=0`` —
+        workers resolve algorithms through the default registry, like
+        :meth:`run`.
+        """
+        from repro.api.theta_sweep import execute_sweep_group
+
+        if sweep.sweep_mode == "independent":
+            return self.run(list(sweep.requests))
+        groups = sweep.groups()
+        ordered: List[Optional[AnonymizationResponse]] = [None] * len(sweep.requests)
+        if self._max_workers == 0 or len(groups) == 1:
+            for indices in groups:
+                responses = execute_sweep_group(
+                    [sweep.requests[index] for index in indices],
+                    sweep_mode=sweep.sweep_mode, registry=registry,
+                    data_dir=self._data_dir)
+                for index, response in zip(indices, responses):
+                    ordered[index] = response
+            return ordered  # type: ignore[return-value]
+        workers = self._worker_count(len(groups))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures: List[Future] = [
+                pool.submit(_execute_group_payload,
+                            [sweep.requests[index].to_dict() for index in indices],
+                            sweep.sweep_mode, self._data_dir)
+                for indices in groups
+            ]
+            for indices, future in zip(groups, futures):
+                try:
+                    payloads = future.result()
+                    responses = [AnonymizationResponse.from_dict(payload)
+                                 for payload in payloads]
+                except Exception as exc:  # worker crash / pool breakage
+                    responses = [AnonymizationResponse.failure(
+                        sweep.requests[index], exc) for index in indices]
+                for index, response in zip(indices, responses):
+                    ordered[index] = response
+        return ordered  # type: ignore[return-value]

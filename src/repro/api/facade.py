@@ -142,21 +142,30 @@ def sweep(base: AnonymizationRequest, *,
           length_thresholds: Optional[Sequence[int]] = None,
           lookaheads: Optional[Sequence[int]] = None,
           seeds: Optional[Sequence[int]] = None,
+          sweep_mode: str = "checkpointed",
           max_workers: Optional[int] = 0,
           data_dir: Optional[str] = None) -> List[AnonymizationResponse]:
-    """Expand ``base`` over the given axes and execute every request.
+    """Expand ``base`` over the given axes and execute the grid.
 
-    ``max_workers=0`` (the default) runs in-process; any other value fans
-    the grid across a :class:`repro.api.batch.BatchRunner` process pool
-    (``None`` = one worker per CPU).  Responses come back in expansion
-    order, with per-request failures isolated into error responses.
+    The grid is partitioned into θ-sweep groups (requests identical in
+    everything but θ); with ``sweep_mode="checkpointed"`` (the default)
+    each group runs as *one* anonymization pass with per-θ checkpoints —
+    a k-point θ grid costs roughly one run instead of k —
+    while ``"independent"`` preserves the one-run-per-request path.  Both
+    modes return identical responses.  ``max_workers=0`` (the default)
+    runs in-process; any other value fans the *groups* across a
+    :class:`repro.api.batch.BatchRunner` process pool (``None`` = one
+    worker per CPU).  Responses come back in expansion order, with
+    failures isolated into error responses at group granularity.
     """
-    from repro.api.batch import BatchRunner
+    from repro.api.theta_sweep import SweepRequest, run_sweep
 
-    requests = expand_sweep(base, algorithms=algorithms, thetas=thetas,
-                            length_thresholds=length_thresholds,
-                            lookaheads=lookaheads, seeds=seeds)
-    return BatchRunner(max_workers=max_workers, data_dir=data_dir).run(requests)
+    request = SweepRequest.from_axes(
+        base, algorithms=algorithms, thetas=thetas,
+        length_thresholds=length_thresholds, lookaheads=lookaheads,
+        seeds=seeds, sweep_mode=sweep_mode)
+    return list(run_sweep(request, max_workers=max_workers,
+                          data_dir=data_dir).responses)
 
 
 def run_requests(requests: Iterable[AnonymizationRequest], *,

@@ -52,6 +52,7 @@ class AnonymizationRequest:
     engine: str = "numpy"
     evaluation_mode: str = "incremental"
     scan_mode: str = "batched"
+    sweep_mode: str = "checkpointed"
     max_steps: Optional[int] = None
     insertion_candidate_cap: Optional[int] = None
     swap_sample_size: Optional[int] = None
@@ -93,6 +94,7 @@ class AnonymizationRequest:
             "engine": self.engine,
             "evaluation_mode": self.evaluation_mode,
             "scan_mode": self.scan_mode,
+            "sweep_mode": self.sweep_mode,
             "max_steps": self.max_steps,
             "insertion_candidate_cap": self.insertion_candidate_cap,
             "swap_sample_size": self.swap_sample_size,

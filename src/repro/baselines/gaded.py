@@ -12,13 +12,23 @@ disclosure drops to the requested confidence threshold:
 
 Both are the L = 1 counterparts of the paper's Edge Removal heuristic, used
 in Figures 6-9 for comparison.
+
+Unlike the paper's heuristics (and GADES), θ shapes GADED's *candidate
+pool*: an edge participates in disclosure exactly when its type's opacity
+exceeds θ, so the edges eligible for removal — and with them GADED-Rand's
+random draw and GADED-Max's argmin — differ between grid points from the
+very first step.  A checkpointed prefix-sharing pass would therefore pick
+different edits than an independent run at each θ;
+:meth:`_GadedBase.anonymize_schedule` instead executes one run per grid
+point, sharing the frozen typing (and the caller's loaded graph) across
+the grid (DESIGN.md §9).
 """
 
 from __future__ import annotations
 
 import random
 import time
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.api.progress import NULL_OBSERVER, AnonymizationStopped, ProgressObserver
 from repro.api.registry import register_anonymizer
@@ -27,6 +37,8 @@ from repro.core.anonymizer import (
     AnonymizationStep,
     AnonymizerConfig,
     iter_batched_evaluations,
+    validate_sweep_mode,
+    validate_theta_schedule,
 )
 from repro.core.opacity import OpacityComputer
 from repro.core.opacity_session import (
@@ -45,11 +57,13 @@ class _GadedBase:
     def __init__(self, theta: float = 0.5, seed: Optional[int] = None,
                  max_steps: Optional[int] = None, engine: str = "numpy",
                  strict: bool = False, evaluation_mode: str = "incremental",
-                 scan_mode: str = "batched") -> None:
+                 scan_mode: str = "batched",
+                 sweep_mode: str = "checkpointed") -> None:
         if not 0.0 <= theta <= 1.0:
             raise ConfigurationError(f"theta must be in [0, 1], got {theta}")
         validate_evaluation_mode(evaluation_mode)
         validate_scan_mode(scan_mode)
+        validate_sweep_mode(sweep_mode)
         self._theta = theta
         self._seed = seed
         self._max_steps = max_steps
@@ -57,6 +71,7 @@ class _GadedBase:
         self._strict = strict
         self._evaluation_mode = evaluation_mode
         self._scan_mode = scan_mode
+        self._sweep_mode = sweep_mode
 
     @property
     def theta(self) -> float:
@@ -68,17 +83,44 @@ class _GadedBase:
         """Run the heuristic and return the anonymization result."""
         if typing is None:
             typing = DegreePairTyping(graph)
+        return self._run_single(graph, self._theta, typing, observer)
+
+    def anonymize_schedule(self, graph: Graph,
+                           thetas: Optional[Sequence[float]] = None,
+                           typing: Optional[PairTyping] = None,
+                           observer: Optional[ProgressObserver] = None
+                           ) -> List[AnonymizationResult]:
+        """Run the heuristic for a θ grid, one result per grid point.
+
+        θ shapes GADED's candidate pool (an edge participates in
+        disclosure when its type's opacity exceeds θ), not merely the
+        stopping rule, so a shared checkpointed pass would choose different
+        edits than an independent run at each grid point.  The schedule
+        therefore executes one run per θ regardless of ``sweep_mode`` —
+        only the frozen typing and the caller's loaded graph are shared —
+        keeping every result bit-identical to its independent counterpart.
+        """
+        schedule = validate_theta_schedule(
+            thetas if thetas is not None else (self._theta,))
+        if typing is None:
+            typing = DegreePairTyping(graph)
+        return [self._run_single(graph, theta, typing, observer)
+                for theta in schedule]
+
+    def _run_single(self, graph: Graph, theta: float, typing: PairTyping,
+                    observer: Optional[ProgressObserver]) -> AnonymizationResult:
         computer = OpacityComputer(typing, length_threshold=1, engine=self._engine)
         working = graph.copy()
         session = OpacitySession(computer, working, mode=self._evaluation_mode)
         rng = random.Random(self._seed)
         # The full constructor state (max_steps included) is recorded so the
         # result's config round-trips through the api layer for reproduction.
-        config = AnonymizerConfig(length_threshold=1, theta=self._theta, seed=self._seed,
+        config = AnonymizerConfig(length_threshold=1, theta=theta, seed=self._seed,
                                   engine=self._engine, strict=self._strict,
                                   max_steps=self._max_steps,
                                   evaluation_mode=self._evaluation_mode,
-                                  scan_mode=self._scan_mode)
+                                  scan_mode=self._scan_mode,
+                                  sweep_mode=self._sweep_mode)
         result = AnonymizationResult(
             original_graph=graph.copy(),
             anonymized_graph=working,
@@ -90,7 +132,7 @@ class _GadedBase:
         result.evaluations += 1
         result.observer.on_evaluation(result.evaluations)
         step_index = 0
-        while current.max_opacity > self._theta and working.num_edges > 0:
+        while current.max_opacity > theta and working.num_edges > 0:
             if result.observer.should_stop():
                 result.stop_reason = "observer"
                 break
@@ -98,7 +140,7 @@ class _GadedBase:
                 result.stop_reason = "max_steps"
                 break
             try:
-                edge = self._choose_edge(session, current, rng, result)
+                edge = self._choose_edge(session, current, theta, rng, result)
             except AnonymizationStopped:
                 # Raised between candidate evaluations (graph restored), so
                 # `current` still describes the working graph.
@@ -114,28 +156,30 @@ class _GadedBase:
             result.observer.on_evaluation(result.evaluations)
             step_record = AnonymizationStep(
                 index=step_index, operation="remove", edges=(edge,),
-                max_opacity_after=current.max_opacity)
+                max_opacity_after=current.max_opacity,
+                removals=(edge,))
             result.steps.append(step_record)
             result.observer.on_step(step_record, result)
             step_index += 1
         result.final_opacity = current.max_opacity
-        result.success = current.max_opacity <= self._theta
+        result.success = current.max_opacity <= theta
         result.runtime_seconds = time.perf_counter() - started
         if not result.success and self._strict:
             raise InfeasibleError(
-                f"GADED could not reach theta={self._theta} "
+                f"GADED could not reach theta={theta} "
                 f"(final disclosure {result.final_opacity:.3f})")
         return result
 
-    def _disclosing_edges(self, session: OpacitySession, current) -> List[Edge]:
+    def _disclosing_edges(self, session: OpacitySession, current,
+                          theta: float) -> List[Edge]:
         """Edges whose degree-pair type currently exceeds the threshold."""
         typing = session.computer.typing
         exceeding = {key for key, entry in current.per_type.items()
-                     if entry.opacity > self._theta}
+                     if entry.opacity > theta}
         return [edge for edge in session.graph.edges()
                 if typing.type_of(*edge) in exceeding]
 
-    def _choose_edge(self, session: OpacitySession, current,
+    def _choose_edge(self, session: OpacitySession, current, theta: float,
                      rng: random.Random, result: AnonymizationResult) -> Optional[Edge]:
         raise NotImplementedError
 
@@ -152,14 +196,14 @@ class _GadedBase:
     "gaded-rand",
     description="GADED-Rand baseline (Zhang & Zhang, single-edge disclosure)",
     accepts=("theta", "seed", "max_steps", "engine", "strict", "evaluation_mode",
-             "scan_mode"),
+             "scan_mode", "sweep_mode"),
 )
 class GadedRandAnonymizer(_GadedBase):
     """GADED-Rand: remove a random edge participating in disclosure."""
 
-    def _choose_edge(self, session: OpacitySession, current,
+    def _choose_edge(self, session: OpacitySession, current, theta: float,
                      rng: random.Random, result: AnonymizationResult) -> Optional[Edge]:
-        candidates = self._disclosing_edges(session, current)
+        candidates = self._disclosing_edges(session, current, theta)
         if not candidates:
             return None
         return candidates[rng.randrange(len(candidates))]
@@ -169,15 +213,15 @@ class GadedRandAnonymizer(_GadedBase):
     "gaded-max",
     description="GADED-Max baseline (Zhang & Zhang, single-edge disclosure)",
     accepts=("theta", "seed", "max_steps", "engine", "strict", "evaluation_mode",
-             "scan_mode"),
+             "scan_mode", "sweep_mode"),
 )
 class GadedMaxAnonymizer(_GadedBase):
     """GADED-Max: remove the edge with the greatest reduction of the maximum
     disclosure, tie-broken by the smallest increase of the total disclosure."""
 
-    def _choose_edge(self, session: OpacitySession, current,
+    def _choose_edge(self, session: OpacitySession, current, theta: float,
                      rng: random.Random, result: AnonymizationResult) -> Optional[Edge]:
-        candidates = self._disclosing_edges(session, current)
+        candidates = self._disclosing_edges(session, current, theta)
         if not candidates:
             candidates = list(session.graph.edges())
         if not candidates:

@@ -5,13 +5,18 @@ can be rewired into ``(a, d)`` and ``(c, b)`` — preserving every vertex
 degree — such that the maximum single-edge disclosure decreases.  When no
 improving swap exists the heuristic stops; as the paper observes (Section
 6.3), on many graphs GADES cannot reach low thresholds at all.
+
+Like the paper's heuristics, GADES only reads θ in its stopping condition
+(candidate swaps are compared against the *current* maximum), so a θ grid
+can be executed as one checkpointed pass (:meth:`GadesAnonymizer.
+anonymize_schedule`, DESIGN.md §9).
 """
 
 from __future__ import annotations
 
 import random
 import time
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.api.progress import NULL_OBSERVER, AnonymizationStopped, ProgressObserver
 from repro.api.registry import register_anonymizer
@@ -19,7 +24,11 @@ from repro.core.anonymizer import (
     AnonymizationResult,
     AnonymizationStep,
     AnonymizerConfig,
+    ThetaScheduleTracker,
     iter_batched_evaluations,
+    materialize_checkpoints,
+    validate_sweep_mode,
+    validate_theta_schedule,
 )
 from repro.core.opacity import OpacityComputer
 from repro.core.opacity_session import (
@@ -38,7 +47,7 @@ Swap = Tuple[Edge, Edge, Edge, Edge]  # (removed1, removed2, added1, added2)
     "gades",
     description="GADES baseline (Zhang & Zhang, degree-preserving swaps)",
     accepts=("theta", "seed", "max_steps", "swap_sample_size", "engine",
-             "evaluation_mode", "scan_mode"),
+             "evaluation_mode", "scan_mode", "sweep_mode"),
 )
 class GadesAnonymizer:
     """GADES: greedy degree-preserving edge swapping against link disclosure.
@@ -55,18 +64,24 @@ class GadesAnonymizer:
         ``"incremental"`` delta-evaluates each candidate swap (an L = 1
         swap only flips the four edited cells); ``"scratch"`` recounts
         from scratch.  Both choose identical swaps.
+    sweep_mode:
+        How :meth:`anonymize_schedule` executes a θ grid: one checkpointed
+        pass (``"checkpointed"``, default) or one run per grid point
+        (``"independent"``).  Both produce identical per-θ results.
     """
 
     def __init__(self, theta: float = 0.5, seed: Optional[int] = None,
                  max_steps: Optional[int] = None, swap_sample_size: int = 2000,
                  engine: str = "numpy", evaluation_mode: str = "incremental",
-                 scan_mode: str = "batched") -> None:
+                 scan_mode: str = "batched",
+                 sweep_mode: str = "checkpointed") -> None:
         if not 0.0 <= theta <= 1.0:
             raise ConfigurationError(f"theta must be in [0, 1], got {theta}")
         if swap_sample_size < 1:
             raise ConfigurationError("swap_sample_size must be >= 1")
         validate_evaluation_mode(evaluation_mode)
         validate_scan_mode(scan_mode)
+        validate_sweep_mode(sweep_mode)
         self._theta = theta
         self._seed = seed
         self._max_steps = max_steps
@@ -74,6 +89,7 @@ class GadesAnonymizer:
         self._engine = engine
         self._evaluation_mode = evaluation_mode
         self._scan_mode = scan_mode
+        self._sweep_mode = sweep_mode
 
     @property
     def theta(self) -> float:
@@ -88,6 +104,40 @@ class GadesAnonymizer:
         GADES frequently stalls because no degree-preserving swap can lower
         the maximum disclosure further.
         """
+        return self._run_schedule(graph, (self._theta,), typing, observer)[0]
+
+    def anonymize_schedule(self, graph: Graph,
+                           thetas: Optional[Sequence[float]] = None,
+                           typing: Optional[PairTyping] = None,
+                           observer: Optional[ProgressObserver] = None
+                           ) -> List[AnonymizationResult]:
+        """Run GADES for a whole θ grid, one result per grid point.
+
+        θ only gates the swap loop's termination (candidate swaps are
+        scored against the current maximum, never θ), so the checkpointed
+        single-pass execution returns per-θ results identical to
+        independent runs — see :meth:`BaseAnonymizer.anonymize_schedule`
+        for the schedule semantics.
+        """
+        schedule = validate_theta_schedule(
+            thetas if thetas is not None else (self._theta,))
+        if self._sweep_mode == "independent" and len(schedule) > 1:
+            return [self._with_theta(theta).anonymize(graph, typing=typing,
+                                                      observer=observer)
+                    for theta in schedule]
+        return self._run_schedule(graph, schedule, typing, observer)
+
+    def _with_theta(self, theta: float) -> "GadesAnonymizer":
+        return GadesAnonymizer(
+            theta=theta, seed=self._seed, max_steps=self._max_steps,
+            swap_sample_size=self._swap_sample_size, engine=self._engine,
+            evaluation_mode=self._evaluation_mode, scan_mode=self._scan_mode,
+            sweep_mode=self._sweep_mode)
+
+    def _run_schedule(self, graph: Graph, schedule: Sequence[float],
+                      typing: Optional[PairTyping],
+                      observer: Optional[ProgressObserver]
+                      ) -> List[AnonymizationResult]:
         if typing is None:
             typing = DegreePairTyping(graph)
         computer = OpacityComputer(typing, length_threshold=1, engine=self._engine)
@@ -97,39 +147,45 @@ class GadesAnonymizer:
         # The full constructor state (max_steps and swap_sample_size
         # included) is recorded so the result's config round-trips through
         # the api layer for reproduction.
-        config = AnonymizerConfig(length_threshold=1, theta=self._theta, seed=self._seed,
-                                  engine=self._engine,
+        config = AnonymizerConfig(length_threshold=1, theta=schedule[-1],
+                                  seed=self._seed, engine=self._engine,
                                   max_steps=self._max_steps,
                                   swap_sample_size=self._swap_sample_size,
                                   evaluation_mode=self._evaluation_mode,
-                                  scan_mode=self._scan_mode)
+                                  scan_mode=self._scan_mode,
+                                  sweep_mode=self._sweep_mode)
+        original = graph.copy()
         result = AnonymizationResult(
-            original_graph=graph.copy(),
+            original_graph=original,
             anonymized_graph=working,
             config=config,
             observer=observer if observer is not None else NULL_OBSERVER,
         )
         started = time.perf_counter()
+        tracker = ThetaScheduleTracker(schedule, working, started)
         current = session.current()
         result.evaluations += 1
         result.observer.on_evaluation(result.evaluations)
         step_index = 0
-        while current.max_opacity > self._theta:
+        while True:
+            tracker.emit_crossings(current, result)
+            if tracker.done:
+                break
             if result.observer.should_stop():
-                result.stop_reason = "observer"
+                tracker.emit_remaining(current, result, "observer")
                 break
             if self._max_steps is not None and step_index >= self._max_steps:
-                result.stop_reason = "max_steps"
+                tracker.emit_remaining(current, result, "max_steps")
                 break
             try:
                 swap = self._best_swap(session, current.max_opacity, rng, result)
             except AnonymizationStopped:
                 # Raised between candidate evaluations (swap undone), so
                 # `current` still describes the working graph.
-                result.stop_reason = "observer"
+                tracker.emit_remaining(current, result, "observer")
                 break
             if swap is None:
-                result.stop_reason = "exhausted"
+                tracker.emit_remaining(current, result, "exhausted")
                 break
             removed1, removed2, added1, added2 = swap
             session.apply_edit(removals=(removed1, removed2),
@@ -142,14 +198,14 @@ class GadesAnonymizer:
             step_record = AnonymizationStep(
                 index=step_index, operation="swap",
                 edges=(removed1, removed2, added1, added2),
-                max_opacity_after=current.max_opacity)
+                max_opacity_after=current.max_opacity,
+                removals=(removed1, removed2),
+                insertions=(added1, added2))
             result.steps.append(step_record)
             result.observer.on_step(step_record, result)
             step_index += 1
-        result.final_opacity = current.max_opacity
-        result.success = current.max_opacity <= self._theta
-        result.runtime_seconds = time.perf_counter() - started
-        return result
+        return materialize_checkpoints(tracker.checkpoints, original, config,
+                                       result.observer)
 
     # ------------------------------------------------------------------
     # swap search

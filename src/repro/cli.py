@@ -4,6 +4,8 @@ Subcommands
 -----------
 * ``anonymize`` — anonymize an edge-list file (or a built-in dataset sample)
   with any registered algorithm and write the result.
+* ``sweep`` — run a θ grid (optionally over several algorithms) as grouped
+  checkpointed passes: one anonymization per group instead of one per θ.
 * ``batch`` — execute a JSON job spec of anonymization requests, fanning
   the jobs across worker processes.
 * ``opacity`` — report the L-opacity of a graph for a given L.
@@ -19,6 +21,9 @@ Examples
         --theta 0.5 --length 1 --output anonymized.edges
     repro-lopacity anonymize --dataset enron --size 80 --algorithm rem-ins \
         --timeout 30 --progress
+    repro-lopacity sweep --dataset gnutella --size 60 \
+        --algorithms rem rem-ins --thetas 0.9 0.8 0.7 0.6 0.5
+    repro-lopacity sweep --dataset google --size 50 --sweep-mode independent
     repro-lopacity batch jobs.json --max-workers 4 --output results.json
     repro-lopacity tables
     repro-lopacity figure --name fig6 --dataset google --size 50
@@ -61,6 +66,7 @@ from repro.api import (
     anonymize as api_anonymize,
     available_algorithms,
 )
+from repro.core.anonymizer import SWEEP_MODES
 from repro.core.opacity_session import EVALUATION_MODES, SCAN_MODES
 from repro.datasets import dataset_names
 from repro.errors import ReproError
@@ -135,6 +141,41 @@ def _cmd_anonymize(args: argparse.Namespace) -> int:
                         header=f"L-opaque graph (L={args.length}, theta={args.theta})")
         print(f"wrote {args.output}")
     return 0 if response.success else 1
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.api import SweepRequest, run_sweep
+
+    common = dict(
+        theta=args.thetas[0],
+        length_threshold=args.length,
+        lookahead=args.lookahead,
+        seed=args.seed,
+        evaluation_mode=args.evaluation_mode,
+        scan_mode=args.scan_mode,
+        insertion_candidate_cap=args.insertion_cap,
+        include_utility=not args.no_utility,
+    )
+    if args.input:
+        graph, _labels = read_edge_list(args.input)
+        base = AnonymizationRequest(edges=tuple(graph.edges()),
+                                    num_vertices=graph.num_vertices, **common)
+    else:
+        base = AnonymizationRequest(dataset=args.dataset, sample_size=args.size,
+                                    **common)
+    request = SweepRequest.from_axes(base, algorithms=tuple(args.algorithms),
+                                     thetas=tuple(args.thetas),
+                                     sweep_mode=args.sweep_mode)
+    response = run_sweep(request, max_workers=args.max_workers)
+    print(f"{len(request.requests)} runs in {response.num_groups} group(s), "
+          f"sweep_mode={response.sweep_mode}")
+    for entry in response.responses:
+        print(entry.summary())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(response.to_dict(), handle, indent=2)
+        print(f"wrote {args.output}")
+    return 0 if response.ok else 1
 
 
 def _load_batch_spec(path: str) -> tuple:
@@ -219,20 +260,23 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
     if args.name == "fig6":
         series = figure6_series(args.dataset, length_threshold=args.length,
-                                sample_size=args.size, thetas=thetas, runner=runner)
+                                sample_size=args.size, thetas=thetas,
+                                sweep_mode=args.sweep_mode, runner=runner)
         emit(series, "theta", "distortion", f"Figure 6 — {args.dataset}, L={args.length}")
     elif args.name == "fig7":
         both = figure7_series(args.dataset, sample_size=args.size, thetas=thetas,
-                              runner=runner)
+                              sweep_mode=args.sweep_mode, runner=runner)
         for metric, series in both.items():
             print(f"== {metric} ==")
             emit(series, "theta", metric, f"Figure 7 — {args.dataset}")
     elif args.name == "fig8":
         series = figure8_series(args.dataset, length_threshold=args.length,
-                                sample_size=args.size, thetas=thetas, runner=runner)
+                                sample_size=args.size, thetas=thetas,
+                                sweep_mode=args.sweep_mode, runner=runner)
         emit(series, "theta", "mean_cc_diff", f"Figure 8 — {args.dataset}, L={args.length}")
     elif args.name == "fig10":
-        series = figure10_series(args.dataset, theta=args.theta, runner=runner)
+        series = figure10_series(args.dataset, theta=args.theta,
+                                 sweep_mode=args.sweep_mode, runner=runner)
         emit(series, "size", "runtime_s", f"Figure 10 — {args.dataset}")
     else:
         print(f"unknown figure {args.name!r}", file=sys.stderr)
@@ -283,6 +327,36 @@ def build_parser() -> argparse.ArgumentParser:
     anonymize.add_argument("--output", help="write the anonymized edge list here")
     anonymize.set_defaults(func=_cmd_anonymize)
 
+    sweep = subparsers.add_parser(
+        "sweep", help="run a θ grid as grouped checkpointed anonymization passes")
+    add_graph_arguments(sweep)
+    sweep.add_argument("--algorithms", nargs="+", default=["rem"],
+                       choices=available_algorithms(),
+                       help="algorithms swept over the θ grid")
+    sweep.add_argument("--thetas", type=float, nargs="+",
+                       default=[0.9, 0.8, 0.7, 0.6, 0.5],
+                       help="θ grid (deduplicated and executed descending)")
+    sweep.add_argument("--length", "-L", type=int, default=1)
+    sweep.add_argument("--lookahead", type=int, default=1)
+    sweep.add_argument("--sweep-mode", choices=SWEEP_MODES,
+                       default="checkpointed", dest="sweep_mode",
+                       help="checkpointed: one anonymization pass per "
+                            "(algorithm, L, lookahead, seed) group with per-θ "
+                            "checkpoints; independent: one run per grid point; "
+                            "both produce identical results")
+    sweep.add_argument("--evaluation-mode", choices=EVALUATION_MODES,
+                       default="incremental", dest="evaluation_mode")
+    sweep.add_argument("--scan-mode", choices=SCAN_MODES,
+                       default="batched", dest="scan_mode")
+    sweep.add_argument("--insertion-cap", type=int, default=None)
+    sweep.add_argument("--no-utility", action="store_true",
+                       help="skip the per-θ utility metrics")
+    sweep.add_argument("--max-workers", type=int, default=0,
+                       help="worker processes for the groups "
+                            "(0 = run in-process)")
+    sweep.add_argument("--output", help="write the JSON sweep response here")
+    sweep.set_defaults(func=_cmd_sweep)
+
     batch = subparsers.add_parser(
         "batch", help="execute a JSON job spec across worker processes")
     batch.add_argument("spec", help="path to the JSON job spec ('-' for stdin)")
@@ -307,6 +381,10 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--length", "-L", type=int, default=1)
     figure.add_argument("--theta", type=float, default=0.5)
     figure.add_argument("--thetas", type=float, nargs="*")
+    figure.add_argument("--sweep-mode", choices=SWEEP_MODES,
+                        default="checkpointed", dest="sweep_mode",
+                        help="execute each θ series as one checkpointed pass "
+                             "(default) or as independent per-θ runs")
     figure.add_argument("--chart", action="store_true",
                         help="render an ASCII chart instead of the numeric series")
     figure.set_defaults(func=_cmd_figure)

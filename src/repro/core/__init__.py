@@ -27,10 +27,14 @@ from repro.core.opacity_session import (
     OpacitySession,
 )
 from repro.core.anonymizer import (
+    SWEEP_MODES,
+    AnonymizationCheckpoint,
     AnonymizationResult,
     AnonymizationStep,
     AnonymizerConfig,
     BaseAnonymizer,
+    ThetaScheduleTracker,
+    validate_theta_schedule,
 )
 from repro.core.edge_removal import EdgeRemovalAnonymizer
 from repro.core.edge_removal_insertion import EdgeRemovalInsertionAnonymizer
@@ -55,9 +59,13 @@ __all__ = [
     "SCAN_MODES",
     "EditEvaluation",
     "OpacitySession",
+    "SWEEP_MODES",
+    "AnonymizationCheckpoint",
     "AnonymizationResult",
     "AnonymizationStep",
     "AnonymizerConfig",
+    "ThetaScheduleTracker",
+    "validate_theta_schedule",
     "BaseAnonymizer",
     "EdgeRemovalAnonymizer",
     "EdgeRemovalInsertionAnonymizer",

@@ -6,6 +6,15 @@ pick the one that minimizes the resulting maximum opacity with the paper's
 tie-breaking rule, apply it, and stop once the graph satisfies the requested
 threshold.  This module holds the configuration record, the result/step
 records, the tie-breaking logic, and the abstract driver.
+
+The driver also powers the **checkpointed θ-sweep engine** (DESIGN.md §9):
+θ enters the greedy loop only as the stopping condition, so for a fixed
+seed the edit sequence at a lower θ is an exact extension of the sequence
+at every higher θ.  :meth:`BaseAnonymizer.anonymize_schedule` therefore
+executes a whole descending θ grid as *one* anonymization pass, emitting an
+:class:`AnonymizationCheckpoint` each time the maximum opacity first
+crosses a grid point and materializing per-θ results identical to
+independent runs.
 """
 
 from __future__ import annotations
@@ -13,7 +22,7 @@ from __future__ import annotations
 import random
 import time
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from fractions import Fraction
 from functools import cached_property
 from typing import List, Optional, Sequence, Set, Tuple
@@ -40,6 +49,37 @@ from repro.metrics.distortion import edit_distance_ratio
 #: request (observer/timeout) never waits on more than one chunk's worth of
 #: computed-but-unreported evaluations.
 BATCH_SCAN_CHUNK = 256
+
+#: Valid values of the ``sweep_mode`` knob: how a θ schedule is executed.
+#: ``"checkpointed"`` runs one anonymization pass per grid, emitting a
+#: checkpoint at every crossed grid point; ``"independent"`` runs one full
+#: anonymization per θ (the pre-sweep-engine path).  Both produce identical
+#: per-θ results (edits, opacity, evaluation counts) — only the work
+#: performed (and hence the runtime) differs.
+SWEEP_MODES: Tuple[str, ...] = ("checkpointed", "independent")
+
+
+def validate_sweep_mode(mode: str) -> None:
+    """Raise :class:`ConfigurationError` unless ``mode`` is a known sweep mode."""
+    if mode not in SWEEP_MODES:
+        raise ConfigurationError(
+            f"unknown sweep_mode {mode!r}; available: {SWEEP_MODES}")
+
+
+def validate_theta_schedule(thetas: Sequence[float]) -> Tuple[float, ...]:
+    """Coerce ``thetas`` into the strictly-descending grid the engine runs.
+
+    Values are validated against [0, 1], deduplicated, and sorted in
+    descending order — the order in which a single anonymization pass
+    crosses them.
+    """
+    thetas = tuple(thetas)
+    if not thetas:
+        raise ConfigurationError("theta schedule must not be empty")
+    for theta in thetas:
+        if not 0.0 <= theta <= 1.0:
+            raise ConfigurationError(f"theta must be in [0, 1], got {theta}")
+    return tuple(sorted({float(theta) for theta in thetas}, reverse=True))
 
 
 def iter_batched_evaluations(session: OpacitySession, candidates: Sequence,
@@ -105,6 +145,11 @@ class AnonymizerConfig:
         :meth:`~repro.core.opacity_session.OpacitySession.evaluate_edits`
         pass; ``"per_candidate"`` previews them one at a time.  Both scan
         modes choose bit-identical edits.
+    sweep_mode:
+        How :meth:`BaseAnonymizer.anonymize_schedule` executes a θ grid:
+        ``"checkpointed"`` (default) runs one pass with per-θ checkpoints;
+        ``"independent"`` runs one full anonymization per grid point.
+        Both modes produce identical per-θ results.
     swap_sample_size:
         GADES only: candidate swap pairs examined per step.  Recorded here
         so a result's config reproduces the run; ``None`` for the other
@@ -123,6 +168,7 @@ class AnonymizerConfig:
     strict: bool = False
     evaluation_mode: str = "incremental"
     scan_mode: str = "batched"
+    sweep_mode: str = "checkpointed"
     swap_sample_size: Optional[int] = None
 
     def validate(self) -> None:
@@ -148,16 +194,25 @@ class AnonymizerConfig:
             raise ConfigurationError("swap_sample_size must be >= 1")
         validate_evaluation_mode(self.evaluation_mode)
         validate_scan_mode(self.scan_mode)
+        validate_sweep_mode(self.sweep_mode)
 
 
 @dataclass(frozen=True)
 class AnonymizationStep:
-    """One applied greedy step."""
+    """One applied greedy step.
+
+    ``edges`` lists every touched edge (``removals + insertions``);
+    ``removals`` and ``insertions`` split them by operation so a step
+    sequence can be replayed onto a graph without knowing the operation's
+    internal structure ("remove+insert" and "swap" steps mix both kinds).
+    """
 
     index: int
-    operation: str  # "remove" or "insert"
+    operation: str  # "remove", "insert", "remove+insert", or "swap"
     edges: Tuple[Edge, ...]
     max_opacity_after: float
+    removals: Tuple[Edge, ...] = ()
+    insertions: Tuple[Edge, ...] = ()
 
 
 @dataclass
@@ -207,6 +262,125 @@ class AnonymizationResult:
                 f"steps={self.num_steps} removed={len(self.removed_edges)} "
                 f"inserted={len(self.inserted_edges)} "
                 f"time={self.runtime_seconds:.2f}s")
+
+
+@dataclass(frozen=True)
+class AnonymizationCheckpoint:
+    """State of a checkpointed anonymization when a θ grid point is crossed.
+
+    Emitted by the schedule drivers at the top of the greedy loop — exactly
+    where an independent run at ``theta`` evaluates its
+    ``max_opacity > θ`` stopping condition — so the recorded state (edits
+    so far, opacity, evaluation count) is precisely what that independent
+    run would have returned.  ``runtime_seconds`` is the elapsed time since
+    the pass started (the per-θ split of a sweep is the difference of
+    consecutive checkpoints); ``graph`` snapshots the working graph at the
+    crossing.
+    """
+
+    theta: float
+    steps: Tuple[AnonymizationStep, ...]
+    removed_edges: Tuple[Edge, ...]
+    inserted_edges: Tuple[Edge, ...]
+    evaluations: int
+    max_opacity: float
+    runtime_seconds: float
+    success: bool
+    stop_reason: Optional[str]
+    graph: Graph = field(repr=False)
+
+    @property
+    def num_steps(self) -> int:
+        """Number of greedy steps applied when the grid point was crossed."""
+        return len(self.steps)
+
+
+class ThetaScheduleTracker:
+    """Emit checkpoints as one greedy pass crosses a descending θ grid.
+
+    The greedy loops consult :meth:`emit_crossings` at the top of every
+    iteration; a loop that stops early (observer, ``max_steps``, exhausted
+    candidates) calls :meth:`emit_remaining` so every grid point still
+    receives a checkpoint carrying the stop reason — the same best-effort
+    outcome an independent run at that θ would report.
+    """
+
+    def __init__(self, schedule: Sequence[float], working: Graph,
+                 started: float) -> None:
+        self._schedule = tuple(schedule)
+        self._working = working
+        self._started = started
+        self._pointer = 0
+        self.checkpoints: List[AnonymizationCheckpoint] = []
+
+    @property
+    def done(self) -> bool:
+        """Whether every grid point has been emitted."""
+        return self._pointer >= len(self._schedule)
+
+    def emit_crossings(self, current: OpacityResult,
+                       result: AnonymizationResult) -> None:
+        """Emit checkpoints for every grid point the pass has now crossed."""
+        while (self._pointer < len(self._schedule)
+               and current.max_opacity <= self._schedule[self._pointer]):
+            self._emit(current, result, success=True, stop_reason=None)
+
+    def emit_remaining(self, current: OpacityResult,
+                       result: AnonymizationResult,
+                       stop_reason: str) -> None:
+        """Emit best-effort checkpoints for every not-yet-crossed grid point."""
+        while self._pointer < len(self._schedule):
+            theta = self._schedule[self._pointer]
+            self._emit(current, result,
+                       success=current.max_opacity <= theta,
+                       stop_reason=stop_reason)
+
+    def _emit(self, current: OpacityResult, result: AnonymizationResult,
+              success: bool, stop_reason: Optional[str]) -> None:
+        # The pass ends with the final grid point, so that checkpoint can
+        # adopt the working graph itself (matching the single-θ behaviour
+        # where the result owns the mutated working copy); earlier
+        # checkpoints snapshot it, since the pass keeps mutating it.
+        last = self._pointer == len(self._schedule) - 1
+        self.checkpoints.append(AnonymizationCheckpoint(
+            theta=self._schedule[self._pointer],
+            steps=tuple(result.steps),
+            removed_edges=tuple(sorted(result.removed_edges)),
+            inserted_edges=tuple(sorted(result.inserted_edges)),
+            evaluations=result.evaluations,
+            max_opacity=current.max_opacity,
+            runtime_seconds=time.perf_counter() - self._started,
+            success=success,
+            stop_reason=stop_reason,
+            graph=self._working if last else self._working.copy(),
+        ))
+        self._pointer += 1
+
+
+def materialize_checkpoints(checkpoints: Sequence[AnonymizationCheckpoint],
+                            original: Graph, config: AnonymizerConfig,
+                            observer: ProgressObserver) -> List[AnonymizationResult]:
+    """Turn a schedule pass's checkpoints into per-θ results.
+
+    Each materialized record is indistinguishable from the result of an
+    independent run at its θ (same edits, steps, opacity, evaluation
+    count); only ``runtime_seconds`` — the elapsed time when the pass
+    crossed the grid point — reflects the shared execution.
+    """
+    return [AnonymizationResult(
+        original_graph=original,
+        anonymized_graph=checkpoint.graph,
+        config=replace(config, theta=checkpoint.theta),
+        steps=list(checkpoint.steps),
+        removed_edges=set(checkpoint.removed_edges),
+        inserted_edges=set(checkpoint.inserted_edges),
+        final_opacity=checkpoint.max_opacity,
+        success=checkpoint.success,
+        runtime_seconds=checkpoint.runtime_seconds,
+        evaluations=checkpoint.evaluations,
+        stop_reason=checkpoint.stop_reason,
+        observer=observer,
+    ) for checkpoint in checkpoints]
 
 
 @dataclass
@@ -282,6 +456,42 @@ class BaseAnonymizer(ABC):
         ``should_stop`` between opacity evaluations; a requested stop ends
         the run at the next safe point with ``stop_reason="observer"``.
         """
+        return self._run_schedule(graph, (self._config.theta,), typing,
+                                  observer)[0]
+
+    def anonymize_schedule(self, graph: Graph,
+                           thetas: Optional[Sequence[float]] = None,
+                           typing: Optional[PairTyping] = None,
+                           observer: Optional[ProgressObserver] = None
+                           ) -> List[AnonymizationResult]:
+        """Run the heuristic for a whole θ grid, one result per grid point.
+
+        ``thetas`` (default: the config's single θ) is deduplicated and
+        sorted descending; results come back in that schedule order.  With
+        ``sweep_mode="checkpointed"`` the grid is executed as *one*
+        anonymization pass: θ only gates the greedy loop's termination, so
+        the edit sequence at a lower θ extends the sequence at every higher
+        θ, and a checkpoint taken when the maximum opacity first crosses a
+        grid point captures exactly the state an independent run at that θ
+        would have returned.  ``sweep_mode="independent"`` runs one full
+        anonymization per grid point instead; both modes produce identical
+        per-θ results (only ``runtime_seconds`` reflects the execution
+        strategy).
+        """
+        config = self._config
+        schedule = validate_theta_schedule(
+            thetas if thetas is not None else (config.theta,))
+        if config.sweep_mode == "independent" and len(schedule) > 1:
+            return [type(self)(config=replace(config, theta=theta)).anonymize(
+                        graph, typing=typing, observer=observer)
+                    for theta in schedule]
+        return self._run_schedule(graph, schedule, typing, observer)
+
+    def _run_schedule(self, graph: Graph, schedule: Sequence[float],
+                      typing: Optional[PairTyping],
+                      observer: Optional[ProgressObserver]
+                      ) -> List[AnonymizationResult]:
+        """One checkpointed greedy pass over a descending θ schedule."""
         config = self._config
         if typing is None:
             typing = DegreePairTyping(graph)
@@ -289,23 +499,28 @@ class BaseAnonymizer(ABC):
         working = graph.copy()
         session = OpacitySession(computer, working, mode=config.evaluation_mode)
         rng = random.Random(config.seed)
+        original = graph.copy()
         result = AnonymizationResult(
-            original_graph=graph.copy(),
+            original_graph=original,
             anonymized_graph=working,
-            config=config,
+            config=replace(config, theta=schedule[-1]),
             observer=observer if observer is not None else NULL_OBSERVER,
         )
         started = time.perf_counter()
+        tracker = ThetaScheduleTracker(schedule, working, started)
         current = session.current()
         result.evaluations += 1
         result.observer.on_evaluation(result.evaluations)
         step_index = 0
-        while current.max_opacity > config.theta:
+        while True:
+            tracker.emit_crossings(current, result)
+            if tracker.done:
+                break
             if result.observer.should_stop():
-                result.stop_reason = "observer"
+                tracker.emit_remaining(current, result, "observer")
                 break
             if config.max_steps is not None and step_index >= config.max_steps:
-                result.stop_reason = "max_steps"
+                tracker.emit_remaining(current, result, "max_steps")
                 break
             try:
                 step = self._perform_step(session, current, rng, result)
@@ -316,40 +531,45 @@ class BaseAnonymizer(ABC):
                 # opacity consistent with the returned graph.
                 current = session.current()
                 result.evaluations += 1
-                result.stop_reason = "observer"
+                tracker.emit_remaining(current, result, "observer")
                 break
             if step is None:
-                result.stop_reason = "exhausted"
+                tracker.emit_remaining(current, result, "exhausted")
                 break
             current = session.current()
             result.evaluations += 1
             result.observer.on_evaluation(result.evaluations)
+            operation, removals, insertions = step
             step_record = AnonymizationStep(
                 index=step_index,
-                operation=step[0],
-                edges=step[1],
+                operation=operation,
+                edges=removals + insertions,
                 max_opacity_after=current.max_opacity,
+                removals=removals,
+                insertions=insertions,
             )
             result.steps.append(step_record)
             result.observer.on_step(step_record, result)
             step_index += 1
-        result.final_opacity = current.max_opacity
-        result.success = current.max_opacity <= config.theta
-        result.runtime_seconds = time.perf_counter() - started
-        if not result.success and config.strict:
-            raise InfeasibleError(
-                f"could not reach theta={config.theta} "
-                f"(final opacity {result.final_opacity:.3f})")
-        return result
+        results = materialize_checkpoints(tracker.checkpoints, original,
+                                          config, result.observer)
+        if config.strict:
+            for run in results:
+                if not run.success:
+                    raise InfeasibleError(
+                        f"could not reach theta={run.config.theta} "
+                        f"(final opacity {run.final_opacity:.3f})")
+        return results
 
     @abstractmethod
     def _perform_step(self, session: OpacitySession, current: OpacityResult,
                       rng: random.Random,
-                      result: AnonymizationResult) -> Optional[Tuple[str, Tuple[Edge, ...]]]:
+                      result: AnonymizationResult
+                      ) -> Optional[Tuple[str, Tuple[Edge, ...], Tuple[Edge, ...]]]:
         """Apply one greedy step through ``session``.
 
-        Returns the ``(operation, edges)`` applied, or ``None`` when no
-        further step is possible (the driver then stops).
+        Returns the applied ``(operation, removals, insertions)``, or
+        ``None`` when no further step is possible (the driver then stops).
         """
 
     # ------------------------------------------------------------------

@@ -29,7 +29,7 @@ from repro.graph.graph import Edge
     description="Edge Removal (paper Algorithm 4)",
     accepts=("length_threshold", "theta", "lookahead", "engine", "seed",
              "max_steps", "prune_candidates", "max_combinations", "strict",
-             "evaluation_mode", "scan_mode"),
+             "evaluation_mode", "scan_mode", "sweep_mode"),
 )
 class EdgeRemovalAnonymizer(BaseAnonymizer):
     """Algorithm 4: greedy L-opacification via edge removal.
@@ -45,7 +45,8 @@ class EdgeRemovalAnonymizer(BaseAnonymizer):
 
     def _perform_step(self, session: OpacitySession, current: OpacityResult,
                       rng: random.Random,
-                      result: AnonymizationResult) -> Optional[Tuple[str, Tuple[Edge, ...]]]:
+                      result: AnonymizationResult
+                      ) -> Optional[Tuple[str, Tuple[Edge, ...], Tuple[Edge, ...]]]:
         candidates = self._removal_candidates(session, current)
         if not candidates:
             return None
@@ -63,7 +64,7 @@ class EdgeRemovalAnonymizer(BaseAnonymizer):
             return None
         session.apply_edit(removals=best.edges)
         result.removed_edges.update(best.edges)
-        return ("remove", best.edges)
+        return ("remove", best.edges, ())
 
     # ------------------------------------------------------------------
     # candidate selection

@@ -30,7 +30,7 @@ from repro.graph.graph import Edge, Graph
     accepts=("length_threshold", "theta", "lookahead", "engine", "seed",
              "max_steps", "prune_candidates", "max_combinations",
              "insertion_candidate_cap", "strict", "evaluation_mode",
-             "scan_mode"),
+             "scan_mode", "sweep_mode"),
 )
 class EdgeRemovalInsertionAnonymizer(EdgeRemovalAnonymizer):
     """Algorithm 5: greedy L-opacification via alternating removal and insertion.
@@ -51,14 +51,14 @@ class EdgeRemovalInsertionAnonymizer(EdgeRemovalAnonymizer):
 
     def _perform_step(self, session: OpacitySession, current: OpacityResult,
                       rng: random.Random,
-                      result: AnonymizationResult) -> Optional[Tuple[str, Tuple[Edge, ...]]]:
+                      result: AnonymizationResult
+                      ) -> Optional[Tuple[str, Tuple[Edge, ...], Tuple[Edge, ...]]]:
         removed = self._removal_phase(session, current, rng, result)
         if removed is None:
             return None
         inserted = self._insertion_phase(session, rng, result)
-        applied = removed + (inserted if inserted is not None else ())
         operation = "remove+insert" if inserted else "remove"
-        return (operation, applied)
+        return (operation, removed, inserted if inserted is not None else ())
 
     # ------------------------------------------------------------------
     # removal phase (lines 3-9 of Algorithm 5)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from fractions import Fraction
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -120,6 +120,11 @@ class OpacityComputer:
         self._typing = typing
         self._length = int(length_threshold)
         self._engine = engine
+        # Lazy interned view of an ExplicitPairTyping: pair endpoint arrays
+        # plus per-pair type codes, built once so every tally is a gather
+        # and a bincount instead of a per-pair Python loop.
+        self._explicit_pairs: Optional[Tuple[np.ndarray, np.ndarray,
+                                             np.ndarray, List[TypeKey]]] = None
 
     @property
     def typing(self) -> PairTyping:
@@ -195,12 +200,15 @@ class OpacityComputer:
         typing = self._typing
         counts: Dict[TypeKey, int] = {}
         if isinstance(typing, ExplicitPairTyping):
-            for (u, v) in typing.all_pairs():
-                distance = int(distances[u, v])
-                if distance != UNREACHABLE and distance <= self._length:
-                    key = typing.type_of(u, v)
-                    counts[key] = counts.get(key, 0) + 1
-            return counts
+            rows, cols, codes, keys = self._explicit_pair_arrays()
+            if rows.size == 0:
+                return counts
+            # UNREACHABLE is far above any admissible L, so a single
+            # comparison covers both the reachability and threshold tests.
+            within = distances[rows, cols] <= self._length
+            counted = np.bincount(codes[within], minlength=len(keys))
+            return {keys[code]: int(counted[code])
+                    for code in np.nonzero(counted)[0]}
         # Fallback for arbitrary typings: scan every pair.
         n = distances.shape[0]
         for u in range(n):
@@ -212,6 +220,36 @@ class OpacityComputer:
                 if key is not None:
                     counts[key] = counts.get(key, 0) + 1
         return counts
+
+    def _explicit_pair_arrays(self) -> Tuple[np.ndarray, np.ndarray,
+                                             np.ndarray, List[TypeKey]]:
+        """Interned ``(rows, cols, type codes, code -> key)`` of the typing.
+
+        Built lazily and cached: the typing is frozen for the computer's
+        lifetime, so the enumeration order (and with it the counting
+        result) never changes between calls.
+        """
+        if self._explicit_pairs is None:
+            typing = self._typing
+            assert isinstance(typing, ExplicitPairTyping)
+            pairs = typing.all_pairs()
+            rows = np.fromiter((u for u, _ in pairs), dtype=np.int64,
+                               count=len(pairs))
+            cols = np.fromiter((v for _, v in pairs), dtype=np.int64,
+                               count=len(pairs))
+            keys: List[TypeKey] = []
+            code_of: Dict[TypeKey, int] = {}
+            codes = np.empty(len(pairs), dtype=np.int64)
+            for position, (u, v) in enumerate(pairs):
+                key = typing.type_of(u, v)
+                code = code_of.get(key)
+                if code is None:
+                    code = len(keys)
+                    code_of[key] = code
+                    keys.append(key)
+                codes[position] = code
+            self._explicit_pairs = (rows, cols, codes, keys)
+        return self._explicit_pairs
 
     # ------------------------------------------------------------------
     # result assembly

@@ -14,9 +14,10 @@ A session owns a working graph together with
 
 A tentative edit then costs one distance delta plus a count delta over the
 flipped cells — for :class:`~repro.core.pair_types.DegreePairTyping` a
-vectorized bincount over the changed pairs; at L = 1 only the edited
-endpoints' rows are touched, so the per-edit work shrinks to a couple of
-column scans.  The session reproduces the
+vectorized bincount over the changed pairs; at L = 1 a batched scan skips
+the distance machinery entirely (a flipped cell is exactly an edited edge,
+so the tally reduces to a bincount over the candidates' own edges).  The
+session reproduces the
 stateless evaluator *bit-identically*: the same ``Fraction`` maxima, the
 same ``types_at_max`` tie-break counts, and (for GADED-Max) the same
 float-summed total opacity, so a greedy run chooses the same edits in either
@@ -209,6 +210,12 @@ class OpacitySession:
         if self._mode == "scratch":
             return [self._scratch_evaluate(removals, insertions)
                     for removals, insertions in pairs]
+        if self._computer.length_threshold == 1:
+            # At L = 1 the within-L pairs are exactly the edges, so a
+            # candidate's flipped cells are its edited edges themselves —
+            # no distance delta is needed at all, only a count tally.
+            return self._summarize_batch([self._l1_changes(removals, insertions)
+                                          for removals, insertions in pairs])
         # Deltas are consumed into (small) per-type change dicts group by
         # group, so peak retained memory is bounded by ~128 MB of delta
         # cells even when many removal candidates hit the from-scratch
@@ -405,6 +412,44 @@ class OpacitySession:
                    if int(withins[index]) * best_den == best_num * int(self._totals[index]))
         return EditEvaluation(fraction=Fraction(best_num, best_den),
                               types_at_max=ties, total_opacity=float(total))
+
+    def _l1_changes(self, removals: Sequence[Edge],
+                    insertions: Sequence[Edge]) -> Dict[int, int]:
+        """Count changes of one candidate at L = 1, no distance delta needed.
+
+        A removal flips exactly its own cell from within-L to outside (the
+        edge was at distance 1), an insertion the reverse, so the tally
+        reduces to the edited edges themselves.  The graph is still touched
+        and restored with the same mutation sequence a
+        :meth:`DistanceSession.preview` performs, so adjacency-set
+        iteration histories — and with them every seeded tie-break
+        downstream — stay identical across evaluation and scan modes.
+        """
+        for u, v in removals:
+            self._graph.remove_edge(u, v)
+        for u, v in insertions:
+            self._graph.add_edge(u, v)
+        for u, v in insertions:
+            self._graph.remove_edge(u, v)
+        for u, v in removals:
+            self._graph.add_edge(u, v)
+        count = len(removals) + len(insertions)
+        if count == 0:
+            return {}
+        row_idx = np.fromiter((edge[0] for edge in removals), dtype=np.int64,
+                              count=len(removals))
+        col_idx = np.fromiter((edge[1] for edge in removals), dtype=np.int64,
+                              count=len(removals))
+        if insertions:
+            row_idx = np.concatenate([row_idx, np.fromiter(
+                (edge[0] for edge in insertions), dtype=np.int64,
+                count=len(insertions))])
+            col_idx = np.concatenate([col_idx, np.fromiter(
+                (edge[1] for edge in insertions), dtype=np.int64,
+                count=len(insertions))])
+        gained = np.zeros(count, dtype=bool)
+        gained[len(removals):] = True
+        return self._changes_from_cells(row_idx, col_idx, gained)
 
     def _count_changes(self, delta: DistanceDelta) -> Dict[int, int]:
         """Per-type within-L count deltas implied by a distance delta.

@@ -5,7 +5,7 @@ here (see DESIGN.md §4 for the index); the ``benchmarks/`` directory wires
 those builders into pytest-benchmark targets.
 """
 
-from repro.experiments.config import ExperimentConfig, SweepSpec
+from repro.experiments.config import ExperimentConfig, SweepPlan, SweepSpec
 from repro.experiments.runner import ExperimentRunner, RunRecord, request_for
 from repro.experiments.tables import table1_rows, table2_rows, table3_rows
 from repro.experiments.figures import (
@@ -24,6 +24,7 @@ from repro.experiments.reporting import format_series, format_table, records_to_
 
 __all__ = [
     "ExperimentConfig",
+    "SweepPlan",
     "SweepSpec",
     "ExperimentRunner",
     "RunRecord",

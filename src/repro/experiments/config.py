@@ -2,16 +2,21 @@
 
 An :class:`ExperimentConfig` fixes everything about a single anonymization
 run (dataset sample, algorithm, L, θ, look-ahead, seed); a
-:class:`SweepSpec` expands a grid of such configurations, which is how the
-figures of the paper (distortion vs θ, runtime vs size, ...) are produced.
+:class:`SweepPlan` declares a θ grid for one otherwise-fixed configuration
+— the unit every figure series of the paper is built from, executed as a
+single checkpointed anonymization by
+:meth:`~repro.experiments.runner.ExperimentRunner.run_sweep`; a
+:class:`SweepSpec` expands a full grid of configurations and can emit its
+θ-sweep plans.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from itertools import product
-from typing import Iterator, Optional, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.anonymizer import validate_sweep_mode, validate_theta_schedule
 from repro.errors import ConfigurationError
 
 #: Algorithms understood by the runner.
@@ -38,6 +43,7 @@ class ExperimentConfig:
     insertion_candidate_cap: Optional[int] = None
     max_steps: Optional[int] = None
     engine: str = "numpy"
+    sweep_mode: str = "checkpointed"
 
     def __post_init__(self) -> None:
         if self.algorithm not in ALGORITHMS:
@@ -49,6 +55,7 @@ class ExperimentConfig:
             raise ConfigurationError("length_threshold must be >= 1")
         if self.lookahead < 1:
             raise ConfigurationError("lookahead must be >= 1")
+        validate_sweep_mode(self.sweep_mode)
 
     def label(self) -> str:
         """Short label used in series legends (mirrors the paper's legends)."""
@@ -59,6 +66,72 @@ class ExperimentConfig:
     def with_theta(self, theta: float) -> "ExperimentConfig":
         """Copy of this configuration with a different confidence threshold."""
         return replace(self, theta=theta)
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """A θ grid for one otherwise-fixed configuration (one figure series).
+
+    The declarative unit the figure builders are written in: every series
+    of Figures 6-12 sweeps θ for a fixed (dataset, size, algorithm, L,
+    look-ahead, seed) tuple, which
+    :meth:`~repro.experiments.runner.ExperimentRunner.run_sweep` serves
+    with a *single* checkpointed anonymization pass
+    (``sweep_mode="checkpointed"``) or with one run per grid point
+    (``"independent"``) — both yielding identical records.
+    """
+
+    dataset: str
+    sample_size: int
+    algorithm: str
+    thetas: Tuple[float, ...]
+    length_threshold: int = 1
+    lookahead: int = 1
+    seed: int = 0
+    insertion_candidate_cap: Optional[int] = None
+    max_steps: Optional[int] = None
+    engine: str = "numpy"
+    sweep_mode: str = "checkpointed"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "thetas", tuple(self.thetas))
+        validate_theta_schedule(self.thetas)  # non-empty, all in [0, 1]
+        # Delegate the remaining validation to the per-θ config record.
+        self.configs()
+
+    def configs(self) -> List[ExperimentConfig]:
+        """The grid's per-θ configurations, in the plan's θ order."""
+        return [ExperimentConfig(
+            dataset=self.dataset,
+            sample_size=self.sample_size,
+            algorithm=self.algorithm,
+            theta=theta,
+            length_threshold=self.length_threshold,
+            lookahead=self.lookahead,
+            seed=self.seed,
+            insertion_candidate_cap=self.insertion_candidate_cap,
+            max_steps=self.max_steps,
+            engine=self.engine,
+            sweep_mode=self.sweep_mode,
+        ) for theta in self.thetas]
+
+    @classmethod
+    def for_config(cls, config: ExperimentConfig,
+                   thetas: Sequence[float]) -> "SweepPlan":
+        """The plan sweeping ``config`` over ``thetas``."""
+        return cls(
+            dataset=config.dataset,
+            sample_size=config.sample_size,
+            algorithm=config.algorithm,
+            thetas=tuple(thetas),
+            length_threshold=config.length_threshold,
+            lookahead=config.lookahead,
+            seed=config.seed,
+            insertion_candidate_cap=config.insertion_candidate_cap,
+            max_steps=config.max_steps,
+            engine=config.engine,
+            sweep_mode=config.sweep_mode,
+        )
 
 
 @dataclass(frozen=True)
@@ -75,23 +148,30 @@ class SweepSpec:
     insertion_candidate_cap: Optional[int] = None
     max_steps: Optional[int] = None
     engine: str = "numpy"
+    sweep_mode: str = "checkpointed"
 
     def configurations(self) -> Iterator[ExperimentConfig]:
-        """Iterate over every configuration of the grid."""
+        """Iterate over every configuration of the grid (θ varies fastest)."""
+        for plan in self.plans():
+            yield from plan.configs()
+
+    def plans(self) -> Iterator[SweepPlan]:
+        """Iterate over the grid's θ-sweep plans (one per non-θ combination)."""
         axes = product(self.datasets, self.sample_sizes, self.algorithms,
-                       self.length_thresholds, self.lookaheads, self.thetas)
-        for dataset, size, algorithm, length, lookahead, theta in axes:
-            yield ExperimentConfig(
+                       self.length_thresholds, self.lookaheads)
+        for dataset, size, algorithm, length, lookahead in axes:
+            yield SweepPlan(
                 dataset=dataset,
                 sample_size=size,
                 algorithm=algorithm,
-                theta=theta,
+                thetas=tuple(self.thetas),
                 length_threshold=length,
                 lookahead=lookahead,
                 seed=self.seed,
                 insertion_candidate_cap=self.insertion_candidate_cap,
                 max_steps=self.max_steps,
                 engine=self.engine,
+                sweep_mode=self.sweep_mode,
             )
 
     def __len__(self) -> int:

@@ -5,13 +5,21 @@ the benchmark harness and the examples can print the same series the paper
 plots.  Default parameters are scaled to laptop-size inputs; the paper's own
 settings (sample sizes up to 1000 nodes, θ down to 0) can be requested
 explicitly when more time is available.
+
+Every series is declared as a :class:`~repro.experiments.config.SweepPlan`
+and executed through
+:meth:`~repro.experiments.runner.ExperimentRunner.run_sweep`, so a whole
+θ grid costs roughly *one* anonymization run instead of one per grid point
+(``sweep_mode="checkpointed"``, the default; pass
+``sweep_mode="independent"`` to any builder for the one-run-per-θ path —
+both produce identical series).
 """
 
 from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.experiments.config import ExperimentConfig
+from repro.experiments.config import SweepPlan
 from repro.experiments.runner import ExperimentRunner, RunRecord
 
 Series = List[Tuple[float, float]]
@@ -28,15 +36,15 @@ def _run_theta_sweep(runner: ExperimentRunner, dataset: str, sample_size: int,
                      algorithm: str, length_threshold: int, lookahead: int,
                      thetas: Sequence[float], seed: int,
                      insertion_cap: Optional[int],
-                     max_steps: Optional[int]) -> List[RunRecord]:
-    records = []
-    for theta in thetas:
-        config = ExperimentConfig(
-            dataset=dataset, sample_size=sample_size, algorithm=algorithm,
-            theta=theta, length_threshold=length_threshold, lookahead=lookahead,
-            seed=seed, insertion_candidate_cap=insertion_cap, max_steps=max_steps)
-        records.append(runner.run(config))
-    return records
+                     max_steps: Optional[int],
+                     sweep_mode: str = "checkpointed") -> List[RunRecord]:
+    """One figure series: a θ sweep of one fixed configuration."""
+    plan = SweepPlan(
+        dataset=dataset, sample_size=sample_size, algorithm=algorithm,
+        thetas=tuple(thetas), length_threshold=length_threshold,
+        lookahead=lookahead, seed=seed, insertion_candidate_cap=insertion_cap,
+        max_steps=max_steps, sweep_mode=sweep_mode)
+    return runner.run_sweep(plan)
 
 
 def _series(records: Iterable[RunRecord], value: str) -> Series:
@@ -52,6 +60,7 @@ def figure6_series(dataset: str, length_threshold: int = 1, sample_size: int = 6
                    include_baselines: Optional[bool] = None, seed: int = 0,
                    insertion_cap: Optional[int] = 150,
                    max_steps: Optional[int] = None,
+                   sweep_mode: str = "checkpointed",
                    runner: Optional[ExperimentRunner] = None) -> SeriesMap:
     """Distortion as a function of θ (Figures 6a-6f).
 
@@ -66,12 +75,13 @@ def figure6_series(dataset: str, length_threshold: int = 1, sample_size: int = 6
         for algorithm in ("rem", "rem-ins"):
             records = _run_theta_sweep(runner, dataset, sample_size, algorithm,
                                        length_threshold, lookahead, thetas, seed,
-                                       insertion_cap, max_steps)
+                                       insertion_cap, max_steps, sweep_mode)
             series[f"{algorithm} la={lookahead}"] = _series(records, "distortion")
     if include_baselines:
         for algorithm in ("gaded-rand", "gaded-max", "gades"):
             records = _run_theta_sweep(runner, dataset, sample_size, algorithm,
-                                       1, 1, thetas, seed, insertion_cap, max_steps)
+                                       1, 1, thetas, seed, insertion_cap,
+                                       max_steps, sweep_mode)
             series[algorithm] = _series(records, "distortion")
     return series
 
@@ -81,6 +91,7 @@ def figure6_lsweep_series(dataset: str, lengths: Sequence[int] = (1, 2, 3, 4),
                           thetas: Sequence[float] = DEFAULT_THETAS, seed: int = 0,
                           insertion_cap: Optional[int] = 150,
                           max_steps: Optional[int] = None,
+                          sweep_mode: str = "checkpointed",
                           runner: Optional[ExperimentRunner] = None) -> SeriesMap:
     """Distortion vs θ while varying L at fixed look-ahead 1 (Figures 6g, 6h)."""
     runner = runner or ExperimentRunner()
@@ -88,7 +99,8 @@ def figure6_lsweep_series(dataset: str, lengths: Sequence[int] = (1, 2, 3, 4),
     for length in lengths:
         for algorithm in ("rem", "rem-ins"):
             records = _run_theta_sweep(runner, dataset, sample_size, algorithm,
-                                       length, 1, thetas, seed, insertion_cap, max_steps)
+                                       length, 1, thetas, seed, insertion_cap,
+                                       max_steps, sweep_mode)
             series[f"{algorithm} L={length}"] = _series(records, "distortion")
     return series
 
@@ -102,6 +114,7 @@ def figure7_series(dataset: str = "enron", sample_size: int = 60,
                    insertion_cap: Optional[int] = 150,
                    max_steps: Optional[int] = None,
                    include_baselines: bool = True,
+                   sweep_mode: str = "checkpointed",
                    runner: Optional[ExperimentRunner] = None) -> Dict[str, SeriesMap]:
     """EMD of the degree (7a) and geodesic (7b) distributions vs θ, L = 1."""
     runner = runner or ExperimentRunner()
@@ -114,7 +127,8 @@ def figure7_series(dataset: str = "enron", sample_size: int = 60,
         algorithms += [(name, 1) for name in ("gaded-rand", "gaded-max", "gades")]
     for algorithm, lookahead in algorithms:
         records = _run_theta_sweep(runner, dataset, sample_size, algorithm,
-                                   1, lookahead, thetas, seed, insertion_cap, max_steps)
+                                   1, lookahead, thetas, seed, insertion_cap,
+                                   max_steps, sweep_mode)
         label = (f"{algorithm} la={lookahead}"
                  if algorithm in ("rem", "rem-ins") else algorithm)
         degree[label] = _series(records, "degree_emd")
@@ -131,6 +145,7 @@ def figure8_series(dataset: str = "wikipedia", length_threshold: int = 1,
                    insertion_cap: Optional[int] = 150,
                    max_steps: Optional[int] = None,
                    include_baselines: Optional[bool] = None,
+                   sweep_mode: str = "checkpointed",
                    runner: Optional[ExperimentRunner] = None) -> SeriesMap:
     """Mean of per-vertex |ΔCC| vs θ (Figures 8a-8b)."""
     runner = runner or ExperimentRunner()
@@ -141,12 +156,13 @@ def figure8_series(dataset: str = "wikipedia", length_threshold: int = 1,
         for algorithm in ("rem", "rem-ins"):
             records = _run_theta_sweep(runner, dataset, sample_size, algorithm,
                                        length_threshold, lookahead, thetas, seed,
-                                       insertion_cap, max_steps)
+                                       insertion_cap, max_steps, sweep_mode)
             series[f"{algorithm} la={lookahead}"] = _series(records, "mean_cc_difference")
     if include_baselines:
         for algorithm in ("gaded-rand", "gaded-max", "gades"):
             records = _run_theta_sweep(runner, dataset, sample_size, algorithm,
-                                       1, 1, thetas, seed, insertion_cap, max_steps)
+                                       1, 1, thetas, seed, insertion_cap,
+                                       max_steps, sweep_mode)
             series[algorithm] = _series(records, "mean_cc_difference")
     return series
 
@@ -156,6 +172,7 @@ def figure8_lsweep_series(dataset: str = "epinions", lengths: Sequence[int] = (1
                           thetas: Sequence[float] = DEFAULT_THETAS, seed: int = 0,
                           insertion_cap: Optional[int] = 150,
                           max_steps: Optional[int] = None,
+                          sweep_mode: str = "checkpointed",
                           runner: Optional[ExperimentRunner] = None) -> SeriesMap:
     """Mean |ΔCC| vs θ while varying L at look-ahead 1 (Figure 8c)."""
     runner = runner or ExperimentRunner()
@@ -163,7 +180,8 @@ def figure8_lsweep_series(dataset: str = "epinions", lengths: Sequence[int] = (1
     for length in lengths:
         for algorithm in ("rem", "rem-ins"):
             records = _run_theta_sweep(runner, dataset, sample_size, algorithm,
-                                       length, 1, thetas, seed, insertion_cap, max_steps)
+                                       length, 1, thetas, seed, insertion_cap,
+                                       max_steps, sweep_mode)
             series[f"{algorithm} L={length}"] = _series(records, "mean_cc_difference")
     return series
 
@@ -177,12 +195,14 @@ def figure9_series(dataset: str = "google", sample_sizes: Sequence[int] = (40, 6
                    insertion_cap: Optional[int] = 100,
                    max_steps: Optional[int] = None,
                    include_baselines: bool = True,
+                   sweep_mode: str = "checkpointed",
                    runner: Optional[ExperimentRunner] = None) -> Dict[int, SeriesMap]:
     """Runtime vs θ for each sample size (Figures 9a-9c).
 
     The paper uses 100/500/1000-node Google samples; the default sizes here
     are scaled down so the full sweep stays laptop-friendly, preserving the
-    growth *shape* across sizes.
+    growth *shape* across sizes.  In checkpointed mode each point's runtime
+    is the elapsed time of the shared pass when it crossed that θ.
     """
     runner = runner or ExperimentRunner()
     results: Dict[int, SeriesMap] = {}
@@ -192,12 +212,13 @@ def figure9_series(dataset: str = "google", sample_sizes: Sequence[int] = (40, 6
             for algorithm in ("rem", "rem-ins"):
                 records = _run_theta_sweep(runner, dataset, size, algorithm, 1,
                                            lookahead, thetas, seed, insertion_cap,
-                                           max_steps)
+                                           max_steps, sweep_mode)
                 series[f"{algorithm} la={lookahead}"] = _series(records, "runtime_seconds")
         if include_baselines:
             for algorithm in ("gaded-rand", "gaded-max", "gades"):
                 records = _run_theta_sweep(runner, dataset, size, algorithm, 1, 1,
-                                           thetas, seed, insertion_cap, max_steps)
+                                           thetas, seed, insertion_cap, max_steps,
+                                           sweep_mode)
                 series[algorithm] = _series(records, "runtime_seconds")
         results[size] = series
     return results
@@ -210,6 +231,7 @@ def figure10_series(dataset: str = "gnutella", sample_sizes: Sequence[int] = (40
                     lengths: Sequence[int] = (1, 2), theta: float = 0.5, seed: int = 0,
                     insertion_cap: Optional[int] = 100,
                     max_steps: Optional[int] = None,
+                    sweep_mode: str = "checkpointed",
                     runner: Optional[ExperimentRunner] = None) -> Dict[str, List[Tuple[int, float]]]:
     """Runtime for growing graph sizes, Rem and Rem-Ins, L ∈ {1, 2} (Figure 10)."""
     runner = runner or ExperimentRunner()
@@ -219,12 +241,10 @@ def figure10_series(dataset: str = "gnutella", sample_sizes: Sequence[int] = (40
             label = f"{algorithm} L={length}"
             points: List[Tuple[int, float]] = []
             for size in sample_sizes:
-                config = ExperimentConfig(
-                    dataset=dataset, sample_size=size, algorithm=algorithm,
-                    theta=theta, length_threshold=length, lookahead=1, seed=seed,
-                    insertion_candidate_cap=insertion_cap, max_steps=max_steps)
-                record = runner.run(config)
-                points.append((size, record.runtime_seconds))
+                records = _run_theta_sweep(runner, dataset, size, algorithm,
+                                           length, 1, (theta,), seed,
+                                           insertion_cap, max_steps, sweep_mode)
+                points.append((size, records[0].runtime_seconds))
             series[label] = points
     return series
 
@@ -234,31 +254,33 @@ def figure10_series(dataset: str = "gnutella", sample_sizes: Sequence[int] = (40
 # ----------------------------------------------------------------------
 def _acm_scaling_records(sample_sizes: Sequence[int], thetas: Sequence[float],
                          seed: int, max_steps: Optional[int],
+                         sweep_mode: str,
                          runner: Optional[ExperimentRunner]) -> Dict[float, List[RunRecord]]:
+    """Per-θ record rows of the ACM sweep, one checkpointed pass per size."""
     runner = runner or ExperimentRunner()
-    records: Dict[float, List[RunRecord]] = {}
-    for theta in thetas:
-        rows = []
-        for size in sample_sizes:
-            config = ExperimentConfig(
-                dataset="acm", sample_size=size, algorithm="rem", theta=theta,
-                length_threshold=1, lookahead=1, seed=seed, max_steps=max_steps)
-            rows.append(runner.run(config))
-        records[theta] = rows
+    records: Dict[float, List[RunRecord]] = {theta: [] for theta in thetas}
+    for size in sample_sizes:
+        rows = _run_theta_sweep(runner, "acm", size, "rem", 1, 1, thetas, seed,
+                                None, max_steps, sweep_mode)
+        for record in rows:
+            records[record.config.theta].append(record)
     return records
 
 
 def figure11_series(sample_sizes: Sequence[int] = (50, 100, 150, 200),
                     thetas: Sequence[float] = (0.9, 0.8, 0.7, 0.6, 0.5), seed: int = 0,
                     max_steps: Optional[int] = None,
+                    sweep_mode: str = "checkpointed",
                     runner: Optional[ExperimentRunner] = None) -> Dict[float, List[Tuple[int, float]]]:
     """Runtime vs graph size for several θ, Edge Removal, L = 1 (Figure 11).
 
     The paper scales the ACM co-authorship graph from 1000 to 10000 nodes
     (multi-day runtimes); the default grid here is laptop-scale but exercises
-    the same sweep so the growth trend can be inspected.
+    the same sweep so the growth trend can be inspected.  One checkpointed
+    pass per sample size serves every θ series at once.
     """
-    records = _acm_scaling_records(sample_sizes, thetas, seed, max_steps, runner)
+    records = _acm_scaling_records(sample_sizes, thetas, seed, max_steps,
+                                   sweep_mode, runner)
     return {theta: [(record.config.sample_size, record.runtime_seconds) for record in rows]
             for theta, rows in records.items()}
 
@@ -266,8 +288,10 @@ def figure11_series(sample_sizes: Sequence[int] = (50, 100, 150, 200),
 def figure12_series(sample_sizes: Sequence[int] = (50, 100, 150, 200),
                     thetas: Sequence[float] = (0.9, 0.8, 0.7, 0.6, 0.5), seed: int = 0,
                     max_steps: Optional[int] = None,
+                    sweep_mode: str = "checkpointed",
                     runner: Optional[ExperimentRunner] = None) -> Dict[float, List[Tuple[int, float]]]:
     """Distortion vs graph size for several θ, Edge Removal, L = 1 (Figure 12)."""
-    records = _acm_scaling_records(sample_sizes, thetas, seed, max_steps, runner)
+    records = _acm_scaling_records(sample_sizes, thetas, seed, max_steps,
+                                   sweep_mode, runner)
     return {theta: [(record.config.sample_size, record.distortion) for record in rows]
             for theta, rows in records.items()}

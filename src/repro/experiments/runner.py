@@ -1,18 +1,26 @@
 """Sweep driver: run anonymization configurations and collect metric records.
 
-The runner caches loaded dataset samples (one graph per dataset/size/seed) so
-a sweep over θ reuses the same input graph, exactly as the paper evaluates
-one sampled graph across all thresholds.  Algorithms are resolved through
-the service-layer registry (:mod:`repro.api.registry`), so any registered
-anonymizer — built-in or third-party — can appear in an experiment grid;
-``run_all(..., max_workers=...)`` additionally fans a grid across worker
-processes via :class:`repro.api.BatchRunner`.
+The runner caches loaded dataset samples (one graph per dataset/size/seed)
+*and* their original-graph utility baselines (degree/geodesic histograms,
+per-vertex clustering coefficients) so a sweep over θ reuses both, exactly
+as the paper evaluates one sampled graph across all thresholds.  Algorithms
+are resolved through the service-layer registry
+(:mod:`repro.api.registry`), so any registered anonymizer — built-in or
+third-party — can appear in an experiment grid.
+
+:meth:`ExperimentRunner.run_sweep` executes a whole
+:class:`~repro.experiments.config.SweepPlan` — a θ grid for one fixed
+configuration — as a *single* checkpointed anonymization pass
+(DESIGN.md §9), producing per-θ records identical to independent
+:meth:`ExperimentRunner.run` calls; ``run_all(..., max_workers=...)``
+additionally fans a grid across worker processes via
+:class:`repro.api.BatchRunner`.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.api.registry import create_anonymizer
@@ -20,9 +28,9 @@ from repro.api.requests import AnonymizationRequest
 from repro.core.anonymizer import AnonymizationResult
 from repro.datasets import load_sample
 from repro.errors import ReproError
-from repro.experiments.config import ExperimentConfig
+from repro.experiments.config import ExperimentConfig, SweepPlan
 from repro.graph.graph import Graph
-from repro.metrics import utility_report
+from repro.metrics import GraphBaseline, graph_baseline, utility_report
 
 
 @dataclass(frozen=True)
@@ -74,6 +82,7 @@ def request_for(config: ExperimentConfig) -> AnonymizationRequest:
         engine=config.engine,
         max_steps=config.max_steps,
         insertion_candidate_cap=config.insertion_candidate_cap,
+        sweep_mode=config.sweep_mode,
         include_utility=True,
     )
 
@@ -86,18 +95,36 @@ class ExperimentRunner:
         self._data_dir = data_dir
         self._compute_spectral = compute_spectral
         self._graph_cache: Dict[Tuple[str, int, int], Graph] = {}
+        self._baseline_cache: Dict[Tuple[str, int, int], GraphBaseline] = {}
 
     # ------------------------------------------------------------------
     # graph access
     # ------------------------------------------------------------------
-    def graph_for(self, config: ExperimentConfig) -> Graph:
-        """The input graph of a configuration (cached per dataset/size/seed)."""
-        key = (config.dataset, config.sample_size, config.seed)
+    def sample(self, dataset: str, sample_size: int, seed: int = 0) -> Graph:
+        """The loaded sample for a dataset/size/seed (cached)."""
+        key = (dataset, sample_size, seed)
         if key not in self._graph_cache:
             self._graph_cache[key] = load_sample(
-                config.dataset, config.sample_size,
-                data_dir=self._data_dir, seed=config.seed)
+                dataset, sample_size, data_dir=self._data_dir, seed=seed)
         return self._graph_cache[key]
+
+    def graph_for(self, config: ExperimentConfig) -> Graph:
+        """The input graph of a configuration (cached per dataset/size/seed)."""
+        return self.sample(config.dataset, config.sample_size, config.seed)
+
+    def baseline_for(self, config: ExperimentConfig) -> GraphBaseline:
+        """The original-graph utility baseline of a configuration (cached).
+
+        Degree and geodesic histograms and the per-vertex clustering
+        coefficients of the *original* sample depend only on the sample,
+        not on the anonymization, so they are computed once per
+        dataset/size/seed instead of once per record.
+        """
+        key = (config.dataset, config.sample_size, config.seed)
+        if key not in self._baseline_cache:
+            self._baseline_cache[key] = graph_baseline(
+                self.graph_for(config), include_spectral=self._compute_spectral)
+        return self._baseline_cache[key]
 
     # ------------------------------------------------------------------
     # execution
@@ -110,50 +137,57 @@ class ExperimentRunner:
         L = 1; the registry enforces it).
         """
         graph = self.graph_for(config)
-        algorithm = create_anonymizer(
-            config.algorithm,
-            theta=config.theta,
-            length_threshold=config.length_threshold,
-            lookahead=config.lookahead,
-            seed=config.seed,
-            engine=config.engine,
-            max_steps=config.max_steps,
-            insertion_candidate_cap=config.insertion_candidate_cap,
-        )
+        algorithm = self._create(config)
         started = time.perf_counter()
         result: AnonymizationResult = algorithm.anonymize(graph)
         elapsed = time.perf_counter() - started
-        report = utility_report(result.original_graph, result.anonymized_graph,
-                                include_spectral=self._compute_spectral)
-        return RunRecord(
-            config=config,
-            success=result.success,
-            final_opacity=result.final_opacity,
-            distortion=report.distortion,
-            degree_emd=report.degree_emd,
-            geodesic_emd=report.geodesic_emd,
-            mean_cc_difference=report.mean_clustering_difference,
-            runtime_seconds=elapsed,
-            steps=result.num_steps,
-            evaluations=result.evaluations,
-        )
+        return self._record(config, result, runtime_seconds=elapsed)
+
+    def run_sweep(self, plan: SweepPlan) -> List[RunRecord]:
+        """Execute a θ-sweep plan and return one record per grid point.
+
+        With ``plan.sweep_mode == "checkpointed"`` the whole grid runs as
+        one anonymization pass (per-θ checkpoints); the records are
+        identical to independent :meth:`run` calls per θ except for
+        ``runtime_seconds``, which reports the elapsed time of the shared
+        pass when the grid point was crossed.  Records come back in the
+        plan's θ order.
+        """
+        configs = plan.configs()
+        algorithm = self._create(configs[0])
+        if not hasattr(algorithm, "anonymize_schedule"):
+            return [self.run(config) for config in configs]
+        graph = self.graph_for(configs[0])
+        results = algorithm.anonymize_schedule(graph, plan.thetas)
+        by_theta = {result.config.theta: result for result in results}
+        return [self._record(config, by_theta[float(config.theta)],
+                             runtime_seconds=None)
+                for config in configs]
 
     def run_all(self, configs: Iterable[ExperimentConfig],
                 max_workers: Optional[int] = 0) -> List[RunRecord]:
         """Execute every configuration and return the records in order.
 
-        ``max_workers=0`` (the default) runs serially in this process;
-        any other value fans the grid over a
-        :class:`repro.api.BatchRunner` process pool (``None`` = one worker
-        per CPU).  A failure in any configuration raises either way.
+        Configurations identical in everything but θ form θ-sweep groups
+        executed as checkpointed passes (unless their ``sweep_mode`` is
+        ``"independent"``), so a grid sweeping k thresholds costs ~1 run
+        per group instead of k.  ``max_workers=0`` (the default) runs the
+        groups serially in this process; any other value fans them over a
+        :class:`repro.api.BatchRunner` process pool (``None`` = one
+        worker per CPU).  A failure in any configuration raises either
+        way.
         """
         configs = list(configs)
-        if max_workers == 0:
-            return [self.run(config) for config in configs]
+        if max_workers == 0 or not configs:
+            return self._run_all_serial(configs)
         from repro.api.batch import BatchRunner
+        from repro.api.theta_sweep import SweepRequest
 
+        sweep = SweepRequest(
+            requests=tuple(request_for(config) for config in configs),
+            sweep_mode=configs[0].sweep_mode)
         runner = BatchRunner(max_workers=max_workers, data_dir=self._data_dir)
-        responses = runner.run([request_for(config) for config in configs])
+        responses = runner.run_sweep(sweep)
         records = []
         for config, response in zip(configs, responses):
             if response.error is not None:
@@ -173,3 +207,56 @@ class ExperimentRunner:
                 evaluations=response.evaluations,
             ))
         return records
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _run_all_serial(self, configs: List[ExperimentConfig]) -> List[RunRecord]:
+        """In-process execution of a grid, grouped into θ-sweep plans."""
+        records: List[Optional[RunRecord]] = [None] * len(configs)
+        groups: Dict[ExperimentConfig, List[int]] = {}
+        for index, config in enumerate(configs):
+            groups.setdefault(replace(config, theta=0.0), []).append(index)
+        for indices in groups.values():
+            group = [configs[index] for index in indices]
+            if len(group) == 1 or group[0].sweep_mode == "independent":
+                for index in indices:
+                    records[index] = self.run(configs[index])
+                continue
+            plan = SweepPlan.for_config(group[0],
+                                        thetas=[config.theta for config in group])
+            for index, record in zip(indices, self.run_sweep(plan)):
+                records[index] = record
+        return records  # type: ignore[return-value]
+
+    def _create(self, config: ExperimentConfig):
+        return create_anonymizer(
+            config.algorithm,
+            theta=config.theta,
+            length_threshold=config.length_threshold,
+            lookahead=config.lookahead,
+            seed=config.seed,
+            engine=config.engine,
+            max_steps=config.max_steps,
+            insertion_candidate_cap=config.insertion_candidate_cap,
+            sweep_mode=config.sweep_mode,
+        )
+
+    def _record(self, config: ExperimentConfig, result: AnonymizationResult,
+                runtime_seconds: Optional[float]) -> RunRecord:
+        report = utility_report(result.original_graph, result.anonymized_graph,
+                                include_spectral=self._compute_spectral,
+                                baseline=self.baseline_for(config))
+        return RunRecord(
+            config=config,
+            success=result.success,
+            final_opacity=result.final_opacity,
+            distortion=report.distortion,
+            degree_emd=report.degree_emd,
+            geodesic_emd=report.geodesic_emd,
+            mean_cc_difference=report.mean_clustering_difference,
+            runtime_seconds=(runtime_seconds if runtime_seconds is not None
+                             else result.runtime_seconds),
+            steps=result.num_steps,
+            evaluations=result.evaluations,
+        )

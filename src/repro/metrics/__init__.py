@@ -18,7 +18,12 @@ from repro.metrics.clustering import (
     mean_clustering_difference,
 )
 from repro.metrics.spectral import largest_adjacency_eigenvalue, spectral_gap
-from repro.metrics.report import UtilityReport, utility_report
+from repro.metrics.report import (
+    GraphBaseline,
+    UtilityReport,
+    graph_baseline,
+    utility_report,
+)
 
 __all__ = [
     "edit_distance_ratio",
@@ -32,6 +37,8 @@ __all__ = [
     "mean_clustering_difference",
     "largest_adjacency_eigenvalue",
     "spectral_gap",
+    "GraphBaseline",
     "UtilityReport",
+    "graph_baseline",
     "utility_report",
 ]

@@ -7,7 +7,7 @@ absolute per-vertex differences ``mean_i |C_i - C'_i|``.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -16,18 +16,30 @@ from repro.graph.graph import Graph
 from repro.graph.properties import local_clustering_coefficients
 
 
-def clustering_coefficient_differences(original: Graph, modified: Graph) -> List[float]:
-    """Per-vertex absolute differences of local clustering coefficients."""
+def clustering_coefficient_differences(
+        original: Graph, modified: Graph,
+        original_coefficients: Optional[Sequence[float]] = None) -> List[float]:
+    """Per-vertex absolute differences of local clustering coefficients.
+
+    ``original_coefficients`` may carry the original graph's per-vertex
+    coefficients (e.g. from a cached
+    :class:`~repro.metrics.report.GraphBaseline`) so a sweep computes them
+    once per sample instead of once per record.
+    """
     if original.num_vertices != modified.num_vertices:
         raise ConfigurationError("graphs must share the same vertex set")
-    before = local_clustering_coefficients(original)
+    before = (list(original_coefficients) if original_coefficients is not None
+              else local_clustering_coefficients(original))
     after = local_clustering_coefficients(modified)
     return [abs(b - a) for b, a in zip(before, after)]
 
 
-def mean_clustering_difference(original: Graph, modified: Graph) -> float:
+def mean_clustering_difference(
+        original: Graph, modified: Graph,
+        original_coefficients: Optional[Sequence[float]] = None) -> float:
     """Mean of the per-vertex |ΔCC| values (the Figure 8 metric)."""
-    differences = clustering_coefficient_differences(original, modified)
+    differences = clustering_coefficient_differences(
+        original, modified, original_coefficients=original_coefficients)
     if not differences:
         return 0.0
     return float(np.mean(differences))

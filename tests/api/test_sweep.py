@@ -1,0 +1,132 @@
+"""Tests for the service-layer θ-sweep engine (requests, grouping, execution)."""
+
+import pytest
+
+from repro.api import (
+    AnonymizationRequest,
+    SweepRequest,
+    SweepResponse,
+    anonymize,
+    run_sweep,
+    sweep,
+)
+from repro.api.theta_sweep import execute_sweep_group, group_requests
+from repro.errors import ConfigurationError
+
+BASE = AnonymizationRequest(dataset="gnutella", sample_size=30, seed=0,
+                            include_utility=True)
+THETAS = (0.9, 0.7, 0.5)
+
+
+class TestSweepRequest:
+    def test_from_axes_expands_grid(self):
+        request = SweepRequest.from_axes(BASE, algorithms=("rem", "gaded-max"),
+                                         thetas=THETAS)
+        assert len(request.requests) == 6
+        assert request.sweep_mode == "checkpointed"
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepRequest(requests=())
+
+    def test_unknown_sweep_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepRequest(requests=(BASE,), sweep_mode="sideways")
+
+    def test_json_round_trip(self):
+        request = SweepRequest.from_axes(BASE, algorithms=("rem", "rem-ins"),
+                                         thetas=THETAS, sweep_mode="independent")
+        assert SweepRequest.from_json(request.to_json()) == request
+
+    def test_response_json_round_trip(self):
+        request = SweepRequest.from_axes(BASE, thetas=(0.8, 0.6))
+        response = run_sweep(request)
+        assert SweepResponse.from_json(response.to_json()) == response
+
+
+class TestGrouping:
+    def test_groups_by_everything_but_theta(self):
+        request = SweepRequest.from_axes(BASE, algorithms=("rem", "gaded-max"),
+                                         thetas=THETAS)
+        groups = request.groups()
+        assert [len(group) for group in groups] == [3, 3]
+        algorithms = {request.requests[group[0]].algorithm for group in groups}
+        assert algorithms == {"rem", "gaded-max"}
+
+    def test_request_id_does_not_split_groups(self):
+        requests = [BASE.with_overrides(theta=theta, request_id=f"job-{theta}")
+                    for theta in THETAS]
+        assert group_requests(requests) == [[0, 1, 2]]
+
+    def test_different_seeds_split_groups(self):
+        requests = [BASE.with_overrides(theta=theta, seed=seed)
+                    for seed in (0, 1) for theta in THETAS]
+        assert [len(group) for group in group_requests(requests)] == [3, 3]
+
+
+class TestExecution:
+    @pytest.mark.parametrize("algorithm",
+                             ("rem", "rem-ins", "gaded-rand", "gaded-max", "gades"))
+    def test_group_responses_match_independent_requests(self, algorithm):
+        requests = [BASE.with_overrides(algorithm=algorithm, theta=theta)
+                    for theta in THETAS]
+        grouped = execute_sweep_group(requests)
+        for request, response in zip(requests, grouped):
+            reference = anonymize(request)
+            assert response.success == reference.success
+            assert response.final_opacity == reference.final_opacity
+            assert response.distortion == reference.distortion
+            assert response.num_steps == reference.num_steps
+            assert response.evaluations == reference.evaluations
+            assert response.anonymized_edges == reference.anonymized_edges
+            assert response.metrics == reference.metrics
+            assert response.stop_reason == reference.stop_reason
+
+    def test_sweep_modes_agree(self):
+        checkpointed = sweep(BASE, thetas=THETAS)
+        independent = sweep(BASE, thetas=THETAS, sweep_mode="independent")
+        for ours, theirs in zip(checkpointed, independent):
+            assert ours.final_opacity == theirs.final_opacity
+            assert ours.anonymized_edges == theirs.anonymized_edges
+            assert ours.evaluations == theirs.evaluations
+
+    def test_responses_in_request_order(self):
+        request = SweepRequest.from_axes(BASE, algorithms=("rem", "gaded-max"),
+                                         thetas=(0.5, 0.9))
+        response = run_sweep(request)
+        observed = [(entry.request.algorithm, entry.request.theta)
+                    for entry in response.responses]
+        assert observed == [("rem", 0.5), ("rem", 0.9),
+                            ("gaded-max", 0.5), ("gaded-max", 0.9)]
+
+    def test_group_failure_is_isolated(self):
+        # An unknown dataset fails at graph resolution inside its group;
+        # the other group must still complete.
+        bad = AnonymizationRequest(dataset="no-such-dataset", sample_size=10,
+                                   theta=0.7)
+        good = [BASE.with_overrides(theta=theta) for theta in (0.8, 0.6)]
+        response = run_sweep(SweepRequest(requests=(bad, *good)))
+        assert response.responses[0].error is not None
+        assert response.responses[1].ok and response.responses[2].ok
+
+    def test_parallel_groups_match_serial(self):
+        request = SweepRequest.from_axes(BASE, algorithms=("rem", "gaded-max"),
+                                         thetas=(0.8, 0.6))
+        serial = run_sweep(request)
+        parallel = run_sweep(request, max_workers=2)
+        assert parallel.num_groups == 2
+        for ours, theirs in zip(parallel.responses, serial.responses):
+            assert ours.final_opacity == theirs.final_opacity
+            assert ours.anonymized_edges == theirs.anonymized_edges
+            assert ours.evaluations == theirs.evaluations
+
+    def test_timeout_bounds_the_shared_pass(self):
+        # A zero-ish timeout stops the pass immediately; every grid point
+        # still receives a response with the observer stop reason.
+        requests = [BASE.with_overrides(theta=theta, timeout_seconds=1e-9,
+                                        dataset="google", sample_size=40,
+                                        length_threshold=2)
+                    for theta in (0.3, 0.2)]
+        responses = execute_sweep_group(requests)
+        assert all(response.ok for response in responses)
+        assert any(response.stop_reason == "observer" for response in responses)

@@ -143,3 +143,38 @@ class TestExplicitTypingOpacity:
         typing = EverythingSameType()
         result = OpacityComputer(typing, 1).evaluate(paper_example_graph)
         assert result.per_type["all"].fraction == Fraction(10, 21)
+
+
+class TestExplicitTypingVectorizedCounts:
+    """The interned-code bincount tally must match a per-pair reference loop."""
+
+    def test_counts_match_reference_loop(self):
+        import random
+
+        from repro.graph.generators import erdos_renyi_graph
+        from repro.graph.matrices import UNREACHABLE
+
+        rng = random.Random(17)
+        graph = erdos_renyi_graph(25, 0.2, seed=17)
+        pair_types = {}
+        for u in range(25):
+            for v in range(u + 1, 25):
+                if rng.random() < 0.4:
+                    pair_types[(u, v)] = f"t{rng.randrange(4)}"
+        typing = ExplicitPairTyping(pair_types)
+        for length in (1, 2, 3):
+            computer = OpacityComputer(typing, length)
+            distances = computer.distances(graph)
+            reference = {}
+            for (u, v) in typing.all_pairs():
+                distance = int(distances[u, v])
+                if distance != UNREACHABLE and distance <= length:
+                    key = typing.type_of(u, v)
+                    reference[key] = reference.get(key, 0) + 1
+            assert computer.within_counts(distances) == reference
+
+    def test_interned_arrays_are_cached(self):
+        typing = ExplicitPairTyping({(0, 1): "a", (1, 2): "b"})
+        computer = OpacityComputer(typing, 1)
+        first = computer._explicit_pair_arrays()
+        assert computer._explicit_pair_arrays() is first

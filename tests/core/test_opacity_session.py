@@ -299,3 +299,44 @@ class TestScanModeEquivalence:
             EdgeRemovalAnonymizer(scan_mode="vectorized")
         with pytest.raises(ConfigurationError):
             GadesAnonymizer(scan_mode="vectorized")
+
+
+class TestLengthOneFastPath:
+    """At L = 1 a batched scan skips the distance machinery entirely; its
+    results (and the graph left behind) must match the slow paths exactly."""
+
+    def test_l1_batch_matches_per_candidate_and_scratch(self):
+        graph = erdos_renyi_graph(16, 0.3, seed=9)
+        computer = OpacityComputer(DegreePairTyping(graph), 1)
+        incremental = OpacitySession(computer, graph.copy(), mode="incremental")
+        scratch = OpacitySession(computer, graph.copy(), mode="scratch")
+        edges = list(graph.edges())
+        absent = list(graph.non_edges())
+        candidates = ([((edge,), ()) for edge in edges[:8]]
+                      + [((), (edge,)) for edge in absent[:5]]
+                      # a GADES-style swap: two removals plus two insertions
+                      + [((edges[0], edges[1]), (absent[5], absent[6]))])
+        batched = incremental.evaluate_edits(candidates)
+        assert batched == [incremental.evaluate_edit(r, i) for r, i in candidates]
+        assert batched == scratch.evaluate_edits(candidates)
+
+    def test_l1_batch_leaves_no_trace(self):
+        graph = erdos_renyi_graph(12, 0.3, seed=4)
+        computer = OpacityComputer(DegreePairTyping(graph), 1)
+        session = OpacitySession(computer, graph, mode="incremental")
+        before = graph.edge_set()
+        session.evaluate_edits([((edge,), ()) for edge in before])
+        assert graph.edge_set() == before
+
+    def test_l1_batch_after_applied_edits(self):
+        graph = erdos_renyi_graph(12, 0.35, seed=6)
+        computer = OpacityComputer(DegreePairTyping(graph), 1)
+        session = OpacitySession(computer, graph, mode="incremental")
+        for _ in range(2):
+            candidates = [((edge,), ()) for edge in session.graph.edges()]
+            evaluations = session.evaluate_edits(candidates)
+            assert evaluations == [session.evaluate_edit(r, i)
+                                   for r, i in candidates]
+            best = min(range(len(evaluations)),
+                       key=lambda pos: evaluations[pos].fraction)
+            session.apply_edit(*candidates[best])

@@ -6,6 +6,7 @@ from repro.experiments.figures import (
     figure6_lsweep_series,
     figure6_series,
     figure7_series,
+    figure8_lsweep_series,
     figure8_series,
     figure9_series,
     figure10_series,
@@ -64,10 +65,17 @@ class TestFigure7And8:
         for points in series.values():
             assert all(value >= 0 for _t, value in points)
 
-    def test_figure8_lsweep(self, runner):
+    def test_figure8_l2(self, runner):
         series = figure8_series("epinions", length_threshold=2, lookaheads=(1,),
                                 runner=runner, **TINY)
         assert set(series) == {"rem la=1", "rem-ins la=1"}
+
+    def test_figure8_lsweep_series(self, runner):
+        series = figure8_lsweep_series("epinions", lengths=(1, 2),
+                                       runner=runner, **TINY)
+        assert set(series) == {"rem L=1", "rem L=2", "rem-ins L=1", "rem-ins L=2"}
+        for points in series.values():
+            assert [theta for theta, _v in points] == [0.8, 0.6]
 
 
 class TestRuntimeFigures:
@@ -85,6 +93,16 @@ class TestRuntimeFigures:
         assert set(series) == {"rem L=1", "rem-ins L=1"}
         for points in series.values():
             assert [size for size, _v in points] == [25, 35]
+
+    def test_sweep_modes_produce_identical_series(self, runner):
+        checkpointed = figure6_series("gnutella", length_threshold=1,
+                                      lookaheads=(1,), runner=runner, **TINY)
+        independent = figure6_series("gnutella", length_threshold=1,
+                                     lookaheads=(1,), sweep_mode="independent",
+                                     runner=runner, **TINY)
+        assert set(checkpointed) == set(independent)
+        for label, points in checkpointed.items():
+            assert points == independent[label]
 
     def test_figure11_and_12_share_sweep_structure(self, runner):
         runtime = figure11_series(sample_sizes=(30, 40), thetas=(0.8, 0.6),
