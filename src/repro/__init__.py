@@ -81,6 +81,8 @@ from repro.api import (
     AnonymizerRegistry,
     BatchRunner,
     CancellationToken,
+    GridRequest,
+    GridResponse,
     ProgressObserver,
     StepLimitObserver,
     TimeoutObserver,
@@ -90,6 +92,7 @@ from repro.api import (
     create_anonymizer,
     default_registry,
     register_anonymizer,
+    run_grid,
     sweep,
 )
 
@@ -140,6 +143,8 @@ __all__ = [
     "AnonymizerRegistry",
     "BatchRunner",
     "CancellationToken",
+    "GridRequest",
+    "GridResponse",
     "ProgressObserver",
     "StepLimitObserver",
     "TimeoutObserver",
@@ -149,5 +154,6 @@ __all__ = [
     "create_anonymizer",
     "default_registry",
     "register_anonymizer",
+    "run_grid",
     "sweep",
 ]

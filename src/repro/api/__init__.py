@@ -12,11 +12,20 @@ Layers (see DESIGN.md §8):
 * :mod:`repro.api.facade` — :func:`anonymize`, :func:`compute_opacity`,
   :func:`sweep`.
 * :mod:`repro.api.theta_sweep` — :class:`SweepRequest` / :class:`SweepResponse`
-  and the grouped checkpointed θ-sweep engine behind :func:`sweep` and
-  ``repro-lopacity sweep`` (DESIGN.md §9).
+  and the grouped checkpointed θ-sweep engine (DESIGN.md §9).
+* :mod:`repro.api.sweeps` — :class:`GridRequest` / :class:`GridResponse`
+  and the multi-axis grid engine behind :func:`sweep` and
+  ``repro-lopacity sweep``: dataset × size × seed × L × θ × algorithm
+  grids executed with shared sample/baseline/distance caches
+  (DESIGN.md §10).
+* :mod:`repro.api.cache` — :class:`ExecutionCache`, the per-process
+  sample/baseline/L_max-distance cache behind the grid engine and the
+  batch workers.
 * :mod:`repro.api.batch` — :class:`BatchRunner` fan-out over worker
   processes, powering ``repro-lopacity batch`` and parallel experiment
-  sweeps; sweeps fan θ-sweep groups instead of single requests.
+  sweeps; sweeps fan θ-sweep groups and grids fan sample groups instead
+  of single requests, and every worker holds a process-level
+  :class:`ExecutionCache`.
 
 Quickstart::
 
@@ -60,6 +69,7 @@ from repro.api.registry import (
 
 if TYPE_CHECKING:  # pragma: no cover — lazy at runtime, eager for type checkers
     from repro.api.batch import BatchRunner, execute_request
+    from repro.api.cache import ExecutionCache
     from repro.api.facade import (
         OpacityReport,
         anonymize,
@@ -69,6 +79,13 @@ if TYPE_CHECKING:  # pragma: no cover — lazy at runtime, eager for type checke
         sweep,
     )
     from repro.api.requests import AnonymizationRequest, AnonymizationResponse
+    from repro.api.sweeps import (
+        GridRequest,
+        GridResponse,
+        execute_sample_group,
+        expand_grid,
+        run_grid,
+    )
     from repro.api.theta_sweep import (
         SweepRequest,
         SweepResponse,
@@ -88,6 +105,12 @@ _LAZY = {
     "sweep": "repro.api.facade",
     "BatchRunner": "repro.api.batch",
     "execute_request": "repro.api.batch",
+    "ExecutionCache": "repro.api.cache",
+    "GridRequest": "repro.api.sweeps",
+    "GridResponse": "repro.api.sweeps",
+    "execute_sample_group": "repro.api.sweeps",
+    "expand_grid": "repro.api.sweeps",
+    "run_grid": "repro.api.sweeps",
     "SweepRequest": "repro.api.theta_sweep",
     "SweepResponse": "repro.api.theta_sweep",
     "execute_sweep_group": "repro.api.theta_sweep",
@@ -105,6 +128,9 @@ __all__ = [
     "CancellationToken",
     "CompositeObserver",
     "ConsoleProgressObserver",
+    "ExecutionCache",
+    "GridRequest",
+    "GridResponse",
     "NULL_OBSERVER",
     "NullObserver",
     "OpacityReport",
@@ -120,9 +146,12 @@ __all__ = [
     "create_anonymizer",
     "default_registry",
     "execute_request",
+    "execute_sample_group",
     "execute_sweep_group",
+    "expand_grid",
     "expand_sweep",
     "register_anonymizer",
+    "run_grid",
     "run_requests",
     "run_sweep",
     "sweep",

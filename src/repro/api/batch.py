@@ -11,7 +11,14 @@ with process-local registrations therefore require ``max_workers=0``
 :meth:`BatchRunner.run_sweep` fans θ-sweep *groups* (not single requests)
 across the pool: each group is one checkpointed anonymization pass
 (:mod:`repro.api.theta_sweep`), so a worker amortizes a whole θ grid instead of
-re-running the anonymization per grid point.
+re-running the anonymization per grid point.  :meth:`BatchRunner.run_grid`
+fans *sample groups* (:mod:`repro.api.sweeps`) — all groups sharing a
+loaded sample run on one worker with a shared L_max distance computation.
+
+Every pool is started with an initializer that installs a process-level
+:class:`~repro.api.cache.ExecutionCache` in the worker, so a worker loads
+each dataset/size/seed sample once across **all** the groups it executes
+(workers are reused between submissions) instead of reloading it per group.
 
 Guarantees:
 
@@ -34,7 +41,26 @@ from repro.api.registry import AnonymizerRegistry
 from repro.api.requests import AnonymizationRequest, AnonymizationResponse
 
 if TYPE_CHECKING:  # pragma: no cover — avoids an import cycle at runtime
+    from repro.api.cache import ExecutionCache
+    from repro.api.sweeps import GridRequest
     from repro.api.theta_sweep import SweepRequest
+
+#: Process-level cache of the current worker (installed by the pool
+#: initializer; ``None`` in the parent process and in unpooled execution).
+_WORKER_CACHE: Optional["ExecutionCache"] = None
+
+
+def _initialize_worker(data_dir: Optional[str]) -> None:
+    """Pool initializer: give this worker process its execution cache."""
+    global _WORKER_CACHE
+    from repro.api.cache import ExecutionCache
+
+    _WORKER_CACHE = ExecutionCache(data_dir=data_dir)
+
+
+def worker_cache() -> Optional["ExecutionCache"]:
+    """The current process's worker cache, if one was installed."""
+    return _WORKER_CACHE
 
 
 def execute_request(request: AnonymizationRequest, *,
@@ -59,13 +85,55 @@ def _execute_payload(payload: Dict[str, Any], data_dir: Optional[str]) -> Dict[s
 
 
 def _execute_group_payload(payloads: List[Dict[str, Any]], sweep_mode: str,
-                           data_dir: Optional[str]) -> List[Dict[str, Any]]:
+                           data_dir: Optional[str],
+                           l_max_hint: Optional[int] = None) -> List[Dict[str, Any]]:
     """Worker-side entry point for one θ-sweep group (module-level for pickling)."""
     from repro.api.theta_sweep import execute_sweep_group
 
     requests = [AnonymizationRequest.from_dict(payload) for payload in payloads]
+    graph = initial_distances = baseline = None
+    cache = worker_cache()
+    if cache is not None and sweep_mode != "independent":
+        # The worker's process-level cache: groups sharing a sample load it
+        # once per worker instead of once per group, and the per-sample
+        # baseline and L-bounded matrix are likewise derived once.
+        # ``l_max_hint`` carries the sweep-wide maximum L of this sample's
+        # incremental groups, so a worker executing an L sweep computes the
+        # matrix once at L_max instead of once per distinct L.
+        first = requests[0]
+        try:
+            graph = cache.graph_for(first)
+            if first.evaluation_mode == "incremental":
+                initial_distances = cache.distances_for(
+                    first, max(l_max_hint or 1, first.length_threshold))
+            if any(request.include_utility for request in requests):
+                baseline = cache.baseline_for(first)
+        except Exception as exc:  # noqa: BLE001 — same isolation as the group
+            return [AnonymizationResponse.failure(request, exc).to_dict()
+                    for request in requests]
     responses = execute_sweep_group(requests, sweep_mode=sweep_mode,
-                                    data_dir=data_dir)
+                                    data_dir=data_dir, graph=graph,
+                                    initial_distances=initial_distances,
+                                    baseline=baseline)
+    return [response.to_dict() for response in responses]
+
+
+def _execute_sample_group_payload(payloads: List[Dict[str, Any]],
+                                  sweep_mode: str,
+                                  data_dir: Optional[str]) -> List[Dict[str, Any]]:
+    """Worker-side entry point for one grid sample group (module-level)."""
+    from repro.api.cache import ExecutionCache
+    from repro.api.sweeps import execute_sample_group
+
+    requests = [AnonymizationRequest.from_dict(payload) for payload in payloads]
+    cache = worker_cache() or ExecutionCache(data_dir=data_dir)
+    try:
+        responses = execute_sample_group(requests, sweep_mode=sweep_mode,
+                                         data_dir=data_dir, cache=cache)
+    finally:
+        # A sample group is handed to a worker exactly once, so its entries
+        # can never be hit again — drop them to bound worker memory.
+        cache.release(requests[0])
     return [response.to_dict() for response in responses]
 
 
@@ -99,7 +167,7 @@ class BatchRunner:
             return self.run_serial(requests)
         workers = self._worker_count(len(requests))
         responses: List[AnonymizationResponse] = []
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with self._pool(workers) as pool:
             futures: List[Future] = [
                 pool.submit(_execute_payload, request.to_dict(), self._data_dir)
                 for request in requests
@@ -116,10 +184,27 @@ class BatchRunner:
         return [execute_request(request, data_dir=self._data_dir)
                 for request in requests]
 
+    def _run_independent(self, requests: List[AnonymizationRequest],
+                         registry: Optional[AnonymizerRegistry]
+                         ) -> List[AnonymizationResponse]:
+        """The sweep/grid opt-out path: per-request fan-out, registry honoured
+        in-process (workers always resolve through the default registry)."""
+        if self._max_workers == 0 and registry is not None:
+            return [execute_request(request, registry=registry,
+                                    data_dir=self._data_dir)
+                    for request in requests]
+        return self.run(requests)
+
     def _worker_count(self, num_jobs: int) -> int:
         """Pool size for ``num_jobs`` independent submissions."""
         workers = self._max_workers or os.cpu_count() or 1
         return min(workers, num_jobs)
+
+    def _pool(self, workers: int) -> ProcessPoolExecutor:
+        """A process pool whose workers carry a process-level execution cache."""
+        return ProcessPoolExecutor(max_workers=workers,
+                                   initializer=_initialize_worker,
+                                   initargs=(self._data_dir,))
 
     # ------------------------------------------------------------------
     # θ-sweep groups
@@ -140,7 +225,7 @@ class BatchRunner:
         from repro.api.theta_sweep import execute_sweep_group
 
         if sweep.sweep_mode == "independent":
-            return self.run(list(sweep.requests))
+            return self._run_independent(list(sweep.requests), registry)
         groups = sweep.groups()
         ordered: List[Optional[AnonymizationResponse]] = [None] * len(sweep.requests)
         if self._max_workers == 0 or len(groups) == 1:
@@ -152,12 +237,26 @@ class BatchRunner:
                 for index, response in zip(indices, responses):
                     ordered[index] = response
             return ordered  # type: ignore[return-value]
+        # Sweep-wide maximum L per (sample, engine) over incremental groups:
+        # a worker that executes several L groups of one sample computes the
+        # shared matrix once, at the hinted bound, instead of once per L.
+        from repro.api.cache import sample_key
+
+        l_max_hints: Dict[Any, int] = {}
+        for request in sweep.requests:
+            if request.evaluation_mode == "incremental":
+                hint_key = (sample_key(request), request.engine)
+                l_max_hints[hint_key] = max(l_max_hints.get(hint_key, 1),
+                                            request.length_threshold)
         workers = self._worker_count(len(groups))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
+        with self._pool(workers) as pool:
             futures: List[Future] = [
                 pool.submit(_execute_group_payload,
                             [sweep.requests[index].to_dict() for index in indices],
-                            sweep.sweep_mode, self._data_dir)
+                            sweep.sweep_mode, self._data_dir,
+                            l_max_hints.get(
+                                (sample_key(sweep.requests[indices[0]]),
+                                 sweep.requests[indices[0]].engine)))
                 for indices in groups
             ]
             for indices, future in zip(groups, futures):
@@ -168,6 +267,80 @@ class BatchRunner:
                 except Exception as exc:  # worker crash / pool breakage
                     responses = [AnonymizationResponse.failure(
                         sweep.requests[index], exc) for index in indices]
+                for index, response in zip(indices, responses):
+                    ordered[index] = response
+        return ordered  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # multi-axis grids
+    # ------------------------------------------------------------------
+    def run_grid(self, grid: "GridRequest", *,
+                 registry: Optional[AnonymizerRegistry] = None,
+                 cache: Optional["ExecutionCache"] = None
+                 ) -> List[AnonymizationResponse]:
+        """Execute a grid, fanning *sample groups* across the pool.
+
+        Each sample group — every request sharing a dataset/size/seed (or
+        explicit edge list) — runs as one unit: the sample is loaded once,
+        one L_max bounded-distance computation serves every L of the
+        group, and its θ-sweep groups execute as checkpointed passes with
+        per-group failure isolation (:mod:`repro.api.sweeps`).  Responses
+        come back in request order.  ``sweep_mode="independent"`` opts out
+        of all grouping and takes :meth:`run`'s per-request fan-out.  A
+        grid whose requests all share one sample has nothing to fan at
+        sample granularity, so with workers requested it falls back to
+        :meth:`run_sweep`'s θ-group fan-out (keeping the pre-grid
+        parallelism; the worker caches still de-duplicate sample loads).
+        A custom ``registry`` (or an injected ``cache``, the
+        instrumentation/sharing hook of the benches) is only honoured with
+        ``max_workers=0``; workers build their own process-level caches.
+        """
+        from repro.api.cache import ExecutionCache
+        from repro.api.sweeps import execute_sample_group
+
+        if grid.sweep_mode == "independent":
+            return self._run_independent(list(grid.requests), registry)
+        groups = grid.sample_groups()
+        ordered: List[Optional[AnonymizationResponse]] = [None] * len(grid.requests)
+        if self._max_workers != 0 and len(groups) == 1 and cache is None \
+                and registry is None:
+            from repro.api.theta_sweep import SweepRequest
+
+            return self.run_sweep(SweepRequest(requests=grid.requests,
+                                               sweep_mode=grid.sweep_mode))
+        if self._max_workers == 0 or len(groups) == 1:
+            owned = cache is None
+            if owned:
+                cache = ExecutionCache(data_dir=self._data_dir)
+            for indices in groups:
+                group = [grid.requests[index] for index in indices]
+                responses = execute_sample_group(
+                    group, sweep_mode=grid.sweep_mode, registry=registry,
+                    data_dir=self._data_dir, cache=cache)
+                if owned:
+                    # Each sample group is visited exactly once, so its
+                    # entries can be dropped immediately to bound peak
+                    # memory (an injected cache keeps caller semantics).
+                    cache.release(group[0])
+                for index, response in zip(indices, responses):
+                    ordered[index] = response
+            return ordered  # type: ignore[return-value]
+        workers = self._worker_count(len(groups))
+        with self._pool(workers) as pool:
+            futures: List[Future] = [
+                pool.submit(_execute_sample_group_payload,
+                            [grid.requests[index].to_dict() for index in indices],
+                            grid.sweep_mode, self._data_dir)
+                for indices in groups
+            ]
+            for indices, future in zip(groups, futures):
+                try:
+                    payloads = future.result()
+                    responses = [AnonymizationResponse.from_dict(payload)
+                                 for payload in payloads]
+                except Exception as exc:  # worker crash / pool breakage
+                    responses = [AnonymizationResponse.failure(
+                        grid.requests[index], exc) for index in indices]
                 for index, response in zip(indices, responses):
                     ordered[index] = response
         return ordered  # type: ignore[return-value]

@@ -1,0 +1,154 @@
+"""Process-local caches amortizing repeated work across sweep groups.
+
+A multi-axis grid (:mod:`repro.api.sweeps`) executes many θ-sweep groups
+that share an input sample: same dataset/size/seed, different L, algorithm,
+or look-ahead.  Before this cache existed, every group re-loaded its sample
+from disk (or re-synthesized it), re-derived the utility baseline, and ran
+a full bounded-distance computation for its own L — even though one
+computation at the group's maximum L already contains every smaller-L
+matrix (:mod:`repro.graph.distance_cache`).
+
+:class:`ExecutionCache` holds all three per-sample artifacts:
+
+* the loaded :class:`~repro.graph.graph.Graph` (one load per
+  dataset/size/seed, counted by :attr:`sample_loads` — the bench hook);
+* the original-graph utility baseline
+  (:class:`~repro.metrics.GraphBaseline`), shared by every
+  ``include_utility`` response of the sample;
+* one :class:`~repro.graph.distance_cache.LMaxDistanceCache` per
+  (sample, engine), serving every L ≤ L_max from a single engine run
+  (counted by :attr:`distance_computes`).
+
+One instance lives per worker process — installed by the
+``ProcessPoolExecutor`` initializer of :class:`~repro.api.batch.BatchRunner`
+— so a worker loads each sample once across *all* groups it executes; the
+in-process execution paths create one per grid run.  Cached graphs are
+never mutated: every anonymization copies its working graph, so handing the
+same :class:`Graph` object to consecutive groups is safe and (because
+loading is deterministic) bit-identical to a cold load.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+from repro.api.requests import AnonymizationRequest
+from repro.graph.distance_cache import LMaxDistanceCache
+from repro.graph.graph import Graph
+
+__all__ = ["ExecutionCache", "sample_key"]
+
+
+def sample_key(request: AnonymizationRequest) -> Hashable:
+    """The request's graph-source identity (what a cached sample is keyed by).
+
+    Requests agreeing on this key resolve to bit-identical graphs: dataset
+    samples are keyed by (dataset, size, seed) — loading is deterministic —
+    and explicit edge lists by their (normalized) edges and vertex count.
+    """
+    if request.dataset is not None:
+        return ("dataset", request.dataset, request.sample_size, request.seed)
+    return ("edges", request.edges, request.num_vertices)
+
+
+class ExecutionCache:
+    """Per-process cache of samples, baselines, and L_max distance matrices.
+
+    ``max_samples`` bounds how many distinct samples are retained at once
+    (oldest evicted first), so a long-lived worker sweeping many
+    dataset/size/seed combinations cannot pin every sample's graph and
+    n × n matrix for the pool's lifetime; the load/compute counters
+    survive eviction.
+    """
+
+    def __init__(self, data_dir: Optional[str] = None, *,
+                 max_samples: int = 8) -> None:
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        self._data_dir = data_dir
+        self._max_samples = max_samples
+        self._graphs: Dict[Hashable, Graph] = {}
+        self._baselines: Dict[Hashable, object] = {}
+        self._distances: Dict[Tuple[Hashable, str], LMaxDistanceCache] = {}
+        #: Cache misses that hit the dataset loaders (the bench hook
+        #: asserting a grid performs one load per sample per worker).
+        self.sample_loads = 0
+        self._retired_computes = 0
+
+    @property
+    def data_dir(self) -> Optional[str]:
+        """Directory with real SNAP dataset files, if any."""
+        return self._data_dir
+
+    @property
+    def distance_computes(self) -> int:
+        """Total full bounded-distance computations performed so far."""
+        return self._retired_computes + sum(cache.compute_count
+                                            for cache in self._distances.values())
+
+    def graph_for(self, request: AnonymizationRequest) -> Graph:
+        """The request's input graph, loaded at most once per sample key.
+
+        The returned graph is shared — callers must not mutate it (every
+        anonymization run copies its working graph, so the standard
+        execution paths never do).
+        """
+        key = sample_key(request)
+        graph = self._graphs.get(key)
+        if graph is None:
+            graph = request.resolve_graph(data_dir=self._data_dir)
+            while len(self._graphs) >= self._max_samples:
+                self._evict(next(iter(self._graphs)))
+            self._graphs[key] = graph
+            self.sample_loads += 1
+        return graph
+
+    def baseline_for(self, request: AnonymizationRequest):
+        """The original-graph utility baseline of the request's sample."""
+        from repro.metrics import graph_baseline
+
+        key = sample_key(request)
+        baseline = self._baselines.get(key)
+        if baseline is None:
+            baseline = graph_baseline(self.graph_for(request),
+                                      include_spectral=False)
+            self._baselines[key] = baseline
+        return baseline
+
+    def distances_for(self, request: AnonymizationRequest,
+                      l_max: int) -> np.ndarray:
+        """A fresh L-bounded matrix for the request, served from L_max.
+
+        ``l_max`` is the largest L the request's sample group sweeps; the
+        underlying engine runs once per (sample, engine) at that bound, and
+        every request's own ``length_threshold`` matrix is derived by
+        thresholding.  Each call returns a fresh array (sessions take
+        ownership of the matrices they are given).
+        """
+        key = (sample_key(request), request.engine)
+        cache = self._distances.get(key)
+        if cache is None or cache.l_max < l_max:
+            if cache is not None:
+                self._retired_computes += cache.compute_count
+            cache = LMaxDistanceCache(self.graph_for(request), l_max,
+                                      engine=request.engine)
+            self._distances[key] = cache
+        return cache.matrix(request.length_threshold)
+
+    def release(self, request: AnonymizationRequest) -> None:
+        """Drop the sample's cached graph, baseline, and distance matrices.
+
+        The grid engine hands each sample group to a worker exactly once,
+        so a worker that finished a group will never see its sample key
+        again — releasing the entries bounds worker memory over large
+        grids.  The load/compute counters are preserved.
+        """
+        self._evict(sample_key(request))
+
+    def _evict(self, key: Hashable) -> None:
+        self._graphs.pop(key, None)
+        self._baselines.pop(key, None)
+        for cache_key in [k for k in self._distances if k[0] == key]:
+            self._retired_computes += self._distances.pop(cache_key).compute_count

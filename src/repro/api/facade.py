@@ -121,7 +121,9 @@ def expand_sweep(base: AnonymizationRequest, *,
     Axes left ``None`` keep the base request's value.  Nesting order, from
     outermost to innermost: algorithms, length_thresholds, lookaheads,
     seeds, thetas — i.e. thetas vary fastest, matching how the paper's
-    figures sweep θ for an otherwise fixed configuration.
+    figures sweep θ for an otherwise fixed configuration.  (The multi-axis
+    superset, with dataset and sample-size axes, is
+    :func:`repro.api.sweeps.expand_grid`.)
     """
     axes = {
         "algorithm": tuple(algorithms) if algorithms is not None else (base.algorithm,),
@@ -137,6 +139,8 @@ def expand_sweep(base: AnonymizationRequest, *,
 
 
 def sweep(base: AnonymizationRequest, *,
+          datasets: Optional[Sequence[str]] = None,
+          sample_sizes: Optional[Sequence[int]] = None,
           algorithms: Optional[Sequence[str]] = None,
           thetas: Optional[Sequence[float]] = None,
           length_thresholds: Optional[Sequence[int]] = None,
@@ -147,25 +151,29 @@ def sweep(base: AnonymizationRequest, *,
           data_dir: Optional[str] = None) -> List[AnonymizationResponse]:
     """Expand ``base`` over the given axes and execute the grid.
 
-    The grid is partitioned into θ-sweep groups (requests identical in
-    everything but θ); with ``sweep_mode="checkpointed"`` (the default)
-    each group runs as *one* anonymization pass with per-θ checkpoints —
-    a k-point θ grid costs roughly one run instead of k —
-    while ``"independent"`` preserves the one-run-per-request path.  Both
-    modes return identical responses.  ``max_workers=0`` (the default)
-    runs in-process; any other value fans the *groups* across a
-    :class:`repro.api.batch.BatchRunner` process pool (``None`` = one
-    worker per CPU).  Responses come back in expansion order, with
-    failures isolated into error responses at group granularity.
+    The grid is partitioned into sample groups (requests sharing a
+    dataset/size/seed, which share one loaded sample and one L_max
+    bounded-distance computation) and, within them, into θ-sweep groups
+    (requests identical in everything but θ); with
+    ``sweep_mode="checkpointed"`` (the default) each θ-sweep group runs as
+    *one* anonymization pass with per-θ checkpoints — a k-point θ grid
+    costs roughly one run instead of k — while ``"independent"`` preserves
+    the one-run-per-request path.  All modes return identical responses.
+    ``max_workers=0`` (the default) runs in-process; any other value fans
+    the *sample groups* across a :class:`repro.api.batch.BatchRunner`
+    process pool (``None`` = one worker per CPU).  Responses come back in
+    expansion order (θ fastest), with failures isolated into error
+    responses at group granularity.
     """
-    from repro.api.theta_sweep import SweepRequest, run_sweep
+    from repro.api.sweeps import GridRequest, run_grid
 
-    request = SweepRequest.from_axes(
-        base, algorithms=algorithms, thetas=thetas,
+    request = GridRequest.from_axes(
+        base, datasets=datasets, sample_sizes=sample_sizes,
+        algorithms=algorithms, thetas=thetas,
         length_thresholds=length_thresholds, lookaheads=lookaheads,
         seeds=seeds, sweep_mode=sweep_mode)
-    return list(run_sweep(request, max_workers=max_workers,
-                          data_dir=data_dir).responses)
+    return list(run_grid(request, max_workers=max_workers,
+                         data_dir=data_dir).responses)
 
 
 def run_requests(requests: Iterable[AnonymizationRequest], *,

@@ -6,9 +6,15 @@ the :class:`ProgressObserver` protocol:
 * ``on_evaluation(evaluations)`` — called after each opacity evaluation
   (the unit of work that dominates runtime);
 * ``on_step(step, result)`` — called after each applied greedy step;
+* ``on_checkpoint(checkpoint)`` — called when a checkpointed θ-schedule
+  pass crosses a grid point (an ``AnonymizationCheckpoint``), so long
+  sweeps report per-θ progress live instead of only at materialization;
 * ``should_stop()`` — polled between evaluations and between steps; return
   ``True`` to stop the run early (the anonymizer then returns a
   best-effort result with ``stop_reason="observer"``).
+
+``on_checkpoint`` is dispatched with a ``getattr`` guard, so observers
+written before the hook existed (without the method) keep working.
 
 Concrete observers cover the common cases: wall-clock timeouts
 (:class:`TimeoutObserver`), cooperative cancellation
@@ -38,6 +44,22 @@ class ProgressObserver(Protocol):
     def should_stop(self) -> bool:
         """Return ``True`` to stop the run at the next safe point."""
 
+    # ``on_checkpoint(checkpoint)`` is an *optional* fourth callback — it is
+    # deliberately left off the Protocol so pre-hook observers still satisfy
+    # ``isinstance(obs, ProgressObserver)``; dispatch goes through
+    # :func:`notify_checkpoint`, which getattr-guards the lookup.
+
+
+def notify_checkpoint(observer: Any, checkpoint: Any) -> None:
+    """Dispatch ``on_checkpoint`` if the observer implements it.
+
+    The hook postdates the observer protocol, so third-party observers may
+    lack the method; the guard keeps them working unchanged.
+    """
+    hook = getattr(observer, "on_checkpoint", None)
+    if hook is not None:
+        hook(checkpoint)
+
 
 class AnonymizationStopped(Exception):
     """Raised inside a greedy step when the observer requests a stop.
@@ -55,6 +77,9 @@ class NullObserver:
         pass
 
     def on_step(self, step: Any, result: Any) -> None:
+        pass
+
+    def on_checkpoint(self, checkpoint: Any) -> None:
         pass
 
     def should_stop(self) -> bool:
@@ -142,6 +167,12 @@ class ConsoleProgressObserver(NullObserver):
         print(f"step {step.index + 1}: {step.operation} {edges} "
               f"-> max opacity {step.max_opacity_after:.3f}", file=self._stream)
 
+    def on_checkpoint(self, checkpoint: Any) -> None:
+        print(f"theta={checkpoint.theta:.2f} crossed after "
+              f"{checkpoint.num_steps} step(s): opacity="
+              f"{checkpoint.max_opacity:.3f} t={checkpoint.runtime_seconds:.2f}s",
+              file=self._stream)
+
 
 class CallbackObserver(NullObserver):
     """Adapter building an observer from plain callables."""
@@ -149,10 +180,12 @@ class CallbackObserver(NullObserver):
     def __init__(self,
                  on_step: Optional[Callable[[Any, Any], None]] = None,
                  on_evaluation: Optional[Callable[[int], None]] = None,
-                 should_stop: Optional[Callable[[], bool]] = None) -> None:
+                 should_stop: Optional[Callable[[], bool]] = None,
+                 on_checkpoint: Optional[Callable[[Any], None]] = None) -> None:
         self._on_step = on_step
         self._on_evaluation = on_evaluation
         self._should_stop = should_stop
+        self._on_checkpoint = on_checkpoint
 
     def on_evaluation(self, evaluations: int) -> None:
         if self._on_evaluation is not None:
@@ -161,6 +194,10 @@ class CallbackObserver(NullObserver):
     def on_step(self, step: Any, result: Any) -> None:
         if self._on_step is not None:
             self._on_step(step, result)
+
+    def on_checkpoint(self, checkpoint: Any) -> None:
+        if self._on_checkpoint is not None:
+            self._on_checkpoint(checkpoint)
 
     def should_stop(self) -> bool:
         return self._should_stop() if self._should_stop is not None else False
@@ -180,6 +217,10 @@ class CompositeObserver:
     def on_step(self, step: Any, result: Any) -> None:
         for obs in self._observers:
             obs.on_step(step, result)
+
+    def on_checkpoint(self, checkpoint: Any) -> None:
+        for obs in self._observers:
+            notify_checkpoint(obs, checkpoint)
 
     def should_stop(self) -> bool:
         return any(obs.should_stop() for obs in self._observers)

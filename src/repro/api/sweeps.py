@@ -1,0 +1,353 @@
+"""Multi-axis experiment grid engine at the service layer.
+
+The paper's figures vary more than θ: dataset, sample size, seed, path
+bound L, look-ahead, and algorithm all appear as experiment axes.  The
+θ-sweep engine (:mod:`repro.api.theta_sweep`) makes the θ axis nearly free
+— one checkpointed anonymization per group — but every other axis still
+paid full price per group: the sample was reloaded, the utility baseline
+recomputed, and every distinct L ran its own full bounded-distance
+computation.
+
+This module generalizes the sweep into a **grid**:
+
+* :func:`expand_grid` / :meth:`GridRequest.from_axes` — cartesian-product
+  expansion of a base request over any subset of
+  dataset × size × algorithm × L × look-ahead × seed × θ axes;
+* :func:`sample_groups` — partition a grid by *graph source* (dataset,
+  size, seed — or explicit edges), the unit across which loaded samples,
+  baselines, and distance matrices are shared;
+* :func:`execute_sample_group` — run one sample group: load the sample
+  once (through an :class:`~repro.api.cache.ExecutionCache`), run one full
+  bounded-distance computation at the group's maximum L and serve every
+  smaller L by thresholding
+  (:class:`~repro.graph.distance_cache.LMaxDistanceCache`), then execute
+  each θ-sweep group through the checkpointed schedule with failure
+  isolated per θ-group;
+* :func:`run_grid` — fan the sample groups of a whole :class:`GridRequest`
+  across a :class:`~repro.api.batch.BatchRunner` process pool (each worker
+  holds a process-level cache, so it loads each sample once across all the
+  groups it executes) and return a :class:`GridResponse` in request order.
+
+Per-configuration responses are bit-identical to independent
+:func:`~repro.api.facade.anonymize` runs (asserted by
+``tests/api/test_grid.py``); only the work performed differs.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, fields
+from itertools import product
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.api.cache import ExecutionCache, sample_key
+from repro.api.progress import ProgressObserver
+from repro.api.registry import AnonymizerRegistry
+from repro.api.requests import AnonymizationRequest, AnonymizationResponse
+from repro.api.theta_sweep import execute_sweep_group, group_requests
+from repro.core.anonymizer import validate_sweep_mode
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "GRID_AXES",
+    "GridRequest",
+    "GridResponse",
+    "expand_grid",
+    "execute_sample_group",
+    "run_grid",
+    "sample_groups",
+]
+
+#: Grid axes in canonical nesting order (outermost first, θ varies
+#: fastest).  The relative order of the non-sample axes matches
+#: :func:`repro.api.facade.expand_sweep`, so grids without dataset/size
+#: axes expand in exactly the order the θ-sweep engine always used.
+GRID_AXES: Tuple[str, ...] = ("dataset", "sample_size", "algorithm",
+                              "length_threshold", "lookahead", "seed", "theta")
+
+
+def expand_grid(base: AnonymizationRequest,
+                axes: Mapping[str, Sequence[Any]]) -> List[AnonymizationRequest]:
+    """Cartesian-product expansion of ``base`` over named grid axes.
+
+    ``axes`` maps axis names (a subset of :data:`GRID_AXES`) to non-empty
+    value sequences; axes left out keep the base request's value.  Nesting
+    follows the canonical axis order regardless of mapping order, with θ
+    varying fastest.  A ``dataset`` or ``sample_size`` axis requires a
+    dataset-sourced base request (explicit edge lists have no dataset to
+    vary).
+    """
+    unknown = sorted(set(axes) - set(GRID_AXES))
+    if unknown:
+        raise ConfigurationError(
+            f"unknown grid axis(es) {unknown}; known: {list(GRID_AXES)}")
+    for name, values in axes.items():
+        if not tuple(values):
+            raise ConfigurationError(f"grid axis {name!r} must not be empty")
+    if base.edges is not None and ({"dataset", "sample_size"} & set(axes)):
+        raise ConfigurationError(
+            "dataset/sample_size axes require a dataset-sourced base request")
+    ordered = {name: tuple(axes[name]) if name in axes
+               else (getattr(base, name),) for name in GRID_AXES}
+    names = tuple(ordered)
+    return [base.with_overrides(**dict(zip(names, values)))
+            for values in product(*ordered.values())]
+
+
+def sample_groups(requests: Sequence[AnonymizationRequest]) -> List[List[int]]:
+    """Partition request indices into groups sharing a graph source.
+
+    Requests agreeing on dataset/size/seed (or on an explicit edge list)
+    resolve to bit-identical input graphs, so one loaded sample — and one
+    L_max distance computation per engine — can serve all of them.  Group
+    order follows first appearance; indices keep their input order.
+    """
+    groups: Dict[Any, List[int]] = {}
+    for index, request in enumerate(requests):
+        groups.setdefault(sample_key(request), []).append(index)
+    return list(groups.values())
+
+
+@dataclass(frozen=True)
+class GridRequest:
+    """A multi-axis grid of anonymization jobs executed with shared caches.
+
+    ``requests`` is an arbitrary configuration grid (usually built with
+    :meth:`from_axes`); :func:`run_grid` partitions it into sample groups,
+    and each sample group into θ-sweep groups, so the θ axis costs one
+    checkpointed pass per group and the remaining axes share one loaded
+    sample and one L_max distance computation.  Every field survives a
+    JSON round-trip, mirroring :class:`~repro.api.theta_sweep.SweepRequest`.
+    """
+
+    requests: Tuple[AnonymizationRequest, ...]
+    sweep_mode: str = "checkpointed"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "requests", tuple(self.requests))
+        if not self.requests:
+            raise ConfigurationError("a grid requires at least one request")
+        validate_sweep_mode(self.sweep_mode)
+
+    @classmethod
+    def from_axes(cls, base: AnonymizationRequest, *,
+                  datasets: Optional[Sequence[str]] = None,
+                  sample_sizes: Optional[Sequence[int]] = None,
+                  algorithms: Optional[Sequence[str]] = None,
+                  length_thresholds: Optional[Sequence[int]] = None,
+                  lookaheads: Optional[Sequence[int]] = None,
+                  seeds: Optional[Sequence[int]] = None,
+                  thetas: Optional[Sequence[float]] = None,
+                  sweep_mode: str = "checkpointed") -> "GridRequest":
+        """Expand ``base`` over the given axes (see :func:`expand_grid`)."""
+        axes: Dict[str, Sequence[Any]] = {}
+        for name, values in (("dataset", datasets),
+                             ("sample_size", sample_sizes),
+                             ("algorithm", algorithms),
+                             ("length_threshold", length_thresholds),
+                             ("lookahead", lookaheads),
+                             ("seed", seeds),
+                             ("theta", thetas)):
+            if values is not None:
+                axes[name] = values
+        return cls(requests=tuple(expand_grid(base, axes)),
+                   sweep_mode=sweep_mode)
+
+    def sample_groups(self) -> List[List[int]]:
+        """Indices of :attr:`requests` grouped by shared graph source."""
+        return sample_groups(self.requests)
+
+    def groups(self) -> List[List[int]]:
+        """Indices of :attr:`requests` partitioned into θ-sweep groups."""
+        return group_requests(self.requests)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data (JSON-safe) form."""
+        return {
+            "requests": [request.to_dict() for request in self.requests],
+            "sweep_mode": self.sweep_mode,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "GridRequest":
+        """Inverse of :meth:`to_dict`; unknown keys raise (typo protection)."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown grid field(s) {unknown}; known: {sorted(known)}")
+        data = dict(payload)
+        data["requests"] = tuple(AnonymizationRequest.from_dict(entry)
+                                 for entry in data.get("requests", ()))
+        return cls(**data)
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        """JSON form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "GridRequest":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class GridResponse:
+    """Outcome of a :class:`GridRequest`, responses in request order."""
+
+    responses: Tuple[AnonymizationResponse, ...]
+    sweep_mode: str = "checkpointed"
+    num_groups: int = 0
+    num_sample_groups: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "responses", tuple(self.responses))
+
+    @property
+    def ok(self) -> bool:
+        """Whether every response completed without raising."""
+        return all(response.ok for response in self.responses)
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data (JSON-safe) form."""
+        return {
+            "responses": [response.to_dict() for response in self.responses],
+            "sweep_mode": self.sweep_mode,
+            "num_groups": self.num_groups,
+            "num_sample_groups": self.num_sample_groups,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "GridResponse":
+        """Inverse of :meth:`to_dict`."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(payload) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown grid response field(s) {unknown}; known: {sorted(known)}")
+        data = dict(payload)
+        data["responses"] = tuple(AnonymizationResponse.from_dict(entry)
+                                  for entry in data.get("responses", ()))
+        return cls(**data)
+
+    def to_json(self, **dumps_kwargs: Any) -> str:
+        """JSON form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), **dumps_kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "GridResponse":
+        """Inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+
+def execute_sample_group(requests: Sequence[AnonymizationRequest], *,
+                         sweep_mode: str = "checkpointed",
+                         registry: Optional[AnonymizerRegistry] = None,
+                         observer: Optional[ProgressObserver] = None,
+                         data_dir: Optional[str] = None,
+                         cache: Optional[ExecutionCache] = None
+                         ) -> List[AnonymizationResponse]:
+    """Execute one sample group of a grid, responses in request order.
+
+    All requests must share a graph source (one :func:`sample_groups`
+    partition).  The sample is loaded once through ``cache`` (a throwaway
+    cache is created when none is given — within-group amortization still
+    applies), the utility baseline is derived once, and one full
+    bounded-distance computation at the group's maximum L serves every
+    θ-sweep group's initial matrix by thresholding.  Each θ-sweep group
+    then runs through :func:`~repro.api.theta_sweep.execute_sweep_group`
+    with its own failure isolation: a failing group (or a failing sample
+    load) yields error responses without aborting its neighbours.
+
+    ``sweep_mode="independent"`` opts out of all sharing and executes the
+    requests one by one, exactly like the θ-sweep engine's opt-out path.
+    """
+    validate_sweep_mode(sweep_mode)
+    requests = list(requests)
+    if not requests:
+        return []
+    if sweep_mode == "independent":
+        from repro.api.batch import execute_request
+
+        return [execute_request(request, registry=registry, observer=observer,
+                                data_dir=data_dir)
+                for request in requests]
+    if cache is None:
+        cache = ExecutionCache(data_dir=data_dir)
+    try:
+        graph = cache.graph_for(requests[0])
+    except Exception as exc:  # noqa: BLE001 — isolation is the contract
+        return [AnonymizationResponse.failure(request, exc)
+                for request in requests]
+    # The shared computation bound, per engine, over the requests that will
+    # actually consume a matrix — scratch-mode requests recompute distances
+    # per evaluation and must not inflate the single engine run.
+    l_max_by_engine: Dict[str, int] = {}
+    for request in requests:
+        if request.evaluation_mode == "incremental":
+            l_max_by_engine[request.engine] = max(
+                l_max_by_engine.get(request.engine, 0),
+                request.length_threshold)
+    ordered: List[Optional[AnonymizationResponse]] = [None] * len(requests)
+    for indices in group_requests(requests):
+        group = [requests[index] for index in indices]
+        first = group[0]
+        initial_distances = None
+        if first.evaluation_mode == "incremental":
+            try:
+                initial_distances = cache.distances_for(
+                    first, l_max_by_engine[first.engine])
+            except Exception as exc:  # noqa: BLE001 — e.g. unknown engine
+                for index in indices:
+                    ordered[index] = AnonymizationResponse.failure(
+                        requests[index], exc)
+                continue
+        baseline = None
+        if any(request.include_utility for request in group):
+            try:
+                baseline = cache.baseline_for(first)
+            except Exception as exc:  # noqa: BLE001 — same isolation contract
+                for index in indices:
+                    ordered[index] = AnonymizationResponse.failure(
+                        requests[index], exc)
+                continue
+        responses = execute_sweep_group(
+            group, sweep_mode=sweep_mode, registry=registry,
+            observer=observer, data_dir=data_dir, graph=graph,
+            initial_distances=initial_distances, baseline=baseline)
+        for index, response in zip(indices, responses):
+            ordered[index] = response
+    return ordered  # type: ignore[return-value]
+
+
+def run_grid(grid: GridRequest, *,
+             max_workers: Optional[int] = 0,
+             registry: Optional[AnonymizerRegistry] = None,
+             data_dir: Optional[str] = None) -> GridResponse:
+    """Group and execute a :class:`GridRequest`, responses in request order.
+
+    ``max_workers=0`` (the default) runs the sample groups serially
+    in-process with one shared :class:`~repro.api.cache.ExecutionCache`
+    (the only mode that honours a custom ``registry``); any other value
+    fans *sample groups* — the unit that shares a loaded graph and an
+    L_max distance computation — across a
+    :class:`~repro.api.batch.BatchRunner` process pool whose workers each
+    hold a process-level cache (``None`` = one worker per CPU).  Fanning
+    by sample group trades θ-group parallelism within one sample for the
+    shared-cache guarantee; grids that spread over dataset/size/seed axes
+    parallelize fully.
+    """
+    from repro.api.batch import BatchRunner
+
+    runner = BatchRunner(max_workers=max_workers, data_dir=data_dir)
+    responses = runner.run_grid(grid, registry=registry)
+    return GridResponse(responses=tuple(responses),
+                        sweep_mode=grid.sweep_mode,
+                        num_groups=len(grid.groups()),
+                        num_sample_groups=len(grid.sample_groups()))

@@ -40,6 +40,7 @@ __all__ = [
     "SWEEP_MODES",
     "SweepRequest",
     "SweepResponse",
+    "accepts_initial_distances",
     "execute_sweep_group",
     "group_requests",
     "run_sweep",
@@ -194,8 +195,9 @@ def execute_sweep_group(requests: Sequence[AnonymizationRequest], *,
                         sweep_mode: str = "checkpointed",
                         registry: Optional[AnonymizerRegistry] = None,
                         observer: Optional[ProgressObserver] = None,
-                        data_dir: Optional[str] = None
-                        ) -> List[AnonymizationResponse]:
+                        data_dir: Optional[str] = None,
+                        graph=None, initial_distances=None,
+                        baseline=None) -> List[AnonymizationResponse]:
     """Execute one θ-sweep group, responses in request order.
 
     All requests must share a group key (everything but θ/request id); the
@@ -209,6 +211,14 @@ def execute_sweep_group(requests: Sequence[AnonymizationRequest], *,
     with the largest timeout of the group; ``sweep_mode="independent"``
     executes the requests one by one instead (per-request timeouts and
     failure isolation, exactly like :func:`~repro.api.batch.execute_request`).
+
+    The grid engine (:mod:`repro.api.sweeps`) amortizes work *across*
+    groups that share a sample through the optional keywords: ``graph`` (a
+    preloaded pristine sample — runs copy it, it is never mutated),
+    ``initial_distances`` (the group's precomputed L-bounded matrix, e.g. a
+    :class:`~repro.graph.distance_cache.LMaxDistanceCache` slice; the run
+    consumes it), and ``baseline`` (the sample's shared utility baseline).
+    All three default to the per-group cold path.
     """
     validate_sweep_mode(sweep_mode)
     requests = list(requests)
@@ -223,16 +233,37 @@ def execute_sweep_group(requests: Sequence[AnonymizationRequest], *,
                                 data_dir=data_dir)
                 for request in requests]
     try:
-        return _run_group(requests, sweep_mode, registry, observer, data_dir)
+        return _run_group(requests, sweep_mode, registry, observer, data_dir,
+                          graph, initial_distances, baseline)
     except Exception as exc:  # noqa: BLE001 — isolation is the contract
         return [AnonymizationResponse.failure(request, exc)
                 for request in requests]
 
 
+def accepts_initial_distances(anonymize_schedule) -> bool:
+    """Whether a (possibly third-party) schedule method takes the kwarg.
+
+    Shared by every layer that seeds precomputed matrices into
+    registry-resolved algorithms (this module and
+    :class:`~repro.experiments.runner.ExperimentRunner`): algorithms with
+    the pre-grid signature run cold instead of crashing on an unexpected
+    keyword.
+    """
+    import inspect
+
+    try:
+        parameters = inspect.signature(anonymize_schedule).parameters
+    except (TypeError, ValueError):  # builtins / C callables
+        return False
+    return "initial_distances" in parameters
+
+
 def _run_group(requests: List[AnonymizationRequest], sweep_mode: str,
                registry: Optional[AnonymizerRegistry],
                observer: Optional[ProgressObserver],
-               data_dir: Optional[str]) -> List[AnonymizationResponse]:
+               data_dir: Optional[str],
+               graph=None, initial_distances=None,
+               baseline=None) -> List[AnonymizationResponse]:
     from repro.api.batch import execute_request
     from repro.metrics import graph_baseline, utility_report
 
@@ -248,17 +279,20 @@ def _run_group(requests: List[AnonymizationRequest], sweep_mode: str,
         return [execute_request(request, registry=registry, observer=observer,
                                 data_dir=data_dir)
                 for request in requests]
-    graph = first.resolve_graph(data_dir=data_dir)
+    if graph is None:
+        graph = first.resolve_graph(data_dir=data_dir)
     timeouts = [request.timeout_seconds for request in requests
                 if request.timeout_seconds is not None]
     if timeouts:
         observer = combine_observers(observer, TimeoutObserver(max(timeouts)))
+    kwargs = {}
     if observer is not None:
-        results = algorithm.anonymize_schedule(graph, schedule, observer=observer)
-    else:
-        results = algorithm.anonymize_schedule(graph, schedule)
+        kwargs["observer"] = observer
+    if initial_distances is not None and \
+            accepts_initial_distances(algorithm.anonymize_schedule):
+        kwargs["initial_distances"] = initial_distances
+    results = algorithm.anonymize_schedule(graph, schedule, **kwargs)
     by_theta = {result.config.theta: result for result in results}
-    baseline = None
     responses = []
     for request in requests:
         result = by_theta[float(request.theta)]

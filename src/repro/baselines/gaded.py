@@ -79,16 +79,24 @@ class _GadedBase:
         return self._theta
 
     def anonymize(self, graph: Graph, typing: Optional[PairTyping] = None,
-                  observer: Optional[ProgressObserver] = None) -> AnonymizationResult:
-        """Run the heuristic and return the anonymization result."""
+                  observer: Optional[ProgressObserver] = None,
+                  initial_distances=None) -> AnonymizationResult:
+        """Run the heuristic and return the anonymization result.
+
+        ``initial_distances`` may seed the evaluation session with a
+        precomputed 1-bounded distance matrix of ``graph`` (the run takes
+        ownership of the array).
+        """
         if typing is None:
             typing = DegreePairTyping(graph)
-        return self._run_single(graph, self._theta, typing, observer)
+        return self._run_single(graph, self._theta, typing, observer,
+                                initial_distances)
 
     def anonymize_schedule(self, graph: Graph,
                            thetas: Optional[Sequence[float]] = None,
                            typing: Optional[PairTyping] = None,
-                           observer: Optional[ProgressObserver] = None
+                           observer: Optional[ProgressObserver] = None,
+                           initial_distances=None
                            ) -> List[AnonymizationResult]:
         """Run the heuristic for a θ grid, one result per grid point.
 
@@ -104,14 +112,20 @@ class _GadedBase:
             thetas if thetas is not None else (self._theta,))
         if typing is None:
             typing = DegreePairTyping(graph)
-        return [self._run_single(graph, theta, typing, observer)
+        # Every per-θ run consumes its own session matrix, so the shared
+        # precomputed matrix is copied per grid point.
+        return [self._run_single(graph, theta, typing, observer,
+                                 None if initial_distances is None
+                                 else initial_distances.copy())
                 for theta in schedule]
 
     def _run_single(self, graph: Graph, theta: float, typing: PairTyping,
-                    observer: Optional[ProgressObserver]) -> AnonymizationResult:
+                    observer: Optional[ProgressObserver],
+                    initial_distances=None) -> AnonymizationResult:
         computer = OpacityComputer(typing, length_threshold=1, engine=self._engine)
         working = graph.copy()
-        session = OpacitySession(computer, working, mode=self._evaluation_mode)
+        session = OpacitySession(computer, working, mode=self._evaluation_mode,
+                                 initial_distances=initial_distances)
         rng = random.Random(self._seed)
         # The full constructor state (max_steps included) is recorded so the
         # result's config round-trips through the api layer for reproduction.

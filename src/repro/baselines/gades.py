@@ -97,19 +97,24 @@ class GadesAnonymizer:
         return self._theta
 
     def anonymize(self, graph: Graph, typing: Optional[PairTyping] = None,
-                  observer: Optional[ProgressObserver] = None) -> AnonymizationResult:
+                  observer: Optional[ProgressObserver] = None,
+                  initial_distances=None) -> AnonymizationResult:
         """Run GADES and return the anonymization result.
 
         ``success`` is only reported when the threshold was actually reached;
         GADES frequently stalls because no degree-preserving swap can lower
-        the maximum disclosure further.
+        the maximum disclosure further.  ``initial_distances`` may seed the
+        evaluation session with a precomputed 1-bounded distance matrix of
+        ``graph`` (the run takes ownership of the array).
         """
-        return self._run_schedule(graph, (self._theta,), typing, observer)[0]
+        return self._run_schedule(graph, (self._theta,), typing, observer,
+                                  initial_distances)[0]
 
     def anonymize_schedule(self, graph: Graph,
                            thetas: Optional[Sequence[float]] = None,
                            typing: Optional[PairTyping] = None,
-                           observer: Optional[ProgressObserver] = None
+                           observer: Optional[ProgressObserver] = None,
+                           initial_distances=None
                            ) -> List[AnonymizationResult]:
         """Run GADES for a whole θ grid, one result per grid point.
 
@@ -122,10 +127,13 @@ class GadesAnonymizer:
         schedule = validate_theta_schedule(
             thetas if thetas is not None else (self._theta,))
         if self._sweep_mode == "independent" and len(schedule) > 1:
-            return [self._with_theta(theta).anonymize(graph, typing=typing,
-                                                      observer=observer)
+            return [self._with_theta(theta).anonymize(
+                        graph, typing=typing, observer=observer,
+                        initial_distances=(None if initial_distances is None
+                                           else initial_distances.copy()))
                     for theta in schedule]
-        return self._run_schedule(graph, schedule, typing, observer)
+        return self._run_schedule(graph, schedule, typing, observer,
+                                  initial_distances)
 
     def _with_theta(self, theta: float) -> "GadesAnonymizer":
         return GadesAnonymizer(
@@ -136,13 +144,15 @@ class GadesAnonymizer:
 
     def _run_schedule(self, graph: Graph, schedule: Sequence[float],
                       typing: Optional[PairTyping],
-                      observer: Optional[ProgressObserver]
+                      observer: Optional[ProgressObserver],
+                      initial_distances=None
                       ) -> List[AnonymizationResult]:
         if typing is None:
             typing = DegreePairTyping(graph)
         computer = OpacityComputer(typing, length_threshold=1, engine=self._engine)
         working = graph.copy()
-        session = OpacitySession(computer, working, mode=self._evaluation_mode)
+        session = OpacitySession(computer, working, mode=self._evaluation_mode,
+                                 initial_distances=initial_distances)
         rng = random.Random(self._seed)
         # The full constructor state (max_steps and swap_sample_size
         # included) is recorded so the result's config round-trips through

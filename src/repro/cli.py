@@ -4,8 +4,11 @@ Subcommands
 -----------
 * ``anonymize`` — anonymize an edge-list file (or a built-in dataset sample)
   with any registered algorithm and write the result.
-* ``sweep`` — run a θ grid (optionally over several algorithms) as grouped
-  checkpointed passes: one anonymization per group instead of one per θ.
+* ``sweep`` — run a multi-axis grid (θ and algorithms via flags; dataset,
+  size, seed, L, look-ahead via repeatable ``--axis name=v1,v2``) as
+  grouped checkpointed passes with shared sample/distance caches: one
+  anonymization per θ group, one sample load and one L_max distance
+  computation per sample group.
 * ``batch`` — execute a JSON job spec of anonymization requests, fanning
   the jobs across worker processes.
 * ``opacity`` — report the L-opacity of a graph for a given L.
@@ -24,6 +27,8 @@ Examples
     repro-lopacity sweep --dataset gnutella --size 60 \
         --algorithms rem rem-ins --thetas 0.9 0.8 0.7 0.6 0.5
     repro-lopacity sweep --dataset google --size 50 --sweep-mode independent
+    repro-lopacity sweep --axis dataset=gnutella,google --axis l=1,2 \
+        --thetas 0.9 0.7 0.5
     repro-lopacity batch jobs.json --max-workers 4 --output results.json
     repro-lopacity tables
     repro-lopacity figure --name fig6 --dataset google --size 50
@@ -143,9 +148,61 @@ def _cmd_anonymize(args: argparse.Namespace) -> int:
     return 0 if response.success else 1
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.api import SweepRequest, run_sweep
+#: ``--axis`` spellings -> (GridRequest axis name, value parser).
+_AXIS_ALIASES = {
+    "dataset": ("dataset", str),
+    "size": ("sample_size", int),
+    "sample_size": ("sample_size", int),
+    "algorithm": ("algorithm", str),
+    "l": ("length_threshold", int),
+    "length": ("length_threshold", int),
+    "lookahead": ("lookahead", int),
+    "seed": ("seed", int),
+    "theta": ("theta", float),
+}
 
+
+def _parse_axes(specs: List[str]) -> dict:
+    """Parse repeated ``--axis name=v1,v2,...`` options into a grid-axis dict."""
+    axes: dict = {}
+    for spec in specs:
+        name, separator, raw = spec.partition("=")
+        key = name.strip().lower()
+        if not separator or key not in _AXIS_ALIASES:
+            raise ReproError(
+                f"bad --axis {spec!r}; expected name=v1,v2,... with name in "
+                f"{sorted(_AXIS_ALIASES)}")
+        field, cast = _AXIS_ALIASES[key]
+        try:
+            values = tuple(cast(piece.strip()) for piece in raw.split(",")
+                           if piece.strip())
+        except ValueError as exc:
+            raise ReproError(f"bad --axis value in {spec!r}: {exc}") from exc
+        if not values:
+            raise ReproError(f"--axis {spec!r} lists no values")
+        if field == "dataset":
+            unknown = sorted(set(values) - set(dataset_names()))
+            if unknown:
+                raise ReproError(f"unknown dataset(s) {unknown} in --axis "
+                                 f"{spec!r}; known: {list(dataset_names())}")
+        elif field == "algorithm":
+            unknown = sorted(set(values) - set(available_algorithms()))
+            if unknown:
+                raise ReproError(
+                    f"unknown algorithm(s) {unknown} in --axis {spec!r}; "
+                    f"known: {list(available_algorithms())}")
+        if field in axes:
+            raise ReproError(
+                f"--axis {spec!r} repeats axis {field!r}; list every value "
+                f"in one option (name=v1,v2,...)")
+        axes[field] = values
+    return axes
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.api import GridRequest, run_grid
+
+    axes = _parse_axes(args.axis or [])
     common = dict(
         theta=args.thetas[0],
         length_threshold=args.length,
@@ -163,11 +220,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     else:
         base = AnonymizationRequest(dataset=args.dataset, sample_size=args.size,
                                     **common)
-    request = SweepRequest.from_axes(base, algorithms=tuple(args.algorithms),
-                                     thetas=tuple(args.thetas),
-                                     sweep_mode=args.sweep_mode)
-    response = run_sweep(request, max_workers=args.max_workers)
-    print(f"{len(request.requests)} runs in {response.num_groups} group(s), "
+    # Flags provide the algorithm/θ axes; explicit --axis entries win.
+    axes.setdefault("algorithm", tuple(args.algorithms))
+    axes.setdefault("theta", tuple(args.thetas))
+    request = GridRequest.from_axes(
+        base,
+        datasets=axes.get("dataset"),
+        sample_sizes=axes.get("sample_size"),
+        algorithms=axes.get("algorithm"),
+        length_thresholds=axes.get("length_threshold"),
+        lookaheads=axes.get("lookahead"),
+        seeds=axes.get("seed"),
+        thetas=axes.get("theta"),
+        sweep_mode=args.sweep_mode)
+    response = run_grid(request, max_workers=args.max_workers)
+    print(f"{len(request.requests)} runs in {response.num_groups} group(s) "
+          f"over {response.num_sample_groups} sample group(s), "
           f"sweep_mode={response.sweep_mode}")
     for entry in response.responses:
         print(entry.summary())
@@ -328,7 +396,8 @@ def build_parser() -> argparse.ArgumentParser:
     anonymize.set_defaults(func=_cmd_anonymize)
 
     sweep = subparsers.add_parser(
-        "sweep", help="run a θ grid as grouped checkpointed anonymization passes")
+        "sweep", help="run a multi-axis grid as grouped checkpointed "
+                      "anonymization passes with shared caches")
     add_graph_arguments(sweep)
     sweep.add_argument("--algorithms", nargs="+", default=["rem"],
                        choices=available_algorithms(),
@@ -336,6 +405,11 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--thetas", type=float, nargs="+",
                        default=[0.9, 0.8, 0.7, 0.6, 0.5],
                        help="θ grid (deduplicated and executed descending)")
+    sweep.add_argument("--axis", action="append", metavar="NAME=V1,V2,...",
+                       help="additional grid axis (repeatable): dataset, "
+                            "size, algorithm, l/length, lookahead, seed, or "
+                            "theta with comma-separated values; overrides "
+                            "the corresponding flag")
     sweep.add_argument("--length", "-L", type=int, default=1)
     sweep.add_argument("--lookahead", type=int, default=1)
     sweep.add_argument("--sweep-mode", choices=SWEEP_MODES,

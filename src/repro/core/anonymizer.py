@@ -31,6 +31,7 @@ from repro.api.progress import (
     NULL_OBSERVER,
     AnonymizationStopped,
     ProgressObserver,
+    notify_checkpoint,
 )
 from repro.core.opacity import OpacityComputer, OpacityResult
 from repro.core.opacity_session import (
@@ -342,7 +343,7 @@ class ThetaScheduleTracker:
         # where the result owns the mutated working copy); earlier
         # checkpoints snapshot it, since the pass keeps mutating it.
         last = self._pointer == len(self._schedule) - 1
-        self.checkpoints.append(AnonymizationCheckpoint(
+        checkpoint = AnonymizationCheckpoint(
             theta=self._schedule[self._pointer],
             steps=tuple(result.steps),
             removed_edges=tuple(sorted(result.removed_edges)),
@@ -353,8 +354,12 @@ class ThetaScheduleTracker:
             success=success,
             stop_reason=stop_reason,
             graph=self._working if last else self._working.copy(),
-        ))
+        )
+        self.checkpoints.append(checkpoint)
         self._pointer += 1
+        # Stream the crossing to the run's observer so long checkpointed
+        # sweeps report per-θ progress live, not only at materialization.
+        notify_checkpoint(result.observer, checkpoint)
 
 
 def materialize_checkpoints(checkpoints: Sequence[AnonymizationCheckpoint],
@@ -447,7 +452,8 @@ class BaseAnonymizer(ABC):
     # template method
     # ------------------------------------------------------------------
     def anonymize(self, graph: Graph, typing: Optional[PairTyping] = None,
-                  observer: Optional[ProgressObserver] = None) -> AnonymizationResult:
+                  observer: Optional[ProgressObserver] = None,
+                  initial_distances=None) -> AnonymizationResult:
         """Run the heuristic on ``graph`` and return the anonymization result.
 
         ``typing`` defaults to the degree-pair typing frozen from ``graph``,
@@ -455,14 +461,20 @@ class BaseAnonymizer(ABC):
         ``on_evaluation`` / ``on_step`` callbacks and is polled via
         ``should_stop`` between opacity evaluations; a requested stop ends
         the run at the next safe point with ``stop_reason="observer"``.
+        ``initial_distances`` may carry the precomputed L-bounded distance
+        matrix of ``graph`` (e.g. a
+        :class:`~repro.graph.distance_cache.LMaxDistanceCache` slice) so the
+        evaluation session skips its from-scratch engine run; the run takes
+        ownership of the array.
         """
         return self._run_schedule(graph, (self._config.theta,), typing,
-                                  observer)[0]
+                                  observer, initial_distances)[0]
 
     def anonymize_schedule(self, graph: Graph,
                            thetas: Optional[Sequence[float]] = None,
                            typing: Optional[PairTyping] = None,
-                           observer: Optional[ProgressObserver] = None
+                           observer: Optional[ProgressObserver] = None,
+                           initial_distances=None
                            ) -> List[AnonymizationResult]:
         """Run the heuristic for a whole θ grid, one result per grid point.
 
@@ -476,20 +488,26 @@ class BaseAnonymizer(ABC):
         would have returned.  ``sweep_mode="independent"`` runs one full
         anonymization per grid point instead; both modes produce identical
         per-θ results (only ``runtime_seconds`` reflects the execution
-        strategy).
+        strategy).  ``initial_distances`` seeds the evaluation session like
+        in :meth:`anonymize` (independent mode hands each per-θ run its own
+        copy, since every run consumes one).
         """
         config = self._config
         schedule = validate_theta_schedule(
             thetas if thetas is not None else (config.theta,))
         if config.sweep_mode == "independent" and len(schedule) > 1:
             return [type(self)(config=replace(config, theta=theta)).anonymize(
-                        graph, typing=typing, observer=observer)
+                        graph, typing=typing, observer=observer,
+                        initial_distances=(None if initial_distances is None
+                                           else initial_distances.copy()))
                     for theta in schedule]
-        return self._run_schedule(graph, schedule, typing, observer)
+        return self._run_schedule(graph, schedule, typing, observer,
+                                  initial_distances)
 
     def _run_schedule(self, graph: Graph, schedule: Sequence[float],
                       typing: Optional[PairTyping],
-                      observer: Optional[ProgressObserver]
+                      observer: Optional[ProgressObserver],
+                      initial_distances=None
                       ) -> List[AnonymizationResult]:
         """One checkpointed greedy pass over a descending θ schedule."""
         config = self._config
@@ -497,7 +515,8 @@ class BaseAnonymizer(ABC):
             typing = DegreePairTyping(graph)
         computer = OpacityComputer(typing, config.length_threshold, engine=config.engine)
         working = graph.copy()
-        session = OpacitySession(computer, working, mode=config.evaluation_mode)
+        session = OpacitySession(computer, working, mode=config.evaluation_mode,
+                                 initial_distances=initial_distances)
         rng = random.Random(config.seed)
         original = graph.copy()
         result = AnonymizationResult(

@@ -124,11 +124,19 @@ class OpacitySession:
     fallback_row_fraction:
         Passed to :class:`DistanceSession` — removal deltas touching more
         than this fraction of rows fall back to a from-scratch matrix.
+    initial_distances:
+        Optional precomputed L-bounded distance matrix of ``graph`` (e.g. a
+        thresholded slice of a shared
+        :class:`~repro.graph.distance_cache.LMaxDistanceCache`), adopted as
+        the incremental session's starting matrix so construction skips the
+        from-scratch engine run.  The session takes ownership of the array;
+        scratch mode (which recomputes per evaluation anyway) ignores it.
     """
 
     def __init__(self, computer: OpacityComputer, graph: Graph,
                  mode: str = "incremental",
-                 fallback_row_fraction: float = 0.5) -> None:
+                 fallback_row_fraction: float = 0.5,
+                 initial_distances: Optional[np.ndarray] = None) -> None:
         validate_evaluation_mode(mode)
         self._computer = computer
         self._graph = graph
@@ -143,7 +151,8 @@ class OpacitySession:
         if mode == "incremental":
             self._distance = DistanceSession(
                 graph, computer.length_threshold, engine=computer.engine,
-                fallback_row_fraction=fallback_row_fraction)
+                fallback_row_fraction=fallback_row_fraction,
+                initial_distances=initial_distances)
             self._init_counts()
 
     # ------------------------------------------------------------------
@@ -527,34 +536,46 @@ class OpacitySession:
         return {index: change for index, change in changes.items() if change}
 
     def _preview_deltas(self, pairs: List[Tuple[Tuple[Edge, ...], Tuple[Edge, ...]]]
-                        ) -> List[DistanceDelta]:
-        """Distance deltas of independent candidates, stacked when possible."""
+                        ) -> List[Optional[DistanceDelta]]:
+        """Distance deltas of independent candidates, stacked when possible.
+
+        The stacked single-edge paths run fused (``skip_unchanged=True``):
+        candidates whose edit flips no distance cell come back as ``None``
+        instead of an empty :class:`DistanceDelta`, so the grouped bincount
+        downstream never allocates per-candidate delta objects for no-op
+        rows.
+        """
         if pairs and all(len(removals) == 1 and not insertions
                          for removals, insertions in pairs):
             return self._distance.preview_batch(
-                removals=[removals[0] for removals, _ in pairs])
+                removals=[removals[0] for removals, _ in pairs],
+                skip_unchanged=True)
         if pairs and all(not removals and len(insertions) == 1
                          for removals, insertions in pairs):
             return self._distance.preview_batch(
-                insertions=[insertions[0] for _, insertions in pairs])
+                insertions=[insertions[0] for _, insertions in pairs],
+                skip_unchanged=True)
         return [self._distance.preview(removals, insertions)
                 for removals, insertions in pairs]
 
-    def _count_changes_batch(self, deltas: List[DistanceDelta]) -> List[Dict[int, int]]:
+    def _count_changes_batch(self, deltas: List[Optional[DistanceDelta]]
+                             ) -> List[Dict[int, int]]:
         """Per-candidate count changes, one grouped bincount over all flips.
 
         Every candidate's flipped cells are extracted from one stacked
         comparison over the concatenated delta rows and tallied in a single
         ``bincount`` over ``(candidate, type-code, sign)`` groups — the
         per-candidate results are exactly what :meth:`_count_changes`
-        returns for each delta alone.  From-scratch fallbacks and non-degree
-        typings take the per-candidate path.
+        returns for each delta alone.  ``None`` entries (fused no-op
+        candidates) contribute empty changes without any delta object;
+        from-scratch fallbacks and non-degree typings take the
+        per-candidate path.
         """
         changes_list: List[Optional[Dict[int, int]]] = [None] * len(deltas)
         batchable = isinstance(self._computer.typing, DegreePairTyping)
         stacked: List[Tuple[int, DistanceDelta]] = []
         for position, delta in enumerate(deltas):
-            if delta.rows.size == 0:
+            if delta is None or delta.rows.size == 0:
                 changes_list[position] = {}
             elif delta.from_scratch or not batchable:
                 changes_list[position] = self._count_changes(delta)

@@ -6,24 +6,28 @@ plots.  Default parameters are scaled to laptop-size inputs; the paper's own
 settings (sample sizes up to 1000 nodes, θ down to 0) can be requested
 explicitly when more time is available.
 
-Every series is declared as a :class:`~repro.experiments.config.SweepPlan`
-and executed through
-:meth:`~repro.experiments.runner.ExperimentRunner.run_sweep`, so a whole
-θ grid costs roughly *one* anonymization run instead of one per grid point
-(``sweep_mode="checkpointed"``, the default; pass
-``sweep_mode="independent"`` to any builder for the one-run-per-θ path —
-both produce identical series).
+Every figure is declared as a list of
+:class:`~repro.experiments.config.SweepPlan` series and executed as **one
+grid job** through
+:meth:`~repro.experiments.runner.ExperimentRunner.run_grid`: each θ grid
+costs roughly one anonymization pass (``sweep_mode="checkpointed"``, the
+default; pass ``sweep_mode="independent"`` to any builder for the
+one-run-per-θ path — both produce identical series), and series sharing a
+sample — the L sweeps of Figures 6g/6h/8c especially — additionally share
+one loaded graph and one L_max bounded-distance computation
+(DESIGN.md §10).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.experiments.config import SweepPlan
 from repro.experiments.runner import ExperimentRunner, RunRecord
 
 Series = List[Tuple[float, float]]
 SeriesMap = Dict[str, Series]
+LabelT = TypeVar("LabelT", bound=Hashable)
 
 #: θ grid used by default (the paper sweeps 100% down to 0% in steps of 10).
 DEFAULT_THETAS: Tuple[float, ...] = (0.9, 0.8, 0.7, 0.6, 0.5)
@@ -32,19 +36,24 @@ DEFAULT_THETAS: Tuple[float, ...] = (0.9, 0.8, 0.7, 0.6, 0.5)
 L1_ALGORITHMS: Tuple[str, ...] = ("rem", "rem-ins", "gaded-rand", "gaded-max", "gades")
 
 
-def _run_theta_sweep(runner: ExperimentRunner, dataset: str, sample_size: int,
-                     algorithm: str, length_threshold: int, lookahead: int,
-                     thetas: Sequence[float], seed: int,
-                     insertion_cap: Optional[int],
-                     max_steps: Optional[int],
-                     sweep_mode: str = "checkpointed") -> List[RunRecord]:
+def _plan(dataset: str, sample_size: int, algorithm: str, length_threshold: int,
+          lookahead: int, thetas: Sequence[float], seed: int,
+          insertion_cap: Optional[int], max_steps: Optional[int],
+          sweep_mode: str) -> SweepPlan:
     """One figure series: a θ sweep of one fixed configuration."""
-    plan = SweepPlan(
+    return SweepPlan(
         dataset=dataset, sample_size=sample_size, algorithm=algorithm,
         thetas=tuple(thetas), length_threshold=length_threshold,
         lookahead=lookahead, seed=seed, insertion_candidate_cap=insertion_cap,
         max_steps=max_steps, sweep_mode=sweep_mode)
-    return runner.run_sweep(plan)
+
+
+def _run_labelled(runner: ExperimentRunner,
+                  labelled: Sequence[Tuple[LabelT, SweepPlan]]
+                  ) -> List[Tuple[LabelT, List[RunRecord]]]:
+    """Execute labelled plans as one grid job, record lists in input order."""
+    records = runner.run_grid([plan for _, plan in labelled])
+    return [(label, rows) for (label, _), rows in zip(labelled, records)]
 
 
 def _series(records: Iterable[RunRecord], value: str) -> Series:
@@ -70,20 +79,19 @@ def figure6_series(dataset: str, length_threshold: int = 1, sample_size: int = 6
     runner = runner or ExperimentRunner()
     if include_baselines is None:
         include_baselines = length_threshold == 1
-    series: SeriesMap = {}
-    for lookahead in lookaheads:
-        for algorithm in ("rem", "rem-ins"):
-            records = _run_theta_sweep(runner, dataset, sample_size, algorithm,
-                                       length_threshold, lookahead, thetas, seed,
-                                       insertion_cap, max_steps, sweep_mode)
-            series[f"{algorithm} la={lookahead}"] = _series(records, "distortion")
+    labelled = [(f"{algorithm} la={lookahead}",
+                 _plan(dataset, sample_size, algorithm, length_threshold,
+                       lookahead, thetas, seed, insertion_cap, max_steps,
+                       sweep_mode))
+                for lookahead in lookaheads
+                for algorithm in ("rem", "rem-ins")]
     if include_baselines:
-        for algorithm in ("gaded-rand", "gaded-max", "gades"):
-            records = _run_theta_sweep(runner, dataset, sample_size, algorithm,
-                                       1, 1, thetas, seed, insertion_cap,
-                                       max_steps, sweep_mode)
-            series[algorithm] = _series(records, "distortion")
-    return series
+        labelled += [(algorithm,
+                      _plan(dataset, sample_size, algorithm, 1, 1, thetas,
+                            seed, insertion_cap, max_steps, sweep_mode))
+                     for algorithm in ("gaded-rand", "gaded-max", "gades")]
+    return {label: _series(records, "distortion")
+            for label, records in _run_labelled(runner, labelled)}
 
 
 def figure6_lsweep_series(dataset: str, lengths: Sequence[int] = (1, 2, 3, 4),
@@ -93,16 +101,20 @@ def figure6_lsweep_series(dataset: str, lengths: Sequence[int] = (1, 2, 3, 4),
                           max_steps: Optional[int] = None,
                           sweep_mode: str = "checkpointed",
                           runner: Optional[ExperimentRunner] = None) -> SeriesMap:
-    """Distortion vs θ while varying L at fixed look-ahead 1 (Figures 6g, 6h)."""
+    """Distortion vs θ while varying L at fixed look-ahead 1 (Figures 6g, 6h).
+
+    The whole L × θ grid is one grid job over a single sample, so every
+    series shares one loaded graph and one bounded-distance computation at
+    ``max(lengths)`` (smaller-L matrices are thresholded slices).
+    """
     runner = runner or ExperimentRunner()
-    series: SeriesMap = {}
-    for length in lengths:
-        for algorithm in ("rem", "rem-ins"):
-            records = _run_theta_sweep(runner, dataset, sample_size, algorithm,
-                                       length, 1, thetas, seed, insertion_cap,
-                                       max_steps, sweep_mode)
-            series[f"{algorithm} L={length}"] = _series(records, "distortion")
-    return series
+    labelled = [(f"{algorithm} L={length}",
+                 _plan(dataset, sample_size, algorithm, length, 1, thetas,
+                       seed, insertion_cap, max_steps, sweep_mode))
+                for length in lengths
+                for algorithm in ("rem", "rem-ins")]
+    return {label: _series(records, "distortion")
+            for label, records in _run_labelled(runner, labelled)}
 
 
 # ----------------------------------------------------------------------
@@ -118,19 +130,19 @@ def figure7_series(dataset: str = "enron", sample_size: int = 60,
                    runner: Optional[ExperimentRunner] = None) -> Dict[str, SeriesMap]:
     """EMD of the degree (7a) and geodesic (7b) distributions vs θ, L = 1."""
     runner = runner or ExperimentRunner()
-    degree: SeriesMap = {}
-    geodesic: SeriesMap = {}
     algorithms: List[Tuple[str, int]] = [
         (algorithm, lookahead) for lookahead in lookaheads
         for algorithm in ("rem", "rem-ins")]
     if include_baselines:
         algorithms += [(name, 1) for name in ("gaded-rand", "gaded-max", "gades")]
-    for algorithm, lookahead in algorithms:
-        records = _run_theta_sweep(runner, dataset, sample_size, algorithm,
-                                   1, lookahead, thetas, seed, insertion_cap,
-                                   max_steps, sweep_mode)
-        label = (f"{algorithm} la={lookahead}"
-                 if algorithm in ("rem", "rem-ins") else algorithm)
+    labelled = [(f"{algorithm} la={lookahead}"
+                 if algorithm in ("rem", "rem-ins") else algorithm,
+                 _plan(dataset, sample_size, algorithm, 1, lookahead, thetas,
+                       seed, insertion_cap, max_steps, sweep_mode))
+                for algorithm, lookahead in algorithms]
+    degree: SeriesMap = {}
+    geodesic: SeriesMap = {}
+    for label, records in _run_labelled(runner, labelled):
         degree[label] = _series(records, "degree_emd")
         geodesic[label] = _series(records, "geodesic_emd")
     return {"degree_emd": degree, "geodesic_emd": geodesic}
@@ -151,20 +163,19 @@ def figure8_series(dataset: str = "wikipedia", length_threshold: int = 1,
     runner = runner or ExperimentRunner()
     if include_baselines is None:
         include_baselines = length_threshold == 1
-    series: SeriesMap = {}
-    for lookahead in lookaheads:
-        for algorithm in ("rem", "rem-ins"):
-            records = _run_theta_sweep(runner, dataset, sample_size, algorithm,
-                                       length_threshold, lookahead, thetas, seed,
-                                       insertion_cap, max_steps, sweep_mode)
-            series[f"{algorithm} la={lookahead}"] = _series(records, "mean_cc_difference")
+    labelled = [(f"{algorithm} la={lookahead}",
+                 _plan(dataset, sample_size, algorithm, length_threshold,
+                       lookahead, thetas, seed, insertion_cap, max_steps,
+                       sweep_mode))
+                for lookahead in lookaheads
+                for algorithm in ("rem", "rem-ins")]
     if include_baselines:
-        for algorithm in ("gaded-rand", "gaded-max", "gades"):
-            records = _run_theta_sweep(runner, dataset, sample_size, algorithm,
-                                       1, 1, thetas, seed, insertion_cap,
-                                       max_steps, sweep_mode)
-            series[algorithm] = _series(records, "mean_cc_difference")
-    return series
+        labelled += [(algorithm,
+                      _plan(dataset, sample_size, algorithm, 1, 1, thetas,
+                            seed, insertion_cap, max_steps, sweep_mode))
+                     for algorithm in ("gaded-rand", "gaded-max", "gades")]
+    return {label: _series(records, "mean_cc_difference")
+            for label, records in _run_labelled(runner, labelled)}
 
 
 def figure8_lsweep_series(dataset: str = "epinions", lengths: Sequence[int] = (1, 2, 3, 4),
@@ -174,16 +185,19 @@ def figure8_lsweep_series(dataset: str = "epinions", lengths: Sequence[int] = (1
                           max_steps: Optional[int] = None,
                           sweep_mode: str = "checkpointed",
                           runner: Optional[ExperimentRunner] = None) -> SeriesMap:
-    """Mean |ΔCC| vs θ while varying L at look-ahead 1 (Figure 8c)."""
+    """Mean |ΔCC| vs θ while varying L at look-ahead 1 (Figure 8c).
+
+    Like :func:`figure6_lsweep_series`, the L × θ grid runs as one grid
+    job sharing a single L_max distance computation.
+    """
     runner = runner or ExperimentRunner()
-    series: SeriesMap = {}
-    for length in lengths:
-        for algorithm in ("rem", "rem-ins"):
-            records = _run_theta_sweep(runner, dataset, sample_size, algorithm,
-                                       length, 1, thetas, seed, insertion_cap,
-                                       max_steps, sweep_mode)
-            series[f"{algorithm} L={length}"] = _series(records, "mean_cc_difference")
-    return series
+    labelled = [(f"{algorithm} L={length}",
+                 _plan(dataset, sample_size, algorithm, length, 1, thetas,
+                       seed, insertion_cap, max_steps, sweep_mode))
+                for length in lengths
+                for algorithm in ("rem", "rem-ins")]
+    return {label: _series(records, "mean_cc_difference")
+            for label, records in _run_labelled(runner, labelled)}
 
 
 # ----------------------------------------------------------------------
@@ -202,25 +216,24 @@ def figure9_series(dataset: str = "google", sample_sizes: Sequence[int] = (40, 6
     The paper uses 100/500/1000-node Google samples; the default sizes here
     are scaled down so the full sweep stays laptop-friendly, preserving the
     growth *shape* across sizes.  In checkpointed mode each point's runtime
-    is the elapsed time of the shared pass when it crossed that θ.
+    is the elapsed time of the shared pass when it crossed that θ.  All
+    sizes run as one grid job (one sample group per size).
     """
     runner = runner or ExperimentRunner()
-    results: Dict[int, SeriesMap] = {}
-    for size in sample_sizes:
-        series: SeriesMap = {}
-        for lookahead in lookaheads:
-            for algorithm in ("rem", "rem-ins"):
-                records = _run_theta_sweep(runner, dataset, size, algorithm, 1,
-                                           lookahead, thetas, seed, insertion_cap,
-                                           max_steps, sweep_mode)
-                series[f"{algorithm} la={lookahead}"] = _series(records, "runtime_seconds")
-        if include_baselines:
-            for algorithm in ("gaded-rand", "gaded-max", "gades"):
-                records = _run_theta_sweep(runner, dataset, size, algorithm, 1, 1,
-                                           thetas, seed, insertion_cap, max_steps,
-                                           sweep_mode)
-                series[algorithm] = _series(records, "runtime_seconds")
-        results[size] = series
+    algorithms: List[Tuple[str, int]] = [
+        (algorithm, lookahead) for lookahead in lookaheads
+        for algorithm in ("rem", "rem-ins")]
+    if include_baselines:
+        algorithms += [(name, 1) for name in ("gaded-rand", "gaded-max", "gades")]
+    labelled = [((size, f"{algorithm} la={lookahead}"
+                  if algorithm in ("rem", "rem-ins") else algorithm),
+                 _plan(dataset, size, algorithm, 1, lookahead, thetas, seed,
+                       insertion_cap, max_steps, sweep_mode))
+                for size in sample_sizes
+                for algorithm, lookahead in algorithms]
+    results: Dict[int, SeriesMap] = {size: {} for size in sample_sizes}
+    for (size, label), records in _run_labelled(runner, labelled):
+        results[size][label] = _series(records, "runtime_seconds")
     return results
 
 
@@ -233,19 +246,21 @@ def figure10_series(dataset: str = "gnutella", sample_sizes: Sequence[int] = (40
                     max_steps: Optional[int] = None,
                     sweep_mode: str = "checkpointed",
                     runner: Optional[ExperimentRunner] = None) -> Dict[str, List[Tuple[int, float]]]:
-    """Runtime for growing graph sizes, Rem and Rem-Ins, L ∈ {1, 2} (Figure 10)."""
+    """Runtime for growing graph sizes, Rem and Rem-Ins, L ∈ {1, 2} (Figure 10).
+
+    One grid job covers the whole algorithm × L × size grid; per size, the
+    L ∈ {1, 2} series share one distance computation at L = 2.
+    """
     runner = runner or ExperimentRunner()
+    labelled = [((f"{algorithm} L={length}", size),
+                 _plan(dataset, size, algorithm, length, 1, (theta,), seed,
+                       insertion_cap, max_steps, sweep_mode))
+                for algorithm in ("rem", "rem-ins")
+                for length in lengths
+                for size in sample_sizes]
     series: Dict[str, List[Tuple[int, float]]] = {}
-    for algorithm in ("rem", "rem-ins"):
-        for length in lengths:
-            label = f"{algorithm} L={length}"
-            points: List[Tuple[int, float]] = []
-            for size in sample_sizes:
-                records = _run_theta_sweep(runner, dataset, size, algorithm,
-                                           length, 1, (theta,), seed,
-                                           insertion_cap, max_steps, sweep_mode)
-                points.append((size, records[0].runtime_seconds))
-            series[label] = points
+    for (label, size), records in _run_labelled(runner, labelled):
+        series.setdefault(label, []).append((size, records[0].runtime_seconds))
     return series
 
 
@@ -258,10 +273,11 @@ def _acm_scaling_records(sample_sizes: Sequence[int], thetas: Sequence[float],
                          runner: Optional[ExperimentRunner]) -> Dict[float, List[RunRecord]]:
     """Per-θ record rows of the ACM sweep, one checkpointed pass per size."""
     runner = runner or ExperimentRunner()
+    plans = [_plan("acm", size, "rem", 1, 1, thetas, seed, None, max_steps,
+                   sweep_mode)
+             for size in sample_sizes]
     records: Dict[float, List[RunRecord]] = {theta: [] for theta in thetas}
-    for size in sample_sizes:
-        rows = _run_theta_sweep(runner, "acm", size, "rem", 1, 1, thetas, seed,
-                                None, max_steps, sweep_mode)
+    for rows in runner.run_grid(plans):
         for record in rows:
             records[record.config.theta].append(record)
     return records

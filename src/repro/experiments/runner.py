@@ -12,16 +12,22 @@ third-party — can appear in an experiment grid.
 :class:`~repro.experiments.config.SweepPlan` — a θ grid for one fixed
 configuration — as a *single* checkpointed anonymization pass
 (DESIGN.md §9), producing per-θ records identical to independent
-:meth:`ExperimentRunner.run` calls; ``run_all(..., max_workers=...)``
-additionally fans a grid across worker processes via
-:class:`repro.api.BatchRunner`.
+:meth:`ExperimentRunner.run` calls.  :meth:`ExperimentRunner.run_grid`
+executes *many* plans as one grid job (DESIGN.md §10): plans sharing a
+sample additionally share one L_max bounded-distance computation (smaller
+L matrices are thresholded slices, so an L sweep costs one engine run),
+and ``max_workers`` fans the grid's sample groups across worker processes
+via :class:`repro.api.BatchRunner`; ``run_all(..., max_workers=...)``
+does the same for an explicit configuration list.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.api.registry import create_anonymizer
 from repro.api.requests import AnonymizationRequest
@@ -29,6 +35,7 @@ from repro.core.anonymizer import AnonymizationResult
 from repro.datasets import load_sample
 from repro.errors import ReproError
 from repro.experiments.config import ExperimentConfig, SweepPlan
+from repro.graph.distance_cache import LMaxDistanceCache
 from repro.graph.graph import Graph
 from repro.metrics import GraphBaseline, graph_baseline, utility_report
 
@@ -143,7 +150,8 @@ class ExperimentRunner:
         elapsed = time.perf_counter() - started
         return self._record(config, result, runtime_seconds=elapsed)
 
-    def run_sweep(self, plan: SweepPlan) -> List[RunRecord]:
+    def run_sweep(self, plan: SweepPlan,
+                  initial_distances: Optional[np.ndarray] = None) -> List[RunRecord]:
         """Execute a θ-sweep plan and return one record per grid point.
 
         With ``plan.sweep_mode == "checkpointed"`` the whole grid runs as
@@ -151,18 +159,96 @@ class ExperimentRunner:
         identical to independent :meth:`run` calls per θ except for
         ``runtime_seconds``, which reports the elapsed time of the shared
         pass when the grid point was crossed.  Records come back in the
-        plan's θ order.
+        plan's θ order.  ``initial_distances`` may seed the pass with the
+        plan's precomputed L-bounded matrix (a
+        :class:`~repro.graph.distance_cache.LMaxDistanceCache` slice, as
+        :meth:`run_grid` supplies); the pass consumes the array.
         """
+        from repro.api.theta_sweep import accepts_initial_distances
+
         configs = plan.configs()
         algorithm = self._create(configs[0])
         if not hasattr(algorithm, "anonymize_schedule"):
             return [self.run(config) for config in configs]
         graph = self.graph_for(configs[0])
-        results = algorithm.anonymize_schedule(graph, plan.thetas)
+        kwargs = {}
+        if initial_distances is not None and \
+                accepts_initial_distances(algorithm.anonymize_schedule):
+            # Same guard as the api layer: a registry-replaced algorithm
+            # with the pre-grid schedule signature runs cold instead of
+            # crashing on the unexpected keyword.
+            kwargs["initial_distances"] = initial_distances
+        results = algorithm.anonymize_schedule(graph, plan.thetas, **kwargs)
         by_theta = {result.config.theta: result for result in results}
         return [self._record(config, by_theta[float(config.theta)],
                              runtime_seconds=None)
                 for config in configs]
+
+    def run_grid(self, plans: Sequence[SweepPlan],
+                 max_workers: Optional[int] = 0) -> List[List[RunRecord]]:
+        """Execute many θ-sweep plans as one grid job, one record list per plan.
+
+        Serially (``max_workers=0``, the default) the plans are grouped by
+        sample (dataset/size/seed): the sample comes from the runner's
+        cache, and **one** bounded-distance computation at the group's
+        maximum L seeds every plan's checkpointed pass (smaller-L matrices
+        are thresholded slices — DESIGN.md §10), so an L sweep over one
+        sample costs a single engine run.  Any other ``max_workers`` fans
+        the grid's sample groups across a
+        :class:`repro.api.BatchRunner` process pool (``None`` = one worker
+        per CPU), where each worker holds the same caches process-locally.
+        Records are identical to per-plan :meth:`run_sweep` calls either
+        way; lists come back in plan order.
+        """
+        plans = list(plans)
+        if max_workers != 0:
+            # Partition by sweep_mode so a plan's explicit opt-out survives
+            # the fan-out (a GridRequest carries one mode for all requests).
+            ordered_parallel: List[Optional[List[RunRecord]]] = [None] * len(plans)
+            by_mode: Dict[str, List[int]] = {}
+            for index, plan in enumerate(plans):
+                by_mode.setdefault(plan.sweep_mode, []).append(index)
+            for indices in by_mode.values():
+                configs = [config for index in indices
+                           for config in plans[index].configs()]
+                records = self.run_all(configs, max_workers=max_workers)
+                cursor = 0
+                for index in indices:
+                    count = len(plans[index].thetas)
+                    ordered_parallel[index] = records[cursor:cursor + count]
+                    cursor += count
+            return ordered_parallel  # type: ignore[return-value]
+        ordered: List[Optional[List[RunRecord]]] = [None] * len(plans)
+        groups: Dict[Tuple[str, int, int], List[int]] = {}
+        for index, plan in enumerate(plans):
+            groups.setdefault((plan.dataset, plan.sample_size, plan.seed),
+                              []).append(index)
+        for indices in groups.values():
+            group = [plans[index] for index in indices]
+            # The shared computation bound, per engine, over the plans that
+            # will consume a matrix (independent-mode plans run cold and
+            # must not inflate the single engine run).
+            l_max_by_engine: Dict[str, int] = {}
+            for plan in group:
+                if plan.sweep_mode != "independent":
+                    l_max_by_engine[plan.engine] = max(
+                        l_max_by_engine.get(plan.engine, 0),
+                        plan.length_threshold)
+            caches: Dict[str, LMaxDistanceCache] = {}
+            for index, plan in zip(indices, group):
+                if plan.sweep_mode == "independent":
+                    # The opt-out path keeps per-θ cold runs end to end.
+                    ordered[index] = self.run_sweep(plan)
+                    continue
+                cache = caches.get(plan.engine)
+                if cache is None:
+                    cache = LMaxDistanceCache(self.graph_for(plan.configs()[0]),
+                                              l_max_by_engine[plan.engine],
+                                              engine=plan.engine)
+                    caches[plan.engine] = cache
+                ordered[index] = self.run_sweep(
+                    plan, initial_distances=cache.matrix(plan.length_threshold))
+        return ordered  # type: ignore[return-value]
 
     def run_all(self, configs: Iterable[ExperimentConfig],
                 max_workers: Optional[int] = 0) -> List[RunRecord]:
@@ -172,22 +258,23 @@ class ExperimentRunner:
         executed as checkpointed passes (unless their ``sweep_mode`` is
         ``"independent"``), so a grid sweeping k thresholds costs ~1 run
         per group instead of k.  ``max_workers=0`` (the default) runs the
-        groups serially in this process; any other value fans them over a
-        :class:`repro.api.BatchRunner` process pool (``None`` = one
-        worker per CPU).  A failure in any configuration raises either
-        way.
+        groups serially in this process; any other value fans the grid's
+        *sample groups* over a :class:`repro.api.BatchRunner` process pool
+        (``None`` = one worker per CPU), so groups sharing a sample also
+        share one loaded graph and one L_max distance computation.  A
+        failure in any configuration raises either way.
         """
         configs = list(configs)
         if max_workers == 0 or not configs:
             return self._run_all_serial(configs)
         from repro.api.batch import BatchRunner
-        from repro.api.theta_sweep import SweepRequest
+        from repro.api.sweeps import GridRequest
 
-        sweep = SweepRequest(
+        grid = GridRequest(
             requests=tuple(request_for(config) for config in configs),
             sweep_mode=configs[0].sweep_mode)
         runner = BatchRunner(max_workers=max_workers, data_dir=self._data_dir)
-        responses = runner.run_sweep(sweep)
+        responses = runner.run_grid(grid)
         records = []
         for config, response in zip(configs, responses):
             if response.error is not None:

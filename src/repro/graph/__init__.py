@@ -9,6 +9,7 @@ synthetic generators, structural property reports, and edge-list I/O.
 from repro.graph.graph import Edge, Graph, normalize_edge
 from repro.graph.matrices import TriangularMatrix, UNREACHABLE, triu_pair_indices
 from repro.graph.distance_delta import DistanceDelta, DistanceSession
+from repro.graph.distance_cache import LMaxDistanceCache, threshold_distances
 from repro.graph.distance import (
     DistanceEngine,
     available_engines,
@@ -56,6 +57,8 @@ __all__ = [
     "triu_pair_indices",
     "DistanceDelta",
     "DistanceSession",
+    "LMaxDistanceCache",
+    "threshold_distances",
     "DistanceEngine",
     "available_engines",
     "bounded_distance_matrix",

@@ -1,0 +1,103 @@
+"""Shared L_max distance computation for multi-L workloads.
+
+A grid sweep that varies the path-length bound L re-evaluates the *same*
+graph at several truncations.  The bounded-matrix contract
+(:mod:`repro.graph.distance`) makes the per-L matrices redundant: for any
+``L <= L_max`` the L-bounded matrix is a *monotone restriction* of the
+L_max-bounded one — every cell holding a distance ``d <= L`` is the exact
+geodesic distance (both truncations agree on it), and every other cell is
+:data:`~repro.graph.matrices.UNREACHABLE` by definition.  Truncating the
+L_max matrix at L therefore reproduces ``bounded_distance_matrix(graph, L)``
+bit for bit, without running the engine again (DESIGN.md §10).
+
+:func:`threshold_distances` performs that truncation;
+:class:`LMaxDistanceCache` wraps it in a compute-once cache so an L-sweep
+group pays for exactly one full distance computation at the group's maximum
+L and derives every smaller-L matrix from it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.distance import DistanceEngine, bounded_distance_matrix
+from repro.graph.graph import Graph
+from repro.graph.matrices import UNREACHABLE
+
+__all__ = ["LMaxDistanceCache", "threshold_distances"]
+
+
+def threshold_distances(distances: np.ndarray, length_bound: int) -> np.ndarray:
+    """Truncate an L_max-bounded distance matrix down to ``length_bound``.
+
+    Returns a fresh ``int32`` matrix with every value above ``length_bound``
+    (including cells already :data:`UNREACHABLE`) replaced by
+    :data:`UNREACHABLE`.  When ``distances`` was produced by any engine with
+    a bound ``L_max >= length_bound``, the result is bit-identical to
+    ``bounded_distance_matrix(graph, length_bound)``: truncation at a
+    smaller L is a monotone restriction of the L_max matrix (cells at most
+    ``length_bound`` are exact geodesics under both bounds, everything else
+    is unreachable by definition of the bounded-matrix contract).
+    """
+    if length_bound < 1:
+        raise ConfigurationError(f"length_bound must be >= 1, got {length_bound}")
+    out = np.ascontiguousarray(distances, dtype=np.int32).copy()
+    out[out > length_bound] = UNREACHABLE
+    return out
+
+
+class LMaxDistanceCache:
+    """Serve per-L bounded distance matrices of one graph from one computation.
+
+    The underlying engine runs once — lazily, at ``l_max`` — and every
+    :meth:`matrix` call returns a *fresh* thresholded copy, so callers may
+    hand the result to a :class:`~repro.graph.distance_delta.DistanceSession`
+    (which mutates its matrix in place) without coordinating ownership.
+
+    Parameters
+    ----------
+    graph:
+        The graph whose distances are served.  The cache assumes the graph
+        is not mutated for the cache's lifetime (sweep groups run against
+        pristine samples and copy before editing).
+    l_max:
+        The largest L this cache can serve (the group's maximum).
+    engine:
+        Distance engine used for the single full computation.
+    """
+
+    def __init__(self, graph: Graph, l_max: int,
+                 engine: DistanceEngine = "numpy") -> None:
+        if l_max < 1:
+            raise ConfigurationError(f"l_max must be >= 1, got {l_max}")
+        self._graph = graph
+        self._l_max = int(l_max)
+        self._engine = engine
+        self._matrix: Optional[np.ndarray] = None
+        #: Number of full engine computations performed (0 or 1); the
+        #: bench/test hook asserting an L-sweep group pays exactly once.
+        self.compute_count = 0
+
+    @property
+    def l_max(self) -> int:
+        """The largest L this cache can serve."""
+        return self._l_max
+
+    @property
+    def engine(self) -> DistanceEngine:
+        """The engine used for the single full computation."""
+        return self._engine
+
+    def matrix(self, length_bound: int) -> np.ndarray:
+        """A fresh ``length_bound``-truncated matrix (callers own the copy)."""
+        if not 1 <= length_bound <= self._l_max:
+            raise ConfigurationError(
+                f"length_bound must be in [1, {self._l_max}], got {length_bound}")
+        if self._matrix is None:
+            self._matrix = bounded_distance_matrix(self._graph, self._l_max,
+                                                   engine=self._engine)
+            self.compute_count += 1
+        return threshold_distances(self._matrix, length_bound)

@@ -104,11 +104,21 @@ class DistanceSession:
         the preview recomputes the full matrix instead of the affected slab
         (the slab path would cost more than it saves).  ``0.0`` forces the
         from-scratch path on every removal (useful for testing).
+    initial_distances:
+        Optional precomputed L-bounded distance matrix of ``graph`` — e.g.
+        a thresholded slice of a shared
+        :class:`~repro.graph.distance_cache.LMaxDistanceCache` — adopted as
+        the session's starting matrix instead of running the engine.  The
+        session takes ownership (the matrix is mutated in place by
+        :meth:`commit`); it must equal
+        ``bounded_distance_matrix(graph, length_bound)`` or every delta
+        downstream is wrong.
     """
 
     def __init__(self, graph: Graph, length_bound: int,
                  engine: DistanceEngine = "numpy",
-                 fallback_row_fraction: float = 0.5) -> None:
+                 fallback_row_fraction: float = 0.5,
+                 initial_distances: np.ndarray | None = None) -> None:
         if length_bound < 1:
             raise ConfigurationError(f"length_bound must be >= 1, got {length_bound}")
         if not 0.0 <= fallback_row_fraction <= 1.0:
@@ -118,7 +128,15 @@ class DistanceSession:
         self._length = int(length_bound)
         self._engine = engine
         self._fallback_fraction = float(fallback_row_fraction)
-        self._dist = bounded_distance_matrix(graph, self._length, engine=engine)
+        if initial_distances is not None:
+            n = graph.num_vertices
+            if initial_distances.shape != (n, n):
+                raise ConfigurationError(
+                    f"initial_distances must be {n}x{n}, "
+                    f"got {initial_distances.shape}")
+            self._dist = np.ascontiguousarray(initial_distances, dtype=np.int32)
+        else:
+            self._dist = bounded_distance_matrix(graph, self._length, engine=engine)
         # Mirror of the graph's adjacency, kept in lockstep so affected rows
         # can be recomputed by matrix products instead of per-row BFS.
         # float32 keeps the 0/1 dot products exact (up to 2**24 neighbors;
@@ -165,7 +183,8 @@ class DistanceSession:
             self._revert(applied)
 
     def preview_batch(self, removals: Sequence[Edge] = (),
-                      insertions: Sequence[Edge] = ()) -> List[DistanceDelta]:
+                      insertions: Sequence[Edge] = (),
+                      skip_unchanged: bool = False) -> List[DistanceDelta | None]:
         """Deltas of *independent* single-edge candidates, one stacked pass.
 
         Unlike :meth:`preview` — where the listed edges form one combined
@@ -178,11 +197,20 @@ class DistanceSession:
         the greedy scans.  The graph is touched (and restored) per
         candidate with the same mutation sequence the sequential previews
         use, so adjacency-set iteration order stays scan-mode-independent.
+
+        ``skip_unchanged=True`` is the fused-scan variant for consumers
+        that only tally *within-L membership flips* (the opacity sessions):
+        candidates whose edit flips no cell across the L boundary — e.g. a
+        removal whose every perturbed pair stays within L via an alternate
+        path — yield ``None`` instead of a :class:`DistanceDelta`, so no
+        per-candidate delta object (or row copy) is materialized for no-op
+        rows.  From-scratch fallbacks always materialize (their consumers
+        recount from the full matrix).
         """
         removal_edges = [normalize_edge(u, v) for u, v in removals]
         insertion_edges = [normalize_edge(u, v) for u, v in insertions]
-        deltas = self._batch_removal_deltas(removal_edges)
-        deltas += self._batch_insertion_deltas(insertion_edges)
+        deltas = self._batch_removal_deltas(removal_edges, skip_unchanged)
+        deltas += self._batch_insertion_deltas(insertion_edges, skip_unchanged)
         return deltas
 
     def _batch_slab_row_cap(self) -> int:
@@ -232,9 +260,11 @@ class DistanceSession:
         del candidate_index
         return np.split(row_index, np.cumsum(counts)[:-1])
 
-    def _batch_removal_deltas(self, edges: List[Edge]) -> List[DistanceDelta]:
+    def _batch_removal_deltas(self, edges: List[Edge],
+                              skip_unchanged: bool = False
+                              ) -> List[DistanceDelta | None]:
         n = self._graph.num_vertices
-        deltas: List[DistanceDelta] = [None] * len(edges)  # type: ignore[list-item]
+        deltas: List[DistanceDelta | None] = [None] * len(edges)
         slab: List[Tuple[int, np.ndarray]] = []  # (candidate index, affected rows)
         threshold = self._fallback_threshold(n)
         candidate_cap = self._batch_candidate_cap()
@@ -257,21 +287,23 @@ class DistanceSession:
                     slab.append((index, rows))
                 self._graph.add_edge(u, v)
         for slab_chunk in self._slab_chunks(slab):
-            self._fill_removal_chunk(edges, slab_chunk, deltas)
+            self._fill_removal_chunk(edges, slab_chunk, deltas, skip_unchanged)
         return deltas
 
     def _fill_removal_chunk(self, edges: List[Edge],
                             chunk: List[Tuple[int, np.ndarray]],
-                            deltas: List[DistanceDelta]) -> None:
+                            deltas: List[DistanceDelta | None],
+                            skip_unchanged: bool) -> None:
         """Recompute one chunk's affected rows in a shared stacked slab."""
         n = self._graph.num_vertices
         empty_rows = np.empty(0, dtype=np.int64)
         empty_block = np.empty((0, n), dtype=np.int32)
         live = [(index, rows) for index, rows in chunk if rows.size]
-        for index, rows in chunk:
-            if not rows.size:
-                deltas[index] = DistanceDelta((edges[index],), (),
-                                              empty_rows, empty_block)
+        if not skip_unchanged:
+            for index, rows in chunk:
+                if not rows.size:
+                    deltas[index] = DistanceDelta((edges[index],), (),
+                                                  empty_rows, empty_block)
         if not live:
             return
         rows_cat = np.concatenate([rows for _, rows in live])
@@ -281,11 +313,20 @@ class DistanceSession:
         edge_v = np.repeat(np.fromiter((edges[index][1] for index, _ in live),
                                        dtype=np.int64, count=len(live)), sizes)
         block = self._rows_block_batch(rows_cat, edge_u, edge_v)
-        changed_cat = (block != self._dist[rows_cat]).any(axis=1)
+        old_block = self._dist[rows_cat]
+        changed_cat = (block != old_block).any(axis=1)
+        if skip_unchanged:
+            # A candidate only matters to flip-tallying consumers when some
+            # cell crosses the L boundary (within-L membership flips).
+            flips_cat = ((block <= self._length)
+                         != (old_block <= self._length)).any(axis=1)
         offset = 0
         for index, rows in live:
             candidate_block = block[offset:offset + rows.size]
             changed = changed_cat[offset:offset + rows.size]
+            if skip_unchanged and not flips_cat[offset:offset + rows.size].any():
+                offset += rows.size
+                continue
             offset += rows.size
             deltas[index] = DistanceDelta(
                 (edges[index],), (), rows[changed],
@@ -330,9 +371,11 @@ class DistanceSession:
             step += 1
         return block
 
-    def _batch_insertion_deltas(self, edges: List[Edge]) -> List[DistanceDelta]:
+    def _batch_insertion_deltas(self, edges: List[Edge],
+                                skip_unchanged: bool = False
+                                ) -> List[DistanceDelta | None]:
         n = self._graph.num_vertices
-        deltas: List[DistanceDelta] = [None] * len(edges)  # type: ignore[list-item]
+        deltas: List[DistanceDelta | None] = [None] * len(edges)
         empty_rows = np.empty(0, dtype=np.int64)
         empty_block = np.empty((0, n), dtype=np.int32)
         slab: List[Tuple[int, np.ndarray]] = []
@@ -345,18 +388,20 @@ class DistanceSession:
                 self._graph.add_edge(u, v)
                 rows = rows_per_candidate[local]
                 if rows.size == 0:
-                    deltas[index] = DistanceDelta((), (edges[index],),
-                                                  empty_rows, empty_block)
+                    if not skip_unchanged:
+                        deltas[index] = DistanceDelta((), (edges[index],),
+                                                      empty_rows, empty_block)
                 else:
                     slab.append((index, rows))
                 self._graph.remove_edge(u, v)
         for slab_chunk in self._slab_chunks(slab):
-            self._fill_insertion_chunk(edges, slab_chunk, deltas)
+            self._fill_insertion_chunk(edges, slab_chunk, deltas, skip_unchanged)
         return deltas
 
     def _fill_insertion_chunk(self, edges: List[Edge],
                               chunk: List[Tuple[int, np.ndarray]],
-                              deltas: List[DistanceDelta]) -> None:
+                              deltas: List[DistanceDelta | None],
+                              skip_unchanged: bool) -> None:
         """Relax one chunk's affected rows in a shared broadcast pass.
 
         The single-edge relaxation of :meth:`_relax_insertion` applied to the
@@ -382,11 +427,18 @@ class DistanceSession:
                    out=block)
         block[block > self._length] = UNREACHABLE
         block = block.astype(np.int32)
-        changed_cat = (block != self._dist[rows_cat]).any(axis=1)
+        old_block = self._dist[rows_cat]
+        changed_cat = (block != old_block).any(axis=1)
+        if skip_unchanged:
+            flips_cat = ((block <= self._length)
+                         != (old_block <= self._length)).any(axis=1)
         offset = 0
         for index, rows in chunk:
             candidate_block = block[offset:offset + rows.size]
             changed = changed_cat[offset:offset + rows.size]
+            if skip_unchanged and not flips_cat[offset:offset + rows.size].any():
+                offset += rows.size
+                continue
             offset += rows.size
             deltas[index] = DistanceDelta(
                 (), (edges[index],), rows[changed],

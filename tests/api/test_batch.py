@@ -78,3 +78,47 @@ class TestBatchRunnerProcessPool:
     def test_single_request_short_circuits_the_pool(self):
         responses = BatchRunner(max_workers=4).run([_request(0)])
         assert len(responses) == 1 and responses[0].ok
+
+
+class TestWorkerGroupPayloadCache:
+    def test_group_payload_serves_all_artifacts_from_worker_cache(self, monkeypatch):
+        import repro.api.batch as batch_module
+        from repro.api import AnonymizationRequest, AnonymizationResponse, anonymize
+        from repro.api.cache import ExecutionCache
+
+        cache = ExecutionCache()
+        monkeypatch.setattr(batch_module, "_WORKER_CACHE", cache)
+        base = AnonymizationRequest(dataset="gnutella", sample_size=30, seed=0,
+                                    include_utility=True)
+        for algorithm in ("rem", "gaded-max"):
+            payloads = [base.with_overrides(algorithm=algorithm,
+                                            theta=theta).to_dict()
+                        for theta in (0.8, 0.6)]
+            results = batch_module._execute_group_payload(payloads,
+                                                          "checkpointed", None)
+            for payload, result in zip(payloads, results):
+                response = AnonymizationResponse.from_dict(result)
+                reference = anonymize(AnonymizationRequest.from_dict(payload))
+                assert response.anonymized_edges == reference.anonymized_edges
+                assert response.evaluations == reference.evaluations
+                assert response.metrics == reference.metrics
+        # Both groups shared one load, one baseline, one distance matrix.
+        assert cache.sample_loads == 1
+        assert cache.distance_computes == 1
+
+    def test_l_max_hint_shares_one_computation_across_l_groups(self, monkeypatch):
+        import repro.api.batch as batch_module
+        from repro.api import AnonymizationRequest
+        from repro.api.cache import ExecutionCache
+
+        cache = ExecutionCache()
+        monkeypatch.setattr(batch_module, "_WORKER_CACHE", cache)
+        base = AnonymizationRequest(dataset="gnutella", sample_size=30, seed=0)
+        for length in (1, 2):
+            payloads = [base.with_overrides(length_threshold=length,
+                                            theta=theta).to_dict()
+                        for theta in (0.8, 0.6)]
+            batch_module._execute_group_payload(payloads, "checkpointed",
+                                                None, 2)
+        assert cache.sample_loads == 1
+        assert cache.distance_computes == 1

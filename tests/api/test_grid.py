@@ -1,0 +1,348 @@
+"""Tests for the multi-axis grid engine (requests, grouping, caches, parity)."""
+
+import pytest
+
+from repro.api import (
+    AnonymizationRequest,
+    ExecutionCache,
+    GridRequest,
+    GridResponse,
+    anonymize,
+    expand_grid,
+    run_grid,
+    sweep,
+)
+from repro.api.sweeps import execute_sample_group, sample_groups
+from repro.errors import ConfigurationError
+
+BASE = AnonymizationRequest(dataset="gnutella", sample_size=30, seed=0,
+                            include_utility=True)
+THETAS = (0.9, 0.7, 0.5)
+
+#: Response fields compared bit-for-bit against independent runs
+#: (everything except runtime, which reflects the execution strategy).
+PARITY_FIELDS = ("success", "final_opacity", "distortion", "num_steps",
+                 "evaluations", "num_vertices", "removed_edges",
+                 "inserted_edges", "anonymized_edges", "stop_reason", "metrics")
+
+
+def assert_response_parity(response, reference):
+    for field in PARITY_FIELDS:
+        assert getattr(response, field) == getattr(reference, field), field
+
+
+class TestExpansion:
+    def test_from_axes_counts_all_axes(self):
+        grid = GridRequest.from_axes(BASE, datasets=("gnutella", "google"),
+                                     length_thresholds=(1, 2), thetas=THETAS)
+        assert len(grid.requests) == 12
+
+    def test_theta_varies_fastest_and_matches_sweep_order(self):
+        grid = GridRequest.from_axes(BASE, algorithms=("rem", "gaded-max"),
+                                     thetas=(0.5, 0.9))
+        observed = [(request.algorithm, request.theta)
+                    for request in grid.requests]
+        assert observed == [("rem", 0.5), ("rem", 0.9),
+                            ("gaded-max", 0.5), ("gaded-max", 0.9)]
+
+    def test_dataset_axis_outermost(self):
+        grid = GridRequest.from_axes(BASE, datasets=("gnutella", "google"),
+                                     thetas=(0.8, 0.6))
+        observed = [(request.dataset, request.theta)
+                    for request in grid.requests]
+        assert observed == [("gnutella", 0.8), ("gnutella", 0.6),
+                            ("google", 0.8), ("google", 0.6)]
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expand_grid(BASE, {"flavour": ("sour",)})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expand_grid(BASE, {"theta": ()})
+
+    def test_dataset_axis_requires_dataset_source(self):
+        explicit = AnonymizationRequest(edges=((0, 1), (1, 2)))
+        with pytest.raises(ConfigurationError):
+            expand_grid(explicit, {"dataset": ("gnutella",)})
+
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GridRequest(requests=())
+
+    def test_unknown_sweep_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GridRequest(requests=(BASE,), sweep_mode="sideways")
+
+    def test_json_round_trip(self):
+        grid = GridRequest.from_axes(BASE, datasets=("gnutella", "google"),
+                                     length_thresholds=(1, 2), thetas=THETAS,
+                                     sweep_mode="independent")
+        assert GridRequest.from_json(grid.to_json()) == grid
+
+    def test_response_json_round_trip(self):
+        grid = GridRequest.from_axes(BASE, thetas=(0.8, 0.6))
+        response = run_grid(grid)
+        assert GridResponse.from_json(response.to_json()) == response
+
+
+class TestGrouping:
+    def test_sample_groups_split_on_graph_source_only(self):
+        grid = GridRequest.from_axes(BASE, datasets=("gnutella", "google"),
+                                     length_thresholds=(1, 2), thetas=THETAS)
+        groups = grid.sample_groups()
+        assert [len(group) for group in groups] == [6, 6]
+        assert {grid.requests[group[0]].dataset for group in groups} == \
+               {"gnutella", "google"}
+
+    def test_seed_splits_sample_groups(self):
+        requests = [BASE.with_overrides(seed=seed, theta=theta)
+                    for seed in (0, 1) for theta in (0.8, 0.6)]
+        assert [len(group) for group in sample_groups(requests)] == [2, 2]
+
+    def test_explicit_edges_group_by_edge_list(self):
+        a = AnonymizationRequest(edges=((0, 1), (1, 2)), theta=0.8)
+        b = AnonymizationRequest(edges=((0, 1), (1, 2)), theta=0.6)
+        c = AnonymizationRequest(edges=((0, 1),), theta=0.8)
+        assert sample_groups([a, b, c]) == [[0, 1], [2]]
+
+    def test_theta_groups_nest_inside_sample_groups(self):
+        grid = GridRequest.from_axes(BASE, length_thresholds=(1, 2),
+                                     thetas=THETAS)
+        assert len(grid.sample_groups()) == 1
+        assert [len(group) for group in grid.groups()] == [3, 3]
+
+
+class TestAcceptance:
+    """The issue's acceptance scenario: a figure6-style {2 L × 5 θ} grid."""
+
+    GRID = GridRequest.from_axes(
+        BASE.with_overrides(sample_size=40),
+        length_thresholds=(1, 2), thetas=(0.9, 0.8, 0.7, 0.6, 0.5))
+
+    def test_one_load_and_one_distance_computation(self):
+        cache = ExecutionCache()
+        responses = execute_sample_group(list(self.GRID.requests), cache=cache)
+        assert len(responses) == 10 and all(r.ok for r in responses)
+        # One sample load and one full bounded-distance computation (at
+        # L_max = 2) serve both L groups and all ten configurations.
+        assert cache.sample_loads == 1
+        assert cache.distance_computes == 1
+
+    def test_grid_responses_bit_identical_to_independent_runs(self):
+        responses = run_grid(self.GRID).responses
+        for request, response in zip(self.GRID.requests, responses):
+            assert_response_parity(response, anonymize(request))
+
+
+class TestExecution:
+    @pytest.mark.parametrize("algorithm",
+                             ("rem", "rem-ins", "gaded-rand", "gaded-max", "gades"))
+    def test_sample_group_matches_independent_requests(self, algorithm):
+        requests = [BASE.with_overrides(algorithm=algorithm, theta=theta)
+                    for theta in THETAS]
+        responses = execute_sample_group(requests)
+        for request, response in zip(requests, responses):
+            assert_response_parity(response, anonymize(request))
+
+    def test_multi_engine_groups_share_nothing_incorrectly(self):
+        requests = [BASE.with_overrides(engine=engine, theta=theta)
+                    for engine in ("numpy", "bfs") for theta in (0.8, 0.6)]
+        cache = ExecutionCache()
+        responses = execute_sample_group(requests, cache=cache)
+        assert cache.sample_loads == 1
+        assert cache.distance_computes == 2  # one L_max run per engine
+        for request, response in zip(requests, responses):
+            assert_response_parity(response, anonymize(request))
+
+    def test_scratch_groups_skip_the_distance_cache(self):
+        requests = [BASE.with_overrides(evaluation_mode="scratch", theta=theta)
+                    for theta in (0.8, 0.6)]
+        cache = ExecutionCache()
+        responses = execute_sample_group(requests, cache=cache)
+        assert cache.distance_computes == 0
+        for request, response in zip(requests, responses):
+            assert_response_parity(response, anonymize(request))
+
+    def test_responses_in_request_order(self):
+        grid = GridRequest.from_axes(BASE, datasets=("gnutella", "google"),
+                                     thetas=(0.5, 0.9))
+        response = run_grid(grid)
+        observed = [(entry.request.dataset, entry.request.theta)
+                    for entry in response.responses]
+        assert observed == [("gnutella", 0.5), ("gnutella", 0.9),
+                            ("google", 0.5), ("google", 0.9)]
+
+    def test_sample_group_failure_is_isolated(self):
+        bad = AnonymizationRequest(dataset="no-such-dataset", sample_size=10,
+                                   theta=0.7)
+        good = [BASE.with_overrides(theta=theta) for theta in (0.8, 0.6)]
+        response = run_grid(GridRequest(requests=(bad, *good)))
+        assert response.responses[0].error is not None
+        assert response.responses[1].ok and response.responses[2].ok
+
+    def test_theta_group_failure_is_isolated_within_sample_group(self):
+        # Same sample, one group with an unregistered algorithm: only that
+        # θ-group fails, the sibling group (and its shared caches) complete.
+        bad = [BASE.with_overrides(algorithm="no-such-algo", theta=theta)
+               for theta in (0.8, 0.6)]
+        good = [BASE.with_overrides(theta=theta) for theta in (0.8, 0.6)]
+        responses = execute_sample_group(bad + good)
+        assert all(response.error is not None for response in responses[:2])
+        assert all(response.ok for response in responses[2:])
+
+    def test_parallel_sample_groups_match_serial(self):
+        grid = GridRequest.from_axes(BASE, datasets=("gnutella", "google"),
+                                     length_thresholds=(1, 2), thetas=(0.8, 0.6))
+        serial = run_grid(grid)
+        parallel = run_grid(grid, max_workers=2)
+        assert parallel.num_sample_groups == 2
+        for ours, theirs in zip(parallel.responses, serial.responses):
+            assert_response_parity(ours, theirs)
+
+    def test_worker_cached_runs_match_cold_runs(self):
+        # Acceptance for the worker cache: pooled execution (per-worker
+        # process caches) is bit-identical to cold per-request loads.
+        grid = GridRequest.from_axes(BASE, length_thresholds=(1, 2),
+                                     thetas=(0.8, 0.6))
+        pooled = run_grid(grid, max_workers=1).responses
+        for request, response in zip(grid.requests, pooled):
+            assert_response_parity(response, anonymize(request))
+
+    def test_independent_mode_skips_grouping(self):
+        grid = GridRequest.from_axes(BASE, thetas=(0.8, 0.6),
+                                     sweep_mode="independent")
+        responses = run_grid(grid).responses
+        for request, response in zip(grid.requests, responses):
+            assert_response_parity(response, anonymize(request))
+
+
+class TestFacadeAxes:
+    def test_sweep_accepts_dataset_and_size_axes(self):
+        responses = sweep(BASE, datasets=("gnutella",), sample_sizes=(25, 30),
+                          thetas=(0.8, 0.6))
+        observed = [(entry.request.sample_size, entry.request.theta)
+                    for entry in responses]
+        assert observed == [(25, 0.8), (25, 0.6), (30, 0.8), (30, 0.6)]
+        for entry in responses:
+            assert entry.ok
+
+    def test_sweep_matches_independent_mode(self):
+        checkpointed = sweep(BASE, sample_sizes=(25,), length_thresholds=(1, 2),
+                             thetas=THETAS)
+        independent = sweep(BASE, sample_sizes=(25,), length_thresholds=(1, 2),
+                            thetas=THETAS, sweep_mode="independent")
+        for ours, theirs in zip(checkpointed, independent):
+            assert_response_parity(ours, theirs)
+
+
+class TestExecutionCache:
+    def test_graph_is_cached_per_source(self):
+        cache = ExecutionCache()
+        first = cache.graph_for(BASE)
+        again = cache.graph_for(BASE.with_overrides(theta=0.3,
+                                                    length_threshold=2))
+        assert first is again
+        assert cache.sample_loads == 1
+
+    def test_distinct_sources_load_separately(self):
+        cache = ExecutionCache()
+        cache.graph_for(BASE)
+        cache.graph_for(BASE.with_overrides(seed=1))
+        cache.graph_for(BASE.with_overrides(sample_size=25))
+        assert cache.sample_loads == 3
+
+    def test_cached_graph_matches_cold_load(self):
+        cache = ExecutionCache()
+        assert cache.graph_for(BASE) == BASE.resolve_graph()
+
+    def test_baseline_cached_per_sample(self):
+        cache = ExecutionCache()
+        first = cache.baseline_for(BASE)
+        assert cache.baseline_for(BASE.with_overrides(theta=0.2)) is first
+
+    def test_larger_l_max_recomputes_and_keeps_count(self):
+        cache = ExecutionCache()
+        cache.distances_for(BASE, l_max=1)
+        assert cache.distance_computes == 1
+        cache.distances_for(BASE.with_overrides(length_threshold=2), l_max=2)
+        assert cache.distance_computes == 2
+        # Served from the L_max=2 matrix, no third computation.
+        cache.distances_for(BASE, l_max=2)
+        assert cache.distance_computes == 2
+
+    def test_release_drops_entries_but_keeps_counters(self):
+        cache = ExecutionCache()
+        cache.graph_for(BASE)
+        cache.distances_for(BASE, l_max=2)
+        cache.baseline_for(BASE)
+        cache.release(BASE)
+        assert cache.sample_loads == 1
+        assert cache.distance_computes == 1
+        # A fresh request after release loads (and computes) again.
+        cache.graph_for(BASE)
+        assert cache.sample_loads == 2
+
+    def test_l_max_ignores_scratch_requests(self):
+        # A scratch-mode L=3 request must not inflate the shared engine
+        # run of the incremental L=1 groups.
+        requests = [BASE.with_overrides(theta=theta) for theta in (0.8, 0.6)]
+        requests.append(BASE.with_overrides(evaluation_mode="scratch",
+                                            length_threshold=3, theta=0.8))
+        cache = ExecutionCache()
+        responses = execute_sample_group(requests, cache=cache)
+        assert cache.distance_computes == 1
+        for request, response in zip(requests, responses):
+            assert_response_parity(response, anonymize(request))
+
+
+class TestCustomRegistry:
+    def test_independent_serial_grid_honours_custom_registry(self):
+        from repro.api import AnonymizerRegistry, BatchRunner
+        from repro.core import EdgeRemovalAnonymizer
+
+        registry = AnonymizerRegistry()
+        registry.register("custom-rem", EdgeRemovalAnonymizer,
+                          accepts=("theta", "length_threshold", "lookahead",
+                                   "seed", "engine", "evaluation_mode",
+                                   "scan_mode", "sweep_mode", "max_steps"))
+        requests = [BASE.with_overrides(algorithm="custom-rem", theta=theta,
+                                        include_utility=False)
+                    for theta in (0.8, 0.6)]
+        for sweep_mode in ("checkpointed", "independent"):
+            grid = GridRequest(requests=tuple(requests), sweep_mode=sweep_mode)
+            responses = BatchRunner(max_workers=0).run_grid(grid,
+                                                            registry=registry)
+            assert all(response.ok for response in responses), sweep_mode
+
+
+class TestBaselineFailureIsolation:
+    def test_baseline_error_fails_only_its_group(self, monkeypatch):
+        import repro.api.cache as cache_module
+
+        def boom(graph, include_spectral=False):
+            raise MemoryError("baseline too large")
+
+        monkeypatch.setattr("repro.metrics.graph_baseline", boom)
+        utility = [BASE.with_overrides(theta=theta) for theta in (0.8, 0.6)]
+        plain = [BASE.with_overrides(theta=theta, include_utility=False,
+                                     length_threshold=2)
+                 for theta in (0.8, 0.6)]
+        responses = execute_sample_group(utility + plain,
+                                         cache=cache_module.ExecutionCache())
+        assert all(response.error is not None for response in responses[:2])
+        assert all(response.ok for response in responses[2:])
+
+    def test_max_samples_bound_evicts_oldest(self):
+        cache = ExecutionCache(max_samples=2)
+        first = BASE
+        second = BASE.with_overrides(seed=1)
+        third = BASE.with_overrides(seed=2)
+        cache.graph_for(first)
+        cache.distances_for(first, l_max=1)
+        cache.graph_for(second)
+        cache.graph_for(third)  # evicts `first` (oldest)
+        assert cache.sample_loads == 3
+        assert cache.distance_computes == 1  # counter survives eviction
+        cache.graph_for(first)  # re-load after eviction
+        assert cache.sample_loads == 4

@@ -190,3 +190,81 @@ class TestObserverThreading:
             _hard_graph(), observer=observer)
         out = capsys.readouterr().out
         assert "step 1: remove" in out
+
+
+class TestCheckpointStreaming:
+    """Checkpointed θ-schedule passes stream crossings to observers live."""
+
+    def _schedule(self, observer, algorithm_cls=EdgeRemovalAnonymizer, **kwargs):
+        graph = _hard_graph()
+        return algorithm_cls(theta=0.3, seed=0, **kwargs).anonymize_schedule(
+            graph, (0.9, 0.6, 0.3), observer=observer)
+
+    def test_observer_receives_one_checkpoint_per_theta(self):
+        seen = []
+        self._schedule(CallbackObserver(on_checkpoint=seen.append))
+        assert [checkpoint.theta for checkpoint in seen] == [0.9, 0.6, 0.3]
+
+    def test_checkpoints_match_materialized_results(self):
+        seen = []
+        results = self._schedule(CallbackObserver(on_checkpoint=seen.append))
+        for checkpoint, result in zip(seen, results):
+            assert checkpoint.theta == result.config.theta
+            assert checkpoint.evaluations == result.evaluations
+            assert checkpoint.max_opacity == result.final_opacity
+            assert len(checkpoint.steps) == result.num_steps
+
+    def test_gades_schedule_streams_checkpoints(self):
+        seen = []
+        self._schedule(CallbackObserver(on_checkpoint=seen.append),
+                       algorithm_cls=GadesAnonymizer, swap_sample_size=30)
+        assert [checkpoint.theta for checkpoint in seen] == [0.9, 0.6, 0.3]
+
+    def test_legacy_observer_without_hook_keeps_working(self):
+        class Legacy:  # deliberately NOT implementing on_checkpoint
+            def __init__(self):
+                self.evaluations = 0
+
+            def on_evaluation(self, evaluations):
+                self.evaluations = evaluations
+
+            def on_step(self, step, result):
+                pass
+
+            def should_stop(self):
+                return False
+
+        legacy = Legacy()
+        results = self._schedule(legacy)
+        assert len(results) == 3
+        assert legacy.evaluations > 0
+
+    def test_composite_observer_fans_out_checkpoints(self):
+        first, second = [], []
+        composite = CompositeObserver(
+            CallbackObserver(on_checkpoint=first.append),
+            CallbackObserver(on_checkpoint=second.append))
+        self._schedule(composite)
+        assert len(first) == len(second) == 3
+
+    def test_single_theta_anonymize_emits_final_checkpoint(self):
+        seen = []
+        EdgeRemovalAnonymizer(theta=0.5, seed=0).anonymize(
+            _hard_graph(), observer=CallbackObserver(on_checkpoint=seen.append))
+        assert [checkpoint.theta for checkpoint in seen] == [0.5]
+
+    def test_early_stop_still_checkpoints_every_grid_point(self):
+        seen = []
+        observer = CompositeObserver(
+            StepLimitObserver(1), CallbackObserver(on_checkpoint=seen.append))
+        self._schedule(observer)
+        assert [checkpoint.theta for checkpoint in seen] == [0.9, 0.6, 0.3]
+        assert seen[-1].stop_reason == "observer" or seen[-1].success
+
+    def test_console_observer_prints_checkpoints(self, capsys):
+        import sys
+
+        observer = ConsoleProgressObserver(stream=sys.stderr)
+        self._schedule(observer)
+        err = capsys.readouterr().err
+        assert "theta=0.90 crossed" in err

@@ -279,3 +279,82 @@ class TestPreviewBatch:
         for got, want in zip(chunked, expected):
             assert np.array_equal(got.rows, want.rows)
             assert np.array_equal(got.new_rows, want.new_rows)
+
+
+class TestInitialDistances:
+    """A session seeded with a precomputed matrix behaves like a cold one."""
+
+    def test_adopts_precomputed_matrix_without_engine_run(self, paper_example_graph):
+        precomputed = bounded_distance_matrix(paper_example_graph, 2)
+        session = DistanceSession(paper_example_graph, 2,
+                                  initial_distances=precomputed)
+        assert np.array_equal(session.distances, precomputed)
+
+    def test_seeded_session_produces_identical_deltas(self, paper_example_graph):
+        cold = DistanceSession(paper_example_graph.copy(), 2)
+        seeded = DistanceSession(
+            paper_example_graph, 2,
+            initial_distances=bounded_distance_matrix(paper_example_graph, 2))
+        for edge in list(paper_example_graph.edges()):
+            a = cold.preview(removals=[edge])
+            b = seeded.preview(removals=[edge])
+            assert np.array_equal(a.rows, b.rows)
+            assert np.array_equal(a.new_rows, b.new_rows)
+
+    def test_shape_mismatch_rejected(self, paper_example_graph):
+        with pytest.raises(ConfigurationError):
+            DistanceSession(paper_example_graph, 2,
+                            initial_distances=np.zeros((3, 3), dtype=np.int32))
+
+
+class TestFusedPreviewBatch:
+    """skip_unchanged=True drops flip-free candidates to None, nothing else."""
+
+    @pytest.mark.parametrize("length", [1, 2, 3])
+    def test_none_exactly_where_no_membership_flips(self, paper_example_graph,
+                                                    length):
+        session = DistanceSession(paper_example_graph, length)
+        edges = list(paper_example_graph.edges())
+        non_edges = list(paper_example_graph.non_edges())
+        plain = session.preview_batch(removals=edges, insertions=non_edges)
+        fused = session.preview_batch(removals=edges, insertions=non_edges,
+                                      skip_unchanged=True)
+        assert len(plain) == len(fused)
+        for full_delta, fused_delta in zip(plain, fused):
+            if fused_delta is None:
+                # Skipped candidates flip no cell across the L boundary.
+                assert not full_delta.from_scratch
+                old = session.distances[full_delta.rows]
+                assert np.array_equal(old <= length,
+                                      full_delta.new_rows <= length)
+            else:
+                assert np.array_equal(full_delta.rows, fused_delta.rows)
+                assert np.array_equal(full_delta.new_rows, fused_delta.new_rows)
+                assert full_delta.from_scratch == fused_delta.from_scratch
+
+    def test_fused_pass_leaves_no_trace(self, paper_example_graph):
+        session = DistanceSession(paper_example_graph, 2)
+        before_edges = paper_example_graph.edge_set()
+        before = session.distances.copy()
+        session.preview_batch(removals=list(paper_example_graph.edges()),
+                              insertions=list(paper_example_graph.non_edges()),
+                              skip_unchanged=True)
+        assert paper_example_graph.edge_set() == before_edges
+        assert np.array_equal(session.distances, before)
+
+    def test_triangle_removal_at_l2_is_skipped(self):
+        # Removing one triangle edge at L = 2 lengthens its pair to 2 via
+        # the third vertex: distances change but nothing crosses L, so the
+        # fused scan materializes no delta at all.
+        triangle = Graph(3, edges=[(0, 1), (1, 2), (0, 2)])
+        session = DistanceSession(triangle, 2)
+        fused = session.preview_batch(removals=[(0, 1)], skip_unchanged=True)
+        assert fused == [None]
+        plain = session.preview_batch(removals=[(0, 1)])
+        assert plain[0].rows.size > 0  # the plain path does see the change
+
+    def test_removal_at_l1_always_flips(self):
+        triangle = Graph(3, edges=[(0, 1), (1, 2), (0, 2)])
+        session = DistanceSession(triangle, 1)
+        fused = session.preview_batch(removals=[(0, 1)], skip_unchanged=True)
+        assert fused[0] is not None

@@ -181,3 +181,69 @@ class TestCommands:
         assert "Figure 6 — gnutella" in captured
         assert "distortion" in captured
         assert "o rem la=1" in captured
+
+
+class TestSweepAxes:
+    def test_sweep_command_runs_theta_grid(self, capsys):
+        exit_code = main(["sweep", "--dataset", "gnutella", "--size", "30",
+                          "--thetas", "0.8", "0.6", "--no-utility"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "2 runs in 1 group(s) over 1 sample group(s)" in captured
+
+    def test_sweep_command_axis_expands_grid(self, capsys):
+        exit_code = main(["sweep", "--dataset", "gnutella", "--size", "30",
+                          "--thetas", "0.8", "0.6", "--no-utility",
+                          "--axis", "l=1,2"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "4 runs in 2 group(s) over 1 sample group(s)" in captured
+        assert "L=2" in captured
+
+    def test_sweep_command_dataset_axis_splits_sample_groups(self, capsys):
+        exit_code = main(["sweep", "--size", "25", "--thetas", "0.8",
+                          "--no-utility", "--axis", "dataset=gnutella,google"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "2 runs in 2 group(s) over 2 sample group(s)" in captured
+
+    def test_sweep_command_axis_overrides_flag(self, capsys):
+        exit_code = main(["sweep", "--dataset", "gnutella", "--size", "25",
+                          "--thetas", "0.9", "0.7", "--no-utility",
+                          "--axis", "theta=0.8"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "1 runs in 1 group(s)" in captured
+        assert "theta=0.80" in captured
+
+    def test_sweep_command_writes_grid_response(self, tmp_path, capsys):
+        output = tmp_path / "grid.json"
+        exit_code = main(["sweep", "--dataset", "gnutella", "--size", "25",
+                          "--thetas", "0.8", "--no-utility",
+                          "--axis", "size=20,25", "--output", str(output)])
+        assert exit_code == 0
+        payload = json.loads(output.read_text())
+        assert payload["num_sample_groups"] == 2
+        assert len(payload["responses"]) == 2
+
+    @pytest.mark.parametrize("axis,message", [
+        ("bogus=3", "bad --axis"),
+        ("l", "bad --axis"),
+        ("l=", "lists no values"),
+        ("l=two", "bad --axis value"),
+        ("dataset=facebook", "unknown dataset"),
+        ("algorithm=typo", "unknown algorithm"),
+    ])
+    def test_sweep_command_rejects_bad_axes(self, capsys, axis, message):
+        exit_code = main(["sweep", "--dataset", "gnutella", "--size", "25",
+                          "--axis", axis])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert message in captured.err
+
+    def test_sweep_command_rejects_repeated_axis(self, capsys):
+        exit_code = main(["sweep", "--dataset", "gnutella", "--size", "25",
+                          "--axis", "l=1", "--axis", "l=2"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "repeats axis" in captured.err
