@@ -1,0 +1,78 @@
+"""Condense a pytest-benchmark JSON dump into a ``BENCH_<pr>.json`` entry.
+
+The CI benchmark jobs run every ``bench_*.py`` at smoke size with
+``--benchmark-json``; this script reduces that verbose dump to the small,
+diff-friendly trajectory format committed at the repo root (ROADMAP:
+performance trajectory as a first-class artifact)::
+
+    {"pr": 6, "created": "...", "env": {...}, "benchmarks": [
+        {"name": "bench_grid_direct", "group": "...", "seconds": 0.0268},
+        ...
+    ]}
+
+Usage::
+
+    python -m pytest benchmarks -q -o python_files='bench_*.py' \\
+        -o python_functions='bench_*' --benchmark-json=/tmp/bench.json
+    python benchmarks/persist_trajectory.py /tmp/bench.json \\
+        --pr 6 --output BENCH_6.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+
+
+def condense(raw: dict, pr: int) -> dict:
+    """Reduce a pytest-benchmark dump to the trajectory entry format."""
+    machine = raw.get("machine_info", {})
+    entries = []
+    for bench in raw.get("benchmarks", []):
+        entries.append({
+            "name": bench["name"],
+            "group": bench.get("group"),
+            "seconds": round(bench["stats"]["mean"], 6),
+            "rounds": bench["stats"]["rounds"],
+        })
+    entries.sort(key=lambda entry: (entry["group"] or "", entry["name"]))
+    return {
+        "pr": pr,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "env": {
+            "python": machine.get("python_version",
+                                  platform.python_version()),
+            "machine": machine.get("machine", platform.machine()),
+            "system": machine.get("system", platform.system()),
+            "smoke": bool(raw.get("_smoke", False)),
+        },
+        "benchmarks": entries,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("dump", help="pytest-benchmark --benchmark-json file")
+    parser.add_argument("--pr", type=int, required=True,
+                        help="PR number this run belongs to")
+    parser.add_argument("--output", required=True,
+                        help="trajectory file to write (BENCH_<pr>.json)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="mark the entry as a smoke-sized run")
+    args = parser.parse_args(argv)
+    with open(args.dump, "r", encoding="utf-8") as handle:
+        raw = json.load(handle)
+    raw["_smoke"] = args.smoke
+    entry = condense(raw, args.pr)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(entry, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output} ({len(entry['benchmarks'])} benchmarks)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

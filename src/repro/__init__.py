@@ -31,6 +31,7 @@ from repro.errors import (
     ConfigurationError,
     DatasetError,
     GraphError,
+    GridAbortedError,
     InfeasibleError,
     InvalidEdgeError,
     ReproError,
@@ -104,6 +105,7 @@ __all__ = [
     "ConfigurationError",
     "InfeasibleError",
     "DatasetError",
+    "GridAbortedError",
     "Graph",
     "TriangularMatrix",
     "available_engines",

@@ -49,6 +49,7 @@ from repro.api.progress import (
     AnonymizationStopped,
     CallbackObserver,
     CancellationToken,
+    CheckpointBuffer,
     CompositeObserver,
     ConsoleProgressObserver,
     NULL_OBSERVER,
@@ -57,6 +58,8 @@ from repro.api.progress import (
     StepLimitObserver,
     TimeoutObserver,
     combine_observers,
+    notify_checkpoint,
+    notify_group,
 )
 from repro.api.registry import (
     AnonymizerRegistry,
@@ -97,6 +100,14 @@ if TYPE_CHECKING:  # pragma: no cover — lazy at runtime, eager for type checke
 _LAZY = {
     "AnonymizationRequest": "repro.api.requests",
     "AnonymizationResponse": "repro.api.requests",
+    "FINGERPRINT_VERSION": "repro.api.requests",
+    "request_fingerprint": "repro.api.requests",
+    "CHECKPOINT_VERSION": "repro.api.checkpoints",
+    "checkpoint_from_dict": "repro.api.checkpoints",
+    "checkpoint_from_json": "repro.api.checkpoints",
+    "checkpoint_to_dict": "repro.api.checkpoints",
+    "checkpoint_to_json": "repro.api.checkpoints",
+    "materialize_response": "repro.api.checkpoints",
     "OpacityReport": "repro.api.facade",
     "anonymize": "repro.api.facade",
     "compute_opacity": "repro.api.facade",
@@ -106,11 +117,13 @@ _LAZY = {
     "BatchRunner": "repro.api.batch",
     "execute_request": "repro.api.batch",
     "ExecutionCache": "repro.api.cache",
+    "ERROR_POLICIES": "repro.api.sweeps",
     "GridRequest": "repro.api.sweeps",
     "GridResponse": "repro.api.sweeps",
     "execute_sample_group": "repro.api.sweeps",
     "expand_grid": "repro.api.sweeps",
     "run_grid": "repro.api.sweeps",
+    "validate_error_policy": "repro.api.sweeps",
     "SweepRequest": "repro.api.theta_sweep",
     "SweepResponse": "repro.api.theta_sweep",
     "execute_sweep_group": "repro.api.theta_sweep",
@@ -124,11 +137,15 @@ __all__ = [
     "AnonymizerRegistry",
     "AnonymizerSpec",
     "BatchRunner",
+    "CHECKPOINT_VERSION",
     "CallbackObserver",
     "CancellationToken",
+    "CheckpointBuffer",
     "CompositeObserver",
     "ConsoleProgressObserver",
+    "ERROR_POLICIES",
     "ExecutionCache",
+    "FINGERPRINT_VERSION",
     "GridRequest",
     "GridResponse",
     "NULL_OBSERVER",
@@ -141,6 +158,10 @@ __all__ = [
     "TimeoutObserver",
     "anonymize",
     "available_algorithms",
+    "checkpoint_from_dict",
+    "checkpoint_from_json",
+    "checkpoint_to_dict",
+    "checkpoint_to_json",
     "combine_observers",
     "compute_opacity",
     "create_anonymizer",
@@ -150,11 +171,16 @@ __all__ = [
     "execute_sweep_group",
     "expand_grid",
     "expand_sweep",
+    "materialize_response",
+    "notify_checkpoint",
+    "notify_group",
     "register_anonymizer",
+    "request_fingerprint",
     "run_grid",
     "run_requests",
     "run_sweep",
     "sweep",
+    "validate_error_policy",
 ]
 
 

@@ -120,7 +120,8 @@ def _execute_group_payload(payloads: List[Dict[str, Any]], sweep_mode: str,
 
 def _execute_sample_group_payload(payloads: List[Dict[str, Any]],
                                   sweep_mode: str,
-                                  data_dir: Optional[str]) -> List[Dict[str, Any]]:
+                                  data_dir: Optional[str],
+                                  on_error: str = "isolate") -> List[Dict[str, Any]]:
     """Worker-side entry point for one grid sample group (module-level)."""
     from repro.api.cache import ExecutionCache
     from repro.api.sweeps import execute_sample_group
@@ -129,7 +130,8 @@ def _execute_sample_group_payload(payloads: List[Dict[str, Any]],
     cache = worker_cache() or ExecutionCache(data_dir=data_dir)
     try:
         responses = execute_sample_group(requests, sweep_mode=sweep_mode,
-                                         data_dir=data_dir, cache=cache)
+                                         data_dir=data_dir, cache=cache,
+                                         on_error=on_error)
     finally:
         # A sample group is handed to a worker exactly once, so its entries
         # can never be hit again — drop them to bound worker memory.
@@ -294,16 +296,27 @@ class BatchRunner:
         A custom ``registry`` (or an injected ``cache``, the
         instrumentation/sharing hook of the benches) is only honoured with
         ``max_workers=0``; workers build their own process-level caches.
+
+        The grid's ``on_error`` policy governs failure handling:
+        ``"isolate"`` (default) keeps the historical behaviour, while
+        ``"fail_fast"`` raises :class:`~repro.errors.GridAbortedError` on
+        the first failed request, cancelling not-yet-started sample groups
+        (in-flight workers finish their current group).
         """
         from repro.api.cache import ExecutionCache
-        from repro.api.sweeps import execute_sample_group
+        from repro.api.sweeps import _abort_on_error, execute_sample_group
+        from repro.errors import GridAbortedError
 
+        on_error = getattr(grid, "on_error", "isolate")
         if grid.sweep_mode == "independent":
-            return self._run_independent(list(grid.requests), registry)
+            responses = self._run_independent(list(grid.requests), registry)
+            if on_error == "fail_fast":
+                _abort_on_error(responses)
+            return responses
         groups = grid.sample_groups()
         ordered: List[Optional[AnonymizationResponse]] = [None] * len(grid.requests)
         if self._max_workers != 0 and len(groups) == 1 and cache is None \
-                and registry is None:
+                and registry is None and on_error == "isolate":
             from repro.api.theta_sweep import SweepRequest
 
             return self.run_sweep(SweepRequest(requests=grid.requests,
@@ -316,7 +329,7 @@ class BatchRunner:
                 group = [grid.requests[index] for index in indices]
                 responses = execute_sample_group(
                     group, sweep_mode=grid.sweep_mode, registry=registry,
-                    data_dir=self._data_dir, cache=cache)
+                    data_dir=self._data_dir, cache=cache, on_error=on_error)
                 if owned:
                     # Each sample group is visited exactly once, so its
                     # entries can be dropped immediately to bound peak
@@ -330,7 +343,7 @@ class BatchRunner:
             futures: List[Future] = [
                 pool.submit(_execute_sample_group_payload,
                             [grid.requests[index].to_dict() for index in indices],
-                            grid.sweep_mode, self._data_dir)
+                            grid.sweep_mode, self._data_dir, on_error)
                 for indices in groups
             ]
             for indices, future in zip(groups, futures):
@@ -338,7 +351,17 @@ class BatchRunner:
                     payloads = future.result()
                     responses = [AnonymizationResponse.from_dict(payload)
                                  for payload in payloads]
+                except GridAbortedError:
+                    for pending in futures:
+                        pending.cancel()
+                    raise
                 except Exception as exc:  # worker crash / pool breakage
+                    if on_error == "fail_fast":
+                        for pending in futures:
+                            pending.cancel()
+                        raise GridAbortedError(
+                            f"grid aborted (on_error='fail_fast'): worker "
+                            f"failed with {type(exc).__name__}: {exc}") from exc
                     responses = [AnonymizationResponse.failure(
                         grid.requests[index], exc) for index in indices]
                 for index, response in zip(indices, responses):

@@ -27,6 +27,7 @@ is imported by :mod:`repro.core.anonymizer`.
 from __future__ import annotations
 
 import sys
+import threading
 import time
 from typing import Any, Callable, List, Optional, Protocol, TextIO, runtime_checkable
 
@@ -61,6 +62,20 @@ def notify_checkpoint(observer: Any, checkpoint: Any) -> None:
         hook(checkpoint)
 
 
+def notify_group(observer: Any, indices: Any) -> None:
+    """Dispatch ``on_group(indices)`` if the observer implements it.
+
+    Grid executors call it right before running a θ-group (or a single
+    independent request) with the indices of the requests about to run, so
+    checkpoint-collecting observers can attribute the ``on_checkpoint``
+    stream that follows.  Same getattr-guard contract as
+    :func:`notify_checkpoint`.
+    """
+    hook = getattr(observer, "on_group", None)
+    if hook is not None:
+        hook(tuple(indices))
+
+
 class AnonymizationStopped(Exception):
     """Raised inside a greedy step when the observer requests a stop.
 
@@ -80,6 +95,9 @@ class NullObserver:
         pass
 
     def on_checkpoint(self, checkpoint: Any) -> None:
+        pass
+
+    def on_group(self, indices: Any) -> None:
         pass
 
     def should_stop(self) -> bool:
@@ -203,6 +221,42 @@ class CallbackObserver(NullObserver):
         return self._should_stop() if self._should_stop is not None else False
 
 
+class CheckpointBuffer(NullObserver):
+    """Collect the ``(group indices, checkpoint)`` stream of a grid run.
+
+    Executors announce each θ-group via ``on_group`` just before running
+    it; the checkpoints that follow belong to that group.  The buffer
+    records every pair (thread-safe — the batch pool may drive several
+    sample groups concurrently only in worker processes, but the in-process
+    path shares one observer across groups) and optionally forwards each
+    pair to a ``sink(indices, checkpoint)`` callback, which is how the
+    service layer streams checkpoints into the run store as they happen.
+    """
+
+    def __init__(self, sink: Optional[Callable[[Any, Any], None]] = None) -> None:
+        self._lock = threading.Lock()
+        self._indices: Any = ()
+        self._sink = sink
+        self.records: List[Any] = []
+
+    def on_group(self, indices: Any) -> None:
+        with self._lock:
+            self._indices = tuple(indices)
+
+    def on_checkpoint(self, checkpoint: Any) -> None:
+        with self._lock:
+            indices = self._indices
+            self.records.append((indices, checkpoint))
+        if self._sink is not None:
+            self._sink(indices, checkpoint)
+
+    @property
+    def latest(self) -> Optional[Any]:
+        """The most recent ``(indices, checkpoint)`` pair, if any."""
+        with self._lock:
+            return self.records[-1] if self.records else None
+
+
 class CompositeObserver:
     """Fan out to several observers; stops when any one asks to stop."""
 
@@ -221,6 +275,10 @@ class CompositeObserver:
     def on_checkpoint(self, checkpoint: Any) -> None:
         for obs in self._observers:
             notify_checkpoint(obs, checkpoint)
+
+    def on_group(self, indices: Any) -> None:
+        for obs in self._observers:
+            notify_group(obs, indices)
 
     def should_stop(self) -> bool:
         return any(obs.should_stop() for obs in self._observers)

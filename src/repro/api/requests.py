@@ -12,6 +12,7 @@ boundaries: every field survives a JSON round-trip
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import asdict, dataclass, fields, replace
 from typing import Any, Dict, Mapping, Optional, Tuple
@@ -269,3 +270,49 @@ class AnonymizationResponse:
     def from_json(cls, text: str) -> "AnonymizationResponse":
         """Inverse of :meth:`to_json`."""
         return cls.from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# canonical request fingerprints
+# ----------------------------------------------------------------------
+FINGERPRINT_VERSION = 1
+"""Version stamp mixed into every fingerprint.
+
+Bump it whenever request semantics change in a way that should invalidate
+stored results keyed by fingerprint (new defaulted field with behavioural
+effect, changed canonicalization, ...).
+"""
+
+
+def _strip_request_ids(value: Any) -> Any:
+    """Drop ``request_id`` keys recursively; they label, not parameterize."""
+    if isinstance(value, Mapping):
+        return {k: _strip_request_ids(v) for k, v in value.items()
+                if k != "request_id"}
+    if isinstance(value, (list, tuple)):
+        return [_strip_request_ids(v) for v in value]
+    return value
+
+
+def request_fingerprint(request: Any) -> str:
+    """Canonical content hash of a request (hex SHA-256).
+
+    Two requests that are semantically identical — same type, same field
+    values after normalization, regardless of construction order or the
+    client-chosen ``request_id`` label — fingerprint identically, because
+    the hash is taken over version-stamped, sorted-key, minimal-separator
+    JSON of the request's ``to_dict()`` form.  Works for any record with a
+    ``to_dict`` method (:class:`AnonymizationRequest`, ``SweepRequest``,
+    ``GridRequest``).
+    """
+    to_dict = getattr(request, "to_dict", None)
+    if to_dict is None:
+        raise ConfigurationError(
+            f"cannot fingerprint {type(request).__name__}: no to_dict() method")
+    canonical = {
+        "v": FINGERPRINT_VERSION,
+        "kind": type(request).__name__,
+        "request": _strip_request_ids(to_dict()),
+    }
+    text = json.dumps(canonical, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()

@@ -41,14 +41,15 @@ from itertools import product
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.api.cache import ExecutionCache, sample_key
-from repro.api.progress import ProgressObserver
+from repro.api.progress import ProgressObserver, notify_group
 from repro.api.registry import AnonymizerRegistry
 from repro.api.requests import AnonymizationRequest, AnonymizationResponse
 from repro.api.theta_sweep import execute_sweep_group, group_requests
 from repro.core.anonymizer import validate_sweep_mode
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, GridAbortedError
 
 __all__ = [
+    "ERROR_POLICIES",
     "GRID_AXES",
     "GridRequest",
     "GridResponse",
@@ -56,7 +57,21 @@ __all__ = [
     "execute_sample_group",
     "run_grid",
     "sample_groups",
+    "validate_error_policy",
 ]
+
+#: Grid-level failure policies: ``"isolate"`` (the historical behaviour —
+#: a failing request becomes an error response, its neighbours keep
+#: running) or ``"fail_fast"`` (the first failure aborts the whole grid
+#: with :class:`~repro.errors.GridAbortedError`).
+ERROR_POLICIES: Tuple[str, ...] = ("fail_fast", "isolate")
+
+
+def validate_error_policy(on_error: str) -> None:
+    """Raise :class:`ConfigurationError` unless ``on_error`` is known."""
+    if on_error not in ERROR_POLICIES:
+        raise ConfigurationError(
+            f"unknown error policy {on_error!r}; choose from {ERROR_POLICIES}")
 
 #: Grid axes in canonical nesting order (outermost first, θ varies
 #: fastest).  The relative order of the non-sample axes matches
@@ -122,12 +137,14 @@ class GridRequest:
 
     requests: Tuple[AnonymizationRequest, ...]
     sweep_mode: str = "checkpointed"
+    on_error: str = "isolate"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "requests", tuple(self.requests))
         if not self.requests:
             raise ConfigurationError("a grid requires at least one request")
         validate_sweep_mode(self.sweep_mode)
+        validate_error_policy(self.on_error)
 
     @classmethod
     def from_axes(cls, base: AnonymizationRequest, *,
@@ -138,7 +155,8 @@ class GridRequest:
                   lookaheads: Optional[Sequence[int]] = None,
                   seeds: Optional[Sequence[int]] = None,
                   thetas: Optional[Sequence[float]] = None,
-                  sweep_mode: str = "checkpointed") -> "GridRequest":
+                  sweep_mode: str = "checkpointed",
+                  on_error: str = "isolate") -> "GridRequest":
         """Expand ``base`` over the given axes (see :func:`expand_grid`)."""
         axes: Dict[str, Sequence[Any]] = {}
         for name, values in (("dataset", datasets),
@@ -151,7 +169,7 @@ class GridRequest:
             if values is not None:
                 axes[name] = values
         return cls(requests=tuple(expand_grid(base, axes)),
-                   sweep_mode=sweep_mode)
+                   sweep_mode=sweep_mode, on_error=on_error)
 
     def sample_groups(self) -> List[List[int]]:
         """Indices of :attr:`requests` grouped by shared graph source."""
@@ -169,6 +187,7 @@ class GridRequest:
         return {
             "requests": [request.to_dict() for request in self.requests],
             "sweep_mode": self.sweep_mode,
+            "on_error": self.on_error,
         }
 
     @classmethod
@@ -246,12 +265,27 @@ class GridResponse:
         return cls.from_dict(json.loads(text))
 
 
+def _abort_on_error(responses: Sequence[AnonymizationResponse]) -> None:
+    """Raise :class:`GridAbortedError` for the first failed response."""
+    for response in responses:
+        if response.error is not None:
+            request = response.request
+            label = request.request_id or (
+                f"{request.algorithm} L={request.length_threshold} "
+                f"theta={request.theta}")
+            raise GridAbortedError(
+                f"grid aborted (on_error='fail_fast'): request [{label}] "
+                f"failed with {response.error}")
+
+
 def execute_sample_group(requests: Sequence[AnonymizationRequest], *,
                          sweep_mode: str = "checkpointed",
                          registry: Optional[AnonymizerRegistry] = None,
                          observer: Optional[ProgressObserver] = None,
                          data_dir: Optional[str] = None,
-                         cache: Optional[ExecutionCache] = None
+                         cache: Optional[ExecutionCache] = None,
+                         resume_from: Optional[Mapping[int, Any]] = None,
+                         on_error: str = "isolate"
                          ) -> List[AnonymizationResponse]:
     """Execute one sample group of a grid, responses in request order.
 
@@ -263,65 +297,152 @@ def execute_sample_group(requests: Sequence[AnonymizationRequest], *,
     θ-sweep group's initial matrix by thresholding.  Each θ-sweep group
     then runs through :func:`~repro.api.theta_sweep.execute_sweep_group`
     with its own failure isolation: a failing group (or a failing sample
-    load) yields error responses without aborting its neighbours.
+    load) yields error responses without aborting its neighbours —
+    unless ``on_error="fail_fast"``, which turns the first failure into a
+    :class:`~repro.errors.GridAbortedError` instead.
+
+    ``resume_from`` maps request indices (into ``requests``) to
+    ``AnonymizationCheckpoint`` records persisted by an earlier,
+    interrupted run of the same group.  Grid points whose checkpoint is
+    present are *materialized* from it (no anonymization work); each
+    θ-group's remaining grid points either continue the interrupted pass
+    from its lowest-θ checkpoint (when the algorithm supports
+    ``resume_from`` and the checkpoint carries an RNG state) or re-run
+    cold — both bit-identical to the uninterrupted run.  Before running a
+    θ-group the executor announces the indices about to run via the
+    observer's optional ``on_group`` hook, so checkpoint-persisting
+    observers can attribute the stream.
 
     ``sweep_mode="independent"`` opts out of all sharing and executes the
-    requests one by one, exactly like the θ-sweep engine's opt-out path.
+    requests one by one, exactly like the θ-sweep engine's opt-out path
+    (independent runs emit no checkpoints, so ``resume_from`` is ignored).
     """
     validate_sweep_mode(sweep_mode)
+    validate_error_policy(on_error)
     requests = list(requests)
+    resume = dict(resume_from) if resume_from else {}
     if not requests:
         return []
     if sweep_mode == "independent":
         from repro.api.batch import execute_request
 
-        return [execute_request(request, registry=registry, observer=observer,
-                                data_dir=data_dir)
-                for request in requests]
+        responses = []
+        for index, request in enumerate(requests):
+            notify_group(observer, (index,))
+            response = execute_request(request, registry=registry,
+                                       observer=observer, data_dir=data_dir)
+            if on_error == "fail_fast":
+                _abort_on_error([response])
+            responses.append(response)
+        return responses
     if cache is None:
         cache = ExecutionCache(data_dir=data_dir)
     try:
         graph = cache.graph_for(requests[0])
     except Exception as exc:  # noqa: BLE001 — isolation is the contract
+        if on_error == "fail_fast":
+            raise GridAbortedError(
+                f"grid aborted (on_error='fail_fast'): sample load failed "
+                f"with {type(exc).__name__}: {exc}") from exc
         return [AnonymizationResponse.failure(request, exc)
                 for request in requests]
+    # Split every θ-group into grid points already served by a persisted
+    # checkpoint ("done") and points still to run ("todo"), and decide
+    # whether the todo suffix can continue the interrupted pass.
+    plans = []
+    for indices in group_requests(requests):
+        done: Dict[int, Any] = {}
+        for index in indices:
+            checkpoint = resume.get(index)
+            if checkpoint is not None and \
+                    abs(checkpoint.theta - requests[index].theta) <= 1e-12:
+                done[index] = checkpoint
+        todo = [index for index in indices if index not in done]
+        resume_checkpoint = None
+        if done and todo:
+            candidate = min(done.values(), key=lambda ckpt: ckpt.theta)
+            # A pass can only be continued from a checkpoint that (a) was
+            # still running cleanly (no stop reason), (b) recorded its RNG,
+            # and (c) sits strictly above every remaining grid point.
+            if (candidate.rng_state is not None
+                    and candidate.stop_reason is None
+                    and all(requests[index].theta < candidate.theta
+                            for index in todo)):
+                resume_checkpoint = candidate
+        plans.append((indices, done, todo, resume_checkpoint))
     # The shared computation bound, per engine, over the requests that will
     # actually consume a matrix — scratch-mode requests recompute distances
-    # per evaluation and must not inflate the single engine run.
+    # per evaluation, and resumed/materialized grid points never read the
+    # original graph's matrix, so neither may inflate the single engine run.
     l_max_by_engine: Dict[str, int] = {}
-    for request in requests:
-        if request.evaluation_mode == "incremental":
-            l_max_by_engine[request.engine] = max(
-                l_max_by_engine.get(request.engine, 0),
-                request.length_threshold)
+    for indices, done, todo, resume_checkpoint in plans:
+        if resume_checkpoint is not None:
+            continue
+        for index in todo:
+            request = requests[index]
+            if request.evaluation_mode == "incremental":
+                l_max_by_engine[request.engine] = max(
+                    l_max_by_engine.get(request.engine, 0),
+                    request.length_threshold)
     ordered: List[Optional[AnonymizationResponse]] = [None] * len(requests)
-    for indices in group_requests(requests):
-        group = [requests[index] for index in indices]
-        first = group[0]
-        initial_distances = None
-        if first.evaluation_mode == "incremental":
-            try:
-                initial_distances = cache.distances_for(
-                    first, l_max_by_engine[first.engine])
-            except Exception as exc:  # noqa: BLE001 — e.g. unknown engine
-                for index in indices:
-                    ordered[index] = AnonymizationResponse.failure(
-                        requests[index], exc)
-                continue
+    for indices, done, todo, resume_checkpoint in plans:
+        first = requests[indices[0]]
         baseline = None
-        if any(request.include_utility for request in group):
+        if any(requests[index].include_utility for index in indices):
             try:
                 baseline = cache.baseline_for(first)
             except Exception as exc:  # noqa: BLE001 — same isolation contract
+                if on_error == "fail_fast":
+                    raise GridAbortedError(
+                        f"grid aborted (on_error='fail_fast'): baseline "
+                        f"failed with {type(exc).__name__}: {exc}") from exc
                 for index in indices:
                     ordered[index] = AnonymizationResponse.failure(
                         requests[index], exc)
                 continue
+        if done:
+            from repro.api.checkpoints import materialize_response
+
+            for index, checkpoint in done.items():
+                try:
+                    ordered[index] = materialize_response(
+                        requests[index], checkpoint, original_graph=graph,
+                        baseline=baseline, data_dir=data_dir)
+                except Exception as exc:  # noqa: BLE001
+                    if on_error == "fail_fast":
+                        raise GridAbortedError(
+                            f"grid aborted (on_error='fail_fast'): stored "
+                            f"checkpoint failed to materialize with "
+                            f"{type(exc).__name__}: {exc}") from exc
+                    ordered[index] = AnonymizationResponse.failure(
+                        requests[index], exc)
+        if not todo:
+            continue
+        group = [requests[index] for index in todo]
+        initial_distances = None
+        if resume_checkpoint is None and first.evaluation_mode == "incremental":
+            try:
+                initial_distances = cache.distances_for(
+                    group[0], l_max_by_engine[group[0].engine])
+            except Exception as exc:  # noqa: BLE001 — e.g. unknown engine
+                if on_error == "fail_fast":
+                    raise GridAbortedError(
+                        f"grid aborted (on_error='fail_fast'): distance "
+                        f"matrix failed with {type(exc).__name__}: {exc}"
+                        ) from exc
+                for index in todo:
+                    ordered[index] = AnonymizationResponse.failure(
+                        requests[index], exc)
+                continue
+        notify_group(observer, tuple(todo))
         responses = execute_sweep_group(
             group, sweep_mode=sweep_mode, registry=registry,
             observer=observer, data_dir=data_dir, graph=graph,
-            initial_distances=initial_distances, baseline=baseline)
-        for index, response in zip(indices, responses):
+            initial_distances=initial_distances, baseline=baseline,
+            resume_from=resume_checkpoint)
+        if on_error == "fail_fast":
+            _abort_on_error(responses)
+        for index, response in zip(todo, responses):
             ordered[index] = response
     return ordered  # type: ignore[return-value]
 

@@ -41,6 +41,7 @@ __all__ = [
     "SweepRequest",
     "SweepResponse",
     "accepts_initial_distances",
+    "accepts_kwarg",
     "execute_sweep_group",
     "group_requests",
     "run_sweep",
@@ -197,7 +198,7 @@ def execute_sweep_group(requests: Sequence[AnonymizationRequest], *,
                         observer: Optional[ProgressObserver] = None,
                         data_dir: Optional[str] = None,
                         graph=None, initial_distances=None,
-                        baseline=None) -> List[AnonymizationResponse]:
+                        baseline=None, resume_from=None) -> List[AnonymizationResponse]:
     """Execute one θ-sweep group, responses in request order.
 
     All requests must share a group key (everything but θ/request id); the
@@ -219,6 +220,16 @@ def execute_sweep_group(requests: Sequence[AnonymizationRequest], *,
     :class:`~repro.graph.distance_cache.LMaxDistanceCache` slice; the run
     consumes it), and ``baseline`` (the sample's shared utility baseline).
     All three default to the per-group cold path.
+
+    ``resume_from`` (an ``AnonymizationCheckpoint`` from an interrupted
+    pass over the *same* configuration, at a θ strictly above every θ of
+    ``requests``) continues that pass instead of starting cold — the
+    service layer's restart path.  Algorithms whose ``anonymize_schedule``
+    predates the keyword fall back to a cold run of the requested θs,
+    which produces identical responses (each checkpoint equals an
+    independent run at its θ), just without the saved work.  A resumed
+    group never receives ``initial_distances``: the matrix describes the
+    original graph, not the checkpoint's.
     """
     validate_sweep_mode(sweep_mode)
     requests = list(requests)
@@ -234,28 +245,36 @@ def execute_sweep_group(requests: Sequence[AnonymizationRequest], *,
                 for request in requests]
     try:
         return _run_group(requests, sweep_mode, registry, observer, data_dir,
-                          graph, initial_distances, baseline)
+                          graph, initial_distances, baseline, resume_from)
     except Exception as exc:  # noqa: BLE001 — isolation is the contract
         return [AnonymizationResponse.failure(request, exc)
                 for request in requests]
 
 
-def accepts_initial_distances(anonymize_schedule) -> bool:
-    """Whether a (possibly third-party) schedule method takes the kwarg.
+def accepts_kwarg(func, name: str) -> bool:
+    """Whether a (possibly third-party) callable takes keyword ``name``.
 
-    Shared by every layer that seeds precomputed matrices into
-    registry-resolved algorithms (this module and
-    :class:`~repro.experiments.runner.ExperimentRunner`): algorithms with
-    the pre-grid signature run cold instead of crashing on an unexpected
-    keyword.
+    The optional-capability probe used when handing extras to
+    registry-resolved algorithms: callables with an older signature run
+    without the extra instead of crashing on an unexpected keyword.
     """
     import inspect
 
     try:
-        parameters = inspect.signature(anonymize_schedule).parameters
+        parameters = inspect.signature(func).parameters
     except (TypeError, ValueError):  # builtins / C callables
         return False
-    return "initial_distances" in parameters
+    return name in parameters
+
+
+def accepts_initial_distances(anonymize_schedule) -> bool:
+    """Whether a schedule method takes ``initial_distances``.
+
+    Shared by every layer that seeds precomputed matrices into
+    registry-resolved algorithms (this module and
+    :class:`~repro.experiments.runner.ExperimentRunner`).
+    """
+    return accepts_kwarg(anonymize_schedule, "initial_distances")
 
 
 def _run_group(requests: List[AnonymizationRequest], sweep_mode: str,
@@ -263,7 +282,7 @@ def _run_group(requests: List[AnonymizationRequest], sweep_mode: str,
                observer: Optional[ProgressObserver],
                data_dir: Optional[str],
                graph=None, initial_distances=None,
-               baseline=None) -> List[AnonymizationResponse]:
+               baseline=None, resume_from=None) -> List[AnonymizationResponse]:
     from repro.api.batch import execute_request
     from repro.metrics import graph_baseline, utility_report
 
@@ -288,7 +307,12 @@ def _run_group(requests: List[AnonymizationRequest], sweep_mode: str,
     kwargs = {}
     if observer is not None:
         kwargs["observer"] = observer
-    if initial_distances is not None and \
+    if resume_from is not None and \
+            accepts_kwarg(algorithm.anonymize_schedule, "resume_from"):
+        # Continue the interrupted pass; its distances must be recomputed
+        # from the checkpoint graph, never seeded from the original's.
+        kwargs["resume_from"] = resume_from
+    elif initial_distances is not None and \
             accepts_initial_distances(algorithm.anonymize_schedule):
         kwargs["initial_distances"] = initial_distances
     results = algorithm.anonymize_schedule(graph, schedule, **kwargs)

@@ -172,7 +172,7 @@ class GadesAnonymizer:
             observer=observer if observer is not None else NULL_OBSERVER,
         )
         started = time.perf_counter()
-        tracker = ThetaScheduleTracker(schedule, working, started)
+        tracker = ThetaScheduleTracker(schedule, working, started, rng=rng)
         current = session.current()
         result.evaluations += 1
         result.observer.on_evaluation(result.evaluations)

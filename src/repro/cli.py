@@ -11,6 +11,10 @@ Subcommands
   computation per sample group.
 * ``batch`` — execute a JSON job spec of anonymization requests, fanning
   the jobs across worker processes.
+* ``serve`` — run the anonymization service: an HTTP job API
+  (``POST /jobs`` and friends) over a persistent SQLite run store that
+  dedups identical requests and resumes interrupted grids from their last
+  persisted checkpoint after a restart.
 * ``opacity`` — report the L-opacity of a graph for a given L.
 * ``tables`` — print the reproduction of Tables 1-3.
 * ``figure`` — compute one figure's series and print it.
@@ -304,6 +308,36 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if all(response.ok for response in responses) else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import JobManager, RunStore, create_server
+
+    store = RunStore(args.db)
+    manager = JobManager(store, data_dir=args.data_dir,
+                         max_workers=args.max_workers)
+    if args.reset:
+        summary = store.init_db(reset=True)
+        print(f"reset {summary['db_path']} "
+              f"(backups: {', '.join(summary['backups']) or 'none'})")
+    resumed = manager.start()
+    if resumed:
+        print(f"resuming {len(resumed)} interrupted job(s): "
+              f"{', '.join(resumed)}", flush=True)
+    server = create_server(args.host, args.port, manager, store)
+    host, port = server.server_address[:2]
+    # Tests and scripts parse this line to find an ephemeral port (0).
+    print(f"listening on http://{host}:{port}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        manager.stop()
+        store.close()
+    return 0
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     print("Table 1 — original datasets")
     print(format_table(table1_rows()))
@@ -440,6 +474,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory with real SNAP dataset files")
     batch.add_argument("--output", help="write the JSON results here (default: stdout)")
     batch.set_defaults(func=_cmd_batch)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the anonymization service: an HTTP job API over "
+                      "a persistent, resumable SQLite run store")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port (0 = pick an ephemeral port; the "
+                            "chosen one is printed on startup)")
+    serve.add_argument("--db", default="repro_runs.db",
+                       help="path of the SQLite run store")
+    serve.add_argument("--data-dir", default=None,
+                       help="directory with real SNAP dataset files")
+    serve.add_argument("--max-workers", type=int, default=0,
+                       help="0 = execute jobs in the service process with "
+                            "checkpoint streaming and per-θ resume "
+                            "(default); n/–1 = fan jobs across a process "
+                            "pool (resume at group granularity only)")
+    serve.add_argument("--reset", action="store_true",
+                       help="archive and re-initialize the run store before "
+                            "serving (rolling window of 3 backups)")
+    serve.set_defaults(func=_cmd_serve)
 
     tables = subparsers.add_parser("tables", help="print Tables 1-3")
     tables.add_argument("--sizes", type=int, nargs="*", default=[100])

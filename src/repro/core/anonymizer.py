@@ -277,6 +277,14 @@ class AnonymizationCheckpoint:
     the pass started (the per-θ split of a sweep is the difference of
     consecutive checkpoints); ``graph`` snapshots the working graph at the
     crossing.
+
+    ``rng_state`` captures the tie-breaking RNG exactly as it stood at the
+    crossing (``random.Random.getstate()``), which — together with the
+    graph snapshot — is everything a later process needs to *continue* the
+    pass bit-identically over the remaining grid points
+    (:meth:`BaseAnonymizer.anonymize_schedule` with ``resume_from``).  It
+    is ``None`` for checkpoints emitted by pre-resume schedule drivers and
+    is excluded from equality so materialized results compare unchanged.
     """
 
     theta: float
@@ -289,6 +297,7 @@ class AnonymizationCheckpoint:
     success: bool
     stop_reason: Optional[str]
     graph: Graph = field(repr=False)
+    rng_state: Optional[tuple] = field(default=None, repr=False, compare=False)
 
     @property
     def num_steps(self) -> int:
@@ -307,10 +316,11 @@ class ThetaScheduleTracker:
     """
 
     def __init__(self, schedule: Sequence[float], working: Graph,
-                 started: float) -> None:
+                 started: float, rng: Optional[random.Random] = None) -> None:
         self._schedule = tuple(schedule)
         self._working = working
         self._started = started
+        self._rng = rng
         self._pointer = 0
         self.checkpoints: List[AnonymizationCheckpoint] = []
 
@@ -354,6 +364,7 @@ class ThetaScheduleTracker:
             success=success,
             stop_reason=stop_reason,
             graph=self._working if last else self._working.copy(),
+            rng_state=self._rng.getstate() if self._rng is not None else None,
         )
         self.checkpoints.append(checkpoint)
         self._pointer += 1
@@ -474,7 +485,8 @@ class BaseAnonymizer(ABC):
                            thetas: Optional[Sequence[float]] = None,
                            typing: Optional[PairTyping] = None,
                            observer: Optional[ProgressObserver] = None,
-                           initial_distances=None
+                           initial_distances=None,
+                           resume_from: Optional[AnonymizationCheckpoint] = None
                            ) -> List[AnonymizationResult]:
         """Run the heuristic for a whole θ grid, one result per grid point.
 
@@ -491,6 +503,17 @@ class BaseAnonymizer(ABC):
         strategy).  ``initial_distances`` seeds the evaluation session like
         in :meth:`anonymize` (independent mode hands each per-θ run its own
         copy, since every run consumes one).
+
+        ``resume_from`` continues an earlier pass over the same ``graph``
+        and seed from one of its checkpoints: the working graph, applied
+        edits, evaluation count, and tie-breaking RNG state are restored
+        from the checkpoint, and only ``thetas`` — which must all lie
+        strictly below the checkpoint's θ — are executed.  The results are
+        bit-identical (runtime aside) to the corresponding tail of an
+        uninterrupted pass; ``graph`` must still be the *original* graph
+        (results and the frozen typing refer to it).  Independent mode
+        ignores ``resume_from`` and re-runs each grid point from scratch,
+        which yields the same results.
         """
         config = self._config
         schedule = validate_theta_schedule(
@@ -502,19 +525,35 @@ class BaseAnonymizer(ABC):
                                            else initial_distances.copy()))
                     for theta in schedule]
         return self._run_schedule(graph, schedule, typing, observer,
-                                  initial_distances)
+                                  initial_distances, resume_from)
 
     def _run_schedule(self, graph: Graph, schedule: Sequence[float],
                       typing: Optional[PairTyping],
                       observer: Optional[ProgressObserver],
-                      initial_distances=None
+                      initial_distances=None,
+                      resume_from: Optional[AnonymizationCheckpoint] = None
                       ) -> List[AnonymizationResult]:
         """One checkpointed greedy pass over a descending θ schedule."""
         config = self._config
+        if resume_from is not None:
+            if initial_distances is not None:
+                raise ConfigurationError(
+                    "initial_distances describes the original graph and "
+                    "cannot seed a resumed pass; pass one or the other")
+            if resume_from.rng_state is None:
+                raise ConfigurationError(
+                    "checkpoint carries no RNG state; it cannot seed a "
+                    "resumed pass (emitted by a pre-resume driver?)")
+            above = [theta for theta in schedule if theta >= resume_from.theta]
+            if above:
+                raise ConfigurationError(
+                    f"a resumed schedule must lie strictly below the "
+                    f"checkpoint's theta={resume_from.theta}; got {above}")
         if typing is None:
             typing = DegreePairTyping(graph)
         computer = OpacityComputer(typing, config.length_threshold, engine=config.engine)
-        working = graph.copy()
+        working = (resume_from.graph.copy() if resume_from is not None
+                   else graph.copy())
         session = OpacitySession(computer, working, mode=config.evaluation_mode,
                                  initial_distances=initial_distances)
         rng = random.Random(config.seed)
@@ -526,11 +565,22 @@ class BaseAnonymizer(ABC):
             observer=observer if observer is not None else NULL_OBSERVER,
         )
         started = time.perf_counter()
-        tracker = ThetaScheduleTracker(schedule, working, started)
+        if resume_from is not None:
+            # Restore the pass exactly as it stood at the crossing: edits,
+            # evaluation count, RNG, and the clock (so per-θ runtimes keep
+            # accumulating across the interruption).
+            rng.setstate(resume_from.rng_state)
+            result.steps = list(resume_from.steps)
+            result.removed_edges = set(resume_from.removed_edges)
+            result.inserted_edges = set(resume_from.inserted_edges)
+            result.evaluations = resume_from.evaluations
+            started -= resume_from.runtime_seconds
+        tracker = ThetaScheduleTracker(schedule, working, started, rng=rng)
         current = session.current()
-        result.evaluations += 1
-        result.observer.on_evaluation(result.evaluations)
-        step_index = 0
+        if resume_from is None:
+            result.evaluations += 1
+            result.observer.on_evaluation(result.evaluations)
+        step_index = len(result.steps)
         while True:
             tracker.emit_crossings(current, result)
             if tracker.done:

@@ -35,3 +35,11 @@ class InfeasibleError(ReproError):
 
 class DatasetError(ReproError):
     """Raised when a dataset cannot be located, parsed, or synthesized."""
+
+
+class GridAbortedError(ReproError):
+    """Raised when a grid running with ``on_error="fail_fast"`` hits a failure.
+
+    The first failing request (or sample-group load error) aborts the whole
+    grid instead of being isolated into an error response.
+    """

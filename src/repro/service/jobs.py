@@ -1,0 +1,362 @@
+"""Background job execution over the run store.
+
+A :class:`JobManager` owns one worker thread and one
+:class:`~repro.service.store.RunStore`.  Submitted jobs — single
+:class:`~repro.api.requests.AnonymizationRequest` records,
+:class:`~repro.api.theta_sweep.SweepRequest` sweeps, or
+:class:`~repro.api.sweeps.GridRequest` grids — are persisted first and
+executed in submission order on the existing grid engine
+(:func:`~repro.api.sweeps.execute_sample_group`, the unit
+:class:`~repro.api.batch.BatchRunner` fans out).  While a sample group
+runs, a checkpoint-persisting observer streams every crossed θ into the
+store; each finished group's responses land as well.  The payoff is the
+restart path: :meth:`JobManager.start` re-enqueues every job a dead
+process left ``queued``/``running``, and :meth:`_execute` serves finished
+requests from their stored responses, materializes already-crossed grid
+points from their checkpoints, and *continues* each interrupted
+checkpointed pass from its lowest-θ checkpoint — bit-identical to the
+uninterrupted run (DESIGN.md §11).
+
+Dedup rides on the canonical fingerprint: re-submitting a semantically
+identical request returns the finished (or in-flight) job instead of
+recomputing anything.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.api.checkpoints import checkpoint_from_json, checkpoint_to_json
+from repro.api.progress import (
+    CancellationToken,
+    CheckpointBuffer,
+    combine_observers,
+)
+from repro.api.requests import (
+    AnonymizationRequest,
+    AnonymizationResponse,
+    request_fingerprint,
+)
+from repro.api.sweeps import GridRequest, GridResponse, sample_groups
+from repro.api.theta_sweep import SweepRequest, SweepResponse
+from repro.errors import ConfigurationError, ReproError
+from repro.service.store import RunStore
+
+__all__ = ["JOB_KINDS", "JobManager", "parse_request", "wrap_result"]
+
+#: Submittable job kinds and their request record types.
+JOB_KINDS: Dict[str, type] = {
+    "anonymize": AnonymizationRequest,
+    "sweep": SweepRequest,
+    "grid": GridRequest,
+}
+
+_STOP = object()  # worker-queue sentinel
+
+
+def parse_request(kind: str, payload: Any) -> Any:
+    """Build the request record for a job ``kind`` from its JSON payload."""
+    record = JOB_KINDS.get(kind)
+    if record is None:
+        raise ConfigurationError(
+            f"unknown job kind {kind!r}; known: {sorted(JOB_KINDS)}")
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"request payload must be a JSON object, got {type(payload).__name__}")
+    return record.from_dict(payload)
+
+
+def _requests_of(kind: str, request: Any) -> List[AnonymizationRequest]:
+    """Flatten any job kind into its ordered request list."""
+    if kind == "anonymize":
+        return [request]
+    return list(request.requests)
+
+
+def wrap_result(kind: str, request: Any,
+                responses: List[AnonymizationResponse]) -> Any:
+    """Wrap per-request responses into the job kind's response record."""
+    if kind == "anonymize":
+        return responses[0]
+    if kind == "sweep":
+        return SweepResponse(responses=tuple(responses),
+                             sweep_mode=request.sweep_mode,
+                             num_groups=len(request.groups()))
+    return GridResponse(responses=tuple(responses),
+                        sweep_mode=request.sweep_mode,
+                        num_groups=len(request.groups()),
+                        num_sample_groups=len(request.sample_groups()))
+
+
+class _StorePersister:
+    """Observer streaming a sample group's checkpoints into the store.
+
+    ``execute_sample_group`` announces each θ-group's *local* todo indices
+    via ``on_group``; this sink maps them to the job's global request
+    indices and records each subsequent checkpoint under every announced
+    request whose θ matches.  Checkpoints emitted because the observer
+    stopped the pass (``stop_reason="observer"``, i.e. cancellation) are
+    skipped: a fresh run would have kept going, so they must not be
+    materialized as final state on resume.
+    """
+
+    def __init__(self, store: RunStore, job_id: str,
+                 group_global: List[int],
+                 requests: List[AnonymizationRequest]) -> None:
+        self._store = store
+        self._job_id = job_id
+        self._group_global = group_global
+        self._requests = requests
+
+    def __call__(self, local_indices: Tuple[int, ...], checkpoint: Any) -> None:
+        if checkpoint.stop_reason == "observer":
+            return
+        payload = checkpoint_to_json(checkpoint)
+        for local in local_indices:
+            global_index = self._group_global[local]
+            if abs(self._requests[global_index].theta - checkpoint.theta) <= 1e-12:
+                self._store.record_checkpoint(self._job_id, global_index,
+                                              checkpoint.theta, payload)
+
+
+class JobManager:
+    """Execute service jobs in a background thread, durably.
+
+    Parameters
+    ----------
+    store:
+        The :class:`RunStore` everything is persisted to.
+    data_dir:
+        Optional directory with real SNAP dataset files (forwarded to the
+        engine's dataset loaders).
+    max_workers:
+        ``0`` (default) executes sample groups serially in the worker
+        thread with checkpoint streaming — the mode that powers resume.
+        Any other value fans whole jobs across a
+        :class:`~repro.api.batch.BatchRunner` process pool instead;
+        responses are still persisted per request, but checkpoints do not
+        stream across process boundaries, so interrupted pooled jobs
+        restart from their last finished *group* rather than θ.
+    """
+
+    def __init__(self, store: RunStore, *, data_dir: Optional[str] = None,
+                 max_workers: int = 0) -> None:
+        self._store = store
+        self._data_dir = data_dir
+        self._max_workers = max_workers
+        self._queue: "queue.Queue[Any]" = queue.Queue()
+        self._tokens: Dict[str, CancellationToken] = {}
+        self._tokens_lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> List[str]:
+        """Start the worker thread, re-enqueueing interrupted jobs first.
+
+        Returns the ids of the resumed jobs (oldest first), already queued
+        ahead of anything submitted afterwards.
+        """
+        resumed = [job["id"] for job in self._store.interrupted_jobs()]
+        for job_id in resumed:
+            self._queue.put(job_id)
+        self._thread = threading.Thread(target=self._worker,
+                                        name="repro-service-worker",
+                                        daemon=True)
+        self._thread.start()
+        return resumed
+
+    def stop(self, timeout: Optional[float] = 5.0) -> None:
+        """Stop the worker after the current job and join it."""
+        self._queue.put(_STOP)
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    # ------------------------------------------------------------------
+    # submission / control
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, request: Any) -> Dict[str, Any]:
+        """Persist and enqueue a job; identical requests dedup to one.
+
+        Returns ``{"job_id", "status", "deduped"}``.  A finished job with
+        the same canonical fingerprint (and a stored result) is returned
+        as-is — the resubmission performs zero new work; a queued/running
+        twin coalesces onto the in-flight job.
+        """
+        fingerprint = request_fingerprint(request)
+        done = self._store.find_job(fingerprint, ("done",))
+        if done is not None and \
+                self._store.get_result(done["id"]) is not None:
+            return {"job_id": done["id"], "status": "done", "deduped": True}
+        in_flight = self._store.find_job(fingerprint, ("queued", "running"))
+        if in_flight is not None:
+            return {"job_id": in_flight["id"],
+                    "status": in_flight["status"], "deduped": True}
+        num_requests = len(_requests_of(kind, request))
+        job_id = self._store.create_job(kind, fingerprint,
+                                        request.to_json(), num_requests)
+        self._queue.put(job_id)
+        return {"job_id": job_id, "status": "queued", "deduped": False}
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a queued or running job; returns whether it applied."""
+        job = self._store.get_job(job_id)
+        if job is None or job["status"] not in ("queued", "running"):
+            return False
+        if job["status"] == "queued":
+            self._store.set_status(job_id, "cancelled")
+            return True
+        with self._tokens_lock:
+            token = self._tokens.get(job_id)
+        if token is not None:
+            token.cancel()
+            return True
+        # Running in the store but not on this worker (dead process's
+        # leftover that has not been resumed yet): mark it directly.
+        self._store.set_status(job_id, "cancelled")
+        return True
+
+    def status(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """Job row + live progress counters, or ``None`` if unknown."""
+        job = self._store.get_job(job_id)
+        if job is None:
+            return None
+        job["num_responses"] = self._store.num_responses(job_id)
+        job["num_checkpoints"] = self._store.num_checkpoints(job_id)
+        job["latest_checkpoint"] = self._store.latest_checkpoint(job_id)
+        return job
+
+    def wait_for(self, job_id: str,
+                 timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Block until the job reaches a terminal status (or timeout)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            job = self._store.get_job(job_id)
+            if job is None:
+                raise ConfigurationError(f"unknown job {job_id!r}")
+            if job["status"] in ("done", "error", "cancelled"):
+                return job
+            if deadline is not None and time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['status']} after {timeout}s")
+            time.sleep(0.02)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _STOP:
+                return
+            try:
+                self._run_job(item)
+            except Exception as exc:  # noqa: BLE001 — the worker must survive
+                try:
+                    self._store.set_status(item, "error",
+                                           f"{type(exc).__name__}: {exc}")
+                except Exception:  # noqa: BLE001 — e.g. store closed mid-stop
+                    return
+
+    def _run_job(self, job_id: str) -> None:
+        job = self._store.get_job(job_id)
+        if job is None or job["status"] not in ("queued", "running"):
+            return  # cancelled while queued, or already finished
+        token = CancellationToken()
+        with self._tokens_lock:
+            self._tokens[job_id] = token
+        try:
+            self._execute(job, token)
+        finally:
+            with self._tokens_lock:
+                self._tokens.pop(job_id, None)
+
+    def _execute(self, job: Dict[str, Any], token: CancellationToken) -> None:
+        from repro.api.cache import ExecutionCache
+        from repro.api.sweeps import execute_sample_group
+
+        job_id = job["id"]
+        kind = job["kind"]
+        request = parse_request(kind, json.loads(job["request_json"]))
+        self._store.set_status(job_id, "running")
+        requests = _requests_of(kind, request)
+        sweep_mode = getattr(request, "sweep_mode", requests[0].sweep_mode)
+        on_error = getattr(request, "on_error", "isolate")
+        if self._max_workers != 0:
+            self._execute_pooled(job_id, kind, request, requests, token)
+            return
+        stored = {index: AnonymizationResponse.from_json(text)
+                  for index, text in self._store.responses(job_id).items()}
+        checkpoints = {index: checkpoint_from_json(text)
+                       for index, text
+                       in self._store.checkpoints(job_id).items()}
+        ordered: List[Optional[AnonymizationResponse]] = [None] * len(requests)
+        cache = ExecutionCache(data_dir=self._data_dir)
+        for group_global in sample_groups(requests):
+            if token.cancelled:
+                self._store.set_status(job_id, "cancelled")
+                return
+            pending = [index for index in group_global
+                       if index not in stored]
+            if not pending:
+                for index in group_global:
+                    ordered[index] = stored[index]
+                continue
+            group = [requests[index] for index in group_global]
+            resume_local = {local: checkpoints[global_index]
+                            for local, global_index in enumerate(group_global)
+                            if global_index in checkpoints}
+            persister = _StorePersister(self._store, job_id, group_global,
+                                        requests)
+            observer = combine_observers(token,
+                                         CheckpointBuffer(sink=persister))
+            responses = execute_sample_group(
+                group, sweep_mode=sweep_mode, observer=observer,
+                data_dir=self._data_dir, cache=cache,
+                resume_from=resume_local, on_error=on_error)
+            cache.release(group[0])
+            if token.cancelled:
+                # Best-effort responses of an interrupted pass must not be
+                # served as final on resume; the persisted checkpoints
+                # already carry everything worth keeping.
+                self._store.set_status(job_id, "cancelled")
+                return
+            for local, global_index in enumerate(group_global):
+                response = stored.get(global_index, responses[local])
+                ordered[global_index] = response
+                if global_index not in stored:
+                    self._store.record_response(job_id, global_index,
+                                                response.to_json())
+        result = wrap_result(kind, request,
+                             ordered)  # type: ignore[arg-type]
+        self._store.record_result(job_id, result.to_json())
+        self._store.set_status(job_id, "done")
+
+    def _execute_pooled(self, job_id: str, kind: str, request: Any,
+                        requests: List[AnonymizationRequest],
+                        token: CancellationToken) -> None:
+        """Fan a whole job across a process pool (no checkpoint streaming)."""
+        from repro.api.batch import BatchRunner
+
+        runner = BatchRunner(max_workers=self._max_workers,
+                             data_dir=self._data_dir)
+        if kind == "anonymize":
+            responses = runner.run(requests)
+        elif kind == "sweep":
+            responses = runner.run_sweep(request)
+        else:
+            responses = runner.run_grid(request)
+        if token.cancelled:
+            self._store.set_status(job_id, "cancelled")
+            return
+        for index, response in enumerate(responses):
+            self._store.record_response(job_id, index, response.to_json())
+        result = wrap_result(kind, request, list(responses))
+        self._store.record_result(job_id, result.to_json())
+        self._store.set_status(job_id, "done")

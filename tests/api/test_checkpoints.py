@@ -1,0 +1,129 @@
+"""Tests for checkpoint JSON serialization and materialization."""
+
+import pytest
+
+from repro.api import (
+    AnonymizationRequest,
+    CHECKPOINT_VERSION,
+    CheckpointBuffer,
+    checkpoint_from_dict,
+    checkpoint_from_json,
+    checkpoint_to_dict,
+    checkpoint_to_json,
+    execute_sample_group,
+    materialize_response,
+)
+from repro.api.registry import default_registry
+from repro.datasets import load_sample
+from repro.errors import ConfigurationError
+
+BASE = AnonymizationRequest(dataset="gnutella", sample_size=30, seed=0,
+                            include_utility=True)
+THETAS = (0.9, 0.7, 0.5)
+
+PARITY_FIELDS = ("success", "final_opacity", "distortion", "num_steps",
+                 "evaluations", "num_vertices", "removed_edges",
+                 "inserted_edges", "anonymized_edges", "stop_reason", "metrics")
+
+
+@pytest.fixture(scope="module")
+def captured():
+    """Checkpoints + responses of one checkpointed pass over THETAS."""
+    buffer = CheckpointBuffer()
+    requests = [BASE.with_overrides(theta=theta) for theta in THETAS]
+    responses = execute_sample_group(requests, observer=buffer)
+    checkpoints = [checkpoint for _indices, checkpoint in buffer.records]
+    return requests, responses, checkpoints
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_is_identity(self, captured):
+        _requests, _responses, checkpoints = captured
+        for checkpoint in checkpoints:
+            restored = checkpoint_from_json(checkpoint_to_json(checkpoint))
+            assert restored == checkpoint  # rng_state excluded from equality
+            assert restored.rng_state == checkpoint.rng_state
+            assert sorted(restored.graph.edges()) \
+                == sorted(checkpoint.graph.edges())
+            assert restored.graph.num_vertices == checkpoint.graph.num_vertices
+
+    def test_payload_is_version_stamped(self, captured):
+        _requests, _responses, checkpoints = captured
+        assert checkpoint_to_dict(checkpoints[0])["version"] \
+            == CHECKPOINT_VERSION
+
+    def test_unknown_version_rejected(self, captured):
+        _requests, _responses, checkpoints = captured
+        payload = checkpoint_to_dict(checkpoints[0])
+        payload["version"] = CHECKPOINT_VERSION + 1
+        with pytest.raises(ConfigurationError, match="version"):
+            checkpoint_from_dict(payload)
+
+    def test_unknown_keys_rejected(self, captured):
+        _requests, _responses, checkpoints = captured
+        payload = checkpoint_to_dict(checkpoints[0])
+        payload["surprise"] = 1
+        with pytest.raises(ConfigurationError, match="surprise"):
+            checkpoint_from_dict(payload)
+
+    def test_rng_state_restores_exactly(self, captured):
+        import random
+
+        _requests, _responses, checkpoints = captured
+        restored = checkpoint_from_json(checkpoint_to_json(checkpoints[0]))
+        rng = random.Random()
+        rng.setstate(restored.rng_state)  # must not raise
+        witness = random.Random()
+        witness.setstate(checkpoints[0].rng_state)
+        assert rng.random() == witness.random()
+
+
+class TestMaterializeResponse:
+    def test_matches_engine_response(self, captured):
+        requests, responses, checkpoints = captured
+        by_theta = {checkpoint.theta: checkpoint for checkpoint in checkpoints}
+        for request, reference in zip(requests, responses):
+            rebuilt = materialize_response(request, by_theta[request.theta])
+            for field in PARITY_FIELDS:
+                assert getattr(rebuilt, field) == getattr(reference, field), field
+
+    def test_survives_json_round_trip_of_the_checkpoint(self, captured):
+        requests, responses, checkpoints = captured
+        checkpoint = checkpoint_from_json(checkpoint_to_json(checkpoints[-1]))
+        rebuilt = materialize_response(requests[-1], checkpoint)
+        for field in PARITY_FIELDS:
+            assert getattr(rebuilt, field) == getattr(responses[-1], field)
+
+    def test_theta_mismatch_rejected(self, captured):
+        requests, _responses, checkpoints = captured
+        with pytest.raises(ConfigurationError, match="theta"):
+            materialize_response(requests[0], checkpoints[-1])
+
+    def test_accepts_preloaded_graph(self, captured):
+        requests, responses, checkpoints = captured
+        graph = load_sample("gnutella", 30, seed=0)
+        rebuilt = materialize_response(requests[0], checkpoints[0],
+                                       original_graph=graph)
+        assert rebuilt.final_opacity == responses[0].final_opacity
+        assert rebuilt.metrics == responses[0].metrics
+
+
+class TestCoreResumeValidation:
+    def test_schedule_must_lie_below_the_checkpoint(self, captured):
+        _requests, _responses, checkpoints = captured
+        graph = load_sample("gnutella", 30, seed=0)
+        algorithm = default_registry().create("rem", theta=0.5,
+                                              length_threshold=1, seed=0)
+        with pytest.raises(ConfigurationError, match="strictly below"):
+            algorithm.anonymize_schedule(graph, [0.9],
+                                         resume_from=checkpoints[-1])
+
+    def test_resume_rejects_initial_distances(self, captured):
+        _requests, _responses, checkpoints = captured
+        graph = load_sample("gnutella", 30, seed=0)
+        algorithm = default_registry().create("rem", theta=0.3,
+                                              length_threshold=1, seed=0)
+        with pytest.raises(ConfigurationError, match="initial_distances"):
+            algorithm.anonymize_schedule(graph, [0.3],
+                                         resume_from=checkpoints[-1],
+                                         initial_distances=object())

@@ -346,3 +346,104 @@ class TestBaselineFailureIsolation:
         assert cache.distance_computes == 1  # counter survives eviction
         cache.graph_for(first)  # re-load after eviction
         assert cache.sample_loads == 4
+
+
+class TestErrorPolicy:
+    def test_on_error_is_validated(self):
+        with pytest.raises(ConfigurationError, match="error policy"):
+            GridRequest(requests=(BASE,), on_error="explode")
+
+    def test_on_error_survives_json_round_trip(self):
+        grid = GridRequest(requests=(BASE,), on_error="fail_fast")
+        assert GridRequest.from_json(grid.to_json()) == grid
+
+    def test_default_isolates(self):
+        requests = [BASE.with_overrides(theta=0.8),
+                    BASE.with_overrides(algorithm="no-such-algo", theta=0.8,
+                                        length_threshold=2)]
+        responses = execute_sample_group(requests)
+        assert responses[0].ok
+        assert responses[1].error is not None
+
+    def test_fail_fast_raises_grid_aborted(self):
+        from repro.errors import GridAbortedError
+
+        requests = [BASE.with_overrides(theta=0.8),
+                    BASE.with_overrides(algorithm="no-such-algo", theta=0.8,
+                                        length_threshold=2)]
+        with pytest.raises(GridAbortedError, match="fail_fast"):
+            execute_sample_group(requests, on_error="fail_fast")
+
+    def test_run_grid_threads_the_policy(self):
+        from repro.errors import GridAbortedError
+
+        grid = GridRequest(requests=(
+            BASE.with_overrides(theta=0.8),
+            BASE.with_overrides(algorithm="no-such-algo", theta=0.8,
+                                length_threshold=2)), on_error="fail_fast")
+        with pytest.raises(GridAbortedError):
+            run_grid(grid)
+
+    def test_independent_mode_fail_fast(self):
+        from repro.errors import GridAbortedError
+
+        grid = GridRequest(requests=(
+            BASE.with_overrides(algorithm="no-such-algo", theta=0.8),),
+            sweep_mode="independent", on_error="fail_fast")
+        with pytest.raises(GridAbortedError):
+            run_grid(grid)
+
+
+class TestSampleGroupResume:
+    def _checkpoints_for(self, requests, prefix_thetas):
+        from repro.api import CheckpointBuffer
+
+        buffer = CheckpointBuffer()
+        execute_sample_group(
+            [request for request in requests
+             if request.theta in prefix_thetas], observer=buffer)
+        resume = {}
+        for _indices, checkpoint in buffer.records:
+            for index, request in enumerate(requests):
+                if abs(request.theta - checkpoint.theta) <= 1e-12:
+                    resume[index] = checkpoint
+        return resume
+
+    def test_resume_matches_uninterrupted_run(self):
+        requests = [BASE.with_overrides(theta=theta) for theta in THETAS]
+        full = execute_sample_group(requests)
+        resume = self._checkpoints_for(requests, THETAS[:2])
+        resumed = execute_sample_group(requests, resume_from=resume)
+        for response, reference in zip(resumed, full):
+            assert_response_parity(response, reference)
+
+    def test_resume_falls_back_cold_for_gades(self):
+        requests = [BASE.with_overrides(algorithm="gades", theta=theta)
+                    for theta in THETAS]
+        full = execute_sample_group(requests)
+        resume = self._checkpoints_for(requests, THETAS[:2])
+        resumed = execute_sample_group(requests, resume_from=resume)
+        for response, reference in zip(resumed, full):
+            assert_response_parity(response, reference)
+
+    def test_fully_checkpointed_group_does_no_work(self):
+        requests = [BASE.with_overrides(theta=theta) for theta in THETAS]
+        full = execute_sample_group(requests)
+        resume = self._checkpoints_for(requests, THETAS)
+        cache = ExecutionCache()
+        resumed = execute_sample_group(requests, resume_from=resume,
+                                       cache=cache)
+        # Every grid point materializes from its checkpoint: the shared
+        # distance matrix is never computed.
+        assert cache.distance_computes == 0
+        for response, reference in zip(resumed, full):
+            assert_response_parity(response, reference)
+
+    def test_announces_groups_to_the_observer(self):
+        from repro.api import CheckpointBuffer
+
+        buffer = CheckpointBuffer()
+        requests = [BASE.with_overrides(theta=theta) for theta in THETAS]
+        execute_sample_group(requests, observer=buffer)
+        assert [indices for indices, _checkpoint in buffer.records] \
+            == [(0, 1, 2)] * len(THETAS)

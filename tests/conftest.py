@@ -44,3 +44,8 @@ def path4_graph() -> Graph:
 def disconnected_graph() -> Graph:
     """Two disjoint edges plus an isolated vertex."""
     return Graph(5, edges=[(0, 1), (2, 3)])
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running end-to-end tests (service kill/restart)")

@@ -129,7 +129,8 @@ class TestFallbackTransition:
         # removal's affected region blows past it.
         graph = erdos_renyi_graph(40, 0.3, seed=11)
         session = DistanceSession(graph, 3, fallback_row_fraction=0.05)
-        removal = next(iter(graph.edges()))
+        removal = next(edge for edge in graph.edges()
+                       if session.preview(removals=[edge]).from_scratch)
         insertion = next(iter(graph.non_edges()))
         # Insertions never fall back, so the first op is processed
         # incrementally and the removal then flips the preview to scratch.

@@ -1,0 +1,197 @@
+"""HTTP API tests: an in-thread server exercised through ServiceClient."""
+
+import threading
+
+import pytest
+
+from repro.api import (
+    AnonymizationRequest,
+    GridRequest,
+    GridResponse,
+    run_grid,
+)
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.http import create_server
+from repro.service.jobs import JobManager
+from repro.service.store import RunStore
+
+BASE = AnonymizationRequest(dataset="gnutella", sample_size=24, seed=0)
+THETAS = (0.9, 0.6)
+
+PARITY_FIELDS = ("success", "final_opacity", "distortion", "num_steps",
+                 "evaluations", "num_vertices", "removed_edges",
+                 "inserted_edges", "anonymized_edges", "stop_reason", "metrics")
+
+
+def small_grid(**overrides):
+    return GridRequest.from_axes(BASE.with_overrides(**overrides),
+                                 thetas=THETAS)
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A live server on an ephemeral port + a client pointed at it."""
+    store = RunStore(str(tmp_path / "runs.db"))
+    manager = JobManager(store)
+    manager.start()
+    server = create_server("127.0.0.1", 0, manager, store)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}")
+    yield client, store, manager
+    server.shutdown()
+    server.server_close()
+    thread.join(timeout=5)
+    manager.stop()
+    store.close()
+
+
+class TestRoutes:
+    def test_health(self, service):
+        client, _store, _manager = service
+        assert client.health() == {"ok": True}
+
+    def test_submit_poll_result_round_trip(self, service):
+        client, _store, _manager = service
+        grid = small_grid()
+        submitted = client.submit(grid)
+        assert submitted["deduped"] is False
+        job_id = submitted["job_id"]
+        status = client.wait(job_id)
+        assert status["status"] == "done"
+        assert status["num_responses"] == len(THETAS)
+        result = client.result(job_id)
+        assert isinstance(result, GridResponse)
+        reference = run_grid(grid, max_workers=1)
+        for response, expected in zip(result.responses, reference.responses):
+            for field in PARITY_FIELDS:
+                assert getattr(response, field) == getattr(expected, field)
+
+    def test_jobs_listing(self, service):
+        client, _store, _manager = service
+        assert client.jobs() == []
+        submitted = client.submit(small_grid())
+        client.wait(submitted["job_id"])
+        listing = client.jobs()
+        assert len(listing) == 1
+        assert listing[0]["id"] == submitted["job_id"]
+
+    def test_kind_is_inferred_from_the_record(self, service):
+        client, _store, _manager = service
+        submitted = client.submit(BASE.with_overrides(theta=0.7))
+        status = client.wait(submitted["job_id"])
+        assert status["kind"] == "anonymize"
+
+    def test_cancel_route(self, service):
+        client, store, manager = service
+        submitted = client.submit(small_grid())
+        client.wait(submitted["job_id"])
+        answer = client.cancel(submitted["job_id"])
+        assert answer["cancelled"] is False  # already done
+        assert answer["status"] == "done"
+
+
+class TestDedupOverHttp:
+    def test_resubmission_returns_200_with_the_same_job(self, service):
+        client, _store, _manager = service
+        grid = small_grid()
+        first = client.submit(grid)
+        client.wait(first["job_id"])
+        again = client.submit(grid)
+        assert again == {"job_id": first["job_id"], "status": "done",
+                         "deduped": True}
+
+
+class TestErrorPaths:
+    def test_unknown_job_status_404(self, service):
+        client, _store, _manager = service
+        with pytest.raises(ServiceError) as caught:
+            client.status("nope")
+        assert caught.value.status == 404
+
+    def test_unknown_job_result_404(self, service):
+        client, _store, _manager = service
+        with pytest.raises(ServiceError) as caught:
+            client.result("nope")
+        assert caught.value.status == 404
+
+    def test_result_before_done_is_409(self, service):
+        client, _store, manager = service
+        # Submit without a consumer racing us: stop the worker first so
+        # the job stays queued.
+        manager.stop()
+        submitted = client.submit(small_grid())
+        with pytest.raises(ServiceError) as caught:
+            client.result(submitted["job_id"])
+        assert caught.value.status == 409
+        assert caught.value.payload["status"] == "queued"
+
+    def test_malformed_kind_is_400(self, service):
+        client, _store, _manager = service
+        with pytest.raises(ServiceError) as caught:
+            client._call("POST", "/jobs", {"kind": "banana", "request": {}})
+        assert caught.value.status == 400
+        assert "banana" in caught.value.payload["error"]
+
+    def test_malformed_request_payload_is_400(self, service):
+        client, _store, _manager = service
+        with pytest.raises(ServiceError) as caught:
+            client._call("POST", "/jobs",
+                         {"kind": "grid", "request": {"requests": []}})
+        assert caught.value.status == 400
+
+    def test_non_object_payload_is_400(self, service):
+        client, _store, _manager = service
+        with pytest.raises(ServiceError) as caught:
+            client._call("POST", "/jobs", {"kind": "grid", "request": 7})
+        assert caught.value.status == 400
+
+    def test_invalid_parameter_is_400(self, service):
+        client, _store, _manager = service
+        payload = BASE.to_dict()
+        payload["theta"] = -3.0
+        with pytest.raises(ServiceError) as caught:
+            client._call("POST", "/jobs",
+                         {"kind": "anonymize", "request": payload})
+        assert caught.value.status == 400
+
+    def test_unknown_path_404(self, service):
+        client, _store, _manager = service
+        with pytest.raises(ServiceError) as caught:
+            client._call("GET", "/frobnicate")
+        assert caught.value.status == 404
+
+    def test_cancel_unknown_job_404(self, service):
+        client, _store, _manager = service
+        with pytest.raises(ServiceError) as caught:
+            client.cancel("nope")
+        assert caught.value.status == 404
+
+
+class TestAdminInit:
+    def test_init_reports_stats(self, service):
+        client, _store, _manager = service
+        submitted = client.submit(small_grid())
+        client.wait(submitted["job_id"])
+        summary = client.init()
+        assert summary["ok"] and not summary["did_reset"]
+        assert summary["stats"]["jobs"] == 1
+
+    def test_reset_empties_and_archives(self, service):
+        client, _store, _manager = service
+        submitted = client.submit(small_grid())
+        client.wait(submitted["job_id"])
+        summary = client.init(reset=True)
+        assert summary["did_reset"]
+        assert summary["stats"]["jobs"] == 0
+        assert len(summary["backups"]) == 1
+        assert client.jobs() == []
+
+    def test_init_refused_while_jobs_in_flight(self, service):
+        client, _store, manager = service
+        manager.stop()  # keep the submission queued
+        client.submit(small_grid())
+        with pytest.raises(ServiceError) as caught:
+            client.init(reset=True)
+        assert caught.value.status == 409

@@ -1,0 +1,333 @@
+"""Tests for the background job manager (execution, dedup, cancel, resume)."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.api import (
+    AnonymizationRequest,
+    AnonymizationResponse,
+    CheckpointBuffer,
+    GridRequest,
+    GridResponse,
+    SweepRequest,
+    checkpoint_to_json,
+    execute_sample_group,
+    request_fingerprint,
+    run_grid,
+)
+from repro.errors import ConfigurationError
+from repro.service.jobs import JobManager, parse_request, wrap_result
+from repro.service.store import RunStore
+
+BASE = AnonymizationRequest(dataset="gnutella", sample_size=24, seed=0)
+THETAS = (0.9, 0.6, 0.4)
+
+PARITY_FIELDS = ("success", "final_opacity", "distortion", "num_steps",
+                 "evaluations", "num_vertices", "removed_edges",
+                 "inserted_edges", "anonymized_edges", "stop_reason", "metrics")
+
+
+def small_grid(**overrides):
+    return GridRequest.from_axes(BASE.with_overrides(**overrides),
+                                 thetas=THETAS)
+
+
+def assert_grid_parity(result, reference):
+    assert len(result.responses) == len(reference.responses)
+    for response, expected in zip(result.responses, reference.responses):
+        for field in PARITY_FIELDS:
+            assert getattr(response, field) == getattr(expected, field), field
+
+
+@pytest.fixture
+def store(tmp_path):
+    run_store = RunStore(str(tmp_path / "runs.db"))
+    yield run_store
+    run_store.close()
+
+
+@pytest.fixture
+def manager(store):
+    job_manager = JobManager(store)
+    job_manager.start()
+    yield job_manager
+    job_manager.stop()
+
+
+class TestParseRequest:
+    def test_each_kind_parses(self):
+        assert parse_request("anonymize", BASE.to_dict()) == BASE
+        sweep = SweepRequest(requests=(BASE,))
+        assert parse_request("sweep", sweep.to_dict()) == sweep
+        grid = small_grid()
+        assert parse_request("grid", grid.to_dict()) == grid
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            parse_request("banana", {})
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(ConfigurationError, match="object"):
+            parse_request("grid", [1, 2, 3])
+
+
+class TestExecution:
+    def test_grid_job_matches_direct_run(self, manager, store):
+        grid = small_grid()
+        submitted = manager.submit("grid", grid)
+        assert submitted["deduped"] is False
+        job = manager.wait_for(submitted["job_id"], timeout=120)
+        assert job["status"] == "done"
+        result = GridResponse.from_json(store.get_result(job["id"]))
+        assert_grid_parity(result, run_grid(grid, max_workers=1))
+
+    def test_single_request_job(self, manager, store):
+        request = BASE.with_overrides(theta=0.7)
+        submitted = manager.submit("anonymize", request)
+        job = manager.wait_for(submitted["job_id"], timeout=120)
+        assert job["status"] == "done"
+        result = AnonymizationResponse.from_json(store.get_result(job["id"]))
+        assert result.success is not None
+        assert result.request == request
+
+    def test_checkpoints_stream_during_the_run(self, manager, store):
+        submitted = manager.submit("grid", small_grid())
+        job_id = submitted["job_id"]
+        manager.wait_for(job_id, timeout=120)
+        assert store.num_checkpoints(job_id) == len(THETAS)
+        assert store.num_responses(job_id) == len(THETAS)
+        latest = store.latest_checkpoint(job_id)
+        assert latest["theta"] == pytest.approx(min(THETAS))
+
+    def test_status_exposes_progress_counters(self, manager, store):
+        submitted = manager.submit("grid", small_grid())
+        job_id = submitted["job_id"]
+        manager.wait_for(job_id, timeout=120)
+        status = manager.status(job_id)
+        assert status["num_responses"] == len(THETAS)
+        assert status["num_checkpoints"] == len(THETAS)
+        assert status["latest_checkpoint"] is not None
+        assert manager.status("nope") is None
+
+    def test_error_status_job(self, manager, store):
+        grid = GridRequest(requests=(
+            BASE.with_overrides(theta=0.8),
+            BASE.with_overrides(algorithm="no-such-algorithm"),
+        ), on_error="fail_fast")
+        submitted = manager.submit("grid", grid)
+        job = manager.wait_for(submitted["job_id"], timeout=120)
+        assert job["status"] == "error"
+        assert "no-such-algorithm" in job["error"]
+        assert store.get_result(job["id"]) is None
+
+    def test_isolate_mode_finishes_with_error_responses(self, manager, store):
+        grid = GridRequest(requests=(
+            BASE.with_overrides(theta=0.8),
+            BASE.with_overrides(algorithm="no-such-algorithm"),
+        ))
+        submitted = manager.submit("grid", grid)
+        job = manager.wait_for(submitted["job_id"], timeout=120)
+        assert job["status"] == "done"
+        result = GridResponse.from_json(store.get_result(job["id"]))
+        assert result.responses[0].success
+        assert not result.responses[1].success
+        assert result.responses[1].error is not None
+
+
+class TestDedup:
+    def test_finished_job_is_reused(self, manager):
+        grid = small_grid()
+        first = manager.submit("grid", grid)
+        manager.wait_for(first["job_id"], timeout=120)
+        again = manager.submit("grid", grid)
+        assert again == {"job_id": first["job_id"], "status": "done",
+                         "deduped": True}
+
+    def test_resubmission_does_zero_new_work(self, manager, store,
+                                             monkeypatch):
+        grid = small_grid()
+        first = manager.submit("grid", grid)
+        manager.wait_for(first["job_id"], timeout=120)
+
+        import repro.api.sweeps as sweeps_module
+
+        def explode(*_args, **_kwargs):
+            raise AssertionError("a deduped resubmission must not execute")
+
+        monkeypatch.setattr(sweeps_module, "execute_sweep_group", explode)
+        again = manager.submit("grid", grid)
+        assert again["deduped"] is True
+        assert GridResponse.from_json(store.get_result(again["job_id"])) \
+            is not None
+
+    def test_in_flight_twin_coalesces(self, store):
+        # Not started: the job stays queued, so the twin must coalesce.
+        manager = JobManager(store)
+        grid = small_grid()
+        first = manager.submit("grid", grid)
+        second = manager.submit("grid", grid)
+        assert second == {"job_id": first["job_id"], "status": "queued",
+                          "deduped": True}
+
+    def test_different_requests_do_not_collide(self, store):
+        manager = JobManager(store)
+        first = manager.submit("grid", small_grid())
+        second = manager.submit("grid", small_grid(seed=1))
+        assert first["job_id"] != second["job_id"]
+
+
+class TestCancel:
+    def test_cancel_queued_job(self, store):
+        manager = JobManager(store)  # no worker: stays queued
+        submitted = manager.submit("grid", small_grid())
+        assert manager.cancel(submitted["job_id"])
+        assert store.get_job(submitted["job_id"])["status"] == "cancelled"
+
+    def test_cancel_unknown_or_finished(self, manager, store):
+        assert not manager.cancel("nope")
+        submitted = manager.submit("grid", small_grid())
+        manager.wait_for(submitted["job_id"], timeout=120)
+        assert not manager.cancel(submitted["job_id"])
+
+    def test_cancel_running_job(self, store):
+        # A slow grid (larger sample, several θs) gives the cancel a
+        # window; the token stops the pass at the next observer callback.
+        manager = JobManager(store)
+        manager.start()
+        try:
+            grid = GridRequest.from_axes(
+                BASE.with_overrides(sample_size=60),
+                thetas=(0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3))
+            submitted = manager.submit("grid", grid)
+            job_id = submitted["job_id"]
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                status = store.get_job(job_id)["status"]
+                if status == "running":
+                    break
+                if status in ("done", "error", "cancelled"):
+                    break
+                time.sleep(0.005)
+            if store.get_job(job_id)["status"] == "running":
+                assert manager.cancel(job_id)
+            job = manager.wait_for(job_id, timeout=120)
+            # Either the cancel landed in time or the tiny job finished
+            # first; both are legitimate terminal states.
+            assert job["status"] in ("cancelled", "done")
+        finally:
+            manager.stop()
+
+    def test_orphaned_running_job_can_be_cancelled(self, store):
+        manager = JobManager(store)  # worker never started
+        submitted = manager.submit("grid", small_grid())
+        store.set_status(submitted["job_id"], "running")
+        assert manager.cancel(submitted["job_id"])
+        assert store.get_job(submitted["job_id"])["status"] == "cancelled"
+
+
+class TestResume:
+    """A dead process's half-finished grid continues bit-identically."""
+
+    def _interrupt(self, store, grid, crossed):
+        """Persist the state a process killed after ``crossed`` θs leaves."""
+        job_id = store.create_job("grid", request_fingerprint(grid),
+                                  grid.to_json(), len(grid.requests))
+        store.set_status(job_id, "running")
+        buffer = CheckpointBuffer()
+        execute_sample_group(list(grid.requests[:crossed]), observer=buffer)
+        for index, (_indices, checkpoint) in enumerate(buffer.records):
+            store.record_checkpoint(job_id, index, checkpoint.theta,
+                                    checkpoint_to_json(checkpoint))
+        return job_id
+
+    @pytest.mark.parametrize("crossed", [1, 2])
+    def test_resumed_grid_matches_uninterrupted_run(self, store, crossed):
+        grid = small_grid()
+        job_id = self._interrupt(store, grid, crossed)
+        manager = JobManager(store)
+        resumed = manager.start()
+        try:
+            assert resumed == [job_id]
+            job = manager.wait_for(job_id, timeout=120)
+            assert job["status"] == "done"
+            result = GridResponse.from_json(store.get_result(job_id))
+            assert_grid_parity(result, run_grid(grid, max_workers=1))
+        finally:
+            manager.stop()
+
+    def test_fully_checkpointed_job_does_no_anonymization(self, store,
+                                                          monkeypatch):
+        grid = small_grid()
+        job_id = self._interrupt(store, grid, len(grid.requests))
+
+        import repro.api.sweeps as sweeps_module
+
+        def explode(*_args, **_kwargs):
+            raise AssertionError(
+                "every θ is checkpointed; nothing may re-run")
+
+        monkeypatch.setattr(sweeps_module, "execute_sweep_group", explode)
+        manager = JobManager(store)
+        manager.start()
+        try:
+            job = manager.wait_for(job_id, timeout=120)
+            assert job["status"] == "done"
+            result = GridResponse.from_json(store.get_result(job_id))
+            assert_grid_parity(result, run_grid(grid, max_workers=1))
+        finally:
+            manager.stop()
+
+    def test_stored_responses_short_circuit_whole_groups(self, store,
+                                                         monkeypatch):
+        grid = small_grid()
+        reference = run_grid(grid, max_workers=1)
+        job_id = store.create_job("grid", request_fingerprint(grid),
+                                  grid.to_json(), len(grid.requests))
+        store.set_status(job_id, "running")
+        for index, response in enumerate(reference.responses):
+            store.record_response(job_id, index, response.to_json())
+
+        import repro.api.sweeps as sweeps_module
+
+        monkeypatch.setattr(
+            sweeps_module, "execute_sweep_group",
+            lambda *a, **k: pytest.fail("all responses are stored"))
+        manager = JobManager(store)
+        manager.start()
+        try:
+            job = manager.wait_for(job_id, timeout=120)
+            assert job["status"] == "done"
+            result = GridResponse.from_json(store.get_result(job_id))
+            assert_grid_parity(result, reference)
+        finally:
+            manager.stop()
+
+    def test_queued_job_from_a_dead_process_just_runs(self, store):
+        grid = small_grid()
+        job_id = store.create_job("grid", request_fingerprint(grid),
+                                  grid.to_json(), len(grid.requests))
+        manager = JobManager(store)
+        resumed = manager.start()
+        try:
+            assert resumed == [job_id]
+            job = manager.wait_for(job_id, timeout=120)
+            assert job["status"] == "done"
+        finally:
+            manager.stop()
+
+
+class TestWrapResult:
+    def test_sweep_and_grid_wrapping(self):
+        sweep = SweepRequest(requests=(BASE.with_overrides(theta=0.8),))
+        responses = [AnonymizationResponse(request=sweep.requests[0])]
+        wrapped = wrap_result("sweep", sweep, responses)
+        assert wrapped.num_groups == 1
+        grid = small_grid()
+        grid_responses = [AnonymizationResponse(request=request)
+                          for request in grid.requests]
+        wrapped = wrap_result("grid", grid, grid_responses)
+        assert wrapped.num_sample_groups == 1
+        assert len(wrapped.responses) == len(THETAS)

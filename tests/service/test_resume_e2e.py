@@ -1,0 +1,135 @@
+"""End-to-end resume: kill `repro-lopacity serve` mid-grid, restart, compare.
+
+The acceptance path of the service layer: submit a multi-θ grid over
+HTTP, SIGKILL the server process after at least one checkpoint has been
+persisted but before the job finishes, restart the server on the same
+database, and require the resumed job's final ``GridResponse`` to be
+bit-identical (on everything but runtime) to an uninterrupted direct
+``run_grid`` — then resubmit the same grid and require a dedup hit.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.api import AnonymizationRequest, GridRequest, run_grid
+from repro.service.client import ServiceClient
+
+#: enron@200/L=2 costs ~2s to the first θ checkpoint and ~1.5s more to
+#: finish — wide enough to kill the server mid-run without flakiness.
+BASE = AnonymizationRequest(dataset="enron", sample_size=200, seed=0,
+                            length_threshold=2)
+THETAS = (0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.15, 0.1)
+
+PARITY_FIELDS = ("success", "final_opacity", "distortion", "num_steps",
+                 "evaluations", "num_vertices", "removed_edges",
+                 "inserted_edges", "anonymized_edges", "stop_reason", "metrics")
+
+
+def _spawn_server(db_path):
+    """Start ``serve`` on an ephemeral port; returns (process, client)."""
+    env = dict(os.environ)
+    root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    src = os.path.join(root, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--db", str(db_path)],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, bufsize=1, env=env)
+    banner = []
+    deadline = time.monotonic() + 60
+    url = None
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        banner.append(line.rstrip("\n"))
+        if line.startswith("listening on "):
+            url = line.split("listening on ", 1)[1].strip()
+            break
+    if url is None:
+        process.kill()
+        pytest.fail(f"server never announced its port; output: {banner}")
+    return process, ServiceClient(url), banner
+
+
+def _terminate(process):
+    if process.poll() is None:
+        process.terminate()
+        try:
+            process.wait(timeout=10)
+        except subprocess.TimeoutExpired:
+            process.kill()
+            process.wait(timeout=10)
+    process.stdout.close()
+
+
+@pytest.mark.slow
+def test_kill_and_restart_resumes_bit_identically(tmp_path):
+    db_path = tmp_path / "runs.db"
+    grid = GridRequest.from_axes(BASE, thetas=THETAS)
+
+    process, client, _banner = _spawn_server(db_path)
+    try:
+        submitted = client.submit(grid)
+        job_id = submitted["job_id"]
+        assert submitted["deduped"] is False
+
+        # Wait for at least one persisted checkpoint, then kill the
+        # server hard — no shutdown hooks, exactly like a crash.
+        killed_mid_run = False
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            status = client.status(job_id)
+            if status["status"] in ("done", "error", "cancelled"):
+                break
+            if status["num_checkpoints"] >= 1:
+                process.send_signal(signal.SIGKILL)
+                process.wait(timeout=10)
+                killed_mid_run = True
+                break
+            time.sleep(0.02)
+        assert killed_mid_run, \
+            f"job reached {client.status(job_id)['status']} before the kill"
+    finally:
+        _terminate(process)
+
+    process, client, banner = _spawn_server(db_path)
+    try:
+        assert any(line.startswith("resuming 1 interrupted job")
+                   for line in banner), banner
+        status = client.wait(job_id, timeout=240)
+        assert status["status"] == "done"
+        assert status["num_checkpoints"] >= 1
+        result = client.result(job_id)
+
+        reference = run_grid(grid, max_workers=1)
+        assert len(result.responses) == len(reference.responses)
+        for response, expected in zip(result.responses, reference.responses):
+            for field in PARITY_FIELDS:
+                assert getattr(response, field) == getattr(expected, field), \
+                    field
+
+        # Resubmitting the identical grid must dedup onto the finished
+        # job — answered from the store, no recomputation.
+        again = client.submit(grid)
+        assert again == {"job_id": job_id, "status": "done", "deduped": True}
+    finally:
+        _terminate(process)
+
+
+@pytest.mark.slow
+def test_restart_with_no_interrupted_jobs_is_quiet(tmp_path):
+    db_path = tmp_path / "runs.db"
+    process, client, banner = _spawn_server(db_path)
+    try:
+        assert client.health() == {"ok": True}
+        assert not any("resuming" in line for line in banner)
+    finally:
+        _terminate(process)
