@@ -1,0 +1,124 @@
+"""Shared-memory data plane: parallel θ-groups over one published sample.
+
+The tentpole scenario of the zero-copy plane (DESIGN.md §12): a
+*single-sample* grid — one dataset/size/seed, several algorithms and L
+values, a θ grid per combination — whose θ-sweep groups fan out across a
+process pool while the parent performs exactly **one** sample load and
+**one** L_max bounded-distance computation, published once into
+shared-memory segments that every worker attaches read-only.
+
+Two baselines bracket the plane:
+
+* ``serial`` — ``max_workers=0``, the in-process reference the responses
+  must be bit-identical to;
+* ``legacy`` — ``shared_memory=False``, the PR-6 fan-out where each
+  worker re-derives its own sample artifacts (the redundant work the
+  arena removes).
+
+The work counters are deterministic engine properties and are asserted
+under the CI smoke knob as well; the wall-clock comparison is only
+*asserted* when the machine actually has the cores to parallelize
+(``os.cpu_count() >= workers``) — on smaller boxes the numbers are
+printed for inspection but a speedup is physically impossible.
+"""
+
+import os
+import time
+
+from benchmarks.conftest import smoke
+from repro.api import AnonymizationRequest, GridRequest, run_grid
+
+DATASET = "gnutella"
+#: n=200 is the sweet spot for this sample: the rem-ins L=2 groups take
+#: ~1.2s each (well past pool startup), while smaller samples converge in
+#: milliseconds and would only measure process-pool overhead.
+SAMPLE_SIZE = 200
+ALGORITHMS = ("rem", "rem-ins")
+LENGTHS = (1, 2)
+#: Each extra lookahead adds another ~1.2s rem-ins L=2 θ-group, which is
+#: what actually fans out: 3 heavy groups for the full shape (4 workers),
+#: 2 for the smoke shape (2-worker CI runners).
+LOOKAHEADS = smoke((1, 2, 3), (1, 2))
+THETAS = (0.9, 0.8, 0.7, 0.6, 0.5)
+WORKERS = smoke(4, 2)
+#: Minimum pooled-vs-serial speedup asserted when the cores exist: the
+#: full shape (4 workers on >= 4 cores) must beat 2x; the CI smoke shape
+#: (2-core runners) just has to show a real win over serial.
+MIN_SPEEDUP = smoke(2.0, 1.05)
+
+PARITY_FIELDS = ("success", "final_opacity", "distortion", "num_steps",
+                 "evaluations", "anonymized_edges", "stop_reason")
+
+
+def _grid() -> GridRequest:
+    base = AnonymizationRequest(dataset=DATASET, sample_size=SAMPLE_SIZE,
+                                seed=0)
+    return GridRequest.from_axes(base, algorithms=ALGORITHMS,
+                                 length_thresholds=LENGTHS,
+                                 lookaheads=LOOKAHEADS, thetas=THETAS)
+
+
+def bench_shm_grid(benchmark):
+    grid = _grid()
+    benchmark.group = (f"shm grid, {DATASET} n={SAMPLE_SIZE} "
+                       f"{len(grid.groups())} theta-groups x{WORKERS}w")
+
+    start = time.perf_counter()
+    serial = run_grid(grid, max_workers=0)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    legacy = run_grid(grid, max_workers=WORKERS, shared_memory=False)
+    legacy_s = time.perf_counter() - start
+
+    pooled = benchmark.pedantic(
+        run_grid, args=(grid,), kwargs={"max_workers": WORKERS},
+        rounds=1, iterations=1)
+
+    print(f"\n  grid: {len(grid.requests)} configs in {len(grid.groups())} "
+          f"theta group(s) over {len(grid.sample_groups())} sample group(s)"
+          f"\n  serial (max_workers=0):        {serial_s:8.3f}s"
+          f"\n  legacy plane ({WORKERS} workers):      {legacy_s:8.3f}s"
+          f"\n  shm plane ({WORKERS} workers): see benchmark timing above"
+          f"\n  shm grid work: {pooled.num_sample_loads} load(s), "
+          f"{pooled.num_distance_computes} distance computation(s) "
+          f"(legacy plane pays both per worker)")
+
+    # Deterministic acceptance, asserted at every size: one load and one
+    # L_max computation for the whole pooled grid, bit-identical responses.
+    assert pooled.ok
+    assert pooled.num_sample_loads == 1
+    assert pooled.num_distance_computes == 1
+    for ours, theirs in zip(pooled.responses, serial.responses):
+        for field in PARITY_FIELDS:
+            assert getattr(ours, field) == getattr(theirs, field), field
+    for ours, theirs in zip(legacy.responses, serial.responses):
+        for field in PARITY_FIELDS:
+            assert getattr(ours, field) == getattr(theirs, field), field
+
+
+def bench_shm_grid_speedup(benchmark):
+    """Wall-clock: θ-group fan-out vs the serial baseline (core-gated)."""
+    grid = _grid()
+    benchmark.group = f"shm grid speedup x{WORKERS}w"
+
+    start = time.perf_counter()
+    run_grid(grid, max_workers=0)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    pooled = benchmark.pedantic(
+        run_grid, args=(grid,), kwargs={"max_workers": WORKERS},
+        rounds=1, iterations=1)
+    pooled_s = time.perf_counter() - start
+
+    cores = os.cpu_count() or 1
+    speedup = serial_s / pooled_s if pooled_s else float("inf")
+    print(f"\n  serial {serial_s:.3f}s vs shm x{WORKERS}w {pooled_s:.3f}s "
+          f"-> speedup {speedup:.2f}x on {cores} core(s) "
+          f"(asserting >= {MIN_SPEEDUP}x only when cores >= workers)")
+    assert pooled.ok
+    if cores >= WORKERS:
+        assert speedup >= MIN_SPEEDUP, (
+            f"shm plane speedup {speedup:.2f}x below {MIN_SPEEDUP}x "
+            f"on {cores} cores")

@@ -27,6 +27,25 @@ import sys
 import time
 
 
+def _group_for(bench: dict) -> str:
+    """Benchmark group, falling back to the bench module's stem.
+
+    Benches that never assign ``benchmark.group`` used to persist
+    ``"group": null``, which sorts all ungrouped entries into one
+    indistinguishable bucket across files. The module stem
+    (``benchmarks/bench_grid_cache.py::bench_x`` -> ``bench_grid_cache``)
+    is always available in the dump and keeps the trajectory diffable.
+    """
+    group = bench.get("group")
+    if group:
+        return group
+    module = bench.get("fullname", "").split("::", 1)[0]
+    stem = module.replace("\\", "/").rsplit("/", 1)[-1]
+    if stem.endswith(".py"):
+        stem = stem[:-3]
+    return stem or "ungrouped"
+
+
 def condense(raw: dict, pr: int) -> dict:
     """Reduce a pytest-benchmark dump to the trajectory entry format."""
     machine = raw.get("machine_info", {})
@@ -34,11 +53,11 @@ def condense(raw: dict, pr: int) -> dict:
     for bench in raw.get("benchmarks", []):
         entries.append({
             "name": bench["name"],
-            "group": bench.get("group"),
+            "group": _group_for(bench),
             "seconds": round(bench["stats"]["mean"], 6),
             "rounds": bench["stats"]["rounds"],
         })
-    entries.sort(key=lambda entry: (entry["group"] or "", entry["name"]))
+    entries.sort(key=lambda entry: (entry["group"], entry["name"]))
     return {
         "pr": pr,
         "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),

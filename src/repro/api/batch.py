@@ -12,8 +12,13 @@ with process-local registrations therefore require ``max_workers=0``
 across the pool: each group is one checkpointed anonymization pass
 (:mod:`repro.api.theta_sweep`), so a worker amortizes a whole θ grid instead of
 re-running the anonymization per grid point.  :meth:`BatchRunner.run_grid`
-fans *sample groups* (:mod:`repro.api.sweeps`) — all groups sharing a
-loaded sample run on one worker with a shared L_max distance computation.
+fans *θ-sweep groups* over the zero-copy shared-memory data plane
+(:mod:`repro.api.shm`): the parent loads each sample group's graph and runs
+its L_max distance computation exactly once, publishes both to
+shared-memory segments, and workers attach read-only views — so even a
+single-sample grid parallelizes across all cores with zero redundant
+loads or BFS runs.  ``shared_memory=False`` falls back to fanning whole
+*sample groups*, each worker re-deriving its own artifacts.
 
 Every pool is started with an initializer that installs a process-level
 :class:`~repro.api.cache.ExecutionCache` in the worker, so a worker loads
@@ -41,7 +46,8 @@ from repro.api.registry import AnonymizerRegistry
 from repro.api.requests import AnonymizationRequest, AnonymizationResponse
 
 if TYPE_CHECKING:  # pragma: no cover — avoids an import cycle at runtime
-    from repro.api.cache import ExecutionCache
+    from repro.api.cache import ExecutionCache, GridStats
+    from repro.api.shm import ArenaDescriptor
     from repro.api.sweeps import GridRequest
     from repro.api.theta_sweep import SweepRequest
 
@@ -121,13 +127,19 @@ def _execute_group_payload(payloads: List[Dict[str, Any]], sweep_mode: str,
 def _execute_sample_group_payload(payloads: List[Dict[str, Any]],
                                   sweep_mode: str,
                                   data_dir: Optional[str],
-                                  on_error: str = "isolate") -> List[Dict[str, Any]]:
-    """Worker-side entry point for one grid sample group (module-level)."""
+                                  on_error: str = "isolate") -> Dict[str, Any]:
+    """Worker-side entry point for one grid sample group (module-level).
+
+    Returns ``{"responses": [...], "stats": (sample_loads,
+    distance_computes)}`` — the response dicts plus this task's counter
+    deltas, so the parent can aggregate grid-wide work totals.
+    """
     from repro.api.cache import ExecutionCache
     from repro.api.sweeps import execute_sample_group
 
     requests = [AnonymizationRequest.from_dict(payload) for payload in payloads]
     cache = worker_cache() or ExecutionCache(data_dir=data_dir)
+    loads, computes = cache.sample_loads, cache.distance_computes
     try:
         responses = execute_sample_group(requests, sweep_mode=sweep_mode,
                                          data_dir=data_dir, cache=cache,
@@ -136,7 +148,55 @@ def _execute_sample_group_payload(payloads: List[Dict[str, Any]],
         # A sample group is handed to a worker exactly once, so its entries
         # can never be hit again — drop them to bound worker memory.
         cache.release(requests[0])
-    return [response.to_dict() for response in responses]
+    return {"responses": [response.to_dict() for response in responses],
+            "stats": (cache.sample_loads - loads,
+                      cache.distance_computes - computes)}
+
+
+def _execute_shm_group_payload(payloads: List[Dict[str, Any]],
+                               sweep_mode: str,
+                               data_dir: Optional[str],
+                               descriptor: "ArenaDescriptor",
+                               baseline: Optional[Any] = None) -> Dict[str, Any]:
+    """Worker-side entry point for one θ-sweep group on the shm plane.
+
+    ``descriptor`` names the parent-published arena of this group's sample:
+    the worker adopts it into its process-level cache (attaching once per
+    arena, no disk I/O, no engine run), derives the group's initial matrix
+    by thresholding the shared L_max view, and executes the θ-sweep group
+    exactly like the serial path.  ``baseline`` is the parent-computed
+    utility baseline (``None`` when no request of the group needs one).
+    Returns the same ``{"responses", "stats"}`` envelope as
+    :func:`_execute_sample_group_payload`; the stats deltas stay (0, 0)
+    unless the worker had to fall back to real work.
+    """
+    from repro.api.cache import ExecutionCache
+    from repro.api.theta_sweep import execute_sweep_group
+
+    requests = [AnonymizationRequest.from_dict(payload) for payload in payloads]
+    cache = worker_cache() or ExecutionCache(data_dir=data_dir)
+    loads, computes = cache.sample_loads, cache.distance_computes
+    first = requests[0]
+    try:
+        cache.adopt_arena(first, descriptor)
+        graph = cache.graph_for(first)
+        initial_distances = None
+        if first.evaluation_mode == "incremental":
+            l_max = descriptor.l_max_for(first.engine)
+            initial_distances = cache.distances_for(
+                first, max(l_max or 1, first.length_threshold))
+    except Exception as exc:  # noqa: BLE001 — same isolation as the group
+        return {"responses": [AnonymizationResponse.failure(request, exc).to_dict()
+                              for request in requests],
+                "stats": (cache.sample_loads - loads,
+                          cache.distance_computes - computes)}
+    responses = execute_sweep_group(requests, sweep_mode=sweep_mode,
+                                    data_dir=data_dir, graph=graph,
+                                    initial_distances=initial_distances,
+                                    baseline=baseline)
+    return {"responses": [response.to_dict() for response in responses],
+            "stats": (cache.sample_loads - loads,
+                      cache.distance_computes - computes)}
 
 
 class BatchRunner:
@@ -151,14 +211,21 @@ class BatchRunner:
     data_dir:
         Optional directory with real SNAP dataset files, forwarded to the
         dataset loaders in every worker.
+    shared_memory:
+        Whether :meth:`run_grid` uses the zero-copy shared-memory data
+        plane when pooled.  ``None`` (default) means *on* whenever a pool
+        is used; ``False`` is the escape hatch back to the sample-group
+        fan-out.  Ignored with ``max_workers=0``.
     """
 
     def __init__(self, max_workers: Optional[int] = None, *,
-                 data_dir: Optional[str] = None) -> None:
+                 data_dir: Optional[str] = None,
+                 shared_memory: Optional[bool] = None) -> None:
         if max_workers is not None and max_workers < 0:
             raise ValueError(f"max_workers must be >= 0 or None, got {max_workers}")
         self._max_workers = max_workers
         self._data_dir = data_dir
+        self._shared_memory = shared_memory
 
     def run(self, requests: Sequence[AnonymizationRequest]) -> List[AnonymizationResponse]:
         """Execute ``requests`` and return responses in request order."""
@@ -278,29 +345,36 @@ class BatchRunner:
     # ------------------------------------------------------------------
     def run_grid(self, grid: "GridRequest", *,
                  registry: Optional[AnonymizerRegistry] = None,
-                 cache: Optional["ExecutionCache"] = None
+                 cache: Optional["ExecutionCache"] = None,
+                 stats: Optional["GridStats"] = None
                  ) -> List[AnonymizationResponse]:
-        """Execute a grid, fanning *sample groups* across the pool.
+        """Execute a grid, fanning *θ-sweep groups* over shared memory.
 
-        Each sample group — every request sharing a dataset/size/seed (or
-        explicit edge list) — runs as one unit: the sample is loaded once,
-        one L_max bounded-distance computation serves every L of the
-        group, and its θ-sweep groups execute as checkpointed passes with
-        per-group failure isolation (:mod:`repro.api.sweeps`).  Responses
-        come back in request order.  ``sweep_mode="independent"`` opts out
-        of all grouping and takes :meth:`run`'s per-request fan-out.  A
-        grid whose requests all share one sample has nothing to fan at
-        sample granularity, so with workers requested it falls back to
-        :meth:`run_sweep`'s θ-group fan-out (keeping the pre-grid
-        parallelism; the worker caches still de-duplicate sample loads).
-        A custom ``registry`` (or an injected ``cache``, the
-        instrumentation/sharing hook of the benches) is only honoured with
-        ``max_workers=0``; workers build their own process-level caches.
+        On the default shared-memory data plane the parent resolves each
+        sample group's graph and runs its L_max bounded-distance
+        computation exactly once, publishes both to shared-memory segments
+        (:mod:`repro.api.shm`), and fans the sample's θ-sweep groups —
+        each a checkpointed anonymization pass — across the pool carrying
+        only arena descriptors.  ``shared_memory=False`` (on the runner)
+        falls back to fanning whole *sample groups*: every request sharing
+        a dataset/size/seed runs on one worker that derives its own
+        artifacts.  Responses come back in request order and are
+        bit-identical between the planes and the ``max_workers=0`` serial
+        path.  ``sweep_mode="independent"`` opts out of all grouping and
+        takes :meth:`run`'s per-request fan-out.  A custom ``registry``
+        (or an injected ``cache``, the instrumentation/sharing hook of the
+        benches) is only honoured with ``max_workers=0``; workers build
+        their own process-level caches.
+
+        ``stats``, when given, accumulates grid-wide sample-load and
+        distance-computation counts across every participating process;
+        its ``tracked`` flag is set on the paths that can observe them
+        (all grouped executions — not independent mode).
 
         The grid's ``on_error`` policy governs failure handling:
         ``"isolate"`` (default) keeps the historical behaviour, while
         ``"fail_fast"`` raises :class:`~repro.errors.GridAbortedError` on
-        the first failed request, cancelling not-yet-started sample groups
+        the first failed request, cancelling not-yet-started work
         (in-flight workers finish their current group).
         """
         from repro.api.cache import ExecutionCache
@@ -314,9 +388,19 @@ class BatchRunner:
                 _abort_on_error(responses)
             return responses
         groups = grid.sample_groups()
+        pooled = self._max_workers != 0 and len(grid.groups()) > 1
+        use_shm = True if self._shared_memory is None else self._shared_memory
+        if pooled and use_shm and registry is None and cache is None:
+            return self._run_grid_shared(grid, on_error, stats)
         ordered: List[Optional[AnonymizationResponse]] = [None] * len(grid.requests)
-        if self._max_workers != 0 and len(groups) == 1 and cache is None \
-                and registry is None and on_error == "isolate":
+        if self._max_workers != 0 and not use_shm and len(groups) == 1 \
+                and cache is None and registry is None and on_error == "isolate":
+            # Legacy plane, single sample group: nothing to fan at sample
+            # granularity, so take run_sweep's θ-group fan-out (each
+            # worker derives its own sample artifacts).  On the shm plane
+            # a single θ-group grid instead runs serially below — one
+            # group has no parallelism to exploit, and the serial path
+            # tracks the work counters.
             from repro.api.theta_sweep import SweepRequest
 
             return self.run_sweep(SweepRequest(requests=grid.requests,
@@ -325,6 +409,8 @@ class BatchRunner:
             owned = cache is None
             if owned:
                 cache = ExecutionCache(data_dir=self._data_dir)
+            loads = cache.sample_loads
+            computes = cache.distance_computes
             for indices in groups:
                 group = [grid.requests[index] for index in indices]
                 responses = execute_sample_group(
@@ -337,6 +423,10 @@ class BatchRunner:
                     cache.release(group[0])
                 for index, response in zip(indices, responses):
                     ordered[index] = response
+            if stats is not None:
+                stats.add(cache.sample_loads - loads,
+                          cache.distance_computes - computes)
+                stats.tracked = True
             return ordered  # type: ignore[return-value]
         workers = self._worker_count(len(groups))
         with self._pool(workers) as pool:
@@ -348,9 +438,11 @@ class BatchRunner:
             ]
             for indices, future in zip(groups, futures):
                 try:
-                    payloads = future.result()
+                    result = future.result()
                     responses = [AnonymizationResponse.from_dict(payload)
-                                 for payload in payloads]
+                                 for payload in result["responses"]]
+                    if stats is not None:
+                        stats.add(*result["stats"])
                 except GridAbortedError:
                     for pending in futures:
                         pending.cancel()
@@ -366,4 +458,161 @@ class BatchRunner:
                         grid.requests[index], exc) for index in indices]
                 for index, response in zip(indices, responses):
                     ordered[index] = response
+        if stats is not None:
+            stats.tracked = True
+        return ordered  # type: ignore[return-value]
+
+    def _run_grid_shared(self, grid: "GridRequest", on_error: str,
+                         stats: Optional["GridStats"]
+                         ) -> List[AnonymizationResponse]:
+        """The zero-copy plane: θ-sweep groups fan out over shared arenas.
+
+        For each sample group the **parent** loads the graph, runs one
+        L_max bounded-distance computation per engine, derives the utility
+        baseline, and publishes graph + matrices to a
+        :class:`~repro.api.shm.SharedSampleArena`; the sample's θ-sweep
+        groups are then submitted to the pool carrying the arena
+        descriptor (and the pickled baseline).  Publication is pipelined:
+        while workers chew on one sample's groups the parent prepares the
+        next sample.  Each arena is unlinked the moment its last θ-group
+        completes — and unconditionally in the ``finally`` block, so a
+        worker dying mid-group (even SIGKILL) can never leak ``/dev/shm``
+        segments: cleanup is owned by the parent alone.
+        """
+        from repro.api.cache import ExecutionCache
+        from repro.api.shm import SharedSampleArena
+        from repro.api.sweeps import _abort_on_error, plan_sample_group
+        from repro.errors import GridAbortedError
+
+        parent = ExecutionCache(data_dir=self._data_dir)
+        ordered: List[Optional[AnonymizationResponse]] = [None] * len(grid.requests)
+        workers = self._worker_count(len(grid.groups()))
+        arenas: List[SharedSampleArena] = []
+        # (global todo indices, future, owning arena) per submitted θ-group,
+        # in submission order — same-arena tasks are contiguous, so an
+        # arena can be unlinked when its last entry is collected.
+        tasks: List[Any] = []
+
+        def _cancel_pending() -> None:
+            for _todo, pending, _arena in tasks:
+                pending.cancel()
+
+        try:
+            with self._pool(workers) as pool:
+                for sample_indices in grid.sample_groups():
+                    group = [grid.requests[index] for index in sample_indices]
+                    try:
+                        graph = parent.graph_for(group[0])
+                    except Exception as exc:  # noqa: BLE001 — isolation contract
+                        if on_error == "fail_fast":
+                            _cancel_pending()
+                            raise GridAbortedError(
+                                f"grid aborted (on_error='fail_fast'): sample "
+                                f"load failed with {type(exc).__name__}: {exc}"
+                                ) from exc
+                        for index in sample_indices:
+                            ordered[index] = AnonymizationResponse.failure(
+                                grid.requests[index], exc)
+                        continue
+                    plans, l_max_by_engine = plan_sample_group(group)
+                    matrices: Dict[str, Any] = {}
+                    engine_errors: Dict[str, Exception] = {}
+                    for engine, l_max in l_max_by_engine.items():
+                        probe = next(request for request in group
+                                     if request.engine == engine
+                                     and request.evaluation_mode == "incremental")
+                        try:
+                            matrices[engine] = (
+                                parent.base_matrix_for(probe, l_max), l_max)
+                        except Exception as exc:  # noqa: BLE001 — e.g. bad engine
+                            if on_error == "fail_fast":
+                                _cancel_pending()
+                                raise GridAbortedError(
+                                    f"grid aborted (on_error='fail_fast'): "
+                                    f"distance matrix failed with "
+                                    f"{type(exc).__name__}: {exc}") from exc
+                            engine_errors[engine] = exc
+                    baseline = None
+                    baseline_error: Optional[Exception] = None
+                    if any(request.include_utility for request in group):
+                        try:
+                            baseline = parent.baseline_for(group[0])
+                        except Exception as exc:  # noqa: BLE001
+                            if on_error == "fail_fast":
+                                _cancel_pending()
+                                raise GridAbortedError(
+                                    f"grid aborted (on_error='fail_fast'): "
+                                    f"baseline failed with "
+                                    f"{type(exc).__name__}: {exc}") from exc
+                            baseline_error = exc
+                    arena = SharedSampleArena.publish(graph, matrices)
+                    arenas.append(arena)
+                    # The arena now carries the sample; drop the parent's
+                    # private copies so peak memory stays one sample deep
+                    # (the counters survive release).
+                    parent.release(group[0])
+                    for plan in plans:
+                        todo = [sample_indices[local] for local in plan.todo]
+                        sub = [grid.requests[index] for index in todo]
+                        first = sub[0]
+                        failure: Optional[Exception] = None
+                        if (first.evaluation_mode == "incremental"
+                                and first.engine in engine_errors):
+                            failure = engine_errors[first.engine]
+                        elif baseline_error is not None and any(
+                                request.include_utility for request in sub):
+                            failure = baseline_error
+                        if failure is not None:
+                            for index in todo:
+                                ordered[index] = AnonymizationResponse.failure(
+                                    grid.requests[index], failure)
+                            continue
+                        needs_baseline = any(request.include_utility
+                                             for request in sub)
+                        future = pool.submit(
+                            _execute_shm_group_payload,
+                            [request.to_dict() for request in sub],
+                            grid.sweep_mode, self._data_dir,
+                            arena.descriptor,
+                            baseline if needs_baseline else None)
+                        tasks.append((todo, future, arena))
+                for position, (todo, future, arena) in enumerate(tasks):
+                    try:
+                        result = future.result()
+                        responses = [AnonymizationResponse.from_dict(payload)
+                                     for payload in result["responses"]]
+                        if stats is not None:
+                            stats.add(*result["stats"])
+                    except Exception as exc:  # worker crash / pool breakage
+                        if on_error == "fail_fast":
+                            _cancel_pending()
+                            raise GridAbortedError(
+                                f"grid aborted (on_error='fail_fast'): worker "
+                                f"failed with {type(exc).__name__}: {exc}"
+                                ) from exc
+                        responses = [AnonymizationResponse.failure(
+                            grid.requests[index], exc) for index in todo]
+                    if on_error == "fail_fast":
+                        try:
+                            _abort_on_error(responses)
+                        except GridAbortedError:
+                            _cancel_pending()
+                            raise
+                    for index, response in zip(todo, responses):
+                        ordered[index] = response
+                    # Unlink eagerly once every θ-group of this arena has
+                    # completed (same-arena tasks are contiguous); workers
+                    # that attached keep their mappings (POSIX semantics).
+                    if (position + 1 == len(tasks)
+                            or tasks[position + 1][2] is not arena):
+                        arena.unlink()
+        finally:
+            # The crash-safety guarantee: whatever happened above — worker
+            # SIGKILL, pool breakage, fail_fast abort — the parent removes
+            # every segment it created (unlink is idempotent).
+            for arena in arenas:
+                arena.unlink()
+        if stats is not None:
+            stats.add(parent.sample_loads, parent.distance_computes)
+            stats.tracked = True
         return ordered  # type: ignore[return-value]

@@ -30,7 +30,8 @@ loading is deterministic) bit-identical to a cold load.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Hashable, Optional, Tuple
 
 import numpy as np
 
@@ -38,7 +39,35 @@ from repro.api.requests import AnonymizationRequest
 from repro.graph.distance_cache import LMaxDistanceCache
 from repro.graph.graph import Graph
 
-__all__ = ["ExecutionCache", "sample_key"]
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard (shm imports graph)
+    from repro.api.shm import ArenaDescriptor
+
+__all__ = ["ExecutionCache", "GridStats", "sample_key"]
+
+
+@dataclass
+class GridStats:
+    """Grid-wide work counters, aggregated across every participating process.
+
+    ``run_grid`` sums the parent cache's counter deltas with the deltas
+    each worker reports per task, so a :class:`~repro.api.sweeps.GridResponse`
+    can state how many sample loads and full bounded-distance computations
+    the *whole* grid performed — the observable the shared-memory plane is
+    judged by (exactly one of each per sample group, not per worker).
+    """
+
+    sample_loads: int = 0
+    distance_computes: int = 0
+    #: Whether any execution path actually reported counters.  Routing
+    #: modes that cannot observe the work (custom registries, independent
+    #: mode) leave this ``False`` so ``run_grid`` reports ``None`` instead
+    #: of a misleading zero.
+    tracked: bool = False
+
+    def add(self, sample_loads: int, distance_computes: int) -> None:
+        """Accumulate one process's counter deltas."""
+        self.sample_loads += sample_loads
+        self.distance_computes += distance_computes
 
 
 def sample_key(request: AnonymizationRequest) -> Hashable:
@@ -57,10 +86,20 @@ class ExecutionCache:
     """Per-process cache of samples, baselines, and L_max distance matrices.
 
     ``max_samples`` bounds how many distinct samples are retained at once
-    (oldest evicted first), so a long-lived worker sweeping many
+    (least recently *used* evicted first — every ``graph_for`` /
+    ``baseline_for`` / ``distances_for`` hit re-touches its sample, so hot
+    samples survive long grids), so a long-lived worker sweeping many
     dataset/size/seed combinations cannot pin every sample's graph and
     n × n matrix for the pool's lifetime; the load/compute counters
     survive eviction.
+
+    On the shared-memory data plane a worker cache additionally holds an
+    *arena tier* ahead of its process-local tier: :meth:`adopt_arena`
+    installs a sample published by the parent — the graph rebuilt from the
+    shared edge array and one zero-copy
+    :meth:`~repro.graph.distance_cache.LMaxDistanceCache.from_matrix`
+    cache per engine — without incrementing either counter, because the
+    load and the engine run happened exactly once, in the parent.
     """
 
     def __init__(self, data_dir: Optional[str] = None, *,
@@ -72,6 +111,9 @@ class ExecutionCache:
         self._graphs: Dict[Hashable, Graph] = {}
         self._baselines: Dict[Hashable, object] = {}
         self._distances: Dict[Tuple[Hashable, str], LMaxDistanceCache] = {}
+        #: Arena attachments (shared-memory tier), keyed like ``_graphs``;
+        #: the values pin the worker's read-only segment mappings.
+        self._arenas: Dict[Hashable, object] = {}
         #: Cache misses that hit the dataset loaders (the bench hook
         #: asserting a grid performs one load per sample per worker).
         self.sample_loads = 0
@@ -99,10 +141,10 @@ class ExecutionCache:
         graph = self._graphs.get(key)
         if graph is None:
             graph = request.resolve_graph(data_dir=self._data_dir)
-            while len(self._graphs) >= self._max_samples:
-                self._evict(next(iter(self._graphs)))
-            self._graphs[key] = graph
+            self._install_graph(key, graph)
             self.sample_loads += 1
+        else:
+            self._touch(key)
         return graph
 
     def baseline_for(self, request: AnonymizationRequest):
@@ -115,6 +157,8 @@ class ExecutionCache:
             baseline = graph_baseline(self.graph_for(request),
                                       include_spectral=False)
             self._baselines[key] = baseline
+        else:
+            self._touch(key)
         return baseline
 
     def distances_for(self, request: AnonymizationRequest,
@@ -127,6 +171,22 @@ class ExecutionCache:
         thresholding.  Each call returns a fresh array (sessions take
         ownership of the matrices they are given).
         """
+        cache = self._lmax_cache_for(request, l_max)
+        return cache.matrix(request.length_threshold)
+
+    def base_matrix_for(self, request: AnonymizationRequest,
+                        l_max: int) -> np.ndarray:
+        """The raw L_max matrix of the request's sample (read-only contract).
+
+        The shared-memory publisher reads this to copy the matrix into a
+        segment; unlike :meth:`distances_for` it returns the *base* matrix
+        itself, so no private thresholded copy is materialized in the
+        parent.
+        """
+        return self._lmax_cache_for(request, l_max).base_matrix()
+
+    def _lmax_cache_for(self, request: AnonymizationRequest,
+                        l_max: int) -> LMaxDistanceCache:
         key = (sample_key(request), request.engine)
         cache = self._distances.get(key)
         if cache is None or cache.l_max < l_max:
@@ -135,7 +195,34 @@ class ExecutionCache:
             cache = LMaxDistanceCache(self.graph_for(request), l_max,
                                       engine=request.engine)
             self._distances[key] = cache
-        return cache.matrix(request.length_threshold)
+        else:
+            self._touch(key[0])
+        return cache
+
+    def adopt_arena(self, request: AnonymizationRequest,
+                    descriptor: "ArenaDescriptor") -> None:
+        """Install a parent-published arena as this cache's copy of a sample.
+
+        Attaches the descriptor's segments (once per arena — repeated
+        adoption of the same ``token`` is a no-op), installs the rebuilt
+        graph where :meth:`graph_for` will find it, and wraps each shared
+        L_max matrix in a zero-copy cache served by :meth:`distances_for`.
+        Neither counter moves: the sample load and the engine run were the
+        parent's, and they were performed exactly once per grid.
+        """
+        from repro.api.shm import attach_arena
+
+        key = sample_key(request)
+        current = self._arenas.get(key)
+        if current is not None and current.token == descriptor.token:
+            self._touch(key)
+            return
+        attached = attach_arena(descriptor)
+        self._evict(key)  # a stale same-key entry must not shadow the arena
+        self._install_graph(key, attached.graph)
+        for engine, cache in attached.caches.items():
+            self._distances[(key, engine)] = cache
+        self._arenas[key] = attached
 
     def release(self, request: AnonymizationRequest) -> None:
         """Drop the sample's cached graph, baseline, and distance matrices.
@@ -147,8 +234,23 @@ class ExecutionCache:
         """
         self._evict(sample_key(request))
 
+    def _install_graph(self, key: Hashable, graph: Graph) -> None:
+        while len(self._graphs) >= self._max_samples:
+            self._evict(next(iter(self._graphs)))
+        self._graphs[key] = graph
+
+    def _touch(self, key: Hashable) -> None:
+        """Move ``key`` to the recently-used end of the eviction order."""
+        graph = self._graphs.pop(key, None)
+        if graph is not None:
+            self._graphs[key] = graph
+
     def _evict(self, key: Hashable) -> None:
         self._graphs.pop(key, None)
         self._baselines.pop(key, None)
+        # Dropping the distance caches before the arena attachment keeps
+        # the teardown order views-then-segments (close cannot be blocked
+        # by a still-exported buffer).
         for cache_key in [k for k in self._distances if k[0] == key]:
             self._retired_computes += self._distances.pop(cache_key).compute_count
+        self._arenas.pop(key, None)

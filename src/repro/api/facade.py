@@ -148,7 +148,8 @@ def sweep(base: AnonymizationRequest, *,
           seeds: Optional[Sequence[int]] = None,
           sweep_mode: str = "checkpointed",
           max_workers: Optional[int] = 0,
-          data_dir: Optional[str] = None) -> List[AnonymizationResponse]:
+          data_dir: Optional[str] = None,
+          shared_memory: Optional[bool] = None) -> List[AnonymizationResponse]:
     """Expand ``base`` over the given axes and execute the grid.
 
     The grid is partitioned into sample groups (requests sharing a
@@ -160,10 +161,12 @@ def sweep(base: AnonymizationRequest, *,
     costs roughly one run instead of k — while ``"independent"`` preserves
     the one-run-per-request path.  All modes return identical responses.
     ``max_workers=0`` (the default) runs in-process; any other value fans
-    the *sample groups* across a :class:`repro.api.batch.BatchRunner`
-    process pool (``None`` = one worker per CPU).  Responses come back in
-    expansion order (θ fastest), with failures isolated into error
-    responses at group granularity.
+    the *θ-sweep groups* across a :class:`repro.api.batch.BatchRunner`
+    process pool over the zero-copy shared-memory data plane (``None`` =
+    one worker per CPU; ``shared_memory=False`` falls back to fanning
+    whole sample groups).  Responses come back in expansion order (θ
+    fastest), with failures isolated into error responses at group
+    granularity.
     """
     from repro.api.sweeps import GridRequest, run_grid
 
@@ -173,7 +176,8 @@ def sweep(base: AnonymizationRequest, *,
         length_thresholds=length_thresholds, lookaheads=lookaheads,
         seeds=seeds, sweep_mode=sweep_mode)
     return list(run_grid(request, max_workers=max_workers,
-                         data_dir=data_dir).responses)
+                         data_dir=data_dir,
+                         shared_memory=shared_memory).responses)
 
 
 def run_requests(requests: Iterable[AnonymizationRequest], *,

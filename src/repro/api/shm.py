@@ -1,0 +1,243 @@
+"""Zero-copy shared-memory data plane for parallel θ-groups.
+
+A grid sample group is dominated by two artifacts: the loaded sample graph
+and the dense ``n × n`` L_max bounded-distance matrix.  Before this module
+the grid engine kept its single-load / single-compute guarantee by
+*serializing* every θ-sweep group of a sample group onto one worker — a
+single-sample grid sweeping algorithm × L × look-ahead × θ ran on one
+core.  The arena breaks that trade-off: the **parent** resolves the graph
+and runs the distance engine once, publishes the edge array and the L_max
+matrix (one per engine) into :mod:`multiprocessing.shared_memory`
+segments, and fans the θ-groups across the pool carrying only an
+:class:`ArenaDescriptor` — segment names, dtypes, shapes, and per-engine
+L_max bounds.  Workers attach read-only views, rebuild the
+:class:`~repro.graph.graph.Graph` from the shared edge array with zero
+disk I/O, and derive their own ``length_threshold`` matrix by thresholding
+the shared L_max view — the same monotone-restriction argument the serial
+path uses (DESIGN.md §10), with the one unavoidable copy deferred to the
+moment a :class:`~repro.graph.distance_delta.DistanceSession` takes
+ownership of its (mutable) matrix.
+
+Ownership rules (DESIGN.md §12):
+
+* the parent that calls :meth:`SharedSampleArena.publish` owns the
+  segments and is the only process that ever calls
+  :meth:`~SharedSampleArena.unlink` — inside a ``finally`` block, so a
+  worker dying mid-group (even SIGKILL) cannot leak ``/dev/shm`` entries;
+* workers attach via :func:`attach_arena` and hold *read-only* NumPy views
+  (``writeable=False``); attachments are dropped by reference counting —
+  closing an attached segment while views exist would raise
+  ``BufferError``, so :class:`AttachedArena` simply releases its
+  references and lets the last view close the mapping;
+* an unlinked segment stays mapped in workers that already attached it
+  (POSIX semantics), so the parent may unlink the moment every future of
+  the sample group has completed.
+"""
+
+from __future__ import annotations
+
+import uuid
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.graph.distance_cache import LMaxDistanceCache
+from repro.graph.graph import Graph
+
+__all__ = [
+    "ArenaDescriptor",
+    "AttachedArena",
+    "SHM_NAME_PREFIX",
+    "SharedSampleArena",
+    "attach_arena",
+]
+
+#: Prefix of every segment name this module creates; the crash-safety
+#: tests scan ``/dev/shm`` for it to prove the parent leaked nothing.
+SHM_NAME_PREFIX = "repro-arena"
+
+_EDGE_DTYPE = np.int64
+_MATRIX_DTYPE = np.int32
+
+
+@dataclass(frozen=True)
+class ArenaDescriptor:
+    """Everything a worker needs to attach a published sample group.
+
+    A descriptor is a few hundred bytes of plain data — it crosses the
+    process boundary instead of the pickled graph and matrices.  ``token``
+    identifies the arena (workers cache attachments by it), ``matrices``
+    maps each distance engine to its ``(segment_name, l_max)`` pair, and
+    the remaining fields carry the array geometry needed to rebuild the
+    NumPy views.
+    """
+
+    token: str
+    num_vertices: int
+    num_edges: int
+    edges_segment: Optional[str]
+    matrices: Tuple[Tuple[str, str, int], ...] = ()  # (engine, segment, l_max)
+
+    def l_max_for(self, engine: str) -> Optional[int]:
+        """The published L_max bound of ``engine``, or ``None``."""
+        for name, _segment, l_max in self.matrices:
+            if name == engine:
+                return l_max
+        return None
+
+
+def _create_segment(name: str, data: np.ndarray) -> shared_memory.SharedMemory:
+    """Create a segment holding a copy of ``data`` (C-contiguous)."""
+    segment = shared_memory.SharedMemory(name=name, create=True,
+                                         size=max(1, data.nbytes))
+    view = np.ndarray(data.shape, dtype=data.dtype, buffer=segment.buf)
+    view[...] = data
+    return segment
+
+
+def _attach_view(name: str, shape: Tuple[int, ...],
+                 dtype) -> Tuple[shared_memory.SharedMemory, np.ndarray]:
+    """Attach ``name`` and expose it as a read-only NumPy view."""
+    segment = shared_memory.SharedMemory(name=name)
+    view = np.ndarray(shape, dtype=dtype, buffer=segment.buf)
+    view.flags.writeable = False
+    return segment, view
+
+
+class SharedSampleArena:
+    """Parent-owned shared-memory home of one sample group's artifacts.
+
+    Build one with :meth:`publish`; hand :attr:`descriptor` to workers;
+    call :meth:`unlink` (idempotent) when every θ-group of the sample
+    group has completed — and unconditionally from a ``finally`` block, so
+    crashed workers cannot leak segments.
+    """
+
+    def __init__(self, token: str,
+                 segments: Dict[str, shared_memory.SharedMemory],
+                 descriptor: ArenaDescriptor) -> None:
+        self._token = token
+        self._segments = segments
+        self.descriptor = descriptor
+        self._unlinked = False
+
+    @classmethod
+    def publish(cls, graph: Graph,
+                matrices: Optional[Mapping[str, Tuple[np.ndarray, int]]] = None
+                ) -> "SharedSampleArena":
+        """Publish ``graph`` (and per-engine L_max ``matrices``) to shm.
+
+        ``matrices`` maps an engine name to ``(l_max_matrix, l_max)``; each
+        matrix must be the full ``n × n`` bounded matrix computed at that
+        engine's group-wide L_max (``int32``, the engine contract).  The
+        data is *copied* into the segments — the caller may release its
+        own references immediately afterwards.
+        """
+        token = f"{SHM_NAME_PREFIX}-{uuid.uuid4().hex[:12]}"
+        segments: Dict[str, shared_memory.SharedMemory] = {}
+        try:
+            edges = np.asarray(graph.edge_list(), dtype=_EDGE_DTYPE)
+            edges = edges.reshape(graph.num_edges, 2)
+            edges_segment = None
+            if graph.num_edges:
+                edges_segment = f"{token}-edges"
+                segments[edges_segment] = _create_segment(edges_segment, edges)
+            entries = []
+            for index, (engine, (matrix, l_max)) in enumerate(
+                    sorted((matrices or {}).items())):
+                n = graph.num_vertices
+                if matrix.shape != (n, n):
+                    raise ConfigurationError(
+                        f"matrix for engine {engine!r} has shape "
+                        f"{matrix.shape}, expected {(n, n)}")
+                segment_name = f"{token}-m{index}"
+                segments[segment_name] = _create_segment(
+                    segment_name, np.ascontiguousarray(matrix,
+                                                       dtype=_MATRIX_DTYPE))
+                entries.append((engine, segment_name, int(l_max)))
+        except BaseException:
+            for segment in segments.values():
+                _release_segment(segment, unlink=True)
+            raise
+        descriptor = ArenaDescriptor(token=token,
+                                     num_vertices=graph.num_vertices,
+                                     num_edges=graph.num_edges,
+                                     edges_segment=edges_segment,
+                                     matrices=tuple(entries))
+        return cls(token, segments, descriptor)
+
+    @property
+    def token(self) -> str:
+        """Unique identity of this arena (prefix of its segment names)."""
+        return self._token
+
+    def unlink(self) -> None:
+        """Release and remove every segment (idempotent, never raises).
+
+        Workers that already attached keep their mappings until their own
+        references die; ``/dev/shm`` entries disappear immediately.
+        """
+        if self._unlinked:
+            return
+        self._unlinked = True
+        for segment in self._segments.values():
+            _release_segment(segment, unlink=True)
+        self._segments = {}
+
+
+def _release_segment(segment: shared_memory.SharedMemory,
+                     unlink: bool) -> None:
+    """Close (and optionally unlink) one segment, swallowing races."""
+    if unlink:
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover — double unlink race
+            pass
+    try:
+        segment.close()
+    except BufferError:  # pragma: no cover — a live view pins the mapping
+        pass
+
+
+@dataclass
+class AttachedArena:
+    """A worker's read-only window onto a published sample group.
+
+    ``graph`` is rebuilt from the shared edge array (O(E) set
+    construction, no disk I/O, no n² copy); ``caches`` wraps each shared
+    L_max matrix in a :class:`~repro.graph.distance_cache.LMaxDistanceCache`
+    whose ``compute_count`` stays 0 — thresholded *copies* are only made
+    when a session takes ownership.  The segment handles are kept solely
+    to pin the mappings; dropping the ``AttachedArena`` releases them via
+    reference counting.
+    """
+
+    token: str
+    graph: Graph
+    caches: Dict[str, LMaxDistanceCache]
+    segments: Tuple[shared_memory.SharedMemory, ...] = field(repr=False,
+                                                             default=())
+
+
+def attach_arena(descriptor: ArenaDescriptor) -> AttachedArena:
+    """Attach a published arena and rebuild its graph and distance caches."""
+    segments = []
+    edges: Tuple[Tuple[int, int], ...] = ()
+    if descriptor.edges_segment is not None:
+        segment, view = _attach_view(descriptor.edges_segment,
+                                     (descriptor.num_edges, 2), _EDGE_DTYPE)
+        segments.append(segment)
+        edges = [(int(u), int(v)) for u, v in view]
+    graph = Graph(descriptor.num_vertices, edges=edges)
+    caches: Dict[str, LMaxDistanceCache] = {}
+    n = descriptor.num_vertices
+    for engine, segment_name, l_max in descriptor.matrices:
+        segment, view = _attach_view(segment_name, (n, n), _MATRIX_DTYPE)
+        segments.append(segment)
+        caches[engine] = LMaxDistanceCache.from_matrix(graph, view, l_max,
+                                                       engine=engine)
+    return AttachedArena(token=descriptor.token, graph=graph, caches=caches,
+                         segments=tuple(segments))

@@ -40,7 +40,7 @@ from dataclasses import dataclass, fields
 from itertools import product
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.api.cache import ExecutionCache, sample_key
+from repro.api.cache import ExecutionCache, GridStats, sample_key
 from repro.api.progress import ProgressObserver, notify_group
 from repro.api.registry import AnonymizerRegistry
 from repro.api.requests import AnonymizationRequest, AnonymizationResponse
@@ -53,8 +53,10 @@ __all__ = [
     "GRID_AXES",
     "GridRequest",
     "GridResponse",
+    "ThetaGroupPlan",
     "expand_grid",
     "execute_sample_group",
+    "plan_sample_group",
     "run_grid",
     "sample_groups",
     "validate_error_policy",
@@ -215,12 +217,21 @@ class GridRequest:
 
 @dataclass(frozen=True)
 class GridResponse:
-    """Outcome of a :class:`GridRequest`, responses in request order."""
+    """Outcome of a :class:`GridRequest`, responses in request order.
+
+    ``num_sample_loads`` / ``num_distance_computes`` report the total work
+    the grid performed across *every* participating process (parent and
+    pool workers) — the observable the shared caches and the shared-memory
+    data plane are judged by.  They are ``None`` when the execution path
+    could not track them (custom registries, independent mode).
+    """
 
     responses: Tuple[AnonymizationResponse, ...]
     sweep_mode: str = "checkpointed"
     num_groups: int = 0
     num_sample_groups: int = 0
+    num_sample_loads: Optional[int] = None
+    num_distance_computes: Optional[int] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "responses", tuple(self.responses))
@@ -240,6 +251,8 @@ class GridResponse:
             "sweep_mode": self.sweep_mode,
             "num_groups": self.num_groups,
             "num_sample_groups": self.num_sample_groups,
+            "num_sample_loads": self.num_sample_loads,
+            "num_distance_computes": self.num_distance_computes,
         }
 
     @classmethod
@@ -263,6 +276,78 @@ class GridResponse:
     def from_json(cls, text: str) -> "GridResponse":
         """Inverse of :meth:`to_json`."""
         return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class ThetaGroupPlan:
+    """One θ-sweep group's execution plan within a sample group.
+
+    ``indices`` index into the *sample group's* request list.  ``done``
+    maps indices already served by a persisted checkpoint to that
+    checkpoint (materialized, no anonymization work); ``todo`` lists the
+    indices still to run; ``resume_checkpoint``, when set, is the
+    checkpoint the todo suffix continues the interrupted pass from.
+    """
+
+    indices: Tuple[int, ...]
+    done: Mapping[int, Any]
+    todo: Tuple[int, ...]
+    resume_checkpoint: Optional[Any] = None
+
+
+def plan_sample_group(requests: Sequence[AnonymizationRequest],
+                      resume_from: Optional[Mapping[int, Any]] = None
+                      ) -> Tuple[List[ThetaGroupPlan], Dict[str, int]]:
+    """Split a sample group into θ-group plans and shared L_max bounds.
+
+    This is the planning half of :func:`execute_sample_group`, shared with
+    the shared-memory fan-out in :class:`~repro.api.batch.BatchRunner`:
+    both must agree on which grid points resume from checkpoints and on
+    the per-engine L_max the single distance computation runs at.
+
+    Returns ``(plans, l_max_by_engine)``: one :class:`ThetaGroupPlan` per
+    θ-sweep group of ``requests`` (group order), and the largest
+    ``length_threshold`` per engine over the grid points that will
+    actually consume a matrix — scratch-mode requests recompute distances
+    per evaluation, and resumed/materialized grid points never read the
+    original graph's matrix, so neither may inflate the single engine run.
+    """
+    requests = list(requests)
+    resume = dict(resume_from) if resume_from else {}
+    plans: List[ThetaGroupPlan] = []
+    for indices in group_requests(requests):
+        done: Dict[int, Any] = {}
+        for index in indices:
+            checkpoint = resume.get(index)
+            if checkpoint is not None and \
+                    abs(checkpoint.theta - requests[index].theta) <= 1e-12:
+                done[index] = checkpoint
+        todo = [index for index in indices if index not in done]
+        resume_checkpoint = None
+        if done and todo:
+            candidate = min(done.values(), key=lambda ckpt: ckpt.theta)
+            # A pass can only be continued from a checkpoint that (a) was
+            # still running cleanly (no stop reason), (b) recorded its RNG,
+            # and (c) sits strictly above every remaining grid point.
+            if (candidate.rng_state is not None
+                    and candidate.stop_reason is None
+                    and all(requests[index].theta < candidate.theta
+                            for index in todo)):
+                resume_checkpoint = candidate
+        plans.append(ThetaGroupPlan(indices=tuple(indices), done=done,
+                                    todo=tuple(todo),
+                                    resume_checkpoint=resume_checkpoint))
+    l_max_by_engine: Dict[str, int] = {}
+    for plan in plans:
+        if plan.resume_checkpoint is not None:
+            continue
+        for index in plan.todo:
+            request = requests[index]
+            if request.evaluation_mode == "incremental":
+                l_max_by_engine[request.engine] = max(
+                    l_max_by_engine.get(request.engine, 0),
+                    request.length_threshold)
+    return plans, l_max_by_engine
 
 
 def _abort_on_error(responses: Sequence[AnonymizationResponse]) -> None:
@@ -347,45 +432,13 @@ def execute_sample_group(requests: Sequence[AnonymizationRequest], *,
         return [AnonymizationResponse.failure(request, exc)
                 for request in requests]
     # Split every θ-group into grid points already served by a persisted
-    # checkpoint ("done") and points still to run ("todo"), and decide
-    # whether the todo suffix can continue the interrupted pass.
-    plans = []
-    for indices in group_requests(requests):
-        done: Dict[int, Any] = {}
-        for index in indices:
-            checkpoint = resume.get(index)
-            if checkpoint is not None and \
-                    abs(checkpoint.theta - requests[index].theta) <= 1e-12:
-                done[index] = checkpoint
-        todo = [index for index in indices if index not in done]
-        resume_checkpoint = None
-        if done and todo:
-            candidate = min(done.values(), key=lambda ckpt: ckpt.theta)
-            # A pass can only be continued from a checkpoint that (a) was
-            # still running cleanly (no stop reason), (b) recorded its RNG,
-            # and (c) sits strictly above every remaining grid point.
-            if (candidate.rng_state is not None
-                    and candidate.stop_reason is None
-                    and all(requests[index].theta < candidate.theta
-                            for index in todo)):
-                resume_checkpoint = candidate
-        plans.append((indices, done, todo, resume_checkpoint))
-    # The shared computation bound, per engine, over the requests that will
-    # actually consume a matrix — scratch-mode requests recompute distances
-    # per evaluation, and resumed/materialized grid points never read the
-    # original graph's matrix, so neither may inflate the single engine run.
-    l_max_by_engine: Dict[str, int] = {}
-    for indices, done, todo, resume_checkpoint in plans:
-        if resume_checkpoint is not None:
-            continue
-        for index in todo:
-            request = requests[index]
-            if request.evaluation_mode == "incremental":
-                l_max_by_engine[request.engine] = max(
-                    l_max_by_engine.get(request.engine, 0),
-                    request.length_threshold)
+    # checkpoint ("done") and points still to run ("todo"), and derive the
+    # shared per-engine computation bound (see plan_sample_group).
+    plans, l_max_by_engine = plan_sample_group(requests, resume)
     ordered: List[Optional[AnonymizationResponse]] = [None] * len(requests)
-    for indices, done, todo, resume_checkpoint in plans:
+    for plan in plans:
+        indices, done, todo = plan.indices, plan.done, plan.todo
+        resume_checkpoint = plan.resume_checkpoint
         first = requests[indices[0]]
         baseline = None
         if any(requests[index].include_utility for index in indices):
@@ -450,25 +503,35 @@ def execute_sample_group(requests: Sequence[AnonymizationRequest], *,
 def run_grid(grid: GridRequest, *,
              max_workers: Optional[int] = 0,
              registry: Optional[AnonymizerRegistry] = None,
-             data_dir: Optional[str] = None) -> GridResponse:
+             data_dir: Optional[str] = None,
+             shared_memory: Optional[bool] = None) -> GridResponse:
     """Group and execute a :class:`GridRequest`, responses in request order.
 
     ``max_workers=0`` (the default) runs the sample groups serially
     in-process with one shared :class:`~repro.api.cache.ExecutionCache`
     (the only mode that honours a custom ``registry``); any other value
-    fans *sample groups* — the unit that shares a loaded graph and an
-    L_max distance computation — across a
-    :class:`~repro.api.batch.BatchRunner` process pool whose workers each
-    hold a process-level cache (``None`` = one worker per CPU).  Fanning
-    by sample group trades θ-group parallelism within one sample for the
-    shared-cache guarantee; grids that spread over dataset/size/seed axes
-    parallelize fully.
+    fans the grid across a :class:`~repro.api.batch.BatchRunner` process
+    pool (``None`` = one worker per CPU).  On the default shared-memory
+    data plane (``shared_memory=None`` or ``True``) the pool fans out
+    *θ-sweep groups*: the parent loads each sample and runs each L_max
+    distance computation exactly once, publishes them to shared-memory
+    segments, and workers attach zero-copy views — so even a single-sample
+    grid parallelizes across all cores.  ``shared_memory=False`` falls
+    back to the PR-5 plane that fans whole *sample groups*, trading
+    θ-group parallelism for per-worker process-local caches.  Either way
+    responses are bit-identical to the serial path.
     """
     from repro.api.batch import BatchRunner
 
-    runner = BatchRunner(max_workers=max_workers, data_dir=data_dir)
-    responses = runner.run_grid(grid, registry=registry)
+    stats = GridStats()
+    runner = BatchRunner(max_workers=max_workers, data_dir=data_dir,
+                         shared_memory=shared_memory)
+    responses = runner.run_grid(grid, registry=registry, stats=stats)
     return GridResponse(responses=tuple(responses),
                         sweep_mode=grid.sweep_mode,
                         num_groups=len(grid.groups()),
-                        num_sample_groups=len(grid.sample_groups()))
+                        num_sample_groups=len(grid.sample_groups()),
+                        num_sample_loads=(stats.sample_loads
+                                          if stats.tracked else None),
+                        num_distance_computes=(stats.distance_computes
+                                               if stats.tracked else None))

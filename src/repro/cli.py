@@ -237,7 +237,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seeds=axes.get("seed"),
         thetas=axes.get("theta"),
         sweep_mode=args.sweep_mode)
-    response = run_grid(request, max_workers=args.max_workers)
+    response = run_grid(request, max_workers=args.max_workers,
+                        shared_memory=args.shared_memory == "on")
     print(f"{len(request.requests)} runs in {response.num_groups} group(s) "
           f"over {response.num_sample_groups} sample group(s), "
           f"sweep_mode={response.sweep_mode}")
@@ -313,7 +314,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     store = RunStore(args.db)
     manager = JobManager(store, data_dir=args.data_dir,
-                         max_workers=args.max_workers)
+                         max_workers=args.max_workers,
+                         shared_memory=args.shared_memory == "on")
     if args.reset:
         summary = store.init_db(reset=True)
         print(f"reset {summary['db_path']} "
@@ -462,6 +464,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--max-workers", type=int, default=0,
                        help="worker processes for the groups "
                             "(0 = run in-process)")
+    sweep.add_argument("--shared-memory", choices=("on", "off"), default="on",
+                       dest="shared_memory",
+                       help="zero-copy shared-memory data plane for pooled "
+                            "grids: the parent loads each sample and runs "
+                            "each L_max distance computation once, workers "
+                            "attach read-only views and fan out per θ-sweep "
+                            "group (default: on; 'off' fans whole sample "
+                            "groups instead; ignored with --max-workers 0)")
     sweep.add_argument("--output", help="write the JSON sweep response here")
     sweep.set_defaults(func=_cmd_sweep)
 
@@ -491,6 +501,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "checkpoint streaming and per-θ resume "
                             "(default); n/–1 = fan jobs across a process "
                             "pool (resume at group granularity only)")
+    serve.add_argument("--shared-memory", choices=("on", "off"), default="on",
+                       dest="shared_memory",
+                       help="zero-copy shared-memory data plane for pooled "
+                            "job execution (default: on; ignored with "
+                            "--max-workers 0)")
     serve.add_argument("--reset", action="store_true",
                        help="archive and re-initialize the run store before "
                             "serving (rolling window of 3 backups)")

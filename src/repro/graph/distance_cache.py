@@ -81,6 +81,29 @@ class LMaxDistanceCache:
         #: bench/test hook asserting an L-sweep group pays exactly once.
         self.compute_count = 0
 
+    @classmethod
+    def from_matrix(cls, graph: Graph, matrix: np.ndarray, l_max: int,
+                    engine: DistanceEngine = "numpy") -> "LMaxDistanceCache":
+        """Wrap an already-computed L_max matrix (zero-copy adoption).
+
+        The shared-memory data plane attaches a worker-side cache directly
+        onto the parent's published matrix: ``matrix`` (typically a
+        *read-only* view of a shared segment) is adopted as-is — no engine
+        run, no copy — and ``compute_count`` stays 0, so the per-grid
+        compute counters keep reporting only real engine work.
+        :meth:`matrix` calls threshold the shared view into fresh private
+        copies exactly like the computed path, which is where ownership
+        (and the single unavoidable copy) transfers to the caller.
+        """
+        n = graph.num_vertices
+        if matrix.shape != (n, n):
+            raise ConfigurationError(
+                f"matrix shape {matrix.shape} does not match the graph's "
+                f"{(n, n)}")
+        cache = cls(graph, l_max, engine=engine)
+        cache._matrix = matrix
+        return cache
+
     @property
     def l_max(self) -> int:
         """The largest L this cache can serve."""
@@ -96,8 +119,18 @@ class LMaxDistanceCache:
         if not 1 <= length_bound <= self._l_max:
             raise ConfigurationError(
                 f"length_bound must be in [1, {self._l_max}], got {length_bound}")
+        return threshold_distances(self.base_matrix(), length_bound)
+
+    def base_matrix(self) -> np.ndarray:
+        """The raw L_max matrix itself — computed at most once, never copied.
+
+        Callers must treat the result as read-only: it backs every
+        :meth:`matrix` threshold and, on the shared-memory plane, it is
+        the very array the parent publishes into a segment (or a worker's
+        read-only view of one).
+        """
         if self._matrix is None:
             self._matrix = bounded_distance_matrix(self._graph, self._l_max,
                                                    engine=self._engine)
             self.compute_count += 1
-        return threshold_distances(self._matrix, length_bound)
+        return self._matrix

@@ -24,6 +24,7 @@ recomputing anything.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import queue
 import threading
@@ -141,13 +142,21 @@ class JobManager:
         responses are still persisted per request, but checkpoints do not
         stream across process boundaries, so interrupted pooled jobs
         restart from their last finished *group* rather than θ.
+    shared_memory:
+        Forwarded to the :class:`~repro.api.batch.BatchRunner` of pooled
+        grid jobs — ``None``/``True`` executes grids on the zero-copy
+        shared-memory data plane (θ-sweep groups fan out over
+        parent-published arenas), ``False`` falls back to the
+        sample-group fan-out.  Irrelevant with ``max_workers=0``.
     """
 
     def __init__(self, store: RunStore, *, data_dir: Optional[str] = None,
-                 max_workers: int = 0) -> None:
+                 max_workers: int = 0,
+                 shared_memory: Optional[bool] = None) -> None:
         self._store = store
         self._data_dir = data_dir
         self._max_workers = max_workers
+        self._shared_memory = shared_memory
         self._queue: "queue.Queue[Any]" = queue.Queue()
         self._tokens: Dict[str, CancellationToken] = {}
         self._tokens_lock = threading.Lock()
@@ -345,18 +354,27 @@ class JobManager:
         from repro.api.batch import BatchRunner
 
         runner = BatchRunner(max_workers=self._max_workers,
-                             data_dir=self._data_dir)
+                             data_dir=self._data_dir,
+                             shared_memory=self._shared_memory)
+        stats = None
         if kind == "anonymize":
             responses = runner.run(requests)
         elif kind == "sweep":
             responses = runner.run_sweep(request)
         else:
-            responses = runner.run_grid(request)
+            from repro.api.cache import GridStats
+
+            stats = GridStats()
+            responses = runner.run_grid(request, stats=stats)
         if token.cancelled:
             self._store.set_status(job_id, "cancelled")
             return
         for index, response in enumerate(responses):
             self._store.record_response(job_id, index, response.to_json())
         result = wrap_result(kind, request, list(responses))
+        if stats is not None and stats.tracked:
+            result = dataclasses.replace(
+                result, num_sample_loads=stats.sample_loads,
+                num_distance_computes=stats.distance_computes)
         self._store.record_result(job_id, result.to_json())
         self._store.set_status(job_id, "done")

@@ -341,10 +341,42 @@ class TestBaselineFailureIsolation:
         cache.graph_for(first)
         cache.distances_for(first, l_max=1)
         cache.graph_for(second)
-        cache.graph_for(third)  # evicts `first` (oldest)
+        cache.graph_for(third)  # evicts `first` (least recently used)
         assert cache.sample_loads == 3
         assert cache.distance_computes == 1  # counter survives eviction
         cache.graph_for(first)  # re-load after eviction
+        assert cache.sample_loads == 4
+
+    def test_eviction_is_lru_not_fifo(self):
+        # Re-touching `first` after `second` was inserted must evict
+        # `second` (least recently *used*), not `first` (first inserted).
+        cache = ExecutionCache(max_samples=2)
+        first = BASE
+        second = BASE.with_overrides(seed=1)
+        third = BASE.with_overrides(seed=2)
+        cache.graph_for(first)
+        cache.graph_for(second)
+        cache.graph_for(first)  # hit — touches `first`
+        cache.graph_for(third)  # evicts `second`
+        assert cache.sample_loads == 3
+        cache.graph_for(first)  # still cached
+        assert cache.sample_loads == 3
+        cache.graph_for(second)  # was evicted — reloads
+        assert cache.sample_loads == 4
+
+    def test_distance_and_baseline_hits_touch_the_lru_order(self):
+        cache = ExecutionCache(max_samples=2)
+        first = BASE
+        second = BASE.with_overrides(seed=1)
+        third = BASE.with_overrides(seed=2)
+        cache.distances_for(first, l_max=1)
+        cache.baseline_for(second)
+        cache.distances_for(first, l_max=1)  # hit — `second` now oldest
+        cache.graph_for(third)  # evicts `second`
+        cache.distances_for(first, l_max=1)
+        assert cache.sample_loads == 3
+        assert cache.distance_computes == 1  # `first` never recomputed
+        cache.baseline_for(second)  # was evicted — reloads
         assert cache.sample_loads == 4
 
 

@@ -1,0 +1,47 @@
+"""Differential property tests: shm-plane grids vs in-process execution.
+
+Bit-identity between the shared-memory data plane and ``max_workers=0``
+is the tentpole's non-negotiable contract — workers threshold the same
+L_max matrix the serial path computes, so every response field except
+runtime must agree exactly, whatever the grid shape.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import AnonymizationRequest, GridRequest, run_grid
+from tests.property.strategies import graphs
+
+PARITY_FIELDS = ("success", "final_opacity", "distortion", "num_steps",
+                 "evaluations", "num_vertices", "removed_edges",
+                 "inserted_edges", "anonymized_edges", "stop_reason", "metrics")
+
+
+@st.composite
+def grid_requests(draw):
+    """Small random grids over an explicit-edge sample (no disk, no seed axis)."""
+    graph = draw(graphs(min_vertices=4, max_vertices=10))
+    if graph.num_edges == 0:
+        graph.add_edge(0, 1)
+    base = AnonymizationRequest(edges=tuple(graph.edge_list()),
+                                num_vertices=graph.num_vertices,
+                                include_utility=draw(st.booleans()))
+    algorithms = draw(st.sampled_from([("rem",), ("rem", "rem-ins")]))
+    length_thresholds = draw(st.sampled_from([(1,), (1, 2), (2, 3)]))
+    thetas = draw(st.sampled_from([(0.8, 0.4), (0.9, 0.6, 0.3)]))
+    return GridRequest.from_axes(base, algorithms=algorithms,
+                                 length_thresholds=length_thresholds,
+                                 thetas=thetas)
+
+
+class TestShmPlaneParity:
+    @given(grid_requests())
+    @settings(max_examples=5, deadline=None)
+    def test_shm_grid_bit_identical_to_in_process(self, grid):
+        serial = run_grid(grid, max_workers=0)
+        pooled = run_grid(grid, max_workers=2)
+        assert pooled.num_sample_loads == serial.num_sample_loads
+        assert pooled.num_distance_computes == serial.num_distance_computes
+        for ours, theirs in zip(pooled.responses, serial.responses):
+            for field in PARITY_FIELDS:
+                assert getattr(ours, field) == getattr(theirs, field), field

@@ -123,6 +123,38 @@ class TestExecution:
         assert "no-such-algorithm" in job["error"]
         assert store.get_result(job["id"]) is None
 
+    def test_pooled_grid_job_runs_on_the_shm_plane(self, store):
+        # A pooled manager executes grids over the shared-memory data
+        # plane; the persisted result is bit-identical to serial execution.
+        grid = GridRequest.from_axes(BASE, length_thresholds=(1, 2),
+                                     thetas=THETAS)
+        manager = JobManager(store, max_workers=2)
+        manager.start()
+        try:
+            submitted = manager.submit("grid", grid)
+            job = manager.wait_for(submitted["job_id"], timeout=120)
+            assert job["status"] == "done"
+            result = GridResponse.from_json(store.get_result(job["id"]))
+            assert_grid_parity(result, run_grid(grid, max_workers=0))
+            assert result.num_sample_loads == 1
+            assert result.num_distance_computes == 1
+        finally:
+            manager.stop()
+
+    def test_pooled_manager_honours_the_shared_memory_escape_hatch(self, store):
+        grid = GridRequest.from_axes(BASE, length_thresholds=(1, 2),
+                                     thetas=THETAS)
+        manager = JobManager(store, max_workers=2, shared_memory=False)
+        manager.start()
+        try:
+            submitted = manager.submit("grid", grid)
+            job = manager.wait_for(submitted["job_id"], timeout=120)
+            assert job["status"] == "done"
+            result = GridResponse.from_json(store.get_result(job["id"]))
+            assert_grid_parity(result, run_grid(grid, max_workers=0))
+        finally:
+            manager.stop()
+
     def test_isolate_mode_finishes_with_error_responses(self, manager, store):
         grid = GridRequest(requests=(
             BASE.with_overrides(theta=0.8),
@@ -262,6 +294,7 @@ class TestResume:
                                                           monkeypatch):
         grid = small_grid()
         job_id = self._interrupt(store, grid, len(grid.requests))
+        reference = run_grid(grid, max_workers=1)
 
         import repro.api.sweeps as sweeps_module
 
@@ -276,7 +309,7 @@ class TestResume:
             job = manager.wait_for(job_id, timeout=120)
             assert job["status"] == "done"
             result = GridResponse.from_json(store.get_result(job_id))
-            assert_grid_parity(result, run_grid(grid, max_workers=1))
+            assert_grid_parity(result, reference)
         finally:
             manager.stop()
 
