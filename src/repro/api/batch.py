@@ -480,9 +480,10 @@ class BatchRunner:
         segments: cleanup is owned by the parent alone.
         """
         from repro.api.cache import ExecutionCache
-        from repro.api.shm import SharedSampleArena
+        from repro.api.shm import SharedSampleArena, TiledMatrixSpec
         from repro.api.sweeps import _abort_on_error, plan_sample_group
         from repro.errors import GridAbortedError
+        from repro.graph.matrices import distance_dtype
 
         parent = ExecutionCache(data_dir=self._data_dir)
         ordered: List[Optional[AnonymizationResponse]] = [None] * len(grid.requests)
@@ -516,14 +517,29 @@ class BatchRunner:
                         continue
                     plans, l_max_by_engine = plan_sample_group(group)
                     matrices: Dict[str, Any] = {}
+                    tiled: Dict[str, TiledMatrixSpec] = {}
                     engine_errors: Dict[str, Exception] = {}
                     for engine, l_max in l_max_by_engine.items():
                         probe = next(request for request in group
                                      if request.engine == engine
                                      and request.evaluation_mode == "incremental")
                         try:
-                            matrices[engine] = (
-                                parent.base_matrix_for(probe, l_max), l_max)
+                            # Tiled-tier engines never materialize the dense
+                            # L_max matrix: the parent publishes the CSR
+                            # adjacency and store geometry instead, and the
+                            # workers compute tiles lazily on their side of
+                            # the arena.  (resolve also fires the up-front
+                            # memory guard for explicit dense over budget.)
+                            config = probe.store_config()
+                            tier = config.resolve(graph.num_vertices,
+                                                  distance_dtype(l_max))
+                            if tier == "tiled":
+                                tiled[engine] = TiledMatrixSpec(
+                                    l_max=l_max,
+                                    budget_bytes=config.budget_bytes)
+                            else:
+                                matrices[engine] = (
+                                    parent.base_matrix_for(probe, l_max), l_max)
                         except Exception as exc:  # noqa: BLE001 — e.g. bad engine
                             if on_error == "fail_fast":
                                 _cancel_pending()
@@ -545,7 +561,8 @@ class BatchRunner:
                                     f"baseline failed with "
                                     f"{type(exc).__name__}: {exc}") from exc
                             baseline_error = exc
-                    arena = SharedSampleArena.publish(graph, matrices)
+                    arena = SharedSampleArena.publish(graph, matrices,
+                                                      tiled=tiled)
                     arenas.append(arena)
                     # The arena now carries the sample; drop the parent's
                     # private copies so peak memory stays one sample deep

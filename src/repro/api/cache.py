@@ -161,17 +161,21 @@ class ExecutionCache:
             self._touch(key)
         return baseline
 
-    def distances_for(self, request: AnonymizationRequest,
-                      l_max: int) -> np.ndarray:
-        """A fresh L-bounded matrix for the request, served from L_max.
+    def distances_for(self, request: AnonymizationRequest, l_max: int):
+        """Fresh L-bounded distances for the request, served from L_max.
 
         ``l_max`` is the largest L the request's sample group sweeps; the
         underlying engine runs once per (sample, engine) at that bound, and
-        every request's own ``length_threshold`` matrix is derived by
-        thresholding.  Each call returns a fresh array (sessions take
-        ownership of the matrices they are given).
+        every request's own ``length_threshold`` view is derived by
+        thresholding.  In the dense tier each call returns a fresh array
+        (sessions take ownership of the matrices they are given); in the
+        tiled tier it returns a thresholded
+        :class:`~repro.graph.distance_store.DistanceStore` child sharing
+        the sample's L_max tile base.
         """
         cache = self._lmax_cache_for(request, l_max)
+        if cache.tier == "tiled":
+            return cache.store(request.length_threshold)
         return cache.matrix(request.length_threshold)
 
     def base_matrix_for(self, request: AnonymizationRequest,
@@ -189,11 +193,21 @@ class ExecutionCache:
                         l_max: int) -> LMaxDistanceCache:
         key = (sample_key(request), request.engine)
         cache = self._distances.get(key)
-        if cache is None or cache.l_max < l_max:
+        # Arena-adopted caches are served as-is: the published payload
+        # fixes their tier, and requests landing on them were grouped by
+        # matching scale fields.  Private caches rebuild when the sweep's
+        # bound grows or the requested store configuration changed.
+        adopted = key[0] in self._arenas
+        store_config = request.store_config()
+        stale = cache is not None and (
+            cache.l_max < l_max
+            or (not adopted and cache.store_config != store_config))
+        if cache is None or stale:
             if cache is not None:
                 self._retired_computes += cache.compute_count
             cache = LMaxDistanceCache(self.graph_for(request), l_max,
-                                      engine=request.engine)
+                                      engine=request.engine,
+                                      store_config=store_config)
             self._distances[key] = cache
         else:
             self._touch(key[0])

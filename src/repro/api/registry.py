@@ -47,6 +47,8 @@ _TUNING_PARAMS = frozenset({
     "scan_mode",
     "sweep_mode",
     "max_steps",
+    "scale_tier",
+    "scale_budget_bytes",
 })
 
 

@@ -57,6 +57,8 @@ class AnonymizationRequest:
     max_steps: Optional[int] = None
     insertion_candidate_cap: Optional[int] = None
     swap_sample_size: Optional[int] = None
+    scale_tier: str = "auto"
+    scale_budget_bytes: Optional[int] = None
     # --- execution options -------------------------------------------
     timeout_seconds: Optional[float] = None
     include_utility: bool = False
@@ -81,6 +83,11 @@ class AnonymizationRequest:
             raise ConfigurationError("length_threshold must be >= 1")
         if self.timeout_seconds is not None and self.timeout_seconds <= 0:
             raise ConfigurationError("timeout_seconds must be > 0")
+        from repro.graph.distance_store import validate_scale_tier
+        validate_scale_tier(self.scale_tier)
+        if self.scale_budget_bytes is not None and self.scale_budget_bytes < 1:
+            raise ConfigurationError(
+                f"scale_budget_bytes must be >= 1, got {self.scale_budget_bytes}")
 
     # ------------------------------------------------------------------
     # derived views
@@ -99,7 +106,17 @@ class AnonymizationRequest:
             "max_steps": self.max_steps,
             "insertion_candidate_cap": self.insertion_candidate_cap,
             "swap_sample_size": self.swap_sample_size,
+            "scale_tier": self.scale_tier,
+            "scale_budget_bytes": self.scale_budget_bytes,
         }
+
+    def store_config(self):
+        """The :class:`~repro.graph.distance_store.StoreConfig` this request asks for."""
+        from repro.graph.distance_store import (
+            DEFAULT_SCALE_BUDGET_BYTES, StoreConfig)
+        budget = (self.scale_budget_bytes if self.scale_budget_bytes is not None
+                  else DEFAULT_SCALE_BUDGET_BYTES)
+        return StoreConfig(tier=self.scale_tier, budget_bytes=budget)
 
     def resolve_graph(self, data_dir: Optional[str] = None) -> Graph:
         """Materialize the input graph described by this request."""
@@ -275,7 +292,7 @@ class AnonymizationResponse:
 # ----------------------------------------------------------------------
 # canonical request fingerprints
 # ----------------------------------------------------------------------
-FINGERPRINT_VERSION = 1
+FINGERPRINT_VERSION = 2
 """Version stamp mixed into every fingerprint.
 
 Bump it whenever request semantics change in a way that should invalidate

@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.graph.distance_cache import LMaxDistanceCache
+from repro.graph.distance_store import CSRAdjacency, TiledStore
 from repro.graph.graph import Graph
 
 __all__ = [
@@ -52,6 +53,7 @@ __all__ = [
     "AttachedArena",
     "SHM_NAME_PREFIX",
     "SharedSampleArena",
+    "TiledMatrixSpec",
     "attach_arena",
 ]
 
@@ -60,7 +62,28 @@ __all__ = [
 SHM_NAME_PREFIX = "repro-arena"
 
 _EDGE_DTYPE = np.int64
-_MATRIX_DTYPE = np.int32
+_CSR_DTYPE = np.int64
+
+
+@dataclass(frozen=True)
+class TiledMatrixSpec:
+    """One engine's tiled-tier publication request (parent side).
+
+    In the tiled scale tier there is no dense L_max matrix to publish —
+    the whole point is never materializing it.  The parent instead
+    publishes the sample's CSR adjacency (shared by every engine) plus
+    this spec: the geometry workers need to rebuild an equivalent
+    :class:`~repro.graph.distance_store.TiledStore`, and optionally the
+    parent's *hot tiles* — already-computed L_max tiles seeded into the
+    worker's cache so they are not recomputed per worker.  A typical grid
+    parent computes no tiles at all (workers do the lazy work), so
+    ``hot_tiles`` defaults to empty.
+    """
+
+    l_max: int
+    budget_bytes: int
+    tile_rows: Optional[int] = None
+    hot_tiles: Mapping[int, np.ndarray] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -70,20 +93,32 @@ class ArenaDescriptor:
     A descriptor is a few hundred bytes of plain data — it crosses the
     process boundary instead of the pickled graph and matrices.  ``token``
     identifies the arena (workers cache attachments by it), ``matrices``
-    maps each distance engine to its ``(segment_name, l_max)`` pair, and
-    the remaining fields carry the array geometry needed to rebuild the
-    NumPy views.
+    maps each dense-tier engine to its ``(segment_name, l_max, dtype)``
+    entry, ``tiled`` carries the tiled-tier engines — store geometry plus
+    ``(tile_id, segment_name)`` hot-tile names over the shared CSR arrays
+    named by ``csr_segments`` — and the remaining fields carry the array
+    geometry needed to rebuild the NumPy views.
     """
 
     token: str
     num_vertices: int
     num_edges: int
     edges_segment: Optional[str]
-    matrices: Tuple[Tuple[str, str, int], ...] = ()  # (engine, segment, l_max)
+    #: Dense tier: (engine, segment, l_max, dtype string).
+    matrices: Tuple[Tuple[str, str, int, str], ...] = ()
+    #: Tiled tier: (indptr segment, indices segment), shared per sample.
+    csr_segments: Optional[Tuple[str, str]] = None
+    #: Tiled tier: (engine, l_max, budget_bytes, tile_rows,
+    #: ((tile_id, segment), ...)).
+    tiled: Tuple[Tuple[str, int, int, int,
+                       Tuple[Tuple[int, str], ...]], ...] = ()
 
     def l_max_for(self, engine: str) -> Optional[int]:
         """The published L_max bound of ``engine``, or ``None``."""
-        for name, _segment, l_max in self.matrices:
+        for name, _segment, l_max, _dtype in self.matrices:
+            if name == engine:
+                return l_max
+        for name, l_max, _budget, _tile_rows, _tiles in self.tiled:
             if name == engine:
                 return l_max
         return None
@@ -126,16 +161,26 @@ class SharedSampleArena:
 
     @classmethod
     def publish(cls, graph: Graph,
-                matrices: Optional[Mapping[str, Tuple[np.ndarray, int]]] = None
+                matrices: Optional[Mapping[str, Tuple[np.ndarray, int]]] = None,
+                tiled: Optional[Mapping[str, TiledMatrixSpec]] = None
                 ) -> "SharedSampleArena":
-        """Publish ``graph`` (and per-engine L_max ``matrices``) to shm.
+        """Publish ``graph`` (and per-engine distance payloads) to shm.
 
-        ``matrices`` maps an engine name to ``(l_max_matrix, l_max)``; each
-        matrix must be the full ``n × n`` bounded matrix computed at that
-        engine's group-wide L_max (``int32``, the engine contract).  The
-        data is *copied* into the segments — the caller may release its
-        own references immediately afterwards.
+        ``matrices`` maps a dense-tier engine name to
+        ``(l_max_matrix, l_max)``; each matrix must be the full ``n × n``
+        bounded matrix computed at that engine's group-wide L_max, in
+        whatever dtype the engine chose (recorded in the descriptor).
+        ``tiled`` maps a tiled-tier engine name to a
+        :class:`TiledMatrixSpec`; any tiled entry additionally publishes
+        the sample's CSR adjacency arrays (once, shared by every tiled
+        engine) instead of a dense matrix.  All data is *copied* into the
+        segments — the caller may release its own references immediately
+        afterwards.
         """
+        overlap = sorted(set(matrices or ()) & set(tiled or ()))
+        if overlap:
+            raise ConfigurationError(
+                f"engines {overlap} published as both dense and tiled")
         token = f"{SHM_NAME_PREFIX}-{uuid.uuid4().hex[:12]}"
         segments: Dict[str, shared_memory.SharedMemory] = {}
         try:
@@ -145,19 +190,47 @@ class SharedSampleArena:
             if graph.num_edges:
                 edges_segment = f"{token}-edges"
                 segments[edges_segment] = _create_segment(edges_segment, edges)
+            n = graph.num_vertices
             entries = []
             for index, (engine, (matrix, l_max)) in enumerate(
                     sorted((matrices or {}).items())):
-                n = graph.num_vertices
                 if matrix.shape != (n, n):
                     raise ConfigurationError(
                         f"matrix for engine {engine!r} has shape "
                         f"{matrix.shape}, expected {(n, n)}")
                 segment_name = f"{token}-m{index}"
-                segments[segment_name] = _create_segment(
-                    segment_name, np.ascontiguousarray(matrix,
-                                                       dtype=_MATRIX_DTYPE))
-                entries.append((engine, segment_name, int(l_max)))
+                data = np.ascontiguousarray(matrix)
+                segments[segment_name] = _create_segment(segment_name, data)
+                entries.append((engine, segment_name, int(l_max),
+                                data.dtype.str))
+            csr_segments = None
+            tiled_entries = []
+            if tiled:
+                csr = CSRAdjacency.from_graph(graph)
+                indptr_name = f"{token}-csr-indptr"
+                indices_name = f"{token}-csr-indices"
+                segments[indptr_name] = _create_segment(
+                    indptr_name, np.ascontiguousarray(csr.indptr,
+                                                      dtype=_CSR_DTYPE))
+                segments[indices_name] = _create_segment(
+                    indices_name, np.ascontiguousarray(csr.indices,
+                                                       dtype=_CSR_DTYPE))
+                csr_segments = (indptr_name, indices_name)
+                for index, (engine, spec) in enumerate(sorted(tiled.items())):
+                    if spec.hot_tiles and spec.tile_rows is None:
+                        raise ConfigurationError(
+                            f"tiled engine {engine!r} publishes hot tiles "
+                            f"without fixing tile_rows")
+                    tile_entries = []
+                    for tile_id, tile in sorted(spec.hot_tiles.items()):
+                        segment_name = f"{token}-t{index}-{int(tile_id)}"
+                        segments[segment_name] = _create_segment(
+                            segment_name, np.ascontiguousarray(tile))
+                        tile_entries.append((int(tile_id), segment_name))
+                    tiled_entries.append(
+                        (engine, int(spec.l_max), int(spec.budget_bytes),
+                         0 if spec.tile_rows is None else int(spec.tile_rows),
+                         tuple(tile_entries)))
         except BaseException:
             for segment in segments.values():
                 _release_segment(segment, unlink=True)
@@ -166,7 +239,9 @@ class SharedSampleArena:
                                      num_vertices=graph.num_vertices,
                                      num_edges=graph.num_edges,
                                      edges_segment=edges_segment,
-                                     matrices=tuple(entries))
+                                     matrices=tuple(entries),
+                                     csr_segments=csr_segments,
+                                     tiled=tuple(tiled_entries))
         return cls(token, segments, descriptor)
 
     @property
@@ -234,10 +309,32 @@ def attach_arena(descriptor: ArenaDescriptor) -> AttachedArena:
     graph = Graph(descriptor.num_vertices, edges=edges)
     caches: Dict[str, LMaxDistanceCache] = {}
     n = descriptor.num_vertices
-    for engine, segment_name, l_max in descriptor.matrices:
-        segment, view = _attach_view(segment_name, (n, n), _MATRIX_DTYPE)
+    for engine, segment_name, l_max, dtype_str in descriptor.matrices:
+        segment, view = _attach_view(segment_name, (n, n),
+                                     np.dtype(dtype_str))
         segments.append(segment)
         caches[engine] = LMaxDistanceCache.from_matrix(graph, view, l_max,
                                                        engine=engine)
+    if descriptor.tiled:
+        indptr_name, indices_name = descriptor.csr_segments
+        segment, indptr = _attach_view(indptr_name, (n + 1,), _CSR_DTYPE)
+        segments.append(segment)
+        segment, indices = _attach_view(
+            indices_name, (int(indptr[-1]),), _CSR_DTYPE)
+        segments.append(segment)
+        csr = CSRAdjacency(indptr, indices)
+        for engine, l_max, budget_bytes, tile_rows, tiles in descriptor.tiled:
+            base = TiledStore(None, l_max, csr=csr,
+                              budget_bytes=budget_bytes,
+                              tile_rows=tile_rows or None)
+            for tile_id, tile_segment in tiles:
+                start = tile_id * base.tile_rows
+                stop = min(n, start + base.tile_rows)
+                segment, tile = _attach_view(tile_segment, (stop - start, n),
+                                             base.dtype)
+                segments.append(segment)
+                base.preload_tile(tile_id, tile)
+            caches[engine] = LMaxDistanceCache.from_tiled_base(graph, base,
+                                                              engine=engine)
     return AttachedArena(token=descriptor.token, graph=graph, caches=caches,
                          segments=tuple(segments))

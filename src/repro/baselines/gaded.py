@@ -30,6 +30,8 @@ import random
 import time
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.api.progress import NULL_OBSERVER, AnonymizationStopped, ProgressObserver
 from repro.api.registry import register_anonymizer
 from repro.core.anonymizer import (
@@ -48,6 +50,7 @@ from repro.core.opacity_session import (
 )
 from repro.core.pair_types import DegreePairTyping, PairTyping
 from repro.errors import ConfigurationError, InfeasibleError
+from repro.graph.distance_store import validate_scale_tier
 from repro.graph.graph import Edge, Graph
 
 
@@ -58,12 +61,18 @@ class _GadedBase:
                  max_steps: Optional[int] = None, engine: str = "numpy",
                  strict: bool = False, evaluation_mode: str = "incremental",
                  scan_mode: str = "batched",
-                 sweep_mode: str = "checkpointed") -> None:
+                 sweep_mode: str = "checkpointed",
+                 scale_tier: str = "auto",
+                 scale_budget_bytes: Optional[int] = None) -> None:
         if not 0.0 <= theta <= 1.0:
             raise ConfigurationError(f"theta must be in [0, 1], got {theta}")
         validate_evaluation_mode(evaluation_mode)
         validate_scan_mode(scan_mode)
         validate_sweep_mode(sweep_mode)
+        validate_scale_tier(scale_tier)
+        if scale_budget_bytes is not None and scale_budget_bytes < 1:
+            raise ConfigurationError(
+                f"scale_budget_bytes must be >= 1, got {scale_budget_bytes}")
         self._theta = theta
         self._seed = seed
         self._max_steps = max_steps
@@ -72,6 +81,8 @@ class _GadedBase:
         self._evaluation_mode = evaluation_mode
         self._scan_mode = scan_mode
         self._sweep_mode = sweep_mode
+        self._scale_tier = scale_tier
+        self._scale_budget_bytes = scale_budget_bytes
 
     @property
     def theta(self) -> float:
@@ -113,10 +124,12 @@ class _GadedBase:
         if typing is None:
             typing = DegreePairTyping(graph)
         # Every per-θ run consumes its own session matrix, so the shared
-        # precomputed matrix is copied per grid point.
+        # precomputed matrix is copied per grid point.  Store payloads
+        # (tiled tier) have no cheap copy; those runs recompute instead.
         return [self._run_single(graph, theta, typing, observer,
-                                 None if initial_distances is None
-                                 else initial_distances.copy())
+                                 initial_distances.copy()
+                                 if isinstance(initial_distances, np.ndarray)
+                                 else None)
                 for theta in schedule]
 
     def _run_single(self, graph: Graph, theta: float, typing: PairTyping,
@@ -124,9 +137,6 @@ class _GadedBase:
                     initial_distances=None) -> AnonymizationResult:
         computer = OpacityComputer(typing, length_threshold=1, engine=self._engine)
         working = graph.copy()
-        session = OpacitySession(computer, working, mode=self._evaluation_mode,
-                                 initial_distances=initial_distances)
-        rng = random.Random(self._seed)
         # The full constructor state (max_steps included) is recorded so the
         # result's config round-trips through the api layer for reproduction.
         config = AnonymizerConfig(length_threshold=1, theta=theta, seed=self._seed,
@@ -134,7 +144,13 @@ class _GadedBase:
                                   max_steps=self._max_steps,
                                   evaluation_mode=self._evaluation_mode,
                                   scan_mode=self._scan_mode,
-                                  sweep_mode=self._sweep_mode)
+                                  sweep_mode=self._sweep_mode,
+                                  scale_tier=self._scale_tier,
+                                  scale_budget_bytes=self._scale_budget_bytes)
+        session = OpacitySession(computer, working, mode=self._evaluation_mode,
+                                 initial_distances=initial_distances,
+                                 store_config=config.store_config())
+        rng = random.Random(self._seed)
         result = AnonymizationResult(
             original_graph=graph.copy(),
             anonymized_graph=working,
@@ -210,7 +226,7 @@ class _GadedBase:
     "gaded-rand",
     description="GADED-Rand baseline (Zhang & Zhang, single-edge disclosure)",
     accepts=("theta", "seed", "max_steps", "engine", "strict", "evaluation_mode",
-             "scan_mode", "sweep_mode"),
+             "scan_mode", "sweep_mode", "scale_tier", "scale_budget_bytes"),
 )
 class GadedRandAnonymizer(_GadedBase):
     """GADED-Rand: remove a random edge participating in disclosure."""
@@ -227,7 +243,7 @@ class GadedRandAnonymizer(_GadedBase):
     "gaded-max",
     description="GADED-Max baseline (Zhang & Zhang, single-edge disclosure)",
     accepts=("theta", "seed", "max_steps", "engine", "strict", "evaluation_mode",
-             "scan_mode", "sweep_mode"),
+             "scan_mode", "sweep_mode", "scale_tier", "scale_budget_bytes"),
 )
 class GadedMaxAnonymizer(_GadedBase):
     """GADED-Max: remove the edge with the greatest reduction of the maximum

@@ -18,6 +18,8 @@ import random
 import time
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.api.progress import NULL_OBSERVER, AnonymizationStopped, ProgressObserver
 from repro.api.registry import register_anonymizer
 from repro.core.anonymizer import (
@@ -38,6 +40,7 @@ from repro.core.opacity_session import (
 )
 from repro.core.pair_types import DegreePairTyping, PairTyping
 from repro.errors import ConfigurationError
+from repro.graph.distance_store import validate_scale_tier
 from repro.graph.graph import Edge, Graph, normalize_edge
 
 Swap = Tuple[Edge, Edge, Edge, Edge]  # (removed1, removed2, added1, added2)
@@ -47,7 +50,8 @@ Swap = Tuple[Edge, Edge, Edge, Edge]  # (removed1, removed2, added1, added2)
     "gades",
     description="GADES baseline (Zhang & Zhang, degree-preserving swaps)",
     accepts=("theta", "seed", "max_steps", "swap_sample_size", "engine",
-             "evaluation_mode", "scan_mode", "sweep_mode"),
+             "evaluation_mode", "scan_mode", "sweep_mode", "scale_tier",
+             "scale_budget_bytes"),
 )
 class GadesAnonymizer:
     """GADES: greedy degree-preserving edge swapping against link disclosure.
@@ -74,7 +78,9 @@ class GadesAnonymizer:
                  max_steps: Optional[int] = None, swap_sample_size: int = 2000,
                  engine: str = "numpy", evaluation_mode: str = "incremental",
                  scan_mode: str = "batched",
-                 sweep_mode: str = "checkpointed") -> None:
+                 sweep_mode: str = "checkpointed",
+                 scale_tier: str = "auto",
+                 scale_budget_bytes: Optional[int] = None) -> None:
         if not 0.0 <= theta <= 1.0:
             raise ConfigurationError(f"theta must be in [0, 1], got {theta}")
         if swap_sample_size < 1:
@@ -82,6 +88,10 @@ class GadesAnonymizer:
         validate_evaluation_mode(evaluation_mode)
         validate_scan_mode(scan_mode)
         validate_sweep_mode(sweep_mode)
+        validate_scale_tier(scale_tier)
+        if scale_budget_bytes is not None and scale_budget_bytes < 1:
+            raise ConfigurationError(
+                f"scale_budget_bytes must be >= 1, got {scale_budget_bytes}")
         self._theta = theta
         self._seed = seed
         self._max_steps = max_steps
@@ -90,6 +100,8 @@ class GadesAnonymizer:
         self._evaluation_mode = evaluation_mode
         self._scan_mode = scan_mode
         self._sweep_mode = sweep_mode
+        self._scale_tier = scale_tier
+        self._scale_budget_bytes = scale_budget_bytes
 
     @property
     def theta(self) -> float:
@@ -127,10 +139,13 @@ class GadesAnonymizer:
         schedule = validate_theta_schedule(
             thetas if thetas is not None else (self._theta,))
         if self._sweep_mode == "independent" and len(schedule) > 1:
+            # Store payloads (tiled tier) have no cheap copy; each per-theta
+            # run recomputes its own deterministic session state instead.
             return [self._with_theta(theta).anonymize(
                         graph, typing=typing, observer=observer,
-                        initial_distances=(None if initial_distances is None
-                                           else initial_distances.copy()))
+                        initial_distances=(initial_distances.copy()
+                                           if isinstance(initial_distances, np.ndarray)
+                                           else None))
                     for theta in schedule]
         return self._run_schedule(graph, schedule, typing, observer,
                                   initial_distances)
@@ -140,7 +155,8 @@ class GadesAnonymizer:
             theta=theta, seed=self._seed, max_steps=self._max_steps,
             swap_sample_size=self._swap_sample_size, engine=self._engine,
             evaluation_mode=self._evaluation_mode, scan_mode=self._scan_mode,
-            sweep_mode=self._sweep_mode)
+            sweep_mode=self._sweep_mode, scale_tier=self._scale_tier,
+            scale_budget_bytes=self._scale_budget_bytes)
 
     def _run_schedule(self, graph: Graph, schedule: Sequence[float],
                       typing: Optional[PairTyping],
@@ -151,9 +167,6 @@ class GadesAnonymizer:
             typing = DegreePairTyping(graph)
         computer = OpacityComputer(typing, length_threshold=1, engine=self._engine)
         working = graph.copy()
-        session = OpacitySession(computer, working, mode=self._evaluation_mode,
-                                 initial_distances=initial_distances)
-        rng = random.Random(self._seed)
         # The full constructor state (max_steps and swap_sample_size
         # included) is recorded so the result's config round-trips through
         # the api layer for reproduction.
@@ -163,7 +176,13 @@ class GadesAnonymizer:
                                   swap_sample_size=self._swap_sample_size,
                                   evaluation_mode=self._evaluation_mode,
                                   scan_mode=self._scan_mode,
-                                  sweep_mode=self._sweep_mode)
+                                  sweep_mode=self._sweep_mode,
+                                  scale_tier=self._scale_tier,
+                                  scale_budget_bytes=self._scale_budget_bytes)
+        session = OpacitySession(computer, working, mode=self._evaluation_mode,
+                                 initial_distances=initial_distances,
+                                 store_config=config.store_config())
+        rng = random.Random(self._seed)
         original = graph.copy()
         result = AnonymizationResult(
             original_graph=original,

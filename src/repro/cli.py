@@ -77,6 +77,7 @@ from repro.api import (
 )
 from repro.core.anonymizer import SWEEP_MODES
 from repro.core.opacity_session import EVALUATION_MODES, SCAN_MODES
+from repro.graph.distance_store import SCALE_TIERS
 from repro.datasets import dataset_names
 from repro.errors import ReproError
 from repro.experiments import (
@@ -216,6 +217,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         scan_mode=args.scan_mode,
         insertion_candidate_cap=args.insertion_cap,
         include_utility=not args.no_utility,
+        scale_tier=args.scale_tier,
+        scale_budget_bytes=(args.scale_budget_mb * 1024 * 1024
+                            if args.scale_budget_mb is not None else None),
     )
     if args.input:
         graph, _labels = read_edge_list(args.input)
@@ -315,7 +319,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     store = RunStore(args.db)
     manager = JobManager(store, data_dir=args.data_dir,
                          max_workers=args.max_workers,
-                         shared_memory=args.shared_memory == "on")
+                         shared_memory=args.shared_memory == "on",
+                         scale_tier=args.scale_tier,
+                         scale_budget_bytes=(args.scale_budget_mb * 1024 * 1024
+                                             if args.scale_budget_mb is not None
+                                             else None))
     if args.reset:
         summary = store.init_db(reset=True)
         print(f"reset {summary['db_path']} "
@@ -472,6 +480,18 @@ def build_parser() -> argparse.ArgumentParser:
                             "attach read-only views and fan out per θ-sweep "
                             "group (default: on; 'off' fans whole sample "
                             "groups instead; ignored with --max-workers 0)")
+    sweep.add_argument("--scale-tier", choices=SCALE_TIERS, default="auto",
+                       dest="scale_tier",
+                       help="distance-plane scale tier: dense keeps the full "
+                            "n x n matrix in memory, tiled streams L_max row "
+                            "tiles through a bounded cache with temp-file "
+                            "spill, auto picks dense only while it fits the "
+                            "byte budget (default: auto)")
+    sweep.add_argument("--scale-budget-mb", type=int, default=None,
+                       dest="scale_budget_mb",
+                       help="byte budget of the scale tier in MiB: the "
+                            "auto-tier dense/tiled threshold and the tiled "
+                            "tile-cache bound (default: 512)")
     sweep.add_argument("--output", help="write the JSON sweep response here")
     sweep.set_defaults(func=_cmd_sweep)
 
@@ -506,6 +526,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="zero-copy shared-memory data plane for pooled "
                             "job execution (default: on; ignored with "
                             "--max-workers 0)")
+    serve.add_argument("--scale-tier", choices=SCALE_TIERS, default="auto",
+                       dest="scale_tier",
+                       help="default distance-plane scale tier applied to "
+                            "submitted jobs that leave theirs on 'auto' "
+                            "(default: auto)")
+    serve.add_argument("--scale-budget-mb", type=int, default=None,
+                       dest="scale_budget_mb",
+                       help="default scale-tier byte budget in MiB applied "
+                            "to submitted jobs that set none (default: 512)")
     serve.add_argument("--reset", action="store_true",
                        help="archive and re-initialize the run store before "
                             "serving (rolling window of 3 backups)")

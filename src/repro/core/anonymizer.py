@@ -27,6 +27,8 @@ from fractions import Fraction
 from functools import cached_property
 from typing import List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.api.progress import (
     NULL_OBSERVER,
     AnonymizationStopped,
@@ -42,6 +44,11 @@ from repro.core.opacity_session import (
 from repro.core.pair_types import DegreePairTyping, PairTyping
 from repro.errors import ConfigurationError, InfeasibleError
 from repro.graph.distance import DistanceEngine, available_engines
+from repro.graph.distance_store import (
+    DEFAULT_SCALE_BUDGET_BYTES,
+    StoreConfig,
+    validate_scale_tier,
+)
 from repro.graph.graph import Edge, Graph
 from repro.metrics.distortion import edit_distance_ratio
 
@@ -155,6 +162,18 @@ class AnonymizerConfig:
         GADES only: candidate swap pairs examined per step.  Recorded here
         so a result's config reproduces the run; ``None`` for the other
         algorithms.
+    scale_tier:
+        Where the L-bounded distance plane lives: ``"dense"`` keeps the
+        full n×n matrix in memory, ``"tiled"`` streams row-block tiles
+        through a :class:`~repro.graph.distance_store.TiledStore` under
+        ``scale_budget_bytes``, and ``"auto"`` (default) picks dense when
+        the matrix fits the budget and tiled otherwise.  The tiled tier
+        requires ``evaluation_mode="incremental"``.
+    scale_budget_bytes:
+        Byte budget for the distance plane (``None`` = the default
+        512 MiB).  In the dense tier this is a guard — exceeding it raises
+        :class:`~repro.errors.DistanceMemoryError` — while the tiled tier
+        treats it as the tile-cache capacity, spilling cold tiles to disk.
     """
 
     length_threshold: int = 1
@@ -171,6 +190,14 @@ class AnonymizerConfig:
     scan_mode: str = "batched"
     sweep_mode: str = "checkpointed"
     swap_sample_size: Optional[int] = None
+    scale_tier: str = "auto"
+    scale_budget_bytes: Optional[int] = None
+
+    def store_config(self) -> StoreConfig:
+        """The :class:`~repro.graph.distance_store.StoreConfig` of this run."""
+        budget = (self.scale_budget_bytes if self.scale_budget_bytes is not None
+                  else DEFAULT_SCALE_BUDGET_BYTES)
+        return StoreConfig(tier=self.scale_tier, budget_bytes=budget)
 
     def validate(self) -> None:
         """Raise :class:`ConfigurationError` for invalid parameter values."""
@@ -196,6 +223,14 @@ class AnonymizerConfig:
         validate_evaluation_mode(self.evaluation_mode)
         validate_scan_mode(self.scan_mode)
         validate_sweep_mode(self.sweep_mode)
+        validate_scale_tier(self.scale_tier)
+        if self.scale_tier == "tiled" and self.evaluation_mode == "scratch":
+            raise ConfigurationError(
+                "scale_tier='tiled' requires evaluation_mode='incremental'; "
+                "scratch evaluation recomputes a dense matrix per candidate")
+        if self.scale_budget_bytes is not None and self.scale_budget_bytes < 1:
+            raise ConfigurationError(
+                f"scale_budget_bytes must be >= 1, got {self.scale_budget_bytes}")
 
 
 @dataclass(frozen=True)
@@ -519,10 +554,17 @@ class BaseAnonymizer(ABC):
         schedule = validate_theta_schedule(
             thetas if thetas is not None else (config.theta,))
         if config.sweep_mode == "independent" and len(schedule) > 1:
+            # Each per-θ run consumes its seed.  Dense arrays are cheap to
+            # copy; store payloads (tiled tier) are not, so every run
+            # recomputes its own store from the graph instead — the
+            # per-tile engine is deterministic, so results are unchanged.
+            def seed_distances():
+                if isinstance(initial_distances, np.ndarray):
+                    return initial_distances.copy()
+                return None
             return [type(self)(config=replace(config, theta=theta)).anonymize(
                         graph, typing=typing, observer=observer,
-                        initial_distances=(None if initial_distances is None
-                                           else initial_distances.copy()))
+                        initial_distances=seed_distances())
                     for theta in schedule]
         return self._run_schedule(graph, schedule, typing, observer,
                                   initial_distances, resume_from)
@@ -555,7 +597,8 @@ class BaseAnonymizer(ABC):
         working = (resume_from.graph.copy() if resume_from is not None
                    else graph.copy())
         session = OpacitySession(computer, working, mode=config.evaluation_mode,
-                                 initial_distances=initial_distances)
+                                 initial_distances=initial_distances,
+                                 store_config=config.store_config())
         rng = random.Random(config.seed)
         original = graph.copy()
         result = AnonymizationResult(

@@ -29,7 +29,8 @@ from repro.graph.graph import Edge
     description="Edge Removal (paper Algorithm 4)",
     accepts=("length_threshold", "theta", "lookahead", "engine", "seed",
              "max_steps", "prune_candidates", "max_combinations", "strict",
-             "evaluation_mode", "scan_mode", "sweep_mode"),
+             "evaluation_mode", "scan_mode", "sweep_mode", "scale_tier",
+             "scale_budget_bytes"),
 )
 class EdgeRemovalAnonymizer(BaseAnonymizer):
     """Algorithm 4: greedy L-opacification via edge removal.
@@ -90,7 +91,12 @@ class EdgeRemovalAnonymizer(BaseAnonymizer):
     def _prune_to_short_paths(self, session: OpacitySession,
                               current: OpacityResult, edges: Sequence[Edge]) -> List[Edge]:
         length = self._config.length_threshold
-        distances = session.distances().astype(np.int64)
+        # Incremental sessions serve distances in row blocks through the
+        # store seam (the tiled tier has no dense matrix to hand out);
+        # scratch mode computes one dense matrix and reuses it below.
+        distances = None
+        if session.mode != "incremental":
+            distances = session.distances().astype(np.int64)
         # Collect the vertex pairs of the types at the current maximum that
         # are within distance L — only breaking one of their short paths can
         # reduce the maximum opacity.  The session maintains the within-L
@@ -115,10 +121,14 @@ class EdgeRemovalAnonymizer(BaseAnonymizer):
         for start in range(0, rows.size, 256):
             i = rows[start:start + 256]
             j = cols[start:start + 256]
-            on_path = ((distances[np.ix_(i, edge_u)] + distances[np.ix_(j, edge_v)]
-                        + 1 <= length)
-                       | (distances[np.ix_(i, edge_v)] + distances[np.ix_(j, edge_u)]
-                          + 1 <= length))
+            if distances is not None:
+                di = distances[i]
+                dj = distances[j]
+            else:
+                di = session.distance_rows(i).astype(np.int64)
+                dj = session.distance_rows(j).astype(np.int64)
+            on_path = ((di[:, edge_u] + dj[:, edge_v] + 1 <= length)
+                       | (di[:, edge_v] + dj[:, edge_u] + 1 <= length))
             keep |= on_path.any(axis=0)
             if keep.all():
                 break

@@ -177,6 +177,69 @@ class OpacityComputer:
         """Assemble the full :class:`OpacityResult` from within-L counts."""
         return self._build_result(counts)
 
+    def within_counts_store(self, store) -> Dict[TypeKey, int]:
+        """:meth:`within_counts` read through a distance store, block by block.
+
+        Streams ``|block| × n`` slabs from a
+        :class:`~repro.graph.distance_store.DistanceStore` instead of
+        requiring the dense matrix, so the tiled scale tier can seed
+        incremental sessions without ever materializing ``n × n``.  The
+        per-block tallies partition the strict upper triangle, and integer
+        sums are order-independent, so the result equals
+        ``within_counts(store.to_array())`` exactly.
+        """
+        typing = self._typing
+        n = store.num_vertices
+        counts: Dict[TypeKey, int] = {}
+        if n < 2:
+            return counts
+        if isinstance(typing, DegreePairTyping):
+            degrees = typing.degrees
+            columns = np.arange(n)[None, :]
+            for start, stop in store.row_blocks():
+                slab = store.rows(np.arange(start, stop))
+                mask = ((slab <= self._length)
+                        & (columns > np.arange(start, stop)[:, None]))
+                if not mask.any():
+                    continue
+                local_rows, cols = np.nonzero(mask)
+                encoded, span = encode_degree_pairs(degrees,
+                                                    local_rows + start, cols)
+                counted = np.bincount(encoded)
+                for code in np.nonzero(counted)[0]:
+                    key = decode_degree_pair(int(code), span)
+                    counts[key] = counts.get(key, 0) + int(counted[code])
+            return counts
+        if isinstance(typing, ExplicitPairTyping):
+            rows, cols, codes, keys = self._explicit_pair_arrays()
+            if rows.size == 0:
+                return counts
+            totals = np.zeros(len(keys), dtype=np.int64)
+            for start, stop in store.row_blocks():
+                selector = (rows >= start) & (rows < stop)
+                if not selector.any():
+                    continue
+                slab = store.rows(np.arange(start, stop))
+                within = (slab[rows[selector] - start, cols[selector]]
+                          <= self._length)
+                totals += np.bincount(codes[selector][within],
+                                      minlength=len(keys))
+            return {keys[code]: int(totals[code])
+                    for code in np.nonzero(totals)[0]}
+        # Fallback for arbitrary typings: scan every pair (the sentinel is
+        # always above L, so one comparison covers reachability too).
+        for start, stop in store.row_blocks():
+            slab = store.rows(np.arange(start, stop))
+            for local, u in enumerate(range(start, stop)):
+                row = slab[local]
+                for v in range(u + 1, n):
+                    if int(row[v]) > self._length:
+                        continue
+                    key = typing.type_of(u, v)
+                    if key is not None:
+                        counts[key] = counts.get(key, 0) + 1
+        return counts
+
     # ------------------------------------------------------------------
     # counting strategies
     # ------------------------------------------------------------------

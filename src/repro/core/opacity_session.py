@@ -56,6 +56,7 @@ from repro.core.opacity import (
 from repro.core.pair_types import DegreePairTyping, TypeKey
 from repro.errors import ConfigurationError
 from repro.graph.distance_delta import DistanceDelta, DistanceSession
+from repro.graph.distance_store import DenseStore, DistanceStore, StoreConfig
 from repro.graph.graph import Edge, Graph
 from repro.graph.matrices import triu_pair_indices
 
@@ -125,19 +126,35 @@ class OpacitySession:
         Passed to :class:`DistanceSession` — removal deltas touching more
         than this fraction of rows fall back to a from-scratch matrix.
     initial_distances:
-        Optional precomputed L-bounded distance matrix of ``graph`` (e.g. a
-        thresholded slice of a shared
-        :class:`~repro.graph.distance_cache.LMaxDistanceCache`), adopted as
-        the incremental session's starting matrix so construction skips the
-        from-scratch engine run.  The session takes ownership of the array;
-        scratch mode (which recomputes per evaluation anyway) ignores it.
+        Optional precomputed L-bounded distances of ``graph`` — a matrix
+        (e.g. a thresholded slice of a shared
+        :class:`~repro.graph.distance_cache.LMaxDistanceCache`) or a
+        :class:`~repro.graph.distance_store.DistanceStore` served by the
+        tier-aware cache — adopted as the incremental session's starting
+        state so construction skips the from-scratch engine run.  The
+        session takes ownership of the payload; scratch mode (which
+        recomputes per evaluation anyway) ignores it.
+    store_config:
+        Scale-tier policy for a session that must compute its own
+        distances (ignored when ``initial_distances`` is given).  The
+        tiled tier requires incremental evaluation — scratch mode
+        recomputes dense matrices per candidate, which is exactly what the
+        tier exists to avoid.
     """
 
     def __init__(self, computer: OpacityComputer, graph: Graph,
                  mode: str = "incremental",
                  fallback_row_fraction: float = 0.5,
-                 initial_distances: Optional[np.ndarray] = None) -> None:
+                 initial_distances: Optional[np.ndarray | DistanceStore] = None,
+                 store_config: Optional[StoreConfig] = None) -> None:
         validate_evaluation_mode(mode)
+        if mode == "scratch" and (
+                (store_config is not None and store_config.tier == "tiled")
+                or isinstance(initial_distances, DistanceStore)
+                and not isinstance(initial_distances, DenseStore)):
+            raise ConfigurationError(
+                "the tiled scale tier requires evaluation_mode='incremental'; "
+                "scratch mode materializes dense matrices per candidate")
         self._computer = computer
         self._graph = graph
         self._mode = mode
@@ -152,7 +169,8 @@ class OpacitySession:
             self._distance = DistanceSession(
                 graph, computer.length_threshold, engine=computer.engine,
                 fallback_row_fraction=fallback_row_fraction,
-                initial_distances=initial_distances)
+                initial_distances=initial_distances,
+                store_config=store_config)
             self._init_counts()
 
     # ------------------------------------------------------------------
@@ -174,10 +192,27 @@ class OpacitySession:
         return self._mode
 
     def distances(self) -> np.ndarray:
-        """The current L-bounded distance matrix (treat as read-only)."""
+        """The current dense L-bounded matrix (treat as read-only).
+
+        Dense tier only — a tiled-tier session raises
+        :class:`~repro.errors.DistanceMemoryError`; stream through
+        :meth:`distance_rows` instead.
+        """
         if self._distance is not None:
             return self._distance.distances
         return self._computer.distances(self._graph)
+
+    def distance_rows(self, block: Sequence[int]) -> np.ndarray:
+        """Fresh ``|block| × n`` distance rows (incremental mode only).
+
+        Columns follow by symmetry; this is the tier-independent way to
+        read distances, sized to the store's tile budget.
+        """
+        if self._distance is None:
+            raise ConfigurationError(
+                "distance_rows() requires evaluation_mode='incremental'; "
+                "scratch mode recomputes matrices per call")
+        return self._distance.rows(block)
 
     # ------------------------------------------------------------------
     # evaluation
@@ -333,8 +368,24 @@ class OpacitySession:
     def _ensure_pair_mask(self) -> None:
         if self._within_pairs is None:
             rows, cols = triu_pair_indices(self._graph.num_vertices)
-            self._within_pairs = (self._distance.distances[rows, cols]
-                                  <= self._computer.length_threshold)
+            length = self._computer.length_threshold
+            store = self._distance.store
+            if isinstance(store, DenseStore):
+                self._within_pairs = store.array[rows, cols] <= length
+                return
+            # Tiled tier: stream the triu gather block by block.  The triu
+            # row array is sorted ascending, so each block's pairs form one
+            # contiguous slice found by binary search.
+            mask = np.empty(rows.size, dtype=bool)
+            for start, stop in store.row_blocks():
+                low = np.searchsorted(rows, start, side="left")
+                high = np.searchsorted(rows, stop, side="left")
+                if low == high:
+                    continue
+                slab = store.rows(np.arange(start, stop))
+                mask[low:high] = (slab[rows[low:high] - start, cols[low:high]]
+                                  <= length)
+            self._within_pairs = mask
 
     def _update_pair_mask(self, row_idx: np.ndarray, col_idx: np.ndarray,
                           gained: np.ndarray) -> None:
@@ -371,7 +422,11 @@ class OpacitySession:
     # ------------------------------------------------------------------
     def _init_counts(self) -> None:
         typing = self._computer.typing
-        counts = self._computer.within_counts(self._distance.distances)
+        store = self._distance.store
+        if isinstance(store, DenseStore):
+            counts = self._computer.within_counts(store.array)
+        else:
+            counts = self._computer.within_counts_store(store)
         type_keys: List[TypeKey] = []
         totals: List[int] = []
         withins: List[int] = []
@@ -490,7 +545,7 @@ class OpacitySession:
         """
         length = self._computer.length_threshold
         rows = delta.rows
-        old_within = self._distance.distances[rows] <= length
+        old_within = self._distance.rows(rows) <= length
         new_within = delta.new_rows <= length
         flips = old_within != new_within
         if not flips.any():
@@ -593,7 +648,7 @@ class OpacitySession:
         new_cat = np.concatenate([delta.new_rows for _, delta in stacked], axis=0)
         group_of_row = np.repeat(np.arange(len(stacked)),
                                  [delta.rows.size for _, delta in stacked])
-        old_within = self._distance.distances[rows_cat] <= length
+        old_within = self._distance.rows(rows_cat) <= length
         new_within = new_cat <= length
         flips = old_within != new_within
         # Each changed cell appears in its candidate's row and (when both

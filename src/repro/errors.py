@@ -33,6 +33,17 @@ class InfeasibleError(ReproError):
     """
 
 
+class DistanceMemoryError(ReproError):
+    """Raised when a dense distance matrix would blow the byte budget.
+
+    The up-front guard estimates ``n² × itemsize`` before allocating and
+    refuses instead of dying on an opaque :class:`MemoryError` mid-grid.
+    The fix is almost always switching the run to the out-of-core tier
+    (``scale_tier="tiled"`` / ``--scale-tier tiled``), which streams the
+    matrix through a bounded tile cache instead of materializing it.
+    """
+
+
 class DatasetError(ReproError):
     """Raised when a dataset cannot be located, parsed, or synthesized."""
 

@@ -18,8 +18,11 @@ return the same *bounded distance matrix*:
   matrix products (fast for the graph sizes used in the experiments).
 
 Contract shared by every engine: the returned matrix ``D`` is a dense
-``int32`` array with ``D[i, i] = 0``, ``D[i, j]`` equal to the geodesic
-distance when that distance is ≤ L, and :data:`UNREACHABLE` otherwise.
+integer array of :func:`~repro.graph.matrices.distance_dtype` (uint8 for
+L ≤ 254, uint16 up to 65534, int32 beyond) with ``D[i, i] = 0``,
+``D[i, j]`` equal to the geodesic distance when that distance is ≤ L, and
+the dtype-local sentinel :func:`~repro.graph.matrices.unreachable_value`
+otherwise (the canonical :data:`UNREACHABLE` for int32 matrices).
 """
 
 from __future__ import annotations
@@ -31,7 +34,12 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.graph.graph import Graph
-from repro.graph.matrices import UNREACHABLE, triu_pair_indices
+from repro.graph.matrices import (
+    UNREACHABLE,
+    distance_dtype,
+    triu_pair_indices,
+    unreachable_value,
+)
 
 #: Registry of engine name -> callable(graph, L) -> dense bounded distance matrix.
 _ENGINES: Dict[str, Callable[[Graph, int], np.ndarray]] = {}
@@ -77,14 +85,16 @@ def bounded_distance_matrix(graph: Graph, length_bound: int,
     return func(graph, length_bound)
 
 
-def _empty_matrix(num_vertices: int) -> np.ndarray:
-    matrix = np.full((num_vertices, num_vertices), UNREACHABLE, dtype=np.int32)
+def _empty_matrix(num_vertices: int, length_bound: int = UNREACHABLE) -> np.ndarray:
+    dtype = distance_dtype(length_bound)
+    matrix = np.full((num_vertices, num_vertices), unreachable_value(dtype),
+                     dtype=dtype)
     np.fill_diagonal(matrix, 0)
     return matrix
 
 
-def _adjacency_distances(graph: Graph) -> np.ndarray:
-    matrix = _empty_matrix(graph.num_vertices)
+def _adjacency_distances(graph: Graph, length_bound: int = UNREACHABLE) -> np.ndarray:
+    matrix = _empty_matrix(graph.num_vertices, length_bound)
     for u, v in graph.edges():
         matrix[u, v] = 1
         matrix[v, u] = 1
@@ -103,14 +113,16 @@ def floyd_warshall(graph: Graph, length_bound: int = UNREACHABLE) -> np.ndarray:
     bounded-matrix contract.
     """
     n = graph.num_vertices
-    dist = _adjacency_distances(graph).astype(np.float64)
-    dist[dist == UNREACHABLE] = np.inf
+    dtype = distance_dtype(length_bound)
+    sentinel = unreachable_value(dtype)
+    dist = _adjacency_distances(graph, length_bound).astype(np.float64)
+    dist[dist == sentinel] = np.inf
     for k in range(n):
         # Vectorized relaxation of the classic triple loop.
         through_k = dist[:, k:k + 1] + dist[k:k + 1, :]
         np.minimum(dist, through_k, out=dist)
-    out = np.where(np.isinf(dist) | (dist > length_bound), UNREACHABLE, dist)
-    return out.astype(np.int32)
+    out = np.where(np.isinf(dist) | (dist > length_bound), sentinel, dist)
+    return out.astype(dtype)
 
 
 # ----------------------------------------------------------------------
@@ -125,24 +137,26 @@ def l_pruned_floyd_warshall(graph: Graph, length_bound: int) -> np.ndarray:
     exactly as in the published pseudo-code.
     """
     n = graph.num_vertices
-    dist = _adjacency_distances(graph)
+    dist = _adjacency_distances(graph, length_bound)
     for k in range(n):
         row_k = dist[k]
         for i in range(n - 1):
-            d_ik = row_k[i]
+            # Python-int arithmetic: narrow unsigned dtypes would wrap on
+            # sums of two near-L legs (254 + 254 overflows uint8).
+            d_ik = int(row_k[i])
             if i == k or d_ik >= length_bound:
                 continue
             for j in range(i + 1, n):
                 if j == k:
                     continue
-                d_kj = row_k[j]
+                d_kj = int(row_k[j])
                 if d_kj >= length_bound:
                     continue
                 candidate = d_ik + d_kj
                 if candidate <= length_bound and candidate < dist[i, j]:
                     dist[i, j] = candidate
                     dist[j, i] = candidate
-    dist[dist > length_bound] = UNREACHABLE
+    dist[dist > length_bound] = unreachable_value(dist.dtype)
     np.fill_diagonal(dist, 0)
     return dist
 
@@ -162,7 +176,7 @@ def pointer_l_pruned_floyd_warshall(graph: Graph, length_bound: int) -> np.ndarr
     Algorithm 2 are avoided.
     """
     n = graph.num_vertices
-    dist = _adjacency_distances(graph)
+    dist = _adjacency_distances(graph, length_bound)
     # short[k] maps a vertex x to dist[k, x] for every cell with value < L.
     # This is the linked-list content of Algorithm 3 in dictionary form.
     short: list[Dict[int, int]] = [dict() for _ in range(n)]
@@ -180,7 +194,7 @@ def pointer_l_pruned_floyd_warshall(graph: Graph, length_bound: int) -> np.ndarr
                 candidate = out_value + in_value
                 if candidate > length_bound:
                     continue
-                current = dist[out_vertex, in_vertex]
+                current = int(dist[out_vertex, in_vertex])
                 if candidate < current:
                     dist[out_vertex, in_vertex] = candidate
                     dist[in_vertex, out_vertex] = candidate
@@ -192,7 +206,7 @@ def pointer_l_pruned_floyd_warshall(graph: Graph, length_bound: int) -> np.ndarr
                     elif current < length_bound:
                         short[out_vertex].pop(in_vertex, None)
                         short[in_vertex].pop(out_vertex, None)
-    dist[dist > length_bound] = UNREACHABLE
+    dist[dist > length_bound] = unreachable_value(dist.dtype)
     np.fill_diagonal(dist, 0)
     return dist
 
@@ -204,7 +218,7 @@ def pointer_l_pruned_floyd_warshall(graph: Graph, length_bound: int) -> np.ndarr
 def bfs_bounded_distances(graph: Graph, length_bound: int) -> np.ndarray:
     """Breadth-first search from every vertex, truncated at depth L."""
     n = graph.num_vertices
-    dist = _empty_matrix(n)
+    dist = _empty_matrix(n, length_bound)
     for source in range(n):
         queue = deque([source])
         level = {source: 0}
@@ -235,7 +249,8 @@ def numpy_bounded_distances(graph: Graph, length_bound: int) -> np.ndarray:
     experiments.
     """
     n = graph.num_vertices
-    dist = _empty_matrix(n)
+    dist = _empty_matrix(n, length_bound)
+    sentinel = unreachable_value(dist.dtype)
     if n == 0 or graph.num_edges == 0:
         return dist
     # float32 keeps the 0/1 products exact up to 2**24 neighbors (a uint8
@@ -246,7 +261,7 @@ def numpy_bounded_distances(graph: Graph, length_bound: int) -> np.ndarray:
     step = 1
     while step <= length_bound and frontier.any():
         new = frontier & ~reached
-        dist[new & (dist == UNREACHABLE)] = step
+        dist[new & (dist == sentinel)] = step
         reached |= new
         if step == length_bound:
             break
@@ -259,9 +274,14 @@ def pairwise_distance_histogram(distances: np.ndarray) -> Dict[int, int]:
     """Count vertex pairs by distance value (ignoring the diagonal).
 
     Unreachable / pruned pairs are reported under the key
-    :data:`UNREACHABLE`.
+    :data:`UNREACHABLE` regardless of the matrix dtype: narrow matrices
+    carry a dtype-local sentinel, which is normalized back to the canonical
+    key so histogram consumers (distribution metrics, EMD) never see a
+    dtype-dependent value.
     """
     n = distances.shape[0]
+    sentinel = unreachable_value(distances.dtype)
     upper = distances[triu_pair_indices(n)]
     values, counts = np.unique(upper, return_counts=True)
-    return {int(value): int(count) for value, count in zip(values, counts)}
+    return {(UNREACHABLE if int(value) == sentinel else int(value)): int(count)
+            for value, count in zip(values, counts)}

@@ -9,9 +9,11 @@ with, the affected region is even smaller: an edit to edge ``{u, v}`` can
 only change cells of rows whose distance to ``u`` or ``v`` is below L.
 
 :class:`DistanceSession` owns the current bounded matrix of a working graph
-and turns a tentative removal/insertion (or a look-ahead combination) into a
-:class:`DistanceDelta` — the affected rows plus their new values — without
-a from-scratch recomputation:
+— held behind a :class:`~repro.graph.distance_store.DistanceStore`, so the
+dense tier keeps today's in-RAM matrix while the tiled tier streams row
+tiles under a byte budget — and turns a tentative removal/insertion (or a
+look-ahead combination) into a :class:`DistanceDelta` — the affected rows
+plus their new values — without a from-scratch recomputation:
 
 * **Insertion** of ``{u, v}``: distances only shrink, and every improved
   path decomposes as ``i → u — v → j`` (or the mirror image) with legs that
@@ -26,6 +28,13 @@ a from-scratch recomputation:
   recurrence on an ``|rows| × n`` slab); when the affected region exceeds a
   size heuristic the session falls back to an exact from-scratch
   recomputation with the configured engine.
+
+Every matrix access is phrased in row blocks (columns are rows transposed —
+the matrix is symmetric), which is exactly the store seam's contract; the
+adjacency mirror follows the same split: the dense tier keeps the
+BLAS-friendly float32 matrix, the tiled tier works off a CSR snapshot with
+an edit-override set, producing bit-identical frontier booleans through
+exact integer neighbor counts.
 
 Multi-edge combinations are previewed sequentially, tracking intermediate
 state in a sparse row overlay (changed cells always have both endpoints
@@ -48,14 +57,21 @@ behind.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, DistanceMemoryError
 from repro.graph.distance import DistanceEngine, bounded_distance_matrix
+from repro.graph.distance_store import (
+    CSRAdjacency,
+    DenseStore,
+    DistanceStore,
+    StoreConfig,
+    TiledStore,
+)
 from repro.graph.graph import Edge, Graph, normalize_edge
-from repro.graph.matrices import UNREACHABLE
+from repro.graph.matrices import distance_dtype
 
 
 @dataclass(frozen=True)
@@ -82,6 +98,103 @@ class DistanceDelta:
         return int(self.rows.size)
 
 
+class _DenseAdjacency:
+    """Dense-tier adjacency mirror: the historical float32 matrix.
+
+    float32 keeps the 0/1 dot products exact (up to 2**24 neighbors; a
+    uint8 accumulator would wrap at 256) and stays BLAS-friendly.
+    """
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph
+        self._matrix = graph.adjacency_matrix(dtype=np.float32)
+
+    def block(self, rows: np.ndarray) -> np.ndarray:
+        """Fresh writable boolean adjacency rows."""
+        return self._matrix[rows].astype(np.bool_)
+
+    def expand(self, frontier: np.ndarray) -> np.ndarray:
+        """Per-row neighbor weights of a boolean frontier (``> 0`` = reach)."""
+        return frontier.astype(np.float32) @ self._matrix
+
+    def set_edge(self, u: int, v: int, present: bool) -> None:
+        self._matrix[u, v] = self._matrix[v, u] = 1.0 if present else 0.0
+
+    def rebuild(self) -> None:
+        self._matrix = self._graph.adjacency_matrix(dtype=np.float32)
+
+
+class _CSROverlayAdjacency:
+    """Tiled-tier adjacency mirror: CSR snapshot plus an edit-override set.
+
+    No ``n × n`` matrix anywhere: frontier expansion gathers neighbors from
+    the CSR arrays and counts them with an exact integer ``bincount``, so
+    the ``> 0`` reachability booleans equal the dense float32 product bit
+    for bit.  Edits accumulate in small add/remove override sets (previews
+    cancel their own overrides on revert); once the net override count
+    passes a threshold the snapshot is rebuilt from the graph — every call
+    site mutates the graph *before* :meth:`set_edge`, so the graph is
+    always the source of truth.
+    """
+
+    _REBUILD_THRESHOLD = 256
+
+    def __init__(self, graph: Graph) -> None:
+        self._graph = graph
+        self._snapshot = CSRAdjacency.from_graph(graph)
+        self._added: set = set()
+        self._removed: set = set()
+
+    def block(self, rows: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.int64)
+        n = self._snapshot.num_vertices
+        out = np.zeros((rows.size, n), dtype=np.bool_)
+        rep, neighbors = self._snapshot.gather(rows)
+        out[rep, neighbors] = True
+        for (a, b), present in self._override_items():
+            out[rows == a, b] = present
+            out[rows == b, a] = present
+        return out
+
+    def expand(self, frontier: np.ndarray) -> np.ndarray:
+        num_rows, n = frontier.shape
+        rows_idx, vertices = np.nonzero(frontier)
+        rep, neighbors = self._snapshot.gather(vertices)
+        counts = np.bincount(rows_idx[rep] * n + neighbors,
+                             minlength=num_rows * n).reshape(num_rows, n)
+        for (a, b), present in self._override_items():
+            sign = 1 if present else -1
+            counts[:, b] += sign * frontier[:, a]
+            counts[:, a] += sign * frontier[:, b]
+        return counts
+
+    def _override_items(self):
+        for edge in self._added:
+            yield edge, True
+        for edge in self._removed:
+            yield edge, False
+
+    def set_edge(self, u: int, v: int, present: bool) -> None:
+        edge = (u, v) if u < v else (v, u)
+        if present:
+            if edge in self._removed:
+                self._removed.discard(edge)
+            else:
+                self._added.add(edge)
+        else:
+            if edge in self._added:
+                self._added.discard(edge)
+            else:
+                self._removed.add(edge)
+        if len(self._added) + len(self._removed) > self._REBUILD_THRESHOLD:
+            self.rebuild()
+
+    def rebuild(self) -> None:
+        self._snapshot = CSRAdjacency.from_graph(self._graph)
+        self._added.clear()
+        self._removed.clear()
+
+
 class DistanceSession:
     """Stateful owner of a working graph's L-bounded distance matrix.
 
@@ -98,27 +211,35 @@ class DistanceSession:
         The L truncation of the distance matrix.
     engine:
         Distance engine used for the initial computation and for the
-        from-scratch fallback.
+        from-scratch fallback (dense tier).
     fallback_row_fraction:
         When a removal would touch more than ``max(16, fraction * n)`` rows,
         the preview recomputes the full matrix instead of the affected slab
         (the slab path would cost more than it saves).  ``0.0`` forces the
-        from-scratch path on every removal (useful for testing).
+        from-scratch path on every removal (useful for testing).  The tiled
+        tier pins the fraction to ``1.0``: a from-scratch fallback would
+        materialize the dense matrix the tier exists to avoid, and the slab
+        path is bit-identical by the property-suite contract.
     initial_distances:
-        Optional precomputed L-bounded distance matrix of ``graph`` — e.g.
-        a thresholded slice of a shared
-        :class:`~repro.graph.distance_cache.LMaxDistanceCache` — adopted as
-        the session's starting matrix instead of running the engine.  The
-        session takes ownership (the matrix is mutated in place by
-        :meth:`commit`); it must equal
+        Optional precomputed L-bounded distances of ``graph`` — either a
+        matrix (e.g. a thresholded slice of a shared
+        :class:`~repro.graph.distance_cache.LMaxDistanceCache`) or a
+        :class:`~repro.graph.distance_store.DistanceStore` served by the
+        tier-aware cache.  The session takes ownership (the payload is
+        mutated in place by :meth:`commit`); it must equal
         ``bounded_distance_matrix(graph, length_bound)`` or every delta
         downstream is wrong.
+    store_config:
+        Scale-tier policy consulted only when ``initial_distances`` is
+        ``None``; defaults to ``auto`` under the default budget (dense for
+        every historical workload).
     """
 
     def __init__(self, graph: Graph, length_bound: int,
                  engine: DistanceEngine = "numpy",
                  fallback_row_fraction: float = 0.5,
-                 initial_distances: np.ndarray | None = None) -> None:
+                 initial_distances: Union[np.ndarray, DistanceStore, None] = None,
+                 store_config: Optional[StoreConfig] = None) -> None:
         if length_bound < 1:
             raise ConfigurationError(f"length_bound must be >= 1, got {length_bound}")
         if not 0.0 <= fallback_row_fraction <= 1.0:
@@ -128,20 +249,51 @@ class DistanceSession:
         self._length = int(length_bound)
         self._engine = engine
         self._fallback_fraction = float(fallback_row_fraction)
+        self._store = self._init_store(initial_distances, store_config)
+        if isinstance(self._store, TiledStore):
+            self._fallback_fraction = 1.0
+            self._mirror = _CSROverlayAdjacency(graph)
+        else:
+            self._mirror = _DenseAdjacency(graph)
+
+    def _init_store(self,
+                    initial_distances: Union[np.ndarray, DistanceStore, None],
+                    store_config: Optional[StoreConfig]) -> DistanceStore:
+        n = self._graph.num_vertices
+        if isinstance(initial_distances, DistanceStore):
+            if initial_distances.num_vertices != n:
+                raise ConfigurationError(
+                    f"initial store covers {initial_distances.num_vertices} "
+                    f"vertices, the graph has {n}")
+            if initial_distances.length_bound != self._length:
+                raise ConfigurationError(
+                    f"initial store is bounded at "
+                    f"{initial_distances.length_bound}, the session needs "
+                    f"{self._length}")
+            return initial_distances
         if initial_distances is not None:
-            n = graph.num_vertices
             if initial_distances.shape != (n, n):
                 raise ConfigurationError(
                     f"initial_distances must be {n}x{n}, "
                     f"got {initial_distances.shape}")
-            self._dist = np.ascontiguousarray(initial_distances, dtype=np.int32)
-        else:
-            self._dist = bounded_distance_matrix(graph, self._length, engine=engine)
-        # Mirror of the graph's adjacency, kept in lockstep so affected rows
-        # can be recomputed by matrix products instead of per-row BFS.
-        # float32 keeps the 0/1 dot products exact (up to 2**24 neighbors;
-        # a uint8 accumulator would wrap at 256) and stays BLAS-friendly.
-        self._adj = graph.adjacency_matrix(dtype=np.float32)
+            matrix = np.ascontiguousarray(initial_distances)
+            if matrix.dtype != distance_dtype(self._length):
+                # Legacy int32 payloads: renormalize the sentinel into the
+                # contract dtype (values ≤ L are untouched, so the result
+                # stays bit-identical to the engine output at L).
+                from repro.graph.distance_cache import threshold_distances
+                matrix = threshold_distances(matrix, self._length)
+            return DenseStore(matrix, self._length)
+        config = store_config or StoreConfig()
+        tier = config.resolve(n, distance_dtype(self._length))
+        if tier == "tiled":
+            return TiledStore(self._graph, self._length,
+                              tile_rows=config.tile_rows,
+                              budget_bytes=config.budget_bytes,
+                              spill_dir=config.spill_dir)
+        matrix = bounded_distance_matrix(self._graph, self._length,
+                                         engine=self._engine)
+        return DenseStore(matrix, self._length)
 
     # ------------------------------------------------------------------
     # accessors
@@ -157,9 +309,30 @@ class DistanceSession:
         return self._length
 
     @property
+    def store(self) -> DistanceStore:
+        """The distance store backing this session (row-block reads)."""
+        return self._store
+
+    @property
     def distances(self) -> np.ndarray:
-        """The current L-bounded distance matrix (treat as read-only)."""
-        return self._dist
+        """The current dense matrix (dense tier only; treat as read-only).
+
+        The tiled tier never materializes ``n × n`` — stream through
+        :meth:`rows` / :meth:`row_blocks` instead.
+        """
+        if isinstance(self._store, DenseStore):
+            return self._store.array
+        raise DistanceMemoryError(
+            "this session runs on the tiled scale tier and has no dense "
+            "matrix; read row blocks via session.rows()/row_blocks()")
+
+    def rows(self, block: Sequence[int]) -> np.ndarray:
+        """Fresh ``|block| × n`` distance rows (columns by symmetry)."""
+        return self._store.rows(block)
+
+    def row_blocks(self) -> Iterator[Tuple[int, int]]:
+        """Contiguous ``(start, stop)`` row ranges sized for this store."""
+        return self._store.row_blocks()
 
     # ------------------------------------------------------------------
     # delta evaluation
@@ -244,19 +417,19 @@ class DistanceSession:
 
         Vectorizes :meth:`_removal_rows` (resp. the insertion row filter)
         across the chunk's candidates: both endpoint columns are gathered at
-        once and the per-candidate row sets split out of a single
-        ``nonzero``.
+        once — as matrix *rows*, transposed by symmetry — and the
+        per-candidate row sets split out of a single ``nonzero``.
         """
         endpoint_u = np.fromiter((edge[0] for edge in edges), dtype=np.int64,
                                  count=len(edges))
         endpoint_v = np.fromiter((edge[1] for edge in edges), dtype=np.int64,
                                  count=len(edges))
-        du = self._dist[:, endpoint_u].astype(np.int64)
-        dv = self._dist[:, endpoint_v].astype(np.int64)
+        du = self._store.rows(endpoint_u).astype(np.int64)
+        dv = self._store.rows(endpoint_v).astype(np.int64)
         near = np.minimum(du, dv) <= self._length - 1
         affected = (near & (np.abs(du - dv) == 1)) if removal else near
-        counts = affected.sum(axis=0)
-        candidate_index, row_index = np.nonzero(affected.T)
+        counts = affected.sum(axis=1)
+        candidate_index, row_index = np.nonzero(affected)
         del candidate_index
         return np.split(row_index, np.cumsum(counts)[:-1])
 
@@ -297,7 +470,7 @@ class DistanceSession:
         """Recompute one chunk's affected rows in a shared stacked slab."""
         n = self._graph.num_vertices
         empty_rows = np.empty(0, dtype=np.int64)
-        empty_block = np.empty((0, n), dtype=np.int32)
+        empty_block = np.empty((0, n), dtype=self._store.dtype)
         live = [(index, rows) for index, rows in chunk if rows.size]
         if not skip_unchanged:
             for index, rows in chunk:
@@ -313,7 +486,7 @@ class DistanceSession:
         edge_v = np.repeat(np.fromiter((edges[index][1] for index, _ in live),
                                        dtype=np.int64, count=len(live)), sizes)
         block = self._rows_block_batch(rows_cat, edge_u, edge_v)
-        old_block = self._dist[rows_cat]
+        old_block = self._store.rows(rows_cat)
         changed_cat = (block != old_block).any(axis=1)
         if skip_unchanged:
             # A candidate only matters to flip-tallying consumers when some
@@ -330,7 +503,8 @@ class DistanceSession:
             offset += rows.size
             deltas[index] = DistanceDelta(
                 (edges[index],), (), rows[changed],
-                np.ascontiguousarray(candidate_block[changed], dtype=np.int32))
+                np.ascontiguousarray(candidate_block[changed],
+                                     dtype=self._store.dtype))
 
     def _rows_block_batch(self, rows: np.ndarray, edge_u: np.ndarray,
                           edge_v: np.ndarray) -> np.ndarray:
@@ -339,18 +513,20 @@ class DistanceSession:
         ``edge_u``/``edge_v`` name the removed edge of each slab row's
         candidate.  The expansion runs against the *unedited* adjacency and
         subtracts, per row, the single product term its candidate's removed
-        edge would have contributed — float32 0/1 dot products are exact, so
-        the corrected frontier equals the one computed on the edited
-        adjacency bit for bit.
+        edge would have contributed — the mirror's neighbor weights are
+        exact (float32 0/1 dots or integer counts), so the corrected
+        frontier equals the one computed on the edited adjacency bit for
+        bit.
         """
         n = self._graph.num_vertices
         total = rows.size
-        block = np.full((total, n), UNREACHABLE, dtype=np.int32)
+        sentinel = self._store.sentinel
+        block = np.full((total, n), sentinel, dtype=self._store.dtype)
         source_index = np.arange(total)
         block[source_index, rows] = 0
         reached = np.zeros((total, n), dtype=np.bool_)
         reached[source_index, rows] = True
-        frontier = self._adj[rows].astype(np.bool_)
+        frontier = self._mirror.block(rows)
         # A source row that is itself an endpoint of its candidate's removed
         # edge must not start from the other endpoint.
         at_u = rows == edge_u
@@ -360,11 +536,11 @@ class DistanceSession:
         step = 1
         while step <= self._length and frontier.any():
             new = frontier & ~reached
-            block[new & (block == UNREACHABLE)] = step
+            block[new & (block == sentinel)] = step
             reached |= new
             if step == self._length:
                 break
-            product = new.astype(np.float32) @ self._adj
+            product = self._mirror.expand(new)
             product[source_index, edge_v] -= new[source_index, edge_u]
             product[source_index, edge_u] -= new[source_index, edge_v]
             frontier = product > 0
@@ -377,7 +553,7 @@ class DistanceSession:
         n = self._graph.num_vertices
         deltas: List[DistanceDelta | None] = [None] * len(edges)
         empty_rows = np.empty(0, dtype=np.int64)
-        empty_block = np.empty((0, n), dtype=np.int32)
+        empty_block = np.empty((0, n), dtype=self._store.dtype)
         slab: List[Tuple[int, np.ndarray]] = []
         candidate_cap = self._batch_candidate_cap()
         for chunk_start in range(0, len(edges), candidate_cap):
@@ -415,19 +591,22 @@ class DistanceSession:
         edge_v = np.repeat(np.fromiter((edges[index][1] for index, _ in chunk),
                                        dtype=np.int64, count=len(chunk)), sizes)
         # Only the gathered slab rows are widened to int64 (the arithmetic
-        # must not wrap on UNREACHABLE + 1 + d), never the full matrix.
-        block = self._dist[rows_cat].astype(np.int64)
-        du_values = self._dist[rows_cat, edge_u].astype(np.int64)
-        dv_values = self._dist[rows_cat, edge_v].astype(np.int64)
+        # must not wrap on sentinel + 1 + d), never the full matrix.
+        old_block = self._store.rows(rows_cat)
+        block = old_block.astype(np.int64)
+        within = np.arange(rows_cat.size)
+        du_values = block[within, edge_u]
+        dv_values = block[within, edge_v]
         np.minimum(block,
-                   (du_values + 1)[:, None] + self._dist[edge_v, :].astype(np.int64),
+                   (du_values + 1)[:, None]
+                   + self._store.rows(edge_v).astype(np.int64),
                    out=block)
         np.minimum(block,
-                   (dv_values + 1)[:, None] + self._dist[edge_u, :].astype(np.int64),
+                   (dv_values + 1)[:, None]
+                   + self._store.rows(edge_u).astype(np.int64),
                    out=block)
-        block[block > self._length] = UNREACHABLE
-        block = block.astype(np.int32)
-        old_block = self._dist[rows_cat]
+        block[block > self._length] = self._store.sentinel
+        block = block.astype(self._store.dtype)
         changed_cat = (block != old_block).any(axis=1)
         if skip_unchanged:
             flips_cat = ((block <= self._length)
@@ -442,7 +621,8 @@ class DistanceSession:
             offset += rows.size
             deltas[index] = DistanceDelta(
                 (), (edges[index],), rows[changed],
-                np.ascontiguousarray(candidate_block[changed], dtype=np.int32))
+                np.ascontiguousarray(candidate_block[changed],
+                                     dtype=self._store.dtype))
 
     def stage(self, removals: Sequence[Edge] = (),
               insertions: Sequence[Edge] = ()) -> DistanceDelta:
@@ -464,12 +644,11 @@ class DistanceSession:
             raise
 
     def commit(self, delta: DistanceDelta) -> None:
-        """Fold a :meth:`stage`-d delta into the matrix."""
+        """Fold a :meth:`stage`-d delta into the store."""
         if delta.from_scratch:
-            self._dist = delta.new_rows
+            self._store.replace(delta.new_rows)
         elif delta.rows.size:
-            self._dist[delta.rows, :] = delta.new_rows
-            self._dist[:, delta.rows] = delta.new_rows.T
+            self._store.write_rows(delta.rows, delta.new_rows)
 
     def apply(self, removals: Sequence[Edge] = (),
               insertions: Sequence[Edge] = (),
@@ -488,10 +667,10 @@ class DistanceSession:
                 raise ConfigurationError("delta does not describe the requested edit")
             for u, v in norm_removals:
                 self._graph.remove_edge(u, v)
-                self._adj[u, v] = self._adj[v, u] = 0
+                self._mirror.set_edge(u, v, False)
             for u, v in norm_insertions:
                 self._graph.add_edge(u, v)
-                self._adj[u, v] = self._adj[v, u] = 1
+                self._mirror.set_edge(u, v, True)
         self.commit(delta)
         return delta
 
@@ -515,11 +694,12 @@ class DistanceSession:
         if not ops:
             return DistanceDelta(removals, insertions,
                                  np.empty(0, dtype=np.int64),
-                                 np.empty((0, n), dtype=np.int32))
-        overlay: dict = {}  # row index -> updated int32 row
+                                 np.empty((0, n), dtype=self._store.dtype))
+        overlay: dict = {}  # row index -> updated store-dtype row
 
         def column(j: int) -> np.ndarray:
-            col = self._dist[:, j].astype(np.int64)
+            col = self._store.rows(np.asarray([j], dtype=np.int64))[0]
+            col = col.astype(np.int64)
             for i, row in overlay.items():
                 col[i] = row[j]
             return col
@@ -528,10 +708,10 @@ class DistanceSession:
         for kind, (u, v) in ops:
             if kind == "remove":
                 self._graph.remove_edge(u, v)
-                self._adj[u, v] = self._adj[v, u] = 0
+                self._mirror.set_edge(u, v, False)
             else:
                 self._graph.add_edge(u, v)
-                self._adj[u, v] = self._adj[v, u] = 1
+                self._mirror.set_edge(u, v, True)
             applied.append((kind, (u, v)))
             if scratch:
                 continue
@@ -546,8 +726,10 @@ class DistanceSession:
                 rows = np.nonzero(np.minimum(du, dv) <= self._length - 1)[0]
                 if rows.size == 0:
                     continue
-                base = np.stack([overlay.get(int(i), self._dist[i])
-                                 for i in rows])
+                base = self._store.rows(rows)
+                for position, index in enumerate(rows.tolist()):
+                    if index in overlay:
+                        base[position] = overlay[index]
                 block = self._relax_insertion(base, du, dv, rows)
             for position, index in enumerate(rows.tolist()):
                 overlay[index] = block[position]
@@ -559,15 +741,16 @@ class DistanceSession:
                                  from_scratch=True)
         rows = np.fromiter(sorted(overlay), dtype=np.int64, count=len(overlay))
         block = (np.stack([overlay[int(i)] for i in rows])
-                 if rows.size else np.empty((0, n), dtype=np.int32))
+                 if rows.size else np.empty((0, n), dtype=self._store.dtype))
         # Drop rows that did not actually change, so downstream count
         # deltas only walk genuinely perturbed cells.
         if rows.size:
-            changed = (block != self._dist[rows]).any(axis=1)
+            changed = (block != self._store.rows(rows)).any(axis=1)
             rows = rows[changed]
             block = block[changed]
         return DistanceDelta(removals, insertions, rows,
-                             np.ascontiguousarray(block, dtype=np.int32))
+                             np.ascontiguousarray(block,
+                                                  dtype=self._store.dtype))
 
     def _revert(self, applied: list) -> None:
         """Undo applied ops: insertions first, then removals, forward order.
@@ -579,17 +762,27 @@ class DistanceSession:
         for kind, (u, v) in applied:
             if kind == "insert":
                 self._graph.remove_edge(u, v)
-                self._adj[u, v] = self._adj[v, u] = 0
+                self._mirror.set_edge(u, v, False)
         for kind, (u, v) in applied:
             if kind == "remove":
                 self._graph.add_edge(u, v)
-                self._adj[u, v] = self._adj[v, u] = 1
+                self._mirror.set_edge(u, v, True)
 
     def refresh(self) -> None:
-        """Recompute the matrix from scratch (after out-of-band graph edits)."""
-        self._dist = bounded_distance_matrix(self._graph, self._length,
-                                             engine=self._engine)
-        self._adj = self._graph.adjacency_matrix(dtype=np.float32)
+        """Recompute the distances from scratch (after out-of-band graph edits)."""
+        if isinstance(self._store, TiledStore):
+            old = self._store
+            self._store = TiledStore(self._graph, self._length,
+                                     tile_rows=old.tile_rows,
+                                     budget_bytes=old.budget_bytes,
+                                     spill_dir=old.spill_dir)
+            old.close()
+        else:
+            self._store = DenseStore(
+                bounded_distance_matrix(self._graph, self._length,
+                                        engine=self._engine),
+                self._length)
+        self._mirror.rebuild()
 
     # ------------------------------------------------------------------
     # per-edit machinery
@@ -618,20 +811,21 @@ class DistanceSession:
         with the affected region instead of the whole vertex set.
         """
         n = self._graph.num_vertices
-        block = np.full((rows.size, n), UNREACHABLE, dtype=np.int32)
+        sentinel = self._store.sentinel
+        block = np.full((rows.size, n), sentinel, dtype=self._store.dtype)
         source_index = np.arange(rows.size)
         block[source_index, rows] = 0
         reached = np.zeros((rows.size, n), dtype=np.bool_)
         reached[source_index, rows] = True
-        frontier = self._adj[rows].astype(np.bool_)
+        frontier = self._mirror.block(rows)
         step = 1
         while step <= self._length and frontier.any():
             new = frontier & ~reached
-            block[new & (block == UNREACHABLE)] = step
+            block[new & (block == sentinel)] = step
             reached |= new
             if step == self._length:
                 break
-            frontier = (new.astype(np.float32) @ self._adj) > 0
+            frontier = self._mirror.expand(new) > 0
             step += 1
         return block
 
@@ -647,5 +841,5 @@ class DistanceSession:
         block = base.astype(np.int64)
         np.minimum(block, (du[rows] + 1)[:, None] + dv[None, :], out=block)
         np.minimum(block, (dv[rows] + 1)[:, None] + du[None, :], out=block)
-        block[block > self._length] = UNREACHABLE
-        return block.astype(np.int32)
+        block[block > self._length] = self._store.sentinel
+        return block.astype(self._store.dtype)

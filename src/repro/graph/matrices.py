@@ -14,8 +14,38 @@ from typing import Iterator, Tuple
 
 import numpy as np
 
-#: Sentinel for "no path of interest" (unreachable or pruned beyond L).
+#: Canonical sentinel for "no path of interest" (unreachable or pruned
+#: beyond L).  Matrices narrower than int32 carry the dtype-local sentinel
+#: :func:`unreachable_value` instead; histogram keys and any value crossing
+#: a dtype boundary are normalized back to this canonical constant.
 UNREACHABLE: int = np.iinfo(np.int32).max
+
+
+def distance_dtype(length_bound: int) -> np.dtype:
+    """Smallest unsigned/signed dtype holding every distance ≤ L plus a sentinel.
+
+    A bounded matrix only ever stores values in ``{0, ..., L}`` plus one
+    "unreachable" sentinel, so uint8 suffices for L ≤ 254 (sentinel 255) and
+    uint16 for L ≤ 65534 — roughly 4x less RAM and ``/dev/shm`` than the
+    historical int32 tier.  Bounds beyond uint16 (including the unbounded
+    :data:`UNREACHABLE` pseudo-bound) keep int32, whose sentinel is the
+    canonical :data:`UNREACHABLE`.
+    """
+    if length_bound <= np.iinfo(np.uint8).max - 1:
+        return np.dtype(np.uint8)
+    if length_bound <= np.iinfo(np.uint16).max - 1:
+        return np.dtype(np.uint16)
+    return np.dtype(np.int32)
+
+
+def unreachable_value(dtype: np.dtype | type) -> int:
+    """The dtype-local sentinel: the largest value the integer dtype holds.
+
+    Every dtype produced by :func:`distance_dtype` reserves its maximum for
+    the sentinel, so ``matrix <= L`` / ``matrix > L`` comparisons work
+    unchanged and the sentinel is always at least ``L + 1``.
+    """
+    return int(np.iinfo(np.dtype(dtype)).max)
 
 
 #: Largest matrix size whose triangle indices are worth pinning in memory

@@ -148,15 +148,30 @@ class JobManager:
         shared-memory data plane (θ-sweep groups fan out over
         parent-published arenas), ``False`` falls back to the
         sample-group fan-out.  Irrelevant with ``max_workers=0``.
+    scale_tier:
+        Service-wide default of the distance-plane scale tier (the
+        ``--scale-tier`` flag of ``repro-lopacity serve``).  Applied at
+        execution time to every request that left its own ``scale_tier``
+        on ``"auto"``; requests naming an explicit tier always win.
+    scale_budget_bytes:
+        Service-wide default of the scale-tier byte budget, applied to
+        every request that set none.
     """
 
     def __init__(self, store: RunStore, *, data_dir: Optional[str] = None,
                  max_workers: int = 0,
-                 shared_memory: Optional[bool] = None) -> None:
+                 shared_memory: Optional[bool] = None,
+                 scale_tier: str = "auto",
+                 scale_budget_bytes: Optional[int] = None) -> None:
+        from repro.graph.distance_store import validate_scale_tier
+
+        validate_scale_tier(scale_tier)
         self._store = store
         self._data_dir = data_dir
         self._max_workers = max_workers
         self._shared_memory = shared_memory
+        self._scale_tier = scale_tier
+        self._scale_budget_bytes = scale_budget_bytes
         self._queue: "queue.Queue[Any]" = queue.Queue()
         self._tokens: Dict[str, CancellationToken] = {}
         self._tokens_lock = threading.Lock()
@@ -293,6 +308,7 @@ class JobManager:
         job_id = job["id"]
         kind = job["kind"]
         request = parse_request(kind, json.loads(job["request_json"]))
+        request = self._apply_scale_defaults(kind, request)
         self._store.set_status(job_id, "running")
         requests = _requests_of(kind, request)
         sweep_mode = getattr(request, "sweep_mode", requests[0].sweep_mode)
@@ -346,6 +362,32 @@ class JobManager:
                              ordered)  # type: ignore[arg-type]
         self._store.record_result(job_id, result.to_json())
         self._store.set_status(job_id, "done")
+
+    def _apply_scale_defaults(self, kind: str, request: Any) -> Any:
+        """Fill the service-wide scale-tier defaults into ``request``.
+
+        Only requests that did not choose for themselves are touched
+        (``scale_tier == "auto"`` / ``scale_budget_bytes is None``), so a
+        job spec naming an explicit tier or budget keeps it.  Applied at
+        execution time — the stored ``request_json`` (and with it the
+        dedup fingerprint) stays exactly what the client submitted.
+        """
+        if self._scale_tier == "auto" and self._scale_budget_bytes is None:
+            return request
+
+        def patch(req: AnonymizationRequest) -> AnonymizationRequest:
+            overrides: Dict[str, Any] = {}
+            if self._scale_tier != "auto" and req.scale_tier == "auto":
+                overrides["scale_tier"] = self._scale_tier
+            if (self._scale_budget_bytes is not None
+                    and req.scale_budget_bytes is None):
+                overrides["scale_budget_bytes"] = self._scale_budget_bytes
+            return dataclasses.replace(req, **overrides) if overrides else req
+
+        if kind == "anonymize":
+            return patch(request)
+        return dataclasses.replace(
+            request, requests=tuple(patch(req) for req in request.requests))
 
     def _execute_pooled(self, job_id: str, kind: str, request: Any,
                         requests: List[AnonymizationRequest],

@@ -17,7 +17,7 @@ from repro.graph.distance import (
 )
 from repro.graph.generators import erdos_renyi_graph, path_graph
 from repro.graph.graph import Graph
-from repro.graph.matrices import UNREACHABLE
+from repro.graph.matrices import UNREACHABLE, distance_dtype, unreachable_value
 
 ALL_ENGINES = available_engines()
 
@@ -28,7 +28,8 @@ def _networkx_bounded(graph: Graph, length_bound: int) -> np.ndarray:
     nx_graph.add_nodes_from(range(graph.num_vertices))
     nx_graph.add_edges_from(graph.edges())
     n = graph.num_vertices
-    expected = np.full((n, n), UNREACHABLE, dtype=np.int32)
+    dtype = distance_dtype(length_bound)
+    expected = np.full((n, n), unreachable_value(dtype), dtype=dtype)
     np.fill_diagonal(expected, 0)
     for source, lengths in nx.all_pairs_shortest_path_length(nx_graph, cutoff=length_bound):
         for target, distance in lengths.items():
@@ -75,7 +76,7 @@ class TestPaperExampleDistances:
             if expected <= length_bound:
                 assert distances[i, j] == expected
             else:
-                assert distances[i, j] == UNREACHABLE
+                assert distances[i, j] == unreachable_value(distances.dtype)
 
 
 class TestEngineAgreement:
@@ -99,7 +100,7 @@ class TestEngineAgreement:
         for engine in ALL_ENGINES:
             distances = bounded_distance_matrix(graph, 2, engine=engine)
             off_diagonal = distances[~np.eye(5, dtype=bool)]
-            assert (off_diagonal == UNREACHABLE).all()
+            assert (off_diagonal == unreachable_value(distances.dtype)).all()
 
 
 class TestIndividualEngines:
@@ -112,7 +113,7 @@ class TestIndividualEngines:
         graph = path_graph(6)
         distances = l_pruned_floyd_warshall(graph, 3)
         assert distances[0, 3] == 3
-        assert distances[0, 4] == UNREACHABLE
+        assert distances[0, 4] == unreachable_value(distances.dtype)
 
     def test_pointer_fw_matches_plain_pruned(self):
         graph = erdos_renyi_graph(30, 0.1, seed=5)
@@ -128,6 +129,30 @@ class TestIndividualEngines:
     def test_numpy_engine_zero_vertices(self):
         distances = numpy_bounded_distances(Graph(0), 2)
         assert distances.shape == (0, 0)
+
+
+class TestDistanceDtype:
+    def test_dtype_tiers(self):
+        assert distance_dtype(4) == np.uint8
+        assert distance_dtype(254) == np.uint8
+        assert distance_dtype(255) == np.uint16
+        assert distance_dtype(65534) == np.uint16
+        assert distance_dtype(65535) == np.int32
+        assert distance_dtype(UNREACHABLE) == np.int32
+
+    def test_int32_sentinel_is_canonical(self):
+        assert unreachable_value(np.int32) == UNREACHABLE
+
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
+    def test_engines_return_contract_dtype(self, paper_example_graph, engine):
+        distances = bounded_distance_matrix(paper_example_graph, 3, engine=engine)
+        assert distances.dtype == np.uint8
+        assert distances[0, 0] == 0
+
+    def test_histogram_key_is_dtype_independent(self):
+        graph = path_graph(6)
+        narrow = pairwise_distance_histogram(bounded_distance_matrix(graph, 2))
+        assert narrow[UNREACHABLE] == 6  # pairs at distance 3, 4, 5
 
 
 class TestHistogram:

@@ -13,7 +13,7 @@ from repro.graph import (
     bounded_distance_matrix,
     threshold_distances,
 )
-from repro.graph.matrices import UNREACHABLE
+from repro.graph.matrices import distance_dtype, unreachable_value
 
 from tests.property.strategies import graphs
 
@@ -26,7 +26,7 @@ class TestThresholdDistances:
                 direct = bounded_distance_matrix(paper_example_graph, length)
                 derived = threshold_distances(full, length)
                 assert np.array_equal(derived, direct)
-                assert derived.dtype == direct.dtype == np.int32
+                assert derived.dtype == direct.dtype == distance_dtype(length)
 
     def test_returns_fresh_contiguous_copy(self, triangle_graph):
         full = bounded_distance_matrix(triangle_graph, 2)
@@ -39,7 +39,7 @@ class TestThresholdDistances:
     def test_unreachable_cells_stay_unreachable(self, disconnected_graph):
         full = bounded_distance_matrix(disconnected_graph, 3)
         derived = threshold_distances(full, 1)
-        assert derived[0, 2] == UNREACHABLE
+        assert derived[0, 2] == unreachable_value(derived.dtype)
         assert derived[0, 1] == 1
 
     def test_invalid_bound_rejected(self, triangle_graph):

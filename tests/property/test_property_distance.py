@@ -4,7 +4,7 @@ import numpy as np
 from hypothesis import given, settings
 
 from repro.graph.distance import available_engines, bounded_distance_matrix
-from repro.graph.matrices import UNREACHABLE
+from repro.graph.matrices import unreachable_value
 from tests.property.strategies import graphs, graphs_with_edge, length_bounds
 
 
@@ -31,7 +31,7 @@ class TestDistanceMatrixProperties:
     def test_values_are_valid_distances(self, graph, length_bound):
         distances = bounded_distance_matrix(graph, length_bound)
         off_diagonal = distances[~np.eye(graph.num_vertices, dtype=bool)]
-        finite = off_diagonal[off_diagonal != UNREACHABLE]
+        finite = off_diagonal[off_diagonal != unreachable_value(distances.dtype)]
         assert ((finite >= 1) & (finite <= length_bound)).all()
 
     @given(graphs(), length_bounds)
@@ -57,9 +57,13 @@ class TestDistanceMatrixProperties:
     @given(graphs(), length_bounds)
     @settings(max_examples=30, deadline=None)
     def test_larger_bound_reveals_no_shorter_distances(self, graph, length_bound):
-        tight = bounded_distance_matrix(graph, length_bound).astype(np.int64)
-        loose = bounded_distance_matrix(graph, length_bound + 1).astype(np.int64)
-        visible = tight != UNREACHABLE
+        tight_raw = bounded_distance_matrix(graph, length_bound)
+        loose_raw = bounded_distance_matrix(graph, length_bound + 1)
+        tight_sentinel = unreachable_value(tight_raw.dtype)
+        loose_sentinel = unreachable_value(loose_raw.dtype)
+        tight = tight_raw.astype(np.int64)
+        loose = loose_raw.astype(np.int64)
+        visible = tight != tight_sentinel
         assert (loose[visible] == tight[visible]).all()
-        newly_visible = (tight == UNREACHABLE) & (loose != UNREACHABLE)
+        newly_visible = (tight == tight_sentinel) & (loose != loose_sentinel)
         assert (loose[newly_visible] == length_bound + 1).all()

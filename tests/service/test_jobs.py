@@ -364,3 +364,47 @@ class TestWrapResult:
         wrapped = wrap_result("grid", grid, grid_responses)
         assert wrapped.num_sample_groups == 1
         assert len(wrapped.responses) == len(THETAS)
+
+
+class TestScaleDefaults:
+    def test_bad_server_defaults_rejected_up_front(self, store):
+        with pytest.raises(ConfigurationError, match="scale_tier"):
+            JobManager(store, scale_tier="huge")
+
+    def test_defaults_patch_auto_requests_at_execution(self, store):
+        manager = JobManager(store, scale_tier="tiled",
+                             scale_budget_bytes=1 << 20)
+        patched = manager._apply_scale_defaults("anonymize", BASE)
+        assert patched.scale_tier == "tiled"
+        assert patched.scale_budget_bytes == 1 << 20
+        patched_grid = manager._apply_scale_defaults("grid", small_grid())
+        assert all(request.scale_tier == "tiled"
+                   and request.scale_budget_bytes == 1 << 20
+                   for request in patched_grid.requests)
+
+    def test_explicit_request_values_beat_the_defaults(self, store):
+        manager = JobManager(store, scale_tier="tiled",
+                             scale_budget_bytes=1 << 20)
+        explicit = BASE.with_overrides(scale_tier="dense",
+                                       scale_budget_bytes=2 << 20)
+        assert manager._apply_scale_defaults("anonymize", explicit) == explicit
+
+    def test_tiled_default_job_matches_a_dense_run(self, store):
+        grid = small_grid()
+        manager = JobManager(store, scale_tier="tiled",
+                             scale_budget_bytes=1 << 20)
+        manager.start()
+        try:
+            submitted = manager.submit("grid", grid)
+            job = manager.wait_for(submitted["job_id"], timeout=120)
+            assert job["status"] == "done"
+            result = GridResponse.from_json(store.get_result(job["id"]))
+            assert_grid_parity(result, run_grid(grid, max_workers=0))
+            # The stored request (and so the dedup fingerprint) keeps the
+            # submitted "auto" values; only execution saw the defaults.
+            row = store.get_job(job["id"])
+            stored = json.loads(row["request_json"])
+            assert all(req["scale_tier"] == "auto"
+                       for req in stored["requests"])
+        finally:
+            manager.stop()
