@@ -60,7 +60,11 @@ def _initialize_worker(data_dir: Optional[str]) -> None:
     """Pool initializer: give this worker process its execution cache."""
     global _WORKER_CACHE
     from repro.api.cache import ExecutionCache
+    from repro.core.scan_pool import mark_pool_worker
 
+    # θ-group workers already saturate the machine; nested scan pools
+    # inside them would oversubscribe it (DESIGN.md §14).
+    mark_pool_worker()
     _WORKER_CACHE = ExecutionCache(data_dir=data_dir)
 
 

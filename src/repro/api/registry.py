@@ -45,6 +45,7 @@ _TUNING_PARAMS = frozenset({
     "engine",
     "evaluation_mode",
     "scan_mode",
+    "scan_workers",
     "sweep_mode",
     "max_steps",
     "scale_tier",

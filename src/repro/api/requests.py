@@ -53,6 +53,7 @@ class AnonymizationRequest:
     engine: str = "numpy"
     evaluation_mode: str = "incremental"
     scan_mode: str = "batched"
+    scan_workers: Optional[int] = None
     sweep_mode: str = "checkpointed"
     max_steps: Optional[int] = None
     insertion_candidate_cap: Optional[int] = None
@@ -83,6 +84,9 @@ class AnonymizationRequest:
             raise ConfigurationError("length_threshold must be >= 1")
         if self.timeout_seconds is not None and self.timeout_seconds <= 0:
             raise ConfigurationError("timeout_seconds must be > 0")
+        if self.scan_workers is not None and self.scan_workers < 0:
+            raise ConfigurationError(
+                f"scan_workers must be >= 0, got {self.scan_workers}")
         from repro.graph.distance_store import validate_scale_tier
         validate_scale_tier(self.scale_tier)
         if self.scale_budget_bytes is not None and self.scale_budget_bytes < 1:
@@ -102,6 +106,7 @@ class AnonymizationRequest:
             "engine": self.engine,
             "evaluation_mode": self.evaluation_mode,
             "scan_mode": self.scan_mode,
+            "scan_workers": self.scan_workers,
             "sweep_mode": self.sweep_mode,
             "max_steps": self.max_steps,
             "insertion_candidate_cap": self.insertion_candidate_cap,
@@ -292,7 +297,7 @@ class AnonymizationResponse:
 # ----------------------------------------------------------------------
 # canonical request fingerprints
 # ----------------------------------------------------------------------
-FINGERPRINT_VERSION = 2
+FINGERPRINT_VERSION = 3
 """Version stamp mixed into every fingerprint.
 
 Bump it whenever request semantics change in a way that should invalidate

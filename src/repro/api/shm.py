@@ -55,6 +55,7 @@ __all__ = [
     "SharedSampleArena",
     "TiledMatrixSpec",
     "attach_arena",
+    "publish_session_store",
 ]
 
 #: Prefix of every segment name this module creates; the crash-safety
@@ -261,6 +262,41 @@ class SharedSampleArena:
         for segment in self._segments.values():
             _release_segment(segment, unlink=True)
         self._segments = {}
+
+
+def publish_session_store(graph: Graph, engine: str,
+                          store) -> SharedSampleArena:
+    """Publish a live session's current graph + distance store as an arena.
+
+    The intra-group scan pool's publication path: unlike the grid plane —
+    which publishes a *pristine* sample before any edit — this captures a
+    session mid-run.  Correctness rests on distance values being canonical:
+    a dense store's current matrix is copied as-is, and a tiled store is
+    published as the *current* graph's CSR adjacency plus store geometry,
+    so tiles a worker computes lazily equal the parent's incrementally
+    maintained ones bit for bit.  The tiled path additionally ships the
+    parent's in-RAM cached tiles as hot tiles, sparing each worker their
+    recomputation.
+    """
+    from repro.graph.distance_store import DenseStore
+
+    length = store.length_bound
+    if isinstance(store, TiledStore):
+        hot: Dict[int, np.ndarray] = {}
+        for tile_id in store.cached_tiles():
+            start = tile_id * store.tile_rows
+            stop = min(store.num_vertices, start + store.tile_rows)
+            hot[tile_id] = store.rows(np.arange(start, stop, dtype=np.int64))
+        spec = TiledMatrixSpec(l_max=length,
+                               budget_bytes=store.budget_bytes,
+                               tile_rows=store.tile_rows,
+                               hot_tiles=hot)
+        return SharedSampleArena.publish(graph, tiled={engine: spec})
+    if not isinstance(store, DenseStore):
+        raise ConfigurationError(
+            f"cannot publish a {type(store).__name__} store")
+    return SharedSampleArena.publish(graph,
+                                     matrices={engine: (store.array, length)})
 
 
 def _release_segment(segment: shared_memory.SharedMemory,

@@ -49,6 +49,7 @@ from repro.core.opacity_session import (
     validate_scan_mode,
 )
 from repro.core.pair_types import DegreePairTyping, PairTyping
+from repro.core.scan_pool import resolve_scan_workers
 from repro.errors import ConfigurationError, InfeasibleError
 from repro.graph.distance_store import validate_scale_tier
 from repro.graph.graph import Edge, Graph
@@ -61,11 +62,15 @@ class _GadedBase:
                  max_steps: Optional[int] = None, engine: str = "numpy",
                  strict: bool = False, evaluation_mode: str = "incremental",
                  scan_mode: str = "batched",
+                 scan_workers: Optional[int] = None,
                  sweep_mode: str = "checkpointed",
                  scale_tier: str = "auto",
                  scale_budget_bytes: Optional[int] = None) -> None:
         if not 0.0 <= theta <= 1.0:
             raise ConfigurationError(f"theta must be in [0, 1], got {theta}")
+        if scan_workers is not None and scan_workers < 0:
+            raise ConfigurationError(
+                f"scan_workers must be >= 0, got {scan_workers}")
         validate_evaluation_mode(evaluation_mode)
         validate_scan_mode(scan_mode)
         validate_sweep_mode(sweep_mode)
@@ -80,6 +85,7 @@ class _GadedBase:
         self._strict = strict
         self._evaluation_mode = evaluation_mode
         self._scan_mode = scan_mode
+        self._scan_workers = scan_workers
         self._sweep_mode = sweep_mode
         self._scale_tier = scale_tier
         self._scale_budget_bytes = scale_budget_bytes
@@ -144,12 +150,16 @@ class _GadedBase:
                                   max_steps=self._max_steps,
                                   evaluation_mode=self._evaluation_mode,
                                   scan_mode=self._scan_mode,
+                                  scan_workers=self._scan_workers,
                                   sweep_mode=self._sweep_mode,
                                   scale_tier=self._scale_tier,
                                   scale_budget_bytes=self._scale_budget_bytes)
-        session = OpacitySession(computer, working, mode=self._evaluation_mode,
-                                 initial_distances=initial_distances,
-                                 store_config=config.store_config())
+        session = OpacitySession(
+            computer, working, mode=self._evaluation_mode,
+            initial_distances=initial_distances,
+            store_config=config.store_config(),
+            scan_workers=resolve_scan_workers(self._scan_mode,
+                                              self._scan_workers))
         rng = random.Random(self._seed)
         result = AnonymizationResult(
             original_graph=graph.copy(),
@@ -158,39 +168,42 @@ class _GadedBase:
             observer=observer if observer is not None else NULL_OBSERVER,
         )
         started = time.perf_counter()
-        current = session.current()
-        result.evaluations += 1
-        result.observer.on_evaluation(result.evaluations)
-        step_index = 0
-        while current.max_opacity > theta and working.num_edges > 0:
-            if result.observer.should_stop():
-                result.stop_reason = "observer"
-                break
-            if self._max_steps is not None and step_index >= self._max_steps:
-                result.stop_reason = "max_steps"
-                break
-            try:
-                edge = self._choose_edge(session, current, theta, rng, result)
-            except AnonymizationStopped:
-                # Raised between candidate evaluations (graph restored), so
-                # `current` still describes the working graph.
-                result.stop_reason = "observer"
-                break
-            if edge is None:
-                result.stop_reason = "exhausted"
-                break
-            session.apply_edit(removals=(edge,))
-            result.removed_edges.add(edge)
+        try:
             current = session.current()
             result.evaluations += 1
             result.observer.on_evaluation(result.evaluations)
-            step_record = AnonymizationStep(
-                index=step_index, operation="remove", edges=(edge,),
-                max_opacity_after=current.max_opacity,
-                removals=(edge,))
-            result.steps.append(step_record)
-            result.observer.on_step(step_record, result)
-            step_index += 1
+            step_index = 0
+            while current.max_opacity > theta and working.num_edges > 0:
+                if result.observer.should_stop():
+                    result.stop_reason = "observer"
+                    break
+                if self._max_steps is not None and step_index >= self._max_steps:
+                    result.stop_reason = "max_steps"
+                    break
+                try:
+                    edge = self._choose_edge(session, current, theta, rng, result)
+                except AnonymizationStopped:
+                    # Raised between candidate evaluations (graph restored), so
+                    # `current` still describes the working graph.
+                    result.stop_reason = "observer"
+                    break
+                if edge is None:
+                    result.stop_reason = "exhausted"
+                    break
+                session.apply_edit(removals=(edge,))
+                result.removed_edges.add(edge)
+                current = session.current()
+                result.evaluations += 1
+                result.observer.on_evaluation(result.evaluations)
+                step_record = AnonymizationStep(
+                    index=step_index, operation="remove", edges=(edge,),
+                    max_opacity_after=current.max_opacity,
+                    removals=(edge,))
+                result.steps.append(step_record)
+                result.observer.on_step(step_record, result)
+                step_index += 1
+        finally:
+            session.close()
         result.final_opacity = current.max_opacity
         result.success = current.max_opacity <= theta
         result.runtime_seconds = time.perf_counter() - started
@@ -226,7 +239,8 @@ class _GadedBase:
     "gaded-rand",
     description="GADED-Rand baseline (Zhang & Zhang, single-edge disclosure)",
     accepts=("theta", "seed", "max_steps", "engine", "strict", "evaluation_mode",
-             "scan_mode", "sweep_mode", "scale_tier", "scale_budget_bytes"),
+             "scan_mode", "scan_workers", "sweep_mode", "scale_tier",
+             "scale_budget_bytes"),
 )
 class GadedRandAnonymizer(_GadedBase):
     """GADED-Rand: remove a random edge participating in disclosure."""
@@ -243,7 +257,8 @@ class GadedRandAnonymizer(_GadedBase):
     "gaded-max",
     description="GADED-Max baseline (Zhang & Zhang, single-edge disclosure)",
     accepts=("theta", "seed", "max_steps", "engine", "strict", "evaluation_mode",
-             "scan_mode", "sweep_mode", "scale_tier", "scale_budget_bytes"),
+             "scan_mode", "scan_workers", "sweep_mode", "scale_tier",
+             "scale_budget_bytes"),
 )
 class GadedMaxAnonymizer(_GadedBase):
     """GADED-Max: remove the edge with the greatest reduction of the maximum
@@ -256,7 +271,7 @@ class GadedMaxAnonymizer(_GadedBase):
             candidates = list(session.graph.edges())
         if not candidates:
             return None
-        if self._scan_mode == "batched":
+        if self._scan_mode in ("batched", "parallel"):
             outcomes = iter_batched_evaluations(session, candidates,
                                                 lambda edge: ((edge,), ()))
         else:

@@ -39,6 +39,7 @@ from repro.core.opacity_session import (
     validate_scan_mode,
 )
 from repro.core.pair_types import DegreePairTyping, PairTyping
+from repro.core.scan_pool import resolve_scan_workers
 from repro.errors import ConfigurationError
 from repro.graph.distance_store import validate_scale_tier
 from repro.graph.graph import Edge, Graph, normalize_edge
@@ -50,8 +51,8 @@ Swap = Tuple[Edge, Edge, Edge, Edge]  # (removed1, removed2, added1, added2)
     "gades",
     description="GADES baseline (Zhang & Zhang, degree-preserving swaps)",
     accepts=("theta", "seed", "max_steps", "swap_sample_size", "engine",
-             "evaluation_mode", "scan_mode", "sweep_mode", "scale_tier",
-             "scale_budget_bytes"),
+             "evaluation_mode", "scan_mode", "scan_workers", "sweep_mode",
+             "scale_tier", "scale_budget_bytes"),
 )
 class GadesAnonymizer:
     """GADES: greedy degree-preserving edge swapping against link disclosure.
@@ -78,6 +79,7 @@ class GadesAnonymizer:
                  max_steps: Optional[int] = None, swap_sample_size: int = 2000,
                  engine: str = "numpy", evaluation_mode: str = "incremental",
                  scan_mode: str = "batched",
+                 scan_workers: Optional[int] = None,
                  sweep_mode: str = "checkpointed",
                  scale_tier: str = "auto",
                  scale_budget_bytes: Optional[int] = None) -> None:
@@ -85,6 +87,9 @@ class GadesAnonymizer:
             raise ConfigurationError(f"theta must be in [0, 1], got {theta}")
         if swap_sample_size < 1:
             raise ConfigurationError("swap_sample_size must be >= 1")
+        if scan_workers is not None and scan_workers < 0:
+            raise ConfigurationError(
+                f"scan_workers must be >= 0, got {scan_workers}")
         validate_evaluation_mode(evaluation_mode)
         validate_scan_mode(scan_mode)
         validate_sweep_mode(sweep_mode)
@@ -99,6 +104,7 @@ class GadesAnonymizer:
         self._engine = engine
         self._evaluation_mode = evaluation_mode
         self._scan_mode = scan_mode
+        self._scan_workers = scan_workers
         self._sweep_mode = sweep_mode
         self._scale_tier = scale_tier
         self._scale_budget_bytes = scale_budget_bytes
@@ -155,6 +161,7 @@ class GadesAnonymizer:
             theta=theta, seed=self._seed, max_steps=self._max_steps,
             swap_sample_size=self._swap_sample_size, engine=self._engine,
             evaluation_mode=self._evaluation_mode, scan_mode=self._scan_mode,
+            scan_workers=self._scan_workers,
             sweep_mode=self._sweep_mode, scale_tier=self._scale_tier,
             scale_budget_bytes=self._scale_budget_bytes)
 
@@ -176,12 +183,16 @@ class GadesAnonymizer:
                                   swap_sample_size=self._swap_sample_size,
                                   evaluation_mode=self._evaluation_mode,
                                   scan_mode=self._scan_mode,
+                                  scan_workers=self._scan_workers,
                                   sweep_mode=self._sweep_mode,
                                   scale_tier=self._scale_tier,
                                   scale_budget_bytes=self._scale_budget_bytes)
-        session = OpacitySession(computer, working, mode=self._evaluation_mode,
-                                 initial_distances=initial_distances,
-                                 store_config=config.store_config())
+        session = OpacitySession(
+            computer, working, mode=self._evaluation_mode,
+            initial_distances=initial_distances,
+            store_config=config.store_config(),
+            scan_workers=resolve_scan_workers(self._scan_mode,
+                                              self._scan_workers))
         rng = random.Random(self._seed)
         original = graph.copy()
         result = AnonymizationResult(
@@ -192,47 +203,50 @@ class GadesAnonymizer:
         )
         started = time.perf_counter()
         tracker = ThetaScheduleTracker(schedule, working, started, rng=rng)
-        current = session.current()
-        result.evaluations += 1
-        result.observer.on_evaluation(result.evaluations)
-        step_index = 0
-        while True:
-            tracker.emit_crossings(current, result)
-            if tracker.done:
-                break
-            if result.observer.should_stop():
-                tracker.emit_remaining(current, result, "observer")
-                break
-            if self._max_steps is not None and step_index >= self._max_steps:
-                tracker.emit_remaining(current, result, "max_steps")
-                break
-            try:
-                swap = self._best_swap(session, current.max_opacity, rng, result)
-            except AnonymizationStopped:
-                # Raised between candidate evaluations (swap undone), so
-                # `current` still describes the working graph.
-                tracker.emit_remaining(current, result, "observer")
-                break
-            if swap is None:
-                tracker.emit_remaining(current, result, "exhausted")
-                break
-            removed1, removed2, added1, added2 = swap
-            session.apply_edit(removals=(removed1, removed2),
-                               insertions=(added1, added2))
-            result.removed_edges.update((removed1, removed2))
-            result.inserted_edges.update((added1, added2))
+        try:
             current = session.current()
             result.evaluations += 1
             result.observer.on_evaluation(result.evaluations)
-            step_record = AnonymizationStep(
-                index=step_index, operation="swap",
-                edges=(removed1, removed2, added1, added2),
-                max_opacity_after=current.max_opacity,
-                removals=(removed1, removed2),
-                insertions=(added1, added2))
-            result.steps.append(step_record)
-            result.observer.on_step(step_record, result)
-            step_index += 1
+            step_index = 0
+            while True:
+                tracker.emit_crossings(current, result)
+                if tracker.done:
+                    break
+                if result.observer.should_stop():
+                    tracker.emit_remaining(current, result, "observer")
+                    break
+                if self._max_steps is not None and step_index >= self._max_steps:
+                    tracker.emit_remaining(current, result, "max_steps")
+                    break
+                try:
+                    swap = self._best_swap(session, current.max_opacity, rng, result)
+                except AnonymizationStopped:
+                    # Raised between candidate evaluations (swap undone), so
+                    # `current` still describes the working graph.
+                    tracker.emit_remaining(current, result, "observer")
+                    break
+                if swap is None:
+                    tracker.emit_remaining(current, result, "exhausted")
+                    break
+                removed1, removed2, added1, added2 = swap
+                session.apply_edit(removals=(removed1, removed2),
+                                   insertions=(added1, added2))
+                result.removed_edges.update((removed1, removed2))
+                result.inserted_edges.update((added1, added2))
+                current = session.current()
+                result.evaluations += 1
+                result.observer.on_evaluation(result.evaluations)
+                step_record = AnonymizationStep(
+                    index=step_index, operation="swap",
+                    edges=(removed1, removed2, added1, added2),
+                    max_opacity_after=current.max_opacity,
+                    removals=(removed1, removed2),
+                    insertions=(added1, added2))
+                result.steps.append(step_record)
+                result.observer.on_step(step_record, result)
+                step_index += 1
+        finally:
+            session.close()
         return materialize_checkpoints(tracker.checkpoints, original, config,
                                        result.observer)
 
@@ -283,7 +297,7 @@ class GadesAnonymizer:
                    rng: random.Random,
                    result: AnonymizationResult) -> Optional[Swap]:
         candidates = self._candidate_swaps(session.graph, rng)
-        if self._scan_mode == "batched":
+        if self._scan_mode in ("batched", "parallel"):
             outcomes = iter_batched_evaluations(session, candidates,
                                                 lambda swap: (swap[:2], swap[2:]))
         else:

@@ -126,6 +126,7 @@ def _request_from_args(args: argparse.Namespace) -> AnonymizationRequest:
         seed=args.seed,
         evaluation_mode=args.evaluation_mode,
         scan_mode=args.scan_mode,
+        scan_workers=args.scan_workers,
         insertion_candidate_cap=args.insertion_cap,
         timeout_seconds=args.timeout,
         include_utility=True,
@@ -215,6 +216,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         evaluation_mode=args.evaluation_mode,
         scan_mode=args.scan_mode,
+        scan_workers=args.scan_workers,
         insertion_candidate_cap=args.insertion_cap,
         include_utility=not args.no_utility,
         scale_tier=args.scale_tier,
@@ -323,7 +325,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                          scale_tier=args.scale_tier,
                          scale_budget_bytes=(args.scale_budget_mb * 1024 * 1024
                                              if args.scale_budget_mb is not None
-                                             else None))
+                                             else None),
+                         scan_workers=args.scan_workers)
     if args.reset:
         summary = store.init_db(reset=True)
         print(f"reset {summary['db_path']} "
@@ -428,9 +431,15 @@ def build_parser() -> argparse.ArgumentParser:
     anonymize.add_argument("--scan-mode", choices=SCAN_MODES,
                            default="batched", dest="scan_mode",
                            help="candidate scan strategy: one stacked pass over "
-                                "a step's single-edge candidates (batched) or "
-                                "one preview per candidate (per_candidate); "
-                                "both choose identical edits")
+                                "a step's single-edge candidates (batched), "
+                                "one preview per candidate (per_candidate), or "
+                                "the batched scan sharded across a worker pool "
+                                "(parallel); all choose identical edits")
+    anonymize.add_argument("--scan-workers", type=int, default=None,
+                           dest="scan_workers",
+                           help="worker pool size for --scan-mode parallel "
+                                "(default: min(4, cpu count) on multi-core "
+                                "machines, serial otherwise)")
     anonymize.add_argument("--insertion-cap", type=int, default=None)
     anonymize.add_argument("--timeout", type=float, default=None,
                            help="wall-clock budget in seconds (best-effort stop)")
@@ -466,6 +475,10 @@ def build_parser() -> argparse.ArgumentParser:
                        default="incremental", dest="evaluation_mode")
     sweep.add_argument("--scan-mode", choices=SCAN_MODES,
                        default="batched", dest="scan_mode")
+    sweep.add_argument("--scan-workers", type=int, default=None,
+                       dest="scan_workers",
+                       help="worker pool size for --scan-mode parallel "
+                            "(ignored inside pooled grid workers)")
     sweep.add_argument("--insertion-cap", type=int, default=None)
     sweep.add_argument("--no-utility", action="store_true",
                        help="skip the per-θ utility metrics")
@@ -535,6 +548,11 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="scale_budget_mb",
                        help="default scale-tier byte budget in MiB applied "
                             "to submitted jobs that set none (default: 512)")
+    serve.add_argument("--scan-workers", type=int, default=None,
+                       dest="scan_workers",
+                       help="default parallel-scan pool size applied at "
+                            "execution time to submitted jobs that kept the "
+                            "default scan mode (fingerprints unchanged)")
     serve.add_argument("--reset", action="store_true",
                        help="archive and re-initialize the run store before "
                             "serving (rolling window of 3 backups)")

@@ -25,7 +25,7 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, field, replace
 from fractions import Fraction
 from functools import cached_property
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -42,6 +42,7 @@ from repro.core.opacity_session import (
     validate_scan_mode,
 )
 from repro.core.pair_types import DegreePairTyping, PairTyping
+from repro.core.scan_pool import resolve_scan_workers
 from repro.errors import ConfigurationError, InfeasibleError
 from repro.graph.distance import DistanceEngine, available_engines
 from repro.graph.distance_store import (
@@ -101,8 +102,12 @@ def iter_batched_evaluations(session: OpacitySession, candidates: Sequence,
     from it) never waits on more than one chunk of computed-but-unreported
     work.  Shared by every ``scan_mode="batched"`` scan loop.
     """
-    for start in range(0, len(candidates), BATCH_SCAN_CHUNK):
-        chunk = candidates[start:start + BATCH_SCAN_CHUNK]
+    # A parallel scan amortizes one pool round-trip per chunk, so chunks
+    # scale with the pool size — each worker still sees ~BATCH_SCAN_CHUNK
+    # candidates per round, and stop latency per process is unchanged.
+    chunk_size = BATCH_SCAN_CHUNK * max(1, session.scan_parallelism)
+    for start in range(0, len(candidates), chunk_size):
+        chunk = candidates[start:start + chunk_size]
         yield from session.evaluate_edits([to_edit(candidate)
                                            for candidate in chunk])
 
@@ -151,8 +156,17 @@ class AnonymizerConfig:
         How a step's candidate list is walked: ``"batched"`` (default)
         evaluates all single-edge candidates of a scan in one stacked
         :meth:`~repro.core.opacity_session.OpacitySession.evaluate_edits`
-        pass; ``"per_candidate"`` previews them one at a time.  Both scan
-        modes choose bit-identical edits.
+        pass; ``"per_candidate"`` previews them one at a time;
+        ``"parallel"`` shards the batched scan across a pool of
+        ``scan_workers`` processes attached to a shared-memory publication
+        of the session state (DESIGN.md §14).  All scan modes choose
+        bit-identical edits.
+    scan_workers:
+        Pool size for ``scan_mode="parallel"``.  ``None`` (default)
+        auto-sizes to ``min(4, cpu_count)`` on multi-core machines and
+        falls back to serial scanning on single-core ones; explicit values
+        are used as-is (0/1 = serial).  Ignored by the other scan modes
+        and inside θ-group pool workers (no nested oversubscription).
     sweep_mode:
         How :meth:`BaseAnonymizer.anonymize_schedule` executes a θ grid:
         ``"checkpointed"`` (default) runs one pass with per-θ checkpoints;
@@ -188,6 +202,7 @@ class AnonymizerConfig:
     strict: bool = False
     evaluation_mode: str = "incremental"
     scan_mode: str = "batched"
+    scan_workers: Optional[int] = None
     sweep_mode: str = "checkpointed"
     swap_sample_size: Optional[int] = None
     scale_tier: str = "auto"
@@ -220,9 +235,16 @@ class AnonymizerConfig:
             raise ConfigurationError("insertion_candidate_cap must be >= 1")
         if self.swap_sample_size is not None and self.swap_sample_size < 1:
             raise ConfigurationError("swap_sample_size must be >= 1")
+        if self.scan_workers is not None and self.scan_workers < 0:
+            raise ConfigurationError(
+                f"scan_workers must be >= 0, got {self.scan_workers}")
         validate_evaluation_mode(self.evaluation_mode)
         validate_scan_mode(self.scan_mode)
         validate_sweep_mode(self.sweep_mode)
+        if self.scan_mode == "parallel" and self.evaluation_mode == "scratch":
+            raise ConfigurationError(
+                "scan_mode='parallel' requires evaluation_mode='incremental'; "
+                "scratch evaluation has no shareable session state")
         validate_scale_tier(self.scale_tier)
         if self.scale_tier == "tiled" and self.evaluation_mode == "scratch":
             raise ConfigurationError(
@@ -273,6 +295,11 @@ class AnonymizationResult:
     evaluations: int = 0
     stop_reason: Optional[str] = None
     observer: ProgressObserver = field(default=NULL_OBSERVER, repr=False, compare=False)
+    #: Execution diagnostics that do not affect the anonymization outcome
+    #: (effective fallback row fraction, parallel-scan usage, ...).
+    #: Excluded from equality so results stay comparable across scan modes.
+    debug_info: Dict[str, Any] = field(default_factory=dict, repr=False,
+                                       compare=False)
 
     @cached_property
     def distortion(self) -> float:
@@ -596,9 +623,12 @@ class BaseAnonymizer(ABC):
         computer = OpacityComputer(typing, config.length_threshold, engine=config.engine)
         working = (resume_from.graph.copy() if resume_from is not None
                    else graph.copy())
-        session = OpacitySession(computer, working, mode=config.evaluation_mode,
-                                 initial_distances=initial_distances,
-                                 store_config=config.store_config())
+        session = OpacitySession(
+            computer, working, mode=config.evaluation_mode,
+            initial_distances=initial_distances,
+            store_config=config.store_config(),
+            scan_workers=resolve_scan_workers(config.scan_mode,
+                                              config.scan_workers))
         rng = random.Random(config.seed)
         original = graph.copy()
         result = AnonymizationResult(
@@ -619,52 +649,62 @@ class BaseAnonymizer(ABC):
             result.evaluations = resume_from.evaluations
             started -= resume_from.runtime_seconds
         tracker = ThetaScheduleTracker(schedule, working, started, rng=rng)
-        current = session.current()
-        if resume_from is None:
-            result.evaluations += 1
-            result.observer.on_evaluation(result.evaluations)
-        step_index = len(result.steps)
-        while True:
-            tracker.emit_crossings(current, result)
-            if tracker.done:
-                break
-            if result.observer.should_stop():
-                tracker.emit_remaining(current, result, "observer")
-                break
-            if config.max_steps is not None and step_index >= config.max_steps:
-                tracker.emit_remaining(current, result, "max_steps")
-                break
-            try:
-                step = self._perform_step(session, current, rng, result)
-            except AnonymizationStopped:
-                # The step may have been interrupted after applying part of
-                # its modifications (rem-ins applies the removal before the
-                # insertion scan), so re-evaluate to keep the reported
-                # opacity consistent with the returned graph.
+        try:
+            current = session.current()
+            if resume_from is None:
+                result.evaluations += 1
+                result.observer.on_evaluation(result.evaluations)
+            step_index = len(result.steps)
+            while True:
+                tracker.emit_crossings(current, result)
+                if tracker.done:
+                    break
+                if result.observer.should_stop():
+                    tracker.emit_remaining(current, result, "observer")
+                    break
+                if config.max_steps is not None and step_index >= config.max_steps:
+                    tracker.emit_remaining(current, result, "max_steps")
+                    break
+                try:
+                    step = self._perform_step(session, current, rng, result)
+                except AnonymizationStopped:
+                    # The step may have been interrupted after applying part of
+                    # its modifications (rem-ins applies the removal before the
+                    # insertion scan), so re-evaluate to keep the reported
+                    # opacity consistent with the returned graph.
+                    current = session.current()
+                    result.evaluations += 1
+                    tracker.emit_remaining(current, result, "observer")
+                    break
+                if step is None:
+                    tracker.emit_remaining(current, result, "exhausted")
+                    break
                 current = session.current()
                 result.evaluations += 1
-                tracker.emit_remaining(current, result, "observer")
-                break
-            if step is None:
-                tracker.emit_remaining(current, result, "exhausted")
-                break
-            current = session.current()
-            result.evaluations += 1
-            result.observer.on_evaluation(result.evaluations)
-            operation, removals, insertions = step
-            step_record = AnonymizationStep(
-                index=step_index,
-                operation=operation,
-                edges=removals + insertions,
-                max_opacity_after=current.max_opacity,
-                removals=removals,
-                insertions=insertions,
-            )
-            result.steps.append(step_record)
-            result.observer.on_step(step_record, result)
-            step_index += 1
+                result.observer.on_evaluation(result.evaluations)
+                operation, removals, insertions = step
+                step_record = AnonymizationStep(
+                    index=step_index,
+                    operation=operation,
+                    edges=removals + insertions,
+                    max_opacity_after=current.max_opacity,
+                    removals=removals,
+                    insertions=insertions,
+                )
+                result.steps.append(step_record)
+                result.observer.on_step(step_record, result)
+                step_index += 1
+            debug_info: Dict[str, Any] = {
+                "fallback_row_fraction": session.fallback_row_fraction,
+                "scan_workers": session.scan_workers,
+                "parallel_scans": session.parallel_scans,
+            }
+        finally:
+            session.close()
         results = materialize_checkpoints(tracker.checkpoints, original,
                                           config, result.observer)
+        for run in results:
+            run.debug_info = dict(debug_info)
         if config.strict:
             for run in results:
                 if not run.success:

@@ -29,8 +29,8 @@ from repro.graph.graph import Edge
     description="Edge Removal (paper Algorithm 4)",
     accepts=("length_threshold", "theta", "lookahead", "engine", "seed",
              "max_steps", "prune_candidates", "max_combinations", "strict",
-             "evaluation_mode", "scan_mode", "sweep_mode", "scale_tier",
-             "scale_budget_bytes"),
+             "evaluation_mode", "scan_mode", "scan_workers", "sweep_mode",
+             "scale_tier", "scale_budget_bytes"),
 )
 class EdgeRemovalAnonymizer(BaseAnonymizer):
     """Algorithm 4: greedy L-opacification via edge removal.
@@ -59,7 +59,8 @@ class EdgeRemovalAnonymizer(BaseAnonymizer):
             rng=rng,
             max_combinations=self._config.max_combinations,
             evaluate_batch=(self._batch_removal_evaluator(session, result)
-                            if self._config.scan_mode == "batched" else None),
+                            if self._config.scan_mode in ("batched", "parallel")
+                            else None),
         )
         if best is None:
             return None

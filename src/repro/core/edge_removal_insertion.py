@@ -30,7 +30,8 @@ from repro.graph.graph import Edge, Graph
     accepts=("length_threshold", "theta", "lookahead", "engine", "seed",
              "max_steps", "prune_candidates", "max_combinations",
              "insertion_candidate_cap", "strict", "evaluation_mode",
-             "scan_mode", "sweep_mode", "scale_tier", "scale_budget_bytes"),
+             "scan_mode", "scan_workers", "sweep_mode", "scale_tier",
+             "scale_budget_bytes"),
 )
 class EdgeRemovalInsertionAnonymizer(EdgeRemovalAnonymizer):
     """Algorithm 5: greedy L-opacification via alternating removal and insertion.
@@ -78,7 +79,8 @@ class EdgeRemovalInsertionAnonymizer(EdgeRemovalAnonymizer):
             rng=rng,
             max_combinations=self._config.max_combinations,
             evaluate_batch=(self._batch_removal_evaluator(session, result)
-                            if self._config.scan_mode == "batched" else None),
+                            if self._config.scan_mode in ("batched", "parallel")
+                            else None),
         )
         if best is None:
             return None
@@ -95,7 +97,7 @@ class EdgeRemovalInsertionAnonymizer(EdgeRemovalAnonymizer):
         if not candidates:
             return None
         breaker = TieBreaker(rng)
-        if self._config.scan_mode == "batched":
+        if self._config.scan_mode in ("batched", "parallel"):
             evaluate_batch = self._batch_insertion_evaluator(session, result)
             for outcome in evaluate_batch([(edge,) for edge in candidates]):
                 breaker.offer(outcome)

@@ -65,9 +65,12 @@ EVALUATION_MODES: Tuple[str, ...] = ("scratch", "incremental")
 
 #: Valid values of the ``scan_mode`` knob: how the greedy algorithms walk a
 #: step's candidate list — one :meth:`OpacitySession.evaluate_edit` per
-#: candidate, or one :meth:`OpacitySession.evaluate_edits` pass over all of
-#: them.  Both scan modes choose bit-identical edits.
-SCAN_MODES: Tuple[str, ...] = ("per_candidate", "batched")
+#: candidate, one :meth:`OpacitySession.evaluate_edits` pass over all of
+#: them, or that same batched pass sharded across a persistent pool of
+#: scan workers over a shared-memory arena (``"parallel"``,
+#: :mod:`repro.core.scan_pool`).  All scan modes choose bit-identical
+#: edits.
+SCAN_MODES: Tuple[str, ...] = ("per_candidate", "batched", "parallel")
 
 #: One candidate edit: the removals and insertions applied together.
 EditCandidate = Tuple[Sequence[Edge], Sequence[Edge]]
@@ -125,6 +128,17 @@ class OpacitySession:
     fallback_row_fraction:
         Passed to :class:`DistanceSession` — removal deltas touching more
         than this fraction of rows fall back to a from-scratch matrix.
+        ``None`` (default) derives and keeps recalibrating the fraction
+        from measured density × L; the chosen value is routing-only and
+        never changes results.
+    scan_workers:
+        Size of the parallel scan pool (``scan_mode="parallel"``, resolved
+        by :func:`repro.core.scan_pool.resolve_scan_workers`).  With a
+        value > 1, :meth:`evaluate_edits` shards large candidate scans
+        across that many worker processes attached to a shared-memory
+        publication of this session's state; 0/1 keeps every scan serial.
+        Any pool failure falls back to the serial scan permanently —
+        results are bit-identical either way.
     initial_distances:
         Optional precomputed L-bounded distances of ``graph`` — a matrix
         (e.g. a thresholded slice of a shared
@@ -144,9 +158,10 @@ class OpacitySession:
 
     def __init__(self, computer: OpacityComputer, graph: Graph,
                  mode: str = "incremental",
-                 fallback_row_fraction: float = 0.5,
+                 fallback_row_fraction: Optional[float] = None,
                  initial_distances: Optional[np.ndarray | DistanceStore] = None,
-                 store_config: Optional[StoreConfig] = None) -> None:
+                 store_config: Optional[StoreConfig] = None,
+                 scan_workers: int = 0) -> None:
         validate_evaluation_mode(mode)
         if mode == "scratch" and (
                 (store_config is not None and store_config.tier == "tiled")
@@ -165,6 +180,12 @@ class OpacitySession:
         self._triu_codes: Optional[np.ndarray] = None
         self._triu_code_span: int = 1
         self._within_pairs: Optional[np.ndarray] = None
+        # Parallel-scan state: the pool is started lazily on the first
+        # large-enough scan and torn down permanently on any failure.
+        self._scan_workers = max(0, int(scan_workers))
+        self._scan_pool = None
+        self._scan_failed = False
+        self.parallel_scans = 0
         if mode == "incremental":
             self._distance = DistanceSession(
                 graph, computer.length_threshold, engine=computer.engine,
@@ -190,6 +211,27 @@ class OpacitySession:
     def mode(self) -> str:
         """The evaluation mode (``"scratch"`` or ``"incremental"``)."""
         return self._mode
+
+    @property
+    def scan_workers(self) -> int:
+        """The configured parallel-scan pool size (0 = serial scans)."""
+        return self._scan_workers
+
+    @property
+    def scan_parallelism(self) -> int:
+        """How many processes a candidate scan currently spans (>= 1)."""
+        if self._scan_workers > 1 and not self._scan_failed \
+                and self._mode == "incremental" \
+                and self._computer.length_threshold > 1:
+            return self._scan_workers
+        return 1
+
+    @property
+    def fallback_row_fraction(self) -> Optional[float]:
+        """The distance session's effective fallback fraction (debug hook)."""
+        if self._distance is None:
+            return None
+        return self._distance.fallback_row_fraction
 
     def distances(self) -> np.ndarray:
         """The current dense L-bounded matrix (treat as read-only).
@@ -260,6 +302,31 @@ class OpacitySession:
             # no distance delta is needed at all, only a count tally.
             return self._summarize_batch([self._l1_changes(removals, insertions)
                                           for removals, insertions in pairs])
+        if self._use_parallel_scan(pairs):
+            return self._summarize_batch(self._parallel_changes(pairs))
+        return self._summarize_batch(self._collect_changes(pairs))
+
+    def collect_edit_changes(self, pairs: Sequence[EditCandidate]
+                             ) -> List[Dict[int, int]]:
+        """Per-candidate count-change dicts of a shard (scan-pool workers).
+
+        The worker-side half of the parallel scan: exactly the serial
+        batched collection over ``pairs`` against this session's state,
+        returning the raw per-type change dicts (keyed by frozen type
+        index) for the parent to concatenate and summarize.
+        """
+        pairs = [(tuple(removals), tuple(insertions))
+                 for removals, insertions in pairs]
+        return self._collect_changes(pairs)
+
+    def take_scan_stats(self) -> Tuple[int, int]:
+        """Drain the distance session's ``(affected rows, candidates)``."""
+        if self._distance is None:
+            return (0, 0)
+        return self._distance.take_observed_stats()
+
+    def _collect_changes(self, pairs: List[EditCandidate]
+                         ) -> List[Dict[int, int]]:
         # Deltas are consumed into (small) per-type change dicts group by
         # group, so peak retained memory is bounded by ~128 MB of delta
         # cells even when many removal candidates hit the from-scratch
@@ -271,7 +338,66 @@ class OpacitySession:
         for start in range(0, len(pairs), group):
             deltas = self._preview_deltas(pairs[start:start + group])
             changes.extend(self._count_changes_batch(deltas))
-        return self._summarize_batch(changes)
+        return changes
+
+    # ------------------------------------------------------------------
+    # parallel scan machinery
+    # ------------------------------------------------------------------
+    def _use_parallel_scan(self, pairs: List[EditCandidate]) -> bool:
+        return (self._scan_workers > 1
+                and not self._scan_failed
+                and self._mode == "incremental"
+                and len(pairs) > self._scan_workers)
+
+    def _ensure_scan_pool(self):
+        if self._scan_pool is None and not self._scan_failed:
+            from repro.core.scan_pool import ScanPool
+
+            self._scan_pool = ScanPool.start(
+                self._computer, self._graph, self._distance.store,
+                self._distance.requested_fallback_fraction,
+                self._scan_workers)
+            if self._scan_pool is None:
+                self._scan_failed = True
+        return self._scan_pool
+
+    def _parallel_changes(self, pairs: List[EditCandidate]
+                          ) -> List[Dict[int, int]]:
+        """Shard the scan across the pool; serial fallback on any failure.
+
+        On success the concatenated worker changes are exactly what
+        :meth:`_collect_changes` would have produced (distance values are
+        canonical, shards preserve candidate order), the workers' observed
+        affected-row stats are folded into the parent's auto fallback
+        fraction, and the scan's graph mutate/restore sequence is replayed
+        so adjacency-set histories stay scan-mode-independent.
+        """
+        pool = self._ensure_scan_pool()
+        if pool is not None:
+            outcome = pool.scan(pairs)
+            if outcome is not None:
+                changes, stats = outcome
+                for rows_total, candidates in stats:
+                    self._distance.observe_affected_rows(rows_total,
+                                                         candidates)
+                self._distance.replay_scan_mutations(pairs)
+                self.parallel_scans += 1
+                return changes
+            self._teardown_scan_pool(failed=True)
+        return self._collect_changes(pairs)
+
+    def _teardown_scan_pool(self, failed: bool) -> None:
+        if self._scan_pool is not None:
+            self._scan_pool.close()
+            self._scan_pool = None
+        if failed:
+            self._scan_failed = True
+
+    def close(self) -> None:
+        """Release pool workers and store resources (idempotent)."""
+        self._teardown_scan_pool(failed=False)
+        if self._distance is not None:
+            self._distance.close()
 
     def apply_edit(self, removals: Sequence[Edge] = (),
                    insertions: Sequence[Edge] = ()) -> None:
@@ -301,6 +427,9 @@ class OpacitySession:
         for index, change in changes.items():
             self._withins[index] += change
         self._current = None
+        if self._scan_pool is not None \
+                and not self._scan_pool.apply(removals, insertions):
+            self._teardown_scan_pool(failed=True)
 
     def resync(self) -> None:
         """Rebuild all incremental state from scratch (testing / recovery)."""

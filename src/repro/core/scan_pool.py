@@ -1,0 +1,309 @@
+"""Persistent worker pool sharding one candidate scan over a shared arena.
+
+``scan_mode="parallel"`` splits the batched candidate scan of a greedy step
+across a small pool of worker processes.  The parent publishes its session's
+*current* graph and distance store into a
+:class:`~repro.api.shm.SharedSampleArena` exactly once per pool lifetime;
+each worker attaches the segments read-only, rebuilds an equivalent
+incremental :class:`~repro.core.opacity_session.OpacitySession`, and from
+then on answers ``("scan", candidates)`` requests with the per-candidate
+within-L count-change dicts of its shard.  Follow-up ``("apply", ...)``
+messages keep every worker's session in lock-step with the parent's applied
+edits, so one arena publication serves the whole greedy run.
+
+Bit-identity is preserved by construction:
+
+* distance values are canonical — a worker's freshly attached store holds
+  exactly the parent's current matrix (dense copy) or computes canonical
+  tiles lazily from the current CSR adjacency (tiled), so per-candidate
+  change dicts match the serial scan's bit for bit;
+* candidates are sharded *contiguously* in candidate order and the parent
+  concatenates shard results back in that order before running its own
+  summarize pass — same ``Fraction`` maxima, tie counts, and float totals;
+* the parent replays the scan's graph mutate/restore sequence afterwards
+  (:meth:`~repro.graph.distance_delta.DistanceSession.replay_scan_mutations`),
+  so adjacency-set iteration histories — and every seeded tie-break
+  downstream — stay scan-mode-independent.
+
+Failure handling is all-or-nothing: any send/recv error (including a worker
+killed with SIGKILL mid-scan) makes :meth:`ScanPool.scan` return ``None``;
+the caller tears the pool down and permanently falls back to the serial
+batched scan, which is result-identical.  The arena is unlinked the moment
+every worker has attached, so a crashed worker — or a crashed parent —
+cannot leak ``/dev/shm`` segments.
+
+Pool nesting: θ-group pool workers (:mod:`repro.api.batch`) call
+:func:`mark_pool_worker` from their initializer, and
+:func:`resolve_scan_workers` returns 0 inside such a process — a grid that
+already fans θ-groups across all cores must not oversubscribe them with
+nested scan pools.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import weakref
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "ScanPool",
+    "in_pool_worker",
+    "mark_pool_worker",
+    "resolve_scan_workers",
+]
+
+#: Seconds a worker gets to attach the arena and report readiness.
+_READY_TIMEOUT = 60.0
+
+#: Set in processes that are themselves pool workers (θ-group workers of
+#: :mod:`repro.api.batch`, scan-pool workers of this module), where nested
+#: scan pools would oversubscribe the machine.
+_IN_POOL_WORKER = False
+
+
+def mark_pool_worker() -> None:
+    """Mark this process as a pool worker (disables nested scan pools)."""
+    global _IN_POOL_WORKER
+    _IN_POOL_WORKER = True
+
+
+def in_pool_worker() -> bool:
+    """Whether this process is a pool worker."""
+    return _IN_POOL_WORKER
+
+
+def resolve_scan_workers(scan_mode: str,
+                         scan_workers: Optional[int]) -> int:
+    """Effective scan-pool size for a run's (scan_mode, scan_workers) knobs.
+
+    Returns 0 (serial scan) unless ``scan_mode == "parallel"`` — and always
+    inside a pool worker, the no-oversubscription rule.  An explicit
+    ``scan_workers`` wins; ``None`` auto-sizes to ``min(4, cpu_count)`` on
+    multi-core machines and 0 on single-core ones (where the pool could
+    only lose).
+    """
+    if scan_mode != "parallel" or in_pool_worker():
+        return 0
+    if scan_workers is not None:
+        return max(0, int(scan_workers))
+    cpus = os.cpu_count() or 1
+    return min(4, cpus) if cpus >= 2 else 0
+
+
+def _scan_worker_main(conn, descriptor, computer,
+                      fallback_row_fraction: Optional[float]) -> None:
+    """Worker entry point: attach the arena, serve scan/apply requests.
+
+    Runs in a forked child, so ``computer`` (typing, L, engine) arrives by
+    inheritance; only the arena descriptor and small message payloads ever
+    cross the pipe.  Any failure is reported once and ends the worker — the
+    parent treats a dead worker as a permanent fallback signal.
+    """
+    from repro.api.shm import attach_arena
+    from repro.core.opacity_session import OpacitySession
+
+    mark_pool_worker()
+    try:
+        attached = attach_arena(descriptor)
+        cache = attached.caches[computer.engine]
+        length = computer.length_threshold
+        if cache.tier == "tiled":
+            initial = cache.store(length)
+        else:
+            initial = cache.matrix(length)
+        session = OpacitySession(computer, attached.graph,
+                                 mode="incremental",
+                                 fallback_row_fraction=fallback_row_fraction,
+                                 initial_distances=initial)
+        conn.send(("ready",))
+    except Exception as exc:  # noqa: BLE001 — reported to the parent
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        finally:
+            conn.close()
+        return
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                return
+            kind = message[0]
+            if kind == "close":
+                return
+            try:
+                if kind == "scan":
+                    changes = session.collect_edit_changes(message[1])
+                    conn.send(("ok", changes, session.take_scan_stats()))
+                elif kind == "apply":
+                    session.apply_edit(message[1], message[2])
+                else:
+                    conn.send(("error", f"unknown message kind {kind!r}"))
+                    return
+            except Exception as exc:  # noqa: BLE001 — fail the whole pool
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+                return
+    finally:
+        try:
+            session.close()
+        except Exception:  # noqa: BLE001 — teardown must not mask exit
+            pass
+        conn.close()
+
+
+def _shutdown(processes: List[Any], connections: List[Any],
+              timeout: float = 2.0) -> None:
+    """Best-effort teardown of worker processes and their pipes."""
+    for conn in connections:
+        try:
+            conn.send(("close",))
+        except Exception:  # noqa: BLE001 — dead pipe, nothing to close
+            pass
+        try:
+            conn.close()
+        except Exception:  # noqa: BLE001
+            pass
+    for process in processes:
+        process.join(timeout=timeout)
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=timeout)
+
+
+class ScanPool:
+    """A started pool of scan workers attached to one published arena.
+
+    Build one with :meth:`start`; hand candidate lists to :meth:`scan` and
+    applied edits to :meth:`apply`; :meth:`close` (idempotent, also run by
+    a ``weakref`` finalizer) shuts the workers down.  All methods are
+    parent-side only.
+    """
+
+    def __init__(self, processes: List[Any], connections: List[Any]) -> None:
+        self._processes = processes
+        self._connections = connections
+        self._closed = False
+        self._finalizer = weakref.finalize(self, _shutdown,
+                                           processes, connections)
+
+    @classmethod
+    def start(cls, computer, graph, store,
+              fallback_row_fraction: Optional[float],
+              workers: int) -> Optional["ScanPool"]:
+        """Publish the session state and fork ``workers`` scan workers.
+
+        Returns ``None`` when the pool cannot be built (no fork start
+        method, arena publication failure, a worker failing to attach) —
+        the caller falls back to the serial scan.  On success the arena is
+        already unlinked: every worker attached during startup, and POSIX
+        keeps their mappings alive, so nothing can leak ``/dev/shm``
+        entries no matter how the processes die later.
+        """
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover — non-POSIX platform
+            return None
+        from repro.api.shm import publish_session_store
+
+        arena = None
+        processes: List[Any] = []
+        connections: List[Any] = []
+        try:
+            arena = publish_session_store(graph, computer.engine, store)
+            for _ in range(workers):
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                process = ctx.Process(
+                    target=_scan_worker_main,
+                    args=(child_conn, arena.descriptor, computer,
+                          fallback_row_fraction),
+                    daemon=True)
+                process.start()
+                child_conn.close()
+                processes.append(process)
+                connections.append(parent_conn)
+            for conn in connections:
+                if not conn.poll(_READY_TIMEOUT):
+                    raise RuntimeError("scan worker did not become ready")
+                reply = conn.recv()
+                if reply[0] != "ready":
+                    raise RuntimeError(f"scan worker failed: {reply[1]}")
+        except Exception:  # noqa: BLE001 — pool startup is best-effort
+            _shutdown(processes, connections)
+            if arena is not None:
+                arena.unlink()
+            return None
+        arena.unlink()
+        return cls(processes, connections)
+
+    @property
+    def num_workers(self) -> int:
+        """Number of worker processes in this pool."""
+        return len(self._processes)
+
+    @property
+    def worker_pids(self) -> Tuple[int, ...]:
+        """PIDs of the worker processes (crash-safety test hook)."""
+        return tuple(process.pid for process in self._processes)
+
+    def scan(self, pairs: Sequence[Tuple[Any, Any]]
+             ) -> Optional[Tuple[List[Dict[int, int]],
+                                 List[Tuple[int, int]]]]:
+        """Shard ``pairs`` across the workers and merge in candidate order.
+
+        Returns ``(changes, stats)`` — the concatenated per-candidate
+        count-change dicts, in exactly the input order, plus each shard's
+        ``(affected_rows, candidates)`` observation totals — or ``None`` on
+        any worker failure (the all-or-nothing fallback signal).
+        """
+        if self._closed:
+            return None
+        pairs = list(pairs)
+        shards: List[Tuple[Any, int]] = []  # (connection, shard size)
+        base, extra = divmod(len(pairs), len(self._connections))
+        start = 0
+        try:
+            for index, conn in enumerate(self._connections):
+                size = base + (1 if index < extra else 0)
+                if size == 0:
+                    continue
+                conn.send(("scan", pairs[start:start + size]))
+                shards.append((conn, size))
+                start += size
+            changes: List[Dict[int, int]] = []
+            stats: List[Tuple[int, int]] = []
+            for conn, size in shards:
+                reply = conn.recv()
+                if reply[0] != "ok" or len(reply[1]) != size:
+                    return None
+                changes.extend(reply[1])
+                stats.append(reply[2])
+            return changes, stats
+        except (OSError, EOFError, BrokenPipeError):
+            return None
+
+    def apply(self, removals: Sequence[Any],
+              insertions: Sequence[Any]) -> bool:
+        """Forward an applied edit to every worker; ``False`` on failure.
+
+        No acknowledgement is waited for — a desynchronized worker is
+        detected by the next :meth:`scan` (its reply stream breaks), which
+        triggers the same serial fallback.
+        """
+        if self._closed:
+            return False
+        try:
+            for conn in self._connections:
+                conn.send(("apply", tuple(removals), tuple(insertions)))
+            return True
+        except (OSError, BrokenPipeError):
+            return False
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer.detach()
+        _shutdown(self._processes, self._connections)

@@ -215,11 +215,18 @@ class DistanceSession:
     fallback_row_fraction:
         When a removal would touch more than ``max(16, fraction * n)`` rows,
         the preview recomputes the full matrix instead of the affected slab
-        (the slab path would cost more than it saves).  ``0.0`` forces the
-        from-scratch path on every removal (useful for testing).  The tiled
-        tier pins the fraction to ``1.0``: a from-scratch fallback would
-        materialize the dense matrix the tier exists to avoid, and the slab
-        path is bit-identical by the property-suite contract.
+        (the slab path would cost more than it saves).  ``None`` (default)
+        derives the fraction from the graph's measured density × L — the
+        expected L-ball size — and keeps *recalibrating* it from the
+        affected-row counts the batched scans observe, so the heuristic
+        tracks the graph instead of a hard-coded 0.5.  An explicit float
+        pins the fraction; ``0.0`` forces the from-scratch path on every
+        removal (useful for testing).  Either way the chosen value only
+        routes between two value-identical code paths (slab vs
+        from-scratch), so results never depend on it.  The tiled tier pins
+        the fraction to ``1.0``: a from-scratch fallback would materialize
+        the dense matrix the tier exists to avoid, and the slab path is
+        bit-identical by the property-suite contract.
     initial_distances:
         Optional precomputed L-bounded distances of ``graph`` — either a
         matrix (e.g. a thresholded slice of a shared
@@ -237,24 +244,46 @@ class DistanceSession:
 
     def __init__(self, graph: Graph, length_bound: int,
                  engine: DistanceEngine = "numpy",
-                 fallback_row_fraction: float = 0.5,
+                 fallback_row_fraction: Optional[float] = None,
                  initial_distances: Union[np.ndarray, DistanceStore, None] = None,
                  store_config: Optional[StoreConfig] = None) -> None:
         if length_bound < 1:
             raise ConfigurationError(f"length_bound must be >= 1, got {length_bound}")
-        if not 0.0 <= fallback_row_fraction <= 1.0:
+        if fallback_row_fraction is not None \
+                and not 0.0 <= fallback_row_fraction <= 1.0:
             raise ConfigurationError(
                 f"fallback_row_fraction must be in [0, 1], got {fallback_row_fraction}")
         self._graph = graph
         self._length = int(length_bound)
         self._engine = engine
-        self._fallback_fraction = float(fallback_row_fraction)
+        self._requested_fraction = fallback_row_fraction
+        self._auto_fraction = fallback_row_fraction is None
+        self._fallback_fraction = (self._estimate_fraction()
+                                   if self._auto_fraction
+                                   else float(fallback_row_fraction))
+        self._observed_rows = 0
+        self._observed_candidates = 0
         self._store = self._init_store(initial_distances, store_config)
         if isinstance(self._store, TiledStore):
             self._fallback_fraction = 1.0
+            self._auto_fraction = False
             self._mirror = _CSROverlayAdjacency(graph)
         else:
             self._mirror = _DenseAdjacency(graph)
+
+    def _estimate_fraction(self) -> float:
+        """Initial auto fraction: the expected relative L-ball size.
+
+        A removal's affected rows live within L of an endpoint, so the
+        density-derived ball size ``degree^(L-1)`` (doubled for the two
+        endpoints, with generous 8x headroom before the from-scratch path
+        can pay off) estimates the fraction of rows a typical removal
+        touches; the batched scans keep refining it with measured counts.
+        """
+        n = max(1, self._graph.num_vertices)
+        degree = max(1.0, 2.0 * self._graph.num_edges / n)
+        ball = min(float(n), 2.0 * degree ** max(0, self._length - 1))
+        return min(1.0, max(0.05, 8.0 * ball / n))
 
     def _init_store(self,
                     initial_distances: Union[np.ndarray, DistanceStore, None],
@@ -312,6 +341,79 @@ class DistanceSession:
     def store(self) -> DistanceStore:
         """The distance store backing this session (row-block reads)."""
         return self._store
+
+    @property
+    def fallback_row_fraction(self) -> float:
+        """The currently effective fallback fraction (auto-recalibrated)."""
+        return self._fallback_fraction
+
+    @property
+    def requested_fallback_fraction(self) -> Optional[float]:
+        """The constructor's fraction (``None`` = auto-derived)."""
+        return self._requested_fraction
+
+    def observe_affected_rows(self, rows_total: int, candidates: int) -> None:
+        """Feed measured affected-row counts into the auto fraction.
+
+        The batched scans call this with their per-chunk totals (parallel
+        shards ship their workers' totals through the same hook); once
+        enough candidates have been observed the fraction is re-derived
+        from the measured mean so the heuristic tracks the *actual* graph
+        instead of the density estimate.  Routing-only: recalibration never
+        changes any result.
+        """
+        if candidates <= 0:
+            return
+        self._observed_rows += int(rows_total)
+        self._observed_candidates += int(candidates)
+        if not self._auto_fraction or self._observed_candidates < 16:
+            return
+        n = max(1, self._graph.num_vertices)
+        mean_rows = self._observed_rows / self._observed_candidates
+        self._fallback_fraction = min(1.0, max(0.05, 8.0 * mean_rows / n))
+
+    def take_observed_stats(self) -> Tuple[int, int]:
+        """Return and reset ``(affected rows, candidates)`` observed so far.
+
+        The scan-pool workers drain their counters through this after every
+        shard so the parent can fold them into its own auto fraction.
+        """
+        stats = (self._observed_rows, self._observed_candidates)
+        self._observed_rows = 0
+        self._observed_candidates = 0
+        return stats
+
+    def replay_scan_mutations(
+            self, candidates: Sequence[Tuple[Sequence[Edge],
+                                             Sequence[Edge]]]) -> None:
+        """Replay the serial scan's graph mutate/restore sequence.
+
+        A parallel scan evaluates candidates in worker processes, so the
+        parent's graph never sees the per-candidate mutate/restore churn a
+        serial scan performs — but adjacency-*set* iteration order is
+        mutation-history-dependent, and seeded tie-breaks downstream
+        consume it.  This replays, per candidate, exactly the sequence
+        every serial path leaves behind (removals removed, insertions
+        added, insertions removed, removals re-added — the batched stacked
+        passes, the sequential previews, and the L=1 tally all reduce to
+        it), touching only the graph: the adjacency mirror and the store
+        are skipped because their outputs are exact values independent of
+        internal mutation history.
+        """
+        for removals, insertions in candidates:
+            for u, v in removals:
+                self._graph.remove_edge(u, v)
+            for u, v in insertions:
+                self._graph.add_edge(u, v)
+            for u, v in insertions:
+                self._graph.remove_edge(u, v)
+            for u, v in removals:
+                self._graph.add_edge(u, v)
+
+    def close(self) -> None:
+        """Release store resources (tiled spill files); idempotent."""
+        if isinstance(self._store, TiledStore):
+            self._store.close()
 
     @property
     def distances(self) -> np.ndarray:
@@ -387,14 +489,29 @@ class DistanceSession:
         return deltas
 
     def _batch_slab_row_cap(self) -> int:
-        """Rows per stacked pass, bounding the workspace to ~32 MB of int64."""
+        """Rows per stacked pass, bounding the workspace to ~32 MB of int64.
+
+        On the tiled tier the cap is additionally bounded by the store's
+        byte budget: a stacked pass keeps ~16 bytes of frontier-expansion
+        workspace per slab cell (the int64 expansion counts plus the
+        boolean frontier/reached planes), so capping rows at
+        ``budget // (16 n)`` keeps the scan's transient slabs inside the
+        same envelope the tile cache honours — instead of densifying
+        per-candidate slabs past ``scale_budget_bytes``.
+        """
         n = max(1, self._graph.num_vertices)
-        return max(256, (1 << 22) // n)
+        cap = max(256, (1 << 22) // n)
+        if isinstance(self._store, TiledStore):
+            cap = min(cap, self._store.budget_bytes // (16 * n))
+        return max(16, cap)
 
     def _batch_candidate_cap(self) -> int:
         """Candidates per ``n × |chunk|`` column gather (bounds the gather)."""
         n = max(1, self._graph.num_vertices)
-        return max(64, (1 << 21) // n)
+        cap = max(64, (1 << 21) // n)
+        if isinstance(self._store, TiledStore):
+            cap = min(cap, self._store.budget_bytes // (32 * n))
+        return max(16, cap)
 
     def _slab_chunks(self, slab: List[Tuple[int, np.ndarray]]
                      ) -> Iterator[List[Tuple[int, np.ndarray]]]:
@@ -429,6 +546,8 @@ class DistanceSession:
         near = np.minimum(du, dv) <= self._length - 1
         affected = (near & (np.abs(du - dv) == 1)) if removal else near
         counts = affected.sum(axis=1)
+        if removal:
+            self.observe_affected_rows(int(counts.sum()), len(edges))
         candidate_index, row_index = np.nonzero(affected)
         del candidate_index
         return np.split(row_index, np.cumsum(counts)[:-1])
@@ -517,7 +636,23 @@ class DistanceSession:
         exact (float32 0/1 dots or integer counts), so the corrected
         frontier equals the one computed on the edited adjacency bit for
         bit.
+
+        Source rows are independent, so slabs larger than the row cap (a
+        single giant candidate admitted alone by :meth:`_slab_chunks`) are
+        streamed through it in chunks — bit-identical, with the
+        frontier-expansion workspace bounded by the cap.
         """
+        cap = self._batch_slab_row_cap()
+        if rows.size > cap:
+            return np.concatenate(
+                [self._rows_block_batch_chunk(rows[start:start + cap],
+                                              edge_u[start:start + cap],
+                                              edge_v[start:start + cap])
+                 for start in range(0, rows.size, cap)], axis=0)
+        return self._rows_block_batch_chunk(rows, edge_u, edge_v)
+
+    def _rows_block_batch_chunk(self, rows: np.ndarray, edge_u: np.ndarray,
+                                edge_v: np.ndarray) -> np.ndarray:
         n = self._graph.num_vertices
         total = rows.size
         sentinel = self._store.sentinel
@@ -593,20 +728,7 @@ class DistanceSession:
         # Only the gathered slab rows are widened to int64 (the arithmetic
         # must not wrap on sentinel + 1 + d), never the full matrix.
         old_block = self._store.rows(rows_cat)
-        block = old_block.astype(np.int64)
-        within = np.arange(rows_cat.size)
-        du_values = block[within, edge_u]
-        dv_values = block[within, edge_v]
-        np.minimum(block,
-                   (du_values + 1)[:, None]
-                   + self._store.rows(edge_v).astype(np.int64),
-                   out=block)
-        np.minimum(block,
-                   (dv_values + 1)[:, None]
-                   + self._store.rows(edge_u).astype(np.int64),
-                   out=block)
-        block[block > self._length] = self._store.sentinel
-        block = block.astype(self._store.dtype)
+        block = self._relax_rows_batch(old_block, edge_u, edge_v)
         changed_cat = (block != old_block).any(axis=1)
         if skip_unchanged:
             flips_cat = ((block <= self._length)
@@ -623,6 +745,41 @@ class DistanceSession:
                 (), (edges[index],), rows[changed],
                 np.ascontiguousarray(candidate_block[changed],
                                      dtype=self._store.dtype))
+
+    def _relax_rows_batch(self, old_block: np.ndarray, edge_u: np.ndarray,
+                          edge_v: np.ndarray) -> np.ndarray:
+        """Stacked single-edge relaxation of ``old_block``'s rows.
+
+        Rows are independent, so slabs beyond the row cap stream through
+        it in chunks — the int64 widening and the per-row endpoint gathers
+        (the pass's transient workspace) stay bounded by the cap while the
+        result is bit-identical.
+        """
+        cap = self._batch_slab_row_cap()
+        if old_block.shape[0] > cap:
+            return np.concatenate(
+                [self._relax_rows_chunk(old_block[start:start + cap],
+                                        edge_u[start:start + cap],
+                                        edge_v[start:start + cap])
+                 for start in range(0, old_block.shape[0], cap)], axis=0)
+        return self._relax_rows_chunk(old_block, edge_u, edge_v)
+
+    def _relax_rows_chunk(self, old_block: np.ndarray, edge_u: np.ndarray,
+                          edge_v: np.ndarray) -> np.ndarray:
+        block = old_block.astype(np.int64)
+        within = np.arange(old_block.shape[0])
+        du_values = block[within, edge_u]
+        dv_values = block[within, edge_v]
+        np.minimum(block,
+                   (du_values + 1)[:, None]
+                   + self._store.rows(edge_v).astype(np.int64),
+                   out=block)
+        np.minimum(block,
+                   (dv_values + 1)[:, None]
+                   + self._store.rows(edge_u).astype(np.int64),
+                   out=block)
+        block[block > self._length] = self._store.sentinel
+        return block.astype(self._store.dtype)
 
     def stage(self, removals: Sequence[Edge] = (),
               insertions: Sequence[Edge] = ()) -> DistanceDelta:
@@ -718,6 +875,7 @@ class DistanceSession:
             du, dv = column(u), column(v)
             if kind == "remove":
                 rows = self._removal_rows(du, dv)
+                self.observe_affected_rows(int(rows.size), 1)
                 if rows.size > self._fallback_threshold(n):
                     scratch = True
                     continue
@@ -808,8 +966,18 @@ class DistanceSession:
 
         Vectorized multi-source frontier expansion — the ``numpy`` engine's
         recurrence restricted to an ``|rows| × n`` slab, so the cost scales
-        with the affected region instead of the whole vertex set.
+        with the affected region instead of the whole vertex set.  Rows are
+        independent sources, so oversized slabs stream through the row cap
+        in chunks (bit-identical, workspace bounded).
         """
+        cap = self._batch_slab_row_cap()
+        if rows.size > cap:
+            return np.concatenate(
+                [self._rows_block_chunk(rows[start:start + cap])
+                 for start in range(0, rows.size, cap)], axis=0)
+        return self._rows_block_chunk(rows)
+
+    def _rows_block_chunk(self, rows: np.ndarray) -> np.ndarray:
         n = self._graph.num_vertices
         sentinel = self._store.sentinel
         block = np.full((rows.size, n), sentinel, dtype=self._store.dtype)
@@ -836,8 +1004,20 @@ class DistanceSession:
         ``base`` holds the pre-insertion values of ``rows``; only rows within
         L - 1 of an endpoint can gain a new ≤L path, and their new values
         follow from the single-edge relaxation (every improved shortest path
-        is simple, so it crosses the new edge exactly once).
+        is simple, so it crosses the new edge exactly once).  Oversized row
+        sets stream through the row cap in chunks (rows are independent),
+        bounding the int64 widening workspace.
         """
+        cap = self._batch_slab_row_cap()
+        if rows.size > cap:
+            return np.concatenate(
+                [self._relax_insertion_chunk(base[start:start + cap], du, dv,
+                                             rows[start:start + cap])
+                 for start in range(0, rows.size, cap)], axis=0)
+        return self._relax_insertion_chunk(base, du, dv, rows)
+
+    def _relax_insertion_chunk(self, base: np.ndarray, du: np.ndarray,
+                               dv: np.ndarray, rows: np.ndarray) -> np.ndarray:
         block = base.astype(np.int64)
         np.minimum(block, (du[rows] + 1)[:, None] + dv[None, :], out=block)
         np.minimum(block, (dv[rows] + 1)[:, None] + du[None, :], out=block)

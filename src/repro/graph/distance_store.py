@@ -316,6 +316,7 @@ class TiledStore(DistanceStore):
                  tile_rows: Optional[int] = None,
                  budget_bytes: int = DEFAULT_SCALE_BUDGET_BYTES,
                  spill_dir: Optional[str] = None,
+                 spill_path: Optional[str] = None,
                  csr: Optional[CSRAdjacency] = None,
                  parent: Optional["TiledStore"] = None) -> None:
         if length_bound < 1:
@@ -356,14 +357,18 @@ class TiledStore(DistanceStore):
         self._spill_fd: Optional[int] = None
         self._spill_path: Optional[str] = None
         self._finalizer = None
+        self._persistent = False
         self.tile_computes = 0
         self.tile_loads = 0
         self.tile_evictions = 0
         self.tile_spills = 0
+        self.tile_reuses = 0
+        if spill_path is not None:
+            self._open_persistent_spill(spill_path)
 
     # -- lifecycle -----------------------------------------------------
     def close(self) -> None:
-        """Drop the tile cache and delete the spill file."""
+        """Drop the tile cache and the spill file (persistent spills stay)."""
         self._cache.clear()
         self._cache_bytes = 0
         if self._finalizer is not None:
@@ -383,6 +388,13 @@ class TiledStore(DistanceStore):
         except OSError:
             pass
 
+    @staticmethod
+    def _close_fd(fd: int) -> None:
+        try:
+            os.close(fd)
+        except OSError:
+            pass
+
     def _ensure_spill_file(self) -> int:
         if self._spill_fd is None:
             fd, path = tempfile.mkstemp(prefix="repro-tiles-",
@@ -392,6 +404,75 @@ class TiledStore(DistanceStore):
             self._finalizer = weakref.finalize(
                 self, TiledStore._cleanup_spill, fd, path)
         return self._spill_fd
+
+    # -- persistent spill (warm tiles across θ-groups / restarts) --------
+    def _sidecar_path(self, path: str) -> str:
+        return path + ".index.npz"
+
+    def _open_persistent_spill(self, path: str) -> None:
+        """Adopt ``path`` as a *persistent* spill file.
+
+        Unlike the anonymous mkstemp spill — deleted with the store — a
+        persistent spill survives :meth:`close`, and a valid sidecar index
+        (geometry + which tile slots hold data) written next to it lets a
+        later store over the same pristine matrix *reuse* the spilled
+        tiles instead of recomputing them (``tile_reuses`` counts the
+        adopted slots).  A geometry mismatch or missing sidecar truncates
+        the file and starts fresh.  Only pristine base stores should be
+        opened this way: the first edit retires persistence (the sidecar
+        is removed) so stale distances can never leak into a later run.
+        """
+        fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o600)
+        self._spill_fd = fd
+        self._spill_path = path
+        self._persistent = True
+        self._finalizer = weakref.finalize(self, TiledStore._close_fd, fd)
+        sidecar = self._sidecar_path(path)
+        adopted = False
+        try:
+            with np.load(sidecar) as index:
+                if (int(index["num_vertices"]) == self.num_vertices
+                        and int(index["length_bound"]) == self.length_bound
+                        and int(index["tile_rows"]) == self.tile_rows
+                        and str(index["dtype"]) == self.dtype.str):
+                    on_disk = np.asarray(index["on_disk"], dtype=bool)
+                    if on_disk.shape == self._on_disk.shape:
+                        self._on_disk = on_disk.copy()
+                        self.tile_reuses = int(on_disk.sum())
+                        adopted = True
+        except (OSError, KeyError, ValueError):
+            adopted = False
+        if not adopted:
+            try:
+                os.ftruncate(fd, 0)
+            except OSError:
+                pass
+            try:
+                os.unlink(sidecar)
+            except OSError:
+                pass
+
+    def _write_sidecar(self) -> None:
+        sidecar = self._sidecar_path(self._spill_path)
+        tmp = sidecar + ".tmp"
+        with open(tmp, "wb") as handle:
+            np.savez(handle,
+                     num_vertices=self.num_vertices,
+                     length_bound=self.length_bound,
+                     tile_rows=self.tile_rows,
+                     dtype=self.dtype.str,
+                     on_disk=self._on_disk)
+        os.replace(tmp, sidecar)
+
+    def _retire_persistence(self) -> None:
+        """Stop advertising the spill for reuse (first edit)."""
+        if not self._persistent:
+            return
+        self._persistent = False
+        try:
+            os.unlink(self._sidecar_path(self._spill_path))
+        except OSError:
+            pass
 
     @property
     def spill_path(self) -> Optional[str]:
@@ -441,6 +522,8 @@ class TiledStore(DistanceStore):
         os.pwrite(fd, tile.tobytes(), tile_id * self._slot_bytes())
         self._on_disk[tile_id] = True
         self.tile_spills += 1
+        if self._persistent:
+            self._write_sidecar()
 
     def _load_spilled(self, tile_id: int) -> np.ndarray:
         start, stop = self._tile_span(tile_id)
@@ -508,6 +591,7 @@ class TiledStore(DistanceStore):
         if not self._edited:
             self._materialize_all()
             self._edited = True
+            self._retire_persistence()
         rows = np.asarray(rows, dtype=np.int64)
         if rows.size == 0:
             return
@@ -531,6 +615,7 @@ class TiledStore(DistanceStore):
                 f"replacement matrix must be "
                 f"{(self.num_vertices, self.num_vertices)}, got {matrix.shape}")
         self._edited = True
+        self._retire_persistence()
         self._cache.clear()
         self._cache_bytes = 0
         self._on_disk[:] = False

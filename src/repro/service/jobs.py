@@ -25,8 +25,11 @@ recomputing anything.
 from __future__ import annotations
 
 import dataclasses
+import glob
 import json
+import os
 import queue
+import tempfile
 import threading
 import time
 from typing import Any, Dict, List, Optional, Tuple
@@ -156,22 +159,35 @@ class JobManager:
     scale_budget_bytes:
         Service-wide default of the scale-tier byte budget, applied to
         every request that set none.
+    scan_workers:
+        Service-wide default of the parallel-scan pool size (the
+        ``--scan-workers`` flag of ``repro-lopacity serve``).  Applied at
+        execution time — like the scale defaults, the stored request and
+        its dedup fingerprint stay untouched — to every request that kept
+        the default ``scan_mode="batched"`` and chose no ``scan_workers``
+        of its own: those requests run with ``scan_mode="parallel"``.
+        Requests naming a scan mode or worker count explicitly always win.
     """
 
     def __init__(self, store: RunStore, *, data_dir: Optional[str] = None,
                  max_workers: int = 0,
                  shared_memory: Optional[bool] = None,
                  scale_tier: str = "auto",
-                 scale_budget_bytes: Optional[int] = None) -> None:
+                 scale_budget_bytes: Optional[int] = None,
+                 scan_workers: Optional[int] = None) -> None:
         from repro.graph.distance_store import validate_scale_tier
 
         validate_scale_tier(scale_tier)
+        if scan_workers is not None and scan_workers < 0:
+            raise ConfigurationError(
+                f"scan_workers must be >= 0, got {scan_workers}")
         self._store = store
         self._data_dir = data_dir
         self._max_workers = max_workers
         self._shared_memory = shared_memory
         self._scale_tier = scale_tier
         self._scale_budget_bytes = scale_budget_bytes
+        self._scan_workers = scan_workers
         self._queue: "queue.Queue[Any]" = queue.Queue()
         self._tokens: Dict[str, CancellationToken] = {}
         self._tokens_lock = threading.Lock()
@@ -295,11 +311,22 @@ class JobManager:
         token = CancellationToken()
         with self._tokens_lock:
             self._tokens[job_id] = token
+        failed = False
         try:
             self._execute(job, token)
+        except Exception:
+            failed = True
+            raise
         finally:
             with self._tokens_lock:
                 self._tokens.pop(job_id, None)
+            # A terminal job has no future resume to serve, so its warmed
+            # tile spills go; an *interrupted* job (process died while the
+            # store still says "running") keeps them for the resumed pass.
+            row = self._store.get_job(job_id)
+            status = None if row is None else row["status"]
+            if failed or status in ("done", "error", "cancelled"):
+                self._cleanup_spills(job_id)
 
     def _execute(self, job: Dict[str, Any], token: CancellationToken) -> None:
         from repro.api.cache import ExecutionCache
@@ -322,7 +349,8 @@ class JobManager:
                        for index, text
                        in self._store.checkpoints(job_id).items()}
         ordered: List[Optional[AnonymizationResponse]] = [None] * len(requests)
-        cache = ExecutionCache(data_dir=self._data_dir)
+        cache = ExecutionCache(data_dir=self._data_dir,
+                               spill_prefix=self._spill_prefix(job_id))
         for group_global in sample_groups(requests):
             if token.cancelled:
                 self._store.set_status(job_id, "cancelled")
@@ -364,15 +392,17 @@ class JobManager:
         self._store.set_status(job_id, "done")
 
     def _apply_scale_defaults(self, kind: str, request: Any) -> Any:
-        """Fill the service-wide scale-tier defaults into ``request``.
+        """Fill the service-wide scale/scan defaults into ``request``.
 
         Only requests that did not choose for themselves are touched
-        (``scale_tier == "auto"`` / ``scale_budget_bytes is None``), so a
-        job spec naming an explicit tier or budget keeps it.  Applied at
-        execution time — the stored ``request_json`` (and with it the
-        dedup fingerprint) stays exactly what the client submitted.
+        (``scale_tier == "auto"`` / ``scale_budget_bytes is None`` /
+        default ``scan_mode`` with no ``scan_workers``), so a job spec
+        naming an explicit tier, budget, or scan configuration keeps it.
+        Applied at execution time — the stored ``request_json`` (and with
+        it the dedup fingerprint) stays exactly what the client submitted.
         """
-        if self._scale_tier == "auto" and self._scale_budget_bytes is None:
+        if (self._scale_tier == "auto" and self._scale_budget_bytes is None
+                and self._scan_workers is None):
             return request
 
         def patch(req: AnonymizationRequest) -> AnonymizationRequest:
@@ -382,12 +412,36 @@ class JobManager:
             if (self._scale_budget_bytes is not None
                     and req.scale_budget_bytes is None):
                 overrides["scale_budget_bytes"] = self._scale_budget_bytes
+            if self._scan_workers is not None and req.scan_workers is None:
+                if req.scan_mode == "batched":
+                    overrides["scan_mode"] = "parallel"
+                    overrides["scan_workers"] = self._scan_workers
+                elif req.scan_mode == "parallel":
+                    overrides["scan_workers"] = self._scan_workers
             return dataclasses.replace(req, **overrides) if overrides else req
 
         if kind == "anonymize":
             return patch(request)
         return dataclasses.replace(
             request, requests=tuple(patch(req) for req in request.requests))
+
+    @staticmethod
+    def _spill_prefix(job_id: str) -> str:
+        """Deterministic per-job prefix of the tiled tier's spill files.
+
+        Stable across restarts (it depends only on the job id), so a
+        resumed job's rebuilt :class:`~repro.api.cache.ExecutionCache`
+        re-opens the spill files its interrupted predecessor warmed.
+        """
+        return os.path.join(tempfile.gettempdir(), f"repro-job-{job_id}")
+
+    def _cleanup_spills(self, job_id: str) -> None:
+        """Remove the job's spill files and sidecar indexes (best-effort)."""
+        for path in glob.glob(self._spill_prefix(job_id) + "-*.tiles*"):
+            try:
+                os.remove(path)
+            except OSError:
+                pass
 
     def _execute_pooled(self, job_id: str, kind: str, request: Any,
                         requests: List[AnonymizationRequest],

@@ -479,3 +479,24 @@ class TestSampleGroupResume:
         execute_sample_group(requests, observer=buffer)
         assert [indices for indices, _checkpoint in buffer.records] \
             == [(0, 1, 2)] * len(THETAS)
+
+
+class TestParallelScanGrid:
+    """Acceptance: a parallel-scan grid stays on the shared data plane."""
+
+    def test_parallel_grid_matches_serial_with_single_sample_load(self):
+        thetas = (0.9, 0.7)
+        base = BASE.with_overrides(length_threshold=2)
+        serial = run_grid(GridRequest.from_axes(base, thetas=thetas),
+                          max_workers=0)
+        parallel_base = base.with_overrides(scan_mode="parallel",
+                                            scan_workers=4)
+        observed = run_grid(GridRequest.from_axes(parallel_base,
+                                                  thetas=thetas),
+                            max_workers=0)
+        for response, expected in zip(observed.responses, serial.responses):
+            assert_response_parity(response, expected)
+        # One sample load and at most one distance compute: the scan pool
+        # attaches the published arena instead of reloading either.
+        assert observed.num_sample_loads == 1
+        assert observed.num_distance_computes <= 1

@@ -53,6 +53,20 @@ class TestAnonymizationRequest:
         with pytest.raises(ConfigurationError, match="scan_mode"):
             EdgeRemovalAnonymizer(scan_mode="vectorized")
 
+    def test_scan_workers_round_trips_and_reaches_algorithms(self):
+        request = AnonymizationRequest(algorithm="rem", edges=EDGES,
+                                       scan_mode="parallel", scan_workers=3)
+        restored = AnonymizationRequest.from_json(request.to_json())
+        assert restored.scan_workers == 3
+        assert request.algorithm_params()["scan_workers"] == 3
+        # Defaults to auto sizing (None).
+        assert AnonymizationRequest(algorithm="rem", edges=EDGES).scan_workers \
+            is None
+
+    def test_negative_scan_workers_raises_at_construction_time(self):
+        with pytest.raises(ConfigurationError, match="scan_workers"):
+            AnonymizationRequest(algorithm="rem", edges=EDGES, scan_workers=-1)
+
     def test_swap_sample_size_round_trips_to_gades(self):
         from repro.api.registry import create_anonymizer
 

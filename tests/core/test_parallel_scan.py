@@ -1,0 +1,375 @@
+"""Tests for the intra-group parallel candidate scan (``scan_mode="parallel"``).
+
+The scan pool promises three things, and these tests pin all of them:
+
+* **Bit-identity** — sharding a candidate scan across workers over the
+  shared-memory arena returns exactly the evaluations (``Fraction``
+  maxima, tie counts, per-type counts) of the serial batched scan, so
+  whole anonymization runs produce identical step sequences under a
+  fixed seed, on the dense and the tiled tier alike.
+* **Crash safety** — the arena segment is unlinked the moment every
+  worker has attached, so even ``SIGKILL``-ing workers mid-run leaks
+  nothing under ``/dev/shm``; the session falls back to the serial scan
+  permanently and keeps producing identical results.
+* **No nested pools** — pool workers (θ-group or scan) never start scan
+  pools of their own.
+
+The CI machine may be single-core, so every test passes an explicit
+``scan_workers`` (the auto heuristic resolves to 0 there by design).
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import signal
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DegreePairTyping,
+    EdgeRemovalAnonymizer,
+    EdgeRemovalInsertionAnonymizer,
+    OpacityComputer,
+    OpacitySession,
+)
+from repro.core import scan_pool as scan_pool_module
+from repro.core.anonymizer import AnonymizerConfig
+from repro.core.scan_pool import (
+    in_pool_worker,
+    mark_pool_worker,
+    resolve_scan_workers,
+)
+from repro.errors import ConfigurationError
+from repro.graph import erdos_renyi_graph
+from repro.graph.distance import available_engines
+from repro.graph.distance_delta import DistanceSession
+from repro.graph.distance_store import StoreConfig
+from tests.property.strategies import graphs, length_bounds
+
+engines = st.sampled_from(sorted(available_engines()))
+
+#: Explicit pool size used throughout — the auto heuristic returns 0 on
+#: the single-core CI machine, which would silently skip the pool path.
+WORKERS = 2
+
+
+def leaked_arenas():
+    return glob.glob("/dev/shm/repro-arena*")
+
+
+def make_candidates(graph, insertions=4):
+    """Every single-edge removal plus a few insertions — a greedy-style scan."""
+    pairs = [((edge,), ()) for edge in graph.edges()]
+    pairs += [((), (edge,)) for edge in sorted(graph.non_edges())[:insertions]]
+    return pairs
+
+
+class TestResolveScanWorkers:
+    def test_serial_modes_never_start_pools(self):
+        assert resolve_scan_workers("batched", 4) == 0
+        assert resolve_scan_workers("per_candidate", 4) == 0
+
+    def test_explicit_request_wins(self):
+        assert resolve_scan_workers("parallel", 3) == 3
+        assert resolve_scan_workers("parallel", 0) == 0
+
+    def test_auto_sizes_by_core_count(self, monkeypatch):
+        monkeypatch.setattr(scan_pool_module.os, "cpu_count", lambda: 8)
+        assert resolve_scan_workers("parallel", None) == 4
+        monkeypatch.setattr(scan_pool_module.os, "cpu_count", lambda: 2)
+        assert resolve_scan_workers("parallel", None) == 2
+        monkeypatch.setattr(scan_pool_module.os, "cpu_count", lambda: 1)
+        assert resolve_scan_workers("parallel", None) == 0
+
+    def test_pool_workers_refuse_nested_pools(self, monkeypatch):
+        monkeypatch.setattr(scan_pool_module, "_IN_POOL_WORKER", False)
+        assert not in_pool_worker()
+        assert resolve_scan_workers("parallel", 3) == 3
+        mark_pool_worker()
+        assert in_pool_worker()
+        assert resolve_scan_workers("parallel", 3) == 0
+        assert resolve_scan_workers("parallel", None) == 0
+
+    def test_parallel_scratch_config_rejected(self):
+        with pytest.raises(ConfigurationError, match="scratch"):
+            AnonymizerConfig(scan_mode="parallel",
+                             evaluation_mode="scratch").validate()
+
+    def test_negative_scan_workers_rejected(self):
+        with pytest.raises(ConfigurationError, match="scan_workers"):
+            AnonymizerConfig(scan_workers=-1).validate()
+
+
+class TestParallelScanEquivalence:
+    """Differential suite: ``parallel`` ≡ ``batched`` ≡ ``per_candidate``."""
+
+    @given(graphs(min_vertices=6, max_vertices=12), length_bounds, engines)
+    @settings(max_examples=10, deadline=None)
+    def test_parallel_evaluate_edits_matches_serial(self, graph, length,
+                                                    engine):
+        computer = OpacityComputer(DegreePairTyping(graph), length,
+                                   engine=engine)
+        serial = OpacitySession(computer, graph.copy(), mode="incremental")
+        parallel = OpacitySession(computer, graph.copy(), mode="incremental",
+                                  scan_workers=WORKERS)
+        try:
+            pairs = make_candidates(graph)
+            expected = serial.evaluate_edits(pairs)
+            assert parallel.evaluate_edits(pairs) == expected
+            assert [parallel.evaluate_edit(removals, insertions)
+                    for removals, insertions in pairs] == expected
+            assert parallel.graph == serial.graph
+        finally:
+            serial.close()
+            parallel.close()
+        assert leaked_arenas() == []
+
+    @given(graphs(min_vertices=6, max_vertices=12), length_bounds,
+           st.integers(min_value=0, max_value=3))
+    @settings(max_examples=8, deadline=None)
+    def test_scan_survives_applied_edits(self, graph, length, seed):
+        """Apply a few edits between scans — pool stays in sync with parent."""
+        computer = OpacityComputer(DegreePairTyping(graph), length)
+        serial = OpacitySession(computer, graph.copy(), mode="incremental")
+        parallel = OpacitySession(computer, graph.copy(), mode="incremental",
+                                  scan_workers=WORKERS)
+        try:
+            for _ in range(3):
+                pairs = make_candidates(parallel.graph)
+                if not pairs:
+                    break
+                assert parallel.evaluate_edits(pairs) == \
+                    serial.evaluate_edits(pairs)
+                removals, insertions = pairs[seed % len(pairs)]
+                serial.apply_edit(removals=removals, insertions=insertions)
+                parallel.apply_edit(removals=removals, insertions=insertions)
+                assert parallel.current() == serial.current()
+        finally:
+            serial.close()
+            parallel.close()
+        assert leaked_arenas() == []
+
+    @given(st.integers(min_value=0, max_value=2 ** 16))
+    @settings(max_examples=5, deadline=None)
+    def test_rem_runs_identically(self, seed):
+        graph = erdos_renyi_graph(18, 0.25, seed=seed % 97)
+        self._assert_identical(
+            EdgeRemovalAnonymizer,
+            dict(length_threshold=2, theta=0.5, seed=seed, max_steps=4),
+            graph)
+
+    @given(st.integers(min_value=0, max_value=2 ** 16))
+    @settings(max_examples=3, deadline=None)
+    def test_rem_ins_with_lookahead_runs_identically(self, seed):
+        graph = erdos_renyi_graph(14, 0.3, seed=seed % 89)
+        self._assert_identical(
+            EdgeRemovalInsertionAnonymizer,
+            dict(length_threshold=2, theta=0.4, seed=seed, max_steps=2,
+                 lookahead=2, max_combinations=40,
+                 insertion_candidate_cap=20),
+            graph)
+
+    @pytest.mark.parametrize("engine", sorted(available_engines()))
+    def test_engines_run_identically(self, engine):
+        graph = erdos_renyi_graph(20, 0.2, seed=11)
+        self._assert_identical(
+            EdgeRemovalAnonymizer,
+            dict(length_threshold=3, theta=0.5, seed=0, max_steps=3,
+                 engine=engine),
+            graph)
+
+    def test_tiled_tier_matches_dense_serial(self):
+        """Parallel scan over streamed tiles ≡ serial scan over the dense
+        matrix — the strongest cross-tier differential."""
+        graph = erdos_renyi_graph(24, 0.18, seed=5)
+        params = dict(length_threshold=2, theta=0.5, seed=0, max_steps=4)
+        reference = EdgeRemovalAnonymizer(
+            evaluation_mode="incremental", scan_mode="batched",
+            scale_tier="dense", **params).anonymize(graph)
+        observed = EdgeRemovalAnonymizer(
+            evaluation_mode="incremental", scan_mode="parallel",
+            scan_workers=WORKERS, scale_tier="tiled",
+            scale_budget_bytes=4096, **params).anonymize(graph)
+        self._assert_results_equal(observed, reference)
+        assert observed.debug_info["scan_workers"] == WORKERS
+        assert leaked_arenas() == []
+
+    @staticmethod
+    def _assert_results_equal(observed, reference):
+        assert [(step.operation, step.edges) for step in observed.steps] == \
+               [(step.operation, step.edges) for step in reference.steps]
+        assert observed.final_opacity == reference.final_opacity
+        assert observed.evaluations == reference.evaluations
+        assert observed.distortion == reference.distortion
+        assert observed.anonymized_graph == reference.anonymized_graph
+
+    @classmethod
+    def _assert_identical(cls, algorithm, params, graph):
+        reference = algorithm(evaluation_mode="incremental",
+                              scan_mode="batched", **params).anonymize(graph)
+        serial = algorithm(evaluation_mode="incremental",
+                           scan_mode="per_candidate", **params).anonymize(graph)
+        observed = algorithm(evaluation_mode="incremental",
+                             scan_mode="parallel", scan_workers=WORKERS,
+                             **params).anonymize(graph)
+        cls._assert_results_equal(serial, reference)
+        cls._assert_results_equal(observed, reference)
+        assert observed.debug_info["scan_workers"] == WORKERS
+        assert leaked_arenas() == []
+
+
+class TestCrashSafety:
+    def test_arena_is_unlinked_while_the_pool_runs(self):
+        graph = erdos_renyi_graph(20, 0.25, seed=3)
+        computer = OpacityComputer(DegreePairTyping(graph), 2)
+        session = OpacitySession(computer, graph.copy(), mode="incremental",
+                                 scan_workers=WORKERS)
+        try:
+            pairs = make_candidates(graph)
+            session.evaluate_edits(pairs)
+            assert session.parallel_scans == 1
+            assert session._scan_pool is not None
+            # The segment was unlinked right after the ready handshake;
+            # the live pool holds only private mappings.
+            assert leaked_arenas() == []
+        finally:
+            session.close()
+        assert leaked_arenas() == []
+
+    def test_sigkilled_worker_falls_back_serially(self):
+        graph = erdos_renyi_graph(20, 0.25, seed=3)
+        computer = OpacityComputer(DegreePairTyping(graph), 2)
+        serial = OpacitySession(computer, graph.copy(), mode="incremental")
+        parallel = OpacitySession(computer, graph.copy(), mode="incremental",
+                                  scan_workers=WORKERS)
+        try:
+            pairs = make_candidates(graph)
+            expected = serial.evaluate_edits(pairs)
+            assert parallel.evaluate_edits(pairs) == expected
+            pool = parallel._scan_pool
+            assert pool is not None and pool.num_workers == WORKERS
+            for pid in pool.worker_pids:
+                os.kill(pid, signal.SIGKILL)
+            # The next scan notices the dead pool, tears it down, and
+            # falls back to the serial path — bit-identically, for good.
+            assert parallel.evaluate_edits(pairs) == expected
+            assert parallel._scan_pool is None
+            assert parallel.scan_parallelism == 1
+            assert parallel.evaluate_edits(pairs) == expected
+        finally:
+            serial.close()
+            parallel.close()
+        assert leaked_arenas() == []
+
+    def test_sigkill_mid_greedy_run_keeps_results_identical(self):
+        graph = erdos_renyi_graph(18, 0.25, seed=7)
+        params = dict(length_threshold=2, theta=0.5, seed=0, max_steps=4)
+        reference = EdgeRemovalAnonymizer(
+            evaluation_mode="incremental", scan_mode="batched",
+            **params).anonymize(graph)
+
+        killed = []
+
+        class KillAfterFirstStep(EdgeRemovalAnonymizer):
+            """SIGKILL every pool worker right after the first greedy step."""
+
+            def _perform_step(self, session, current, rng, result):
+                outcome = super()._perform_step(session, current, rng, result)
+                pool = session._scan_pool
+                if pool is not None and not killed:
+                    killed.extend(pool.worker_pids)
+                    for pid in pool.worker_pids:
+                        os.kill(pid, signal.SIGKILL)
+                return outcome
+
+        observed = KillAfterFirstStep(
+            evaluation_mode="incremental", scan_mode="parallel",
+            scan_workers=WORKERS, **params).anonymize(graph)
+        assert killed, "the run never started a scan pool"
+        TestParallelScanEquivalence._assert_results_equal(observed, reference)
+        assert observed.debug_info["parallel_scans"] >= 1
+        assert leaked_arenas() == []
+
+
+class TestDebugInfoAndFallbackFraction:
+    def test_debug_info_reports_the_scan_configuration(self):
+        graph = erdos_renyi_graph(18, 0.25, seed=2)
+        params = dict(length_threshold=2, theta=0.5, seed=0, max_steps=3)
+        serial = EdgeRemovalAnonymizer(
+            evaluation_mode="incremental", scan_mode="batched",
+            **params).anonymize(graph)
+        assert serial.debug_info["scan_workers"] == 0
+        assert serial.debug_info["parallel_scans"] == 0
+        assert 0.05 <= serial.debug_info["fallback_row_fraction"] <= 1.0
+        parallel = EdgeRemovalAnonymizer(
+            evaluation_mode="incremental", scan_mode="parallel",
+            scan_workers=WORKERS, **params).anonymize(graph)
+        assert parallel.debug_info["scan_workers"] == WORKERS
+        assert parallel.debug_info["parallel_scans"] > 0
+        assert parallel.debug_info["fallback_row_fraction"] == \
+            serial.debug_info["fallback_row_fraction"]
+
+    def test_debug_info_does_not_affect_result_equality(self):
+        graph = erdos_renyi_graph(14, 0.3, seed=4)
+        params = dict(length_threshold=1, theta=0.5, seed=0, max_steps=2)
+        first = EdgeRemovalAnonymizer(**params).anonymize(graph)
+        second = EdgeRemovalAnonymizer(**params).anonymize(graph)
+        second.runtime_seconds = first.runtime_seconds
+        second.debug_info["scan_workers"] = 99
+        assert first == second
+
+    def test_auto_fraction_recalibrates_from_observed_rows(self):
+        graph = erdos_renyi_graph(40, 0.05, seed=9)
+        session = DistanceSession(graph, 2)
+        assert session.requested_fallback_fraction is None
+        initial = session.fallback_row_fraction
+        assert 0.05 <= initial <= 1.0
+        edges = graph.edge_list()
+        assert len(edges) >= 16
+        for edge in edges:
+            session.preview(removals=[edge])
+        rows, candidates = session.take_observed_stats()
+        assert candidates == len(edges)
+        # The default is now measurement-driven: re-derived from the mean
+        # affected-row count of the observed candidates.
+        expected = min(1.0, max(
+            0.05, 8.0 * (rows / candidates) / graph.num_vertices))
+        assert session.fallback_row_fraction == expected
+        # take_observed_stats drained the counters for the next window.
+        assert session.take_observed_stats() == (0, 0)
+
+    def test_explicit_fraction_is_never_recalibrated(self):
+        graph = erdos_renyi_graph(30, 0.1, seed=9)
+        session = DistanceSession(graph, 2, fallback_row_fraction=0.5)
+        assert session.requested_fallback_fraction == 0.5
+        for edge in graph.edge_list():
+            session.preview(removals=[edge])
+        assert session.fallback_row_fraction == 0.5
+
+
+class TestChunkScaling:
+    def test_scan_parallelism_reflects_the_pool(self):
+        graph = erdos_renyi_graph(16, 0.3, seed=1)
+        computer = OpacityComputer(DegreePairTyping(graph), 2)
+        session = OpacitySession(computer, graph.copy(), mode="incremental",
+                                 scan_workers=4)
+        assert session.scan_parallelism == 4
+        session.close()
+        serial = OpacitySession(computer, graph.copy(), mode="incremental")
+        assert serial.scan_parallelism == 1
+        serial.close()
+        scratch = OpacitySession(computer, graph.copy(), mode="scratch",
+                                 scan_workers=4)
+        assert scratch.scan_parallelism == 1
+        scratch.close()
+
+    def test_l1_sessions_stay_serial(self):
+        graph = erdos_renyi_graph(16, 0.3, seed=1)
+        computer = OpacityComputer(DegreePairTyping(graph), 1)
+        session = OpacitySession(computer, graph.copy(), mode="incremental",
+                                 scan_workers=4)
+        assert session.scan_parallelism == 1
+        session.close()

@@ -243,3 +243,82 @@ class TestTiledStore:
             store = TiledStore(graph, 2)
             np.testing.assert_array_equal(
                 store.to_array(), bounded_distance_matrix(graph, 2))
+
+
+class TestPersistentSpill:
+    """``spill_path`` spills that survive ``close`` and warm later stores."""
+
+    def _spill_all(self, graph, path, length=2, tile_rows=4):
+        row_bytes = graph.num_vertices * distance_dtype(length).itemsize
+        store = TiledStore(graph, length, tile_rows=tile_rows,
+                          budget_bytes=tile_rows * row_bytes,  # one tile
+                          spill_path=path)
+        store.to_array()
+        return store
+
+    def test_spill_survives_close_and_is_reused(self, tmp_path):
+        graph = sample_graph(32)
+        dense = bounded_distance_matrix(graph, 2)
+        path = str(tmp_path / "job.tiles")
+        first = self._spill_all(graph, path)
+        assert first.tile_spills > 0
+        assert first.spill_path == path
+        first.close()
+        assert os.path.exists(path)
+        assert os.path.exists(path + ".index.npz")
+        second = TiledStore(graph, 2, tile_rows=4, spill_path=path)
+        assert second.tile_reuses > 0
+        np.testing.assert_array_equal(second.to_array(), dense)
+        # Adopted slots are loaded, never recomputed.
+        assert second.tile_computes == second.num_tiles - second.tile_reuses
+        assert second.tile_loads >= second.tile_reuses
+        second.close()
+
+    def test_geometry_mismatch_starts_fresh(self, tmp_path):
+        graph = sample_graph(32)
+        path = str(tmp_path / "job.tiles")
+        self._spill_all(graph, path, tile_rows=4).close()
+        other = TiledStore(graph, 2, tile_rows=5, spill_path=path)
+        assert other.tile_reuses == 0
+        np.testing.assert_array_equal(
+            other.to_array(), bounded_distance_matrix(graph, 2))
+        other.close()
+
+    def test_different_bound_starts_fresh(self, tmp_path):
+        graph = sample_graph(32)
+        path = str(tmp_path / "job.tiles")
+        self._spill_all(graph, path, length=2).close()
+        other = TiledStore(graph, 3, tile_rows=4, spill_path=path)
+        assert other.tile_reuses == 0
+        np.testing.assert_array_equal(
+            other.to_array(), bounded_distance_matrix(graph, 3))
+        other.close()
+
+    def test_first_edit_retires_the_sidecar(self, tmp_path):
+        graph = sample_graph(32)
+        path = str(tmp_path / "job.tiles")
+        first = self._spill_all(graph, path)
+        rows = np.array([0, 1])
+        first.write_rows(rows, first.rows(rows))
+        # Edited stores never advertise their tiles for reuse: the spilled
+        # rows no longer describe the pristine matrix.
+        assert not os.path.exists(path + ".index.npz")
+        np.testing.assert_array_equal(
+            first.to_array(), bounded_distance_matrix(graph, 2))
+        first.close()
+        second = TiledStore(graph, 2, tile_rows=4, spill_path=path)
+        assert second.tile_reuses == 0
+        np.testing.assert_array_equal(
+            second.to_array(), bounded_distance_matrix(graph, 2))
+        second.close()
+
+    def test_missing_sidecar_truncates_stale_bytes(self, tmp_path):
+        graph = sample_graph(20)
+        path = tmp_path / "job.tiles"
+        path.write_bytes(b"stale garbage with no index")
+        store = TiledStore(graph, 2, tile_rows=4, spill_path=str(path))
+        assert store.tile_reuses == 0
+        assert os.path.getsize(path) == 0
+        np.testing.assert_array_equal(
+            store.to_array(), bounded_distance_matrix(graph, 2))
+        store.close()

@@ -408,3 +408,128 @@ class TestScaleDefaults:
                        for req in stored["requests"])
         finally:
             manager.stop()
+
+
+class TestScanDefaults:
+    """Service-wide ``--scan-workers``: fingerprint-neutral execution default."""
+
+    def test_negative_scan_workers_rejected_up_front(self, store):
+        with pytest.raises(ConfigurationError, match="scan_workers"):
+            JobManager(store, scan_workers=-1)
+
+    def test_default_promotes_batched_requests_at_execution(self, store):
+        manager = JobManager(store, scan_workers=2)
+        patched = manager._apply_scale_defaults("anonymize", BASE)
+        assert patched.scan_mode == "parallel"
+        assert patched.scan_workers == 2
+        patched_grid = manager._apply_scale_defaults("grid", small_grid())
+        assert all(request.scan_mode == "parallel"
+                   and request.scan_workers == 2
+                   for request in patched_grid.requests)
+
+    def test_explicit_scan_choices_beat_the_default(self, store):
+        manager = JobManager(store, scan_workers=2)
+        serial = BASE.with_overrides(scan_mode="per_candidate")
+        assert manager._apply_scale_defaults("anonymize", serial) == serial
+        chosen = BASE.with_overrides(scan_mode="parallel", scan_workers=1)
+        assert manager._apply_scale_defaults("anonymize", chosen) == chosen
+        # Mode chosen but size left open: only the size is filled in.
+        open_size = BASE.with_overrides(scan_mode="parallel")
+        assert manager._apply_scale_defaults(
+            "anonymize", open_size).scan_workers == 2
+
+    def test_parallel_default_job_matches_a_serial_run(self, store):
+        grid = small_grid()
+        manager = JobManager(store, scan_workers=2)
+        manager.start()
+        try:
+            submitted = manager.submit("grid", grid)
+            job = manager.wait_for(submitted["job_id"], timeout=120)
+            assert job["status"] == "done"
+            result = GridResponse.from_json(store.get_result(job["id"]))
+            assert_grid_parity(result, run_grid(grid, max_workers=0))
+            # The stored request (and the dedup fingerprint) keeps the
+            # client's serial scan configuration.
+            row = store.get_job(job["id"])
+            stored = json.loads(row["request_json"])
+            assert all(req.get("scan_workers") is None
+                       for req in stored["requests"])
+        finally:
+            manager.stop()
+
+
+class TestSpillLifecycle:
+    """Per-job persistent spill files: stable prefix, terminal cleanup."""
+
+    def test_prefix_is_deterministic_per_job(self):
+        assert JobManager._spill_prefix("abc") == JobManager._spill_prefix("abc")
+        assert JobManager._spill_prefix("abc") != JobManager._spill_prefix("abd")
+
+    def test_cleanup_removes_only_the_jobs_files(self, store, tmp_path,
+                                                 monkeypatch):
+        import repro.service.jobs as jobs_module
+        monkeypatch.setattr(jobs_module.tempfile, "gettempdir",
+                            lambda: str(tmp_path))
+        manager = JobManager(store)
+        mine = tmp_path / "repro-job-j1-deadbeef.tiles"
+        sidecar = tmp_path / "repro-job-j1-deadbeef.tiles.index.npz"
+        other = tmp_path / "repro-job-j2-deadbeef.tiles"
+        for path in (mine, sidecar, other):
+            path.write_bytes(b"x")
+        manager._cleanup_spills("j1")
+        assert not mine.exists() and not sidecar.exists()
+        assert other.exists()
+
+    def test_tiled_job_cleans_spills_on_completion(self, store, tmp_path,
+                                                   monkeypatch):
+        import glob as glob_module
+
+        import repro.service.jobs as jobs_module
+        monkeypatch.setattr(jobs_module.tempfile, "gettempdir",
+                            lambda: str(tmp_path))
+        grid = small_grid()
+        manager = JobManager(store, scale_tier="tiled",
+                             scale_budget_bytes=2048)
+        manager.start()
+        try:
+            submitted = manager.submit("grid", grid)
+            job = manager.wait_for(submitted["job_id"], timeout=120)
+            assert job["status"] == "done"
+            assert_grid_parity(
+                GridResponse.from_json(store.get_result(job["id"])),
+                run_grid(grid, max_workers=0))
+        finally:
+            manager.stop()
+        prefix = jobs_module.JobManager._spill_prefix(submitted["job_id"])
+        assert glob_module.glob(prefix + "-*.tiles*") == []
+
+    def test_interrupted_job_keeps_spills_for_resume(self, store, tmp_path,
+                                                     monkeypatch):
+        """A job killed mid-run leaves its warm tiles; the resumed run
+        adopts them and the terminal cleanup still fires at the end."""
+        import glob as glob_module
+
+        import repro.service.jobs as jobs_module
+        monkeypatch.setattr(jobs_module.tempfile, "gettempdir",
+                            lambda: str(tmp_path))
+        grid = small_grid(scale_tier="tiled", scale_budget_bytes=2048)
+        # Persist the state of a process that died while "running" — the
+        # driver never reached the terminal-status cleanup.
+        job_id = store.create_job("grid", request_fingerprint(grid),
+                                  grid.to_json(), len(grid.requests))
+        store.set_status(job_id, "running")
+        warm = tmp_path / f"repro-job-{job_id}-deadbeef.tiles"
+        warm.write_bytes(b"x")
+        manager = JobManager(store)
+        resumed = manager.start()
+        try:
+            assert resumed == [job_id]
+            job = manager.wait_for(job_id, timeout=120)
+            assert job["status"] == "done"
+            assert_grid_parity(
+                GridResponse.from_json(store.get_result(job_id)),
+                run_grid(grid, max_workers=0))
+        finally:
+            manager.stop()
+        prefix = jobs_module.JobManager._spill_prefix(job_id)
+        assert glob_module.glob(prefix + "-*.tiles*") == []

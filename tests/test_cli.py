@@ -76,6 +76,26 @@ class TestCommands:
             main(["anonymize", "--dataset", "gnutella", "--size", "40",
                   "--scan-mode", "turbo"])
 
+    def test_anonymize_command_parallel_scan_agrees_with_batched(
+            self, tmp_path, capsys):
+        outputs = {}
+        for mode, extra in (("batched", []),
+                            ("parallel", ["--scan-workers", "2"])):
+            output = tmp_path / f"anon-{mode}.edges"
+            exit_code = main(["anonymize", "--dataset", "gnutella",
+                              "--size", "40", "--algorithm", "rem",
+                              "--theta", "0.6", "--length", "2",
+                              "--seed", "0", "--scan-mode", mode,
+                              "--output", str(output)] + extra)
+            assert exit_code == 0
+            outputs[mode] = output.read_text()
+        assert outputs["batched"] == outputs["parallel"]
+
+    def test_anonymize_command_rejects_negative_scan_workers(self, capsys):
+        exit_code = main(["anonymize", "--dataset", "gnutella", "--size", "40",
+                          "--scan-mode", "parallel", "--scan-workers", "-1"])
+        assert exit_code != 0
+
     def test_anonymize_command_reads_edge_list(self, tmp_path, capsys):
         from repro.graph.generators import erdos_renyi_graph
         from repro.graph.io import write_edge_list
